@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation study for the design choices DESIGN.md calls out:
+ *
+ *  1. restricted coset groups — {C1,C2}/{C1,C3} (paper) vs the
+ *     unrestricted 3cosets and 4cosets at the same granularity;
+ *  2. the frequency-ordered aux-cell mappings vs the per-block
+ *     selector budget of the unrestricted schemes;
+ *  3. the multi-objective and disturbance-aware selection modes
+ *     (Section VIII-D and the paper's future work).
+ *
+ * Reports suite-average energy / updated cells / disturbance for
+ * each variant at 16-bit granularity.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "wlcrc/factory.hh"
+#include "wlcrc/wlc_cosets_codec.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Ablation", "WLCRC design-choice ablation at 16-bit");
+    const pcm::EnergyModel energy;
+    const pcm::DisturbanceModel disturb;
+    CsvTable table({"variant", "energy_pJ", "updated_cells",
+                    "disturb_errors"});
+
+    auto run = [&](const coset::LineCodec &codec,
+                   const std::string &label) {
+        double e = 0, u = 0, d = 0;
+        const auto &all = trace::WorkloadProfile::all();
+        for (const auto &p : all) {
+            const auto r =
+                wb::runWorkload(codec, p, wb::linesPerWorkload());
+            e += r.energyPj.mean();
+            u += r.updatedCells.mean();
+            d += r.disturbErrors.mean();
+        }
+        table.addRow(label, e / all.size(), u / all.size(),
+                     d / all.size());
+    };
+
+    const core::WlcrcCodec restricted(energy, 16);
+    run(restricted, "WLCRC-16 (restricted, paper)");
+    const core::WlcCosetsCodec un3(energy, 3, 16);
+    run(un3, "WLC+3cosets-16 (unrestricted, k=9)");
+    const core::WlcCosetsCodec un4(energy, 4, 16);
+    run(un4, "WLC+4cosets-16 (unrestricted, k=9)");
+    const core::WlcrcCodec mo(energy, 16, 0.01);
+    run(mo, "WLCRC-16 multi-objective (T=1%)");
+    const auto da = core::WlcrcCodec::disturbanceAware(
+        energy, disturb, 16);
+    run(da, "WLCRC-16 disturbance-aware (future work)");
+    const auto da_strong = core::WlcrcCodec::disturbanceAware(
+        energy, disturb, 16, 1200.0);
+    run(da_strong, "WLCRC-16 disturbance-aware (lambda=1200)");
+
+    table.write(std::cout);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration bench binaries.
+ *
+ * Every bench prints the same rows/series the corresponding paper
+ * figure plots (CSV to stdout) plus a short headline summary. The
+ * simulated write count scales with WLCRC_BENCH_LINES (per workload;
+ * default 3000) and WLCRC_BENCH_RANDOM_LINES (for the random-data
+ * figures; default 20000) so the suite can run anywhere from a smoke
+ * test to paper-fidelity volume.
+ */
+
+#ifndef WLCRC_BENCH_BENCH_COMMON_HH
+#define WLCRC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/env.hh"
+#include "coset/codec.hh"
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+#include "trace/replay.hh"
+#include "trace/workload.hh"
+
+namespace wlcrc::bench
+{
+
+/** Per-workload write count. */
+inline uint64_t
+linesPerWorkload()
+{
+    return envU64("WLCRC_BENCH_LINES", 3000);
+}
+
+/** Write count for random-data experiments. */
+inline uint64_t
+randomLines()
+{
+    return envU64("WLCRC_BENCH_RANDOM_LINES", 20000);
+}
+
+/** Replay @p lines synthetic writes of @p profile through @p codec. */
+inline trace::ReplayResult
+runWorkload(const coset::LineCodec &codec,
+            const trace::WorkloadProfile &profile, uint64_t lines,
+            uint64_t seed = 1234)
+{
+    const pcm::WriteUnit unit{codec.energyModel(),
+                              pcm::DisturbanceModel()};
+    trace::Replayer rep(codec, unit, seed);
+    trace::TraceSynthesizer synth(profile, seed);
+    rep.run(synth, lines);
+    return rep.result();
+}
+
+/** Replay @p lines random-data writes through @p codec. */
+inline trace::ReplayResult
+runRandom(const coset::LineCodec &codec, uint64_t lines,
+          uint64_t seed = 4321)
+{
+    const pcm::WriteUnit unit{codec.energyModel(),
+                              pcm::DisturbanceModel()};
+    trace::Replayer rep(codec, unit, seed);
+    trace::RandomWorkload random(seed);
+    rep.run(random, lines);
+    return rep.result();
+}
+
+/** Average a per-workload metric over the whole benchmark suite. */
+template <typename MetricFn>
+double
+suiteAverage(const coset::LineCodec &codec, uint64_t lines,
+             MetricFn metric, uint64_t seed = 1234)
+{
+    double total = 0;
+    unsigned n = 0;
+    for (const auto &p : trace::WorkloadProfile::all()) {
+        total += metric(runWorkload(codec, p, lines, seed));
+        ++n;
+    }
+    return total / n;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::cout << "# " << figure << ": " << what << "\n"
+              << "# lines/workload=" << linesPerWorkload()
+              << " random-lines=" << randomLines() << "\n";
+}
+
+} // namespace wlcrc::bench
+
+#endif // WLCRC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: software encode/decode
+ * throughput of every scheme, plus the WLC compressibility check and
+ * the compressor bank. Not a paper figure — these quantify the
+ * simulator itself and give a software analogue of the Section VI-B
+ * pipeline costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "compress/coc.hh"
+#include "compress/fpc_bdi.hh"
+#include "compress/wlc.hh"
+#include "trace/value_model.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+/** Pre-generated biased lines shared by all benchmarks. */
+const std::vector<Line512> &
+lines()
+{
+    static const std::vector<Line512> data = [] {
+        Rng rng(2718);
+        std::vector<Line512> v;
+        for (int i = 0; i < 256; ++i) {
+            const auto type = static_cast<trace::LineType>(
+                rng.nextBelow(trace::numLineTypes));
+            v.push_back(
+                trace::ValueModel::generateLine(type, rng));
+        }
+        return v;
+    }();
+    return data;
+}
+
+void
+encodeScheme(benchmark::State &state, const std::string &name)
+{
+    const pcm::EnergyModel energy;
+    const auto codec = core::makeCodec(name, energy);
+    std::vector<pcm::State> stored(codec->cellCount(),
+                                   pcm::State::S1);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto target =
+            codec->encode(lines()[i++ % lines().size()], stored);
+        benchmark::DoNotOptimize(target.cells.data());
+        stored = target.cells;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+decodeScheme(benchmark::State &state, const std::string &name)
+{
+    const pcm::EnergyModel energy;
+    const auto codec = core::makeCodec(name, energy);
+    std::vector<pcm::State> stored(codec->cellCount(),
+                                   pcm::State::S1);
+    stored = codec->encode(lines()[0], stored).cells;
+    for (auto _ : state) {
+        const Line512 out = codec->decode(stored);
+        benchmark::DoNotOptimize(out.word(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_WlcCheck(benchmark::State &state)
+{
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::Wlc::lineCompressible(
+            lines()[i++ % lines().size()],
+            static_cast<unsigned>(state.range(0))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WlcCheck)->Arg(6)->Arg(9);
+
+void
+BM_FpcBdi(benchmark::State &state)
+{
+    const compress::FpcBdi c;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.compress(lines()[i++ % lines().size()]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FpcBdi);
+
+void
+BM_Coc(benchmark::State &state)
+{
+    const compress::Coc c;
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.compress(lines()[i++ % lines().size()]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Coc);
+
+void
+BM_SynthesizeTrace(benchmark::State &state)
+{
+    trace::TraceSynthesizer synth(
+        trace::WorkloadProfile::byName("gcc"), 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synth.next().newData.word(0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynthesizeTrace);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &name : core::figure8Schemes()) {
+        benchmark::RegisterBenchmark(("encode/" + name).c_str(),
+                                     encodeScheme, name);
+        benchmark::RegisterBenchmark(("decode/" + name).c_str(),
+                                     decodeScheme, name);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 1: write energy of 6cosets + differential write as the
+ * encoding granularity sweeps 8..512 bits, split into data-block
+ * (blk) and auxiliary (aux) energy, for (a) random data and
+ * (b) the biased SPEC/PARSEC workloads.
+ *
+ * Expected shape: blk energy falls as granularity shrinks; aux
+ * energy grows and peaks at 8-bit blocks, where it neutralises much
+ * of the gain — the paper's motivating observation.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 1",
+               "6cosets write energy vs data block granularity");
+    const pcm::EnergyModel energy;
+    CsvTable table({"workload_class", "granularity_bits", "blk_pJ",
+                    "aux_pJ", "total_pJ"});
+
+    for (const unsigned g : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+        const coset::NCosetsCodec codec(
+            energy, coset::sixCosetCandidates(), g);
+        // (a) random workloads.
+        const auto random =
+            wb::runRandom(codec, wb::randomLines());
+        table.addRow("random", g, random.dataEnergyPj.mean(),
+                     random.auxEnergyPj.mean(),
+                     random.energyPj.mean());
+        // (b) biased workloads (suite average).
+        double blk = 0, aux = 0;
+        for (const auto &p : trace::WorkloadProfile::all()) {
+            const auto r =
+                wb::runWorkload(codec, p, wb::linesPerWorkload());
+            blk += r.dataEnergyPj.mean();
+            aux += r.auxEnergyPj.mean();
+        }
+        const unsigned n = trace::WorkloadProfile::all().size();
+        table.addRow("biased", g, blk / n, aux / n,
+                     (blk + aux) / n);
+    }
+    table.write(std::cout);
+    return 0;
+}

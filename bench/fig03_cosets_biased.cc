@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3: 6cosets vs 4cosets on the biased SPEC/PARSEC workloads
+ * for granularities 8..128 — (a) aux, (b) data block, (c) total.
+ *
+ * Expected shape: 6cosets keeps a data-block advantage, but 4cosets
+ * wins on aux energy (one aux symbol, frequent candidates on the
+ * low-energy states), so the totals come out nearly equal — the
+ * observation that justifies dropping to four candidates.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 3", "6cosets vs 4cosets on biased workloads");
+    const pcm::EnergyModel energy;
+    CsvTable table({"scheme", "granularity_bits", "aux_pJ", "blk_pJ",
+                    "total_pJ"});
+
+    const unsigned nworkloads = trace::WorkloadProfile::all().size();
+    for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
+        for (const unsigned n : {6u, 4u}) {
+            const auto cands = n == 6
+                                   ? coset::sixCosetCandidates()
+                                   : coset::tableICandidates(4);
+            const coset::NCosetsCodec codec(energy, cands, g);
+            double aux = 0, blk = 0;
+            for (const auto &p : trace::WorkloadProfile::all()) {
+                const auto r = wb::runWorkload(
+                    codec, p, wb::linesPerWorkload());
+                aux += r.auxEnergyPj.mean();
+                blk += r.dataEnergyPj.mean();
+            }
+            table.addRow(std::to_string(n) + "cosets", g,
+                         aux / nworkloads, blk / nworkloads,
+                         (aux + blk) / nworkloads);
+        }
+    }
+    table.write(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 4: percentage of memory lines compressed per benchmark by
+ * WLC with k = 4..9 MSBs, by COC, and by FPC+BDI (DIN's threshold of
+ * 369 bits).
+ *
+ * Expected shape: WLC compresses >91 % of lines for k <= 6, dropping
+ * to ~50 % for k >= 7; COC covers >90 %; FPC+BDI only ~30 %.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "compress/coc.hh"
+#include "compress/fpc_bdi.hh"
+#include "compress/wlc.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 4",
+               "% compressed lines: WLC(k) vs COC vs FPC+BDI");
+    const compress::Coc coc;
+    const compress::FpcBdi fpcbdi;
+    CsvTable table({"workload", "4-MSBs", "5-MSBs", "6-MSBs",
+                    "7-MSBs", "8-MSBs", "9-MSBs", "COC", "FPC+BDI"});
+
+    const uint64_t lines = wb::linesPerWorkload();
+    std::array<double, 8> avg{};
+    for (const auto &p : trace::WorkloadProfile::all()) {
+        trace::TraceSynthesizer synth(p, 2024);
+        std::array<uint64_t, 8> hits{};
+        for (uint64_t i = 0; i < lines; ++i) {
+            const Line512 data = synth.next().newData;
+            for (unsigned k = 4; k <= 9; ++k)
+                hits[k - 4] +=
+                    compress::Wlc::lineCompressible(data, k);
+            // COC coverage at its 16/32-bit coset budgets.
+            const auto c = coc.compressedBits(data);
+            hits[6] += c && *c <= 480;
+            const auto f = fpcbdi.compressedBits(data);
+            hits[7] += f && *f <= 369;
+        }
+        table.newRow();
+        table.add(p.name);
+        for (unsigned i = 0; i < 8; ++i) {
+            const double pct = 100.0 * hits[i] / lines;
+            table.add(pct);
+            avg[i] += pct;
+        }
+    }
+    table.newRow();
+    table.add("ave.");
+    for (double a : avg)
+        table.add(a / trace::WorkloadProfile::all().size());
+    table.write(std::cout);
+    return 0;
+}

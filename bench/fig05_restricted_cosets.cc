@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 5: 4cosets vs 3cosets vs restricted 3-r-cosets on the
+ * biased workloads, granularities 8..128 — (a) aux, (b) data block,
+ * (c) total write energy.
+ *
+ * Expected shape: 3cosets costs only slightly more than 4cosets;
+ * 3-r-cosets (one group bit per line + one bit per block) cuts aux
+ * energy without giving up much data-block energy.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+#include "coset/restricted_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 5",
+               "4cosets vs 3cosets vs 3-r-cosets (biased workloads)");
+    const pcm::EnergyModel energy;
+    CsvTable table({"scheme", "granularity_bits", "aux_pJ", "blk_pJ",
+                    "total_pJ"});
+
+    const unsigned nworkloads = trace::WorkloadProfile::all().size();
+    auto run_suite = [&](const coset::LineCodec &codec,
+                         const std::string &name, unsigned g) {
+        double aux = 0, blk = 0;
+        for (const auto &p : trace::WorkloadProfile::all()) {
+            const auto r =
+                wb::runWorkload(codec, p, wb::linesPerWorkload());
+            aux += r.auxEnergyPj.mean();
+            blk += r.dataEnergyPj.mean();
+        }
+        table.addRow(name, g, aux / nworkloads, blk / nworkloads,
+                     (aux + blk) / nworkloads);
+    };
+
+    for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
+        const coset::NCosetsCodec four(
+            energy, coset::tableICandidates(4), g);
+        run_suite(four, "4cosets", g);
+        const coset::NCosetsCodec three(
+            energy, coset::tableICandidates(3), g);
+        run_suite(three, "3cosets", g);
+        const coset::RestrictedCosetsCodec restricted(energy, g);
+        run_suite(restricted, "3-r-cosets", g);
+    }
+    table.write(std::cout);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 8: write energy (pJ per 512-bit line write) for all eight
+ * evaluated schemes across the SPEC CPU2006 / PARSEC benchmarks,
+ * grouped into high / low memory intensity.
+ *
+ * Expected shape (paper): WLCRC-16 lowest everywhere; ~52 % below
+ * Baseline, ~39 % below 6cosets / DIN / COC+4cosets, ~10 % below
+ * WLC+4cosets; HMI workloads well above LMI.
+ */
+
+#include "scheme_sweep.hh"
+
+int
+main()
+{
+    namespace wb = wlcrc::bench;
+    wb::banner("Figure 8", "write energy (pJ/line) per scheme");
+    const auto grand = wb::schemeSweep(
+        "energy", [](const wlcrc::trace::ReplayResult &r) {
+            return r.energyPj.mean();
+        });
+    wb::headline(grand, "WLCRC-16", "Baseline");
+    wb::headline(grand, "WLCRC-16", "6cosets");
+    wb::headline(grand, "WLCRC-16", "COC+4cosets");
+    wb::headline(grand, "WLCRC-16", "WLC+4cosets");
+    wb::headline(grand, "WLCRC-16", "FlipMin");
+    wb::headline(grand, "WLCRC-16", "DIN");
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 9: average number of updated cells per line write
+ * (blk + aux) — the endurance proxy — for all schemes across the
+ * benchmark suite.
+ *
+ * Expected shape (paper): WLCRC-16 ~20 % below Baseline and ~11 %
+ * below 6cosets on average, on par with FNW; float-heavy workloads
+ * (lesl, lbm) trade endurance for energy.
+ */
+
+#include "scheme_sweep.hh"
+
+int
+main()
+{
+    namespace wb = wlcrc::bench;
+    wb::banner("Figure 9", "updated cells per line write");
+    const auto grand = wb::schemeSweep(
+        "updated", [](const wlcrc::trace::ReplayResult &r) {
+            return r.updatedCells.mean();
+        });
+    wb::headline(grand, "WLCRC-16", "Baseline");
+    wb::headline(grand, "WLCRC-16", "FlipMin");
+    wb::headline(grand, "WLCRC-16", "COC+4cosets");
+    wb::headline(grand, "WLCRC-16", "6cosets");
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 10: average write disturbance errors per line write for
+ * all schemes across the benchmark suite.
+ *
+ * Expected shape (paper): all schemes average three to four errors
+ * per 512-bit write; DIN highest (it writes the most cells); the
+ * WLC-based schemes sit near the minimum; intensive workloads
+ * (lesl, milc) reach seven to nine.
+ */
+
+#include "scheme_sweep.hh"
+
+int
+main()
+{
+    namespace wb = wlcrc::bench;
+    wb::banner("Figure 10", "write disturbance errors per line");
+    const auto grand = wb::schemeSweep(
+        "disturbance", [](const wlcrc::trace::ReplayResult &r) {
+            return r.disturbErrors.mean();
+        });
+    wb::headline(grand, "WLCRC-16", "Baseline");
+    wb::headline(grand, "WLCRC-16", "DIN");
+    return 0;
+}

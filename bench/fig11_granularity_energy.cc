@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 11: write energy of WLC+4cosets, WLC+3cosets and WLCRC for
+ * data block granularities 8/16/32/64, split into data-block and
+ * auxiliary components (suite average).
+ *
+ * Expected shape (paper): WLCRC-16 is the global minimum (~10-11 %
+ * below the 32-bit optimum of the unrestricted schemes); 4cosets and
+ * 3cosets bottom out at 32-bit blocks because their 16-bit variants
+ * need k = 9 and lose WLC coverage.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "wlcrc/wlc_cosets_codec.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 11",
+               "WLC+{4,3}cosets vs WLCRC energy vs granularity");
+    const pcm::EnergyModel energy;
+    CsvTable table({"scheme", "granularity_bits", "blk_pJ", "aux_pJ",
+                    "total_pJ"});
+
+    const unsigned n = trace::WorkloadProfile::all().size();
+    auto run_suite = [&](const coset::LineCodec &codec,
+                         const std::string &name, unsigned g) {
+        double blk = 0, aux = 0;
+        for (const auto &p : trace::WorkloadProfile::all()) {
+            const auto r =
+                wb::runWorkload(codec, p, wb::linesPerWorkload());
+            blk += r.dataEnergyPj.mean();
+            aux += r.auxEnergyPj.mean();
+        }
+        table.addRow(name, g, blk / n, aux / n, (blk + aux) / n);
+    };
+
+    double best_wlcrc16 = 0, best_unrestricted32 = 0;
+    for (const unsigned g : {8u, 16u, 32u, 64u}) {
+        const core::WlcCosetsCodec four(energy, 4, g);
+        run_suite(four, "4cosets", g);
+        const core::WlcCosetsCodec three(energy, 3, g);
+        run_suite(three, "3cosets", g);
+        const core::WlcrcCodec wlcrc(energy, g);
+        run_suite(wlcrc, "WLCRC", g);
+        if (g == 32) {
+            best_unrestricted32 = wb::suiteAverage(
+                four, wb::linesPerWorkload(),
+                [](const trace::ReplayResult &r) {
+                    return r.energyPj.mean();
+                });
+        }
+        if (g == 16) {
+            best_wlcrc16 = wb::suiteAverage(
+                wlcrc, wb::linesPerWorkload(),
+                [](const trace::ReplayResult &r) {
+                    return r.energyPj.mean();
+                });
+        }
+    }
+    table.write(std::cout);
+    std::printf("# WLCRC-16 vs WLC+4cosets-32: %.1f%% lower\n",
+                100.0 * (1 - best_wlcrc16 / best_unrestricted32));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 14: sensitivity of WLCRC-16's write-energy improvement
+ * (relative to the differential-write baseline) to the SET energy of
+ * the intermediate/high states S3 and S4.
+ *
+ * Expected shape (paper): the improvement shrinks as S3/S4 get
+ * cheaper but stays >= ~32 % even at a >6x reduction.
+ */
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "coset/baseline_codec.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+
+    wb::banner("Figure 14",
+               "WLCRC-16 improvement vs intermediate state energy");
+    CsvTable table({"S3_set_pJ", "S4_set_pJ", "baseline_pJ",
+                    "wlcrc16_pJ", "improvement_pct"});
+
+    const std::vector<std::pair<double, double>> levels = {
+        {307, 547}, {152, 273}, {75, 135}, {50, 80}};
+    for (const auto &[s3, s4] : levels) {
+        const auto energy =
+            pcm::EnergyModel::withHighStateEnergies(s3, s4);
+        const coset::BaselineCodec base(energy);
+        const core::WlcrcCodec wlcrc(energy, 16);
+        auto mean_energy = [](const trace::ReplayResult &r) {
+            return r.energyPj.mean();
+        };
+        const double be = wb::suiteAverage(
+            base, wb::linesPerWorkload(), mean_energy);
+        const double we = wb::suiteAverage(
+            wlcrc, wb::linesPerWorkload(), mean_energy);
+        table.addRow(s3, s4, be, we, 100.0 * (1 - we / be));
+    }
+    table.write(std::cout);
+    return 0;
+}

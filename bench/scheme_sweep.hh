@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared driver for Figures 8/9/10: run every evaluated scheme over
+ * every benchmark and tabulate one metric per (scheme, benchmark)
+ * cell, with the paper's HMI/LMI grouping and averages.
+ */
+
+#ifndef WLCRC_BENCH_SCHEME_SWEEP_HH
+#define WLCRC_BENCH_SCHEME_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "wlcrc/factory.hh"
+
+namespace wlcrc::bench
+{
+
+using MetricFn =
+    std::function<double(const trace::ReplayResult &)>;
+
+/**
+ * Run the Figure 8 scheme list over all benchmarks and print the
+ * per-benchmark table (HMI block, HMI average, LMI block, LMI
+ * average, grand average) for @p metric.
+ *
+ * @return scheme -> grand average, for headline summaries.
+ */
+inline std::map<std::string, double>
+schemeSweep(const std::string &metric_name, const MetricFn &metric)
+{
+    const pcm::EnergyModel energy;
+    const auto schemes = core::figure8Schemes();
+    const uint64_t lines = linesPerWorkload();
+
+    std::vector<std::string> header = {"workload", "intensity"};
+    header.insert(header.end(), schemes.begin(), schemes.end());
+    CsvTable table(header);
+
+    std::map<std::string, double> hmi_sum, lmi_sum;
+    unsigned hmi_n = 0, lmi_n = 0;
+
+    auto emit_average = [&](const char *label,
+                            const std::map<std::string, double> &sum,
+                            unsigned n) {
+        table.newRow();
+        table.add(label);
+        table.add("");
+        for (const auto &s : schemes)
+            table.add(sum.at(s) / n);
+    };
+
+    for (const auto &p : trace::WorkloadProfile::all()) {
+        table.newRow();
+        table.add(p.name);
+        table.add(p.highIntensity ? "HMI" : "LMI");
+        for (const auto &s : schemes) {
+            const auto codec = core::makeCodec(s, energy);
+            const double v =
+                metric(runWorkload(*codec, p, lines));
+            table.add(v);
+            (p.highIntensity ? hmi_sum : lmi_sum)[s] += v;
+        }
+        ++(p.highIntensity ? hmi_n : lmi_n);
+    }
+    emit_average("Ave-HMI", hmi_sum, hmi_n);
+    emit_average("Ave-LMI", lmi_sum, lmi_n);
+
+    std::map<std::string, double> grand;
+    table.newRow();
+    table.add("Ave-(H+L)MI");
+    table.add("");
+    for (const auto &s : schemes) {
+        grand[s] =
+            (hmi_sum[s] + lmi_sum[s]) / (hmi_n + lmi_n);
+        table.add(grand[s]);
+    }
+    table.write(std::cout);
+    (void)metric_name;
+    return grand;
+}
+
+/** Print "A vs B: x % better" headline. */
+inline void
+headline(const std::map<std::string, double> &grand,
+         const std::string &a, const std::string &b)
+{
+    const double gain = 100.0 * (1.0 - grand.at(a) / grand.at(b));
+    std::printf("# %s vs %s: %.1f%% lower\n", a.c_str(), b.c_str(),
+                gain);
+}
+
+} // namespace wlcrc::bench
+
+#endif // WLCRC_BENCH_SCHEME_SWEEP_HH

@@ -1,0 +1,40 @@
+#include "csv.hh"
+
+namespace wlcrc
+{
+
+namespace
+{
+
+/** Quote a cell if it contains CSV metacharacters. */
+std::string
+escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+CsvTable::write(std::ostream &os) const
+{
+    for (size_t i = 0; i < header_.size(); ++i)
+        os << (i ? "," : "") << escape(header_[i]);
+    os << '\n';
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); ++i)
+            os << (i ? "," : "") << escape(row[i]);
+        os << '\n';
+    }
+}
+
+} // namespace wlcrc

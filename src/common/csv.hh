@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal CSV table writer used by the bench harnesses to print the
+ * rows/series corresponding to each paper figure.
+ */
+
+#ifndef WLCRC_COMMON_CSV_HH
+#define WLCRC_COMMON_CSV_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wlcrc
+{
+
+/**
+ * Accumulates rows of heterogeneous cells and streams them as CSV.
+ * Intended for small result tables, not bulk data.
+ */
+class CsvTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit CsvTable(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    /** Begin a new row; append cells with add(). */
+    void newRow() { rows_.emplace_back(); }
+
+    /** Append one cell (formatted with operator<<) to the last row. */
+    template <typename T>
+    void
+    add(const T &value)
+    {
+        std::ostringstream os;
+        os << value;
+        rows_.back().push_back(os.str());
+    }
+
+    /** Append several cells to the last row. */
+    template <typename... Ts>
+    void
+    addRow(const Ts &...values)
+    {
+        newRow();
+        (add(values), ...);
+    }
+
+    /** Stream the header plus all rows to @p os. */
+    void write(std::ostream &os) const;
+
+    /** @return number of data rows so far. */
+    size_t size() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wlcrc
+
+#endif // WLCRC_COMMON_CSV_HH

@@ -1,0 +1,37 @@
+#include "env.hh"
+
+#include <cstdlib>
+
+namespace wlcrc
+{
+
+uint64_t
+envU64(const std::string &name, uint64_t fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 0);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+double
+envDouble(const std::string &name, double fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    return (end && *end == '\0') ? parsed : fallback;
+}
+
+std::string
+envString(const std::string &name, const std::string &fallback)
+{
+    const char *v = std::getenv(name.c_str());
+    return v && *v ? std::string(v) : fallback;
+}
+
+} // namespace wlcrc

@@ -1,0 +1,74 @@
+#include "line512.hh"
+
+#include <cassert>
+#include <cstdio>
+
+namespace wlcrc
+{
+
+uint64_t
+Line512::bits(unsigned pos, unsigned len) const
+{
+    assert(len >= 1 && len <= 64 && pos + len <= lineBits);
+    const unsigned w = pos >> 6;
+    const unsigned off = pos & 63;
+    uint64_t value = words_[w] >> off;
+    if (off + len > 64)
+        value |= words_[w + 1] << (64 - off);
+    if (len < 64)
+        value &= (uint64_t{1} << len) - 1;
+    return value;
+}
+
+void
+Line512::setBits(unsigned pos, unsigned len, uint64_t value)
+{
+    assert(len >= 1 && len <= 64 && pos + len <= lineBits);
+    const uint64_t mask =
+        len == 64 ? ~uint64_t{0} : (uint64_t{1} << len) - 1;
+    value &= mask;
+    const unsigned w = pos >> 6;
+    const unsigned off = pos & 63;
+    words_[w] = (words_[w] & ~(mask << off)) | (value << off);
+    if (off + len > 64) {
+        const unsigned hi = off + len - 64;
+        const uint64_t hi_mask = (uint64_t{1} << hi) - 1;
+        words_[w + 1] =
+            (words_[w + 1] & ~hi_mask) | (value >> (64 - off));
+    }
+}
+
+Line512
+Line512::operator^(const Line512 &o) const
+{
+    Line512 r;
+    for (unsigned w = 0; w < lineWords; ++w)
+        r.words_[w] = words_[w] ^ o.words_[w];
+    return r;
+}
+
+Line512
+Line512::operator~() const
+{
+    Line512 r;
+    for (unsigned w = 0; w < lineWords; ++w)
+        r.words_[w] = ~words_[w];
+    return r;
+}
+
+std::string
+Line512::toHex() const
+{
+    std::string s;
+    s.reserve(lineWords * 17);
+    char buf[20];
+    for (int w = lineWords - 1; w >= 0; --w) {
+        std::snprintf(buf, sizeof(buf), "%016lx%s",
+                      static_cast<unsigned long>(words_[w]),
+                      w ? "_" : "");
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace wlcrc

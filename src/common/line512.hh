@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Line512: a 512-bit memory line payload with bit-, symbol- and
+ * word-level accessors.
+ *
+ * A PCM memory line in this project is always 512 data bits (64 bytes),
+ * viewed interchangeably as:
+ *   - 512 bits b511..b0,
+ *   - 256 two-bit symbols (symbol i = bits {2i+1, 2i}), each stored in
+ *     one 4-level PCM cell, and
+ *   - 8 little-endian 64-bit words (word w covers bits [64w+63 : 64w]).
+ */
+
+#ifndef WLCRC_COMMON_LINE512_HH
+#define WLCRC_COMMON_LINE512_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wlcrc
+{
+
+/** Number of bits in a memory line. */
+inline constexpr unsigned lineBits = 512;
+/** Number of 2-bit symbols (MLC cells) holding the line payload. */
+inline constexpr unsigned lineSymbols = 256;
+/** Number of 64-bit words in a memory line. */
+inline constexpr unsigned lineWords = 8;
+
+/**
+ * A 512-bit value with convenient accessors at bit, 2-bit-symbol and
+ * 64-bit-word granularity. Value-semantic and cheap to copy.
+ */
+class Line512
+{
+  public:
+    /** Construct an all-zero line. */
+    constexpr Line512() : words_{} {}
+
+    /** Construct from eight 64-bit words (word 0 = bits 63..0). */
+    explicit constexpr Line512(const std::array<uint64_t, lineWords> &w)
+        : words_(w)
+    {}
+
+    /** @return word @p w (0..7). */
+    uint64_t
+    word(unsigned w) const
+    {
+        return words_[w];
+    }
+
+    /** Set word @p w to @p value. */
+    void
+    setWord(unsigned w, uint64_t value)
+    {
+        words_[w] = value;
+    }
+
+    /** @return bit @p i (0..511) as 0 or 1. */
+    unsigned
+    bit(unsigned i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Set bit @p i to @p v (0 or 1). */
+    void
+    setBit(unsigned i, unsigned v)
+    {
+        const uint64_t mask = uint64_t{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    /**
+     * @return symbol @p s (0..255): the two bits {2s+1, 2s}, with bit
+     * 2s+1 as the MSB of the symbol, matching the paper's convention
+     * that consecutive bit pairs share a cell.
+     */
+    unsigned
+    symbol(unsigned s) const
+    {
+        return (words_[s >> 5] >> ((s & 31) * 2)) & 3;
+    }
+
+    /** Set symbol @p s to the 2-bit value @p v. */
+    void
+    setSymbol(unsigned s, unsigned v)
+    {
+        const unsigned shift = (s & 31) * 2;
+        words_[s >> 5] =
+            (words_[s >> 5] & ~(uint64_t{3} << shift)) |
+            (uint64_t(v & 3) << shift);
+    }
+
+    /** Extract @p len bits (<=64) starting at bit @p pos. */
+    uint64_t
+    bits(unsigned pos, unsigned len) const;
+
+    /** Store the low @p len bits (<=64) of @p value at bit @p pos. */
+    void setBits(unsigned pos, unsigned len, uint64_t value);
+
+    /** Bitwise XOR, used by XOR-mask (FlipMin style) codecs. */
+    Line512 operator^(const Line512 &o) const;
+
+    /** Bitwise NOT, used by Flip-N-Write. */
+    Line512 operator~() const;
+
+    bool operator==(const Line512 &o) const = default;
+
+    /** @return 128-hex-digit string, word 7 first (for debugging). */
+    std::string toHex() const;
+
+  private:
+    std::array<uint64_t, lineWords> words_;
+};
+
+} // namespace wlcrc
+
+#endif // WLCRC_COMMON_LINE512_HH

@@ -1,0 +1,173 @@
+#include "bdi.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace wlcrc::compress
+{
+
+namespace
+{
+
+/** Sign-extend the low @p bytes bytes of @p v to 64 bits. */
+int64_t
+sext(uint64_t v, unsigned bytes)
+{
+    const unsigned shift = 64 - bytes * 8;
+    return static_cast<int64_t>(v << shift) >> shift;
+}
+
+/** True iff @p delta fits in a signed @p bytes-byte immediate. */
+bool
+fits(int64_t delta, unsigned bytes)
+{
+    const int64_t lim = int64_t{1} << (bytes * 8 - 1);
+    return delta >= -lim && delta < lim;
+}
+
+} // namespace
+
+const std::vector<Bdi::Config> &
+Bdi::configs()
+{
+    static const std::vector<Config> cfgs = {
+        {8, 1}, {8, 2}, {8, 4}, {4, 1}, {4, 2}, {2, 1},
+    };
+    return cfgs;
+}
+
+std::optional<BitBuffer>
+Bdi::tryConfig(const Line512 &line, const Config &cfg)
+{
+    const unsigned n = 64 / cfg.valueBytes;
+    // First non-immediate (non-zero-fitting) value becomes the base.
+    uint64_t base = 0;
+    bool have_base = false;
+    std::vector<uint64_t> values(n);
+    std::vector<uint8_t> imm(n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        values[i] = line.bits(i * cfg.valueBytes * 8,
+                              cfg.valueBytes * 8);
+        const int64_t v = sext(values[i], cfg.valueBytes);
+        if (fits(v, cfg.deltaBytes)) {
+            imm[i] = 1; // delta from the implicit zero base
+            continue;
+        }
+        if (!have_base) {
+            base = values[i];
+            have_base = true;
+        }
+        const int64_t d = v - sext(base, cfg.valueBytes);
+        if (!fits(d, cfg.deltaBytes))
+            return std::nullopt;
+    }
+
+    BitBuffer out;
+    out.append(base, cfg.valueBytes * 8);
+    for (unsigned i = 0; i < n; ++i)
+        out.append(imm[i], 1);
+    for (unsigned i = 0; i < n; ++i) {
+        const int64_t v = sext(values[i], cfg.valueBytes);
+        const int64_t ref =
+            imm[i] ? 0 : sext(base, cfg.valueBytes);
+        out.append(static_cast<uint64_t>(v - ref),
+                   cfg.deltaBytes * 8);
+    }
+    return out;
+}
+
+Line512
+Bdi::undoConfig(const BitBuffer &stream, const Config &cfg)
+{
+    BitReader in(stream);
+    const unsigned n = 64 / cfg.valueBytes;
+    const uint64_t base = in.take(cfg.valueBytes * 8);
+    std::vector<uint8_t> imm(n);
+    for (unsigned i = 0; i < n; ++i)
+        imm[i] = static_cast<uint8_t>(in.take(1));
+    Line512 line;
+    for (unsigned i = 0; i < n; ++i) {
+        const int64_t d =
+            sext(in.take(cfg.deltaBytes * 8), cfg.deltaBytes);
+        const int64_t ref =
+            imm[i] ? 0 : sext(base, cfg.valueBytes);
+        line.setBits(i * cfg.valueBytes * 8, cfg.valueBytes * 8,
+                     static_cast<uint64_t>(ref + d));
+    }
+    return line;
+}
+
+std::optional<BitBuffer>
+Bdi::compress(const Line512 &line) const
+{
+    // Zero line.
+    bool zero = true;
+    for (unsigned w = 0; w < lineWords && zero; ++w)
+        zero = line.word(w) == 0;
+    if (zero) {
+        BitBuffer out;
+        out.append(0, headerBits);
+        return out;
+    }
+    // Repeated 8-byte value.
+    bool rep = true;
+    for (unsigned w = 1; w < lineWords && rep; ++w)
+        rep = line.word(w) == line.word(0);
+    if (rep) {
+        BitBuffer out;
+        out.append(1, headerBits);
+        out.append(line.word(0), 64);
+        return out;
+    }
+    // Base+delta configurations, best (smallest) first.
+    std::optional<BitBuffer> best;
+    unsigned best_id = 0;
+    for (unsigned c = 0; c < configs().size(); ++c) {
+        auto payload = tryConfig(line, configs()[c]);
+        if (!payload)
+            continue;
+        if (!best || payload->size() < best->size()) {
+            best = std::move(payload);
+            best_id = c + 2;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    BitBuffer out;
+    out.append(best_id, headerBits);
+    for (unsigned pos = 0; pos < best->size();) {
+        const unsigned chunk = std::min(64u, best->size() - pos);
+        out.append(best->read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    if (out.size() >= lineBits)
+        return std::nullopt;
+    return out;
+}
+
+Line512
+Bdi::decompress(const BitBuffer &stream) const
+{
+    BitReader in(stream);
+    const auto id = static_cast<unsigned>(in.take(headerBits));
+    if (id == 0)
+        return Line512();
+    if (id == 1) {
+        Line512 line;
+        const uint64_t v = in.take(64);
+        for (unsigned w = 0; w < lineWords; ++w)
+            line.setWord(w, v);
+        return line;
+    }
+    assert(id - 2 < configs().size());
+    // Strip the header and hand the payload to undoConfig.
+    BitBuffer payload;
+    for (unsigned pos = headerBits; pos < stream.size();) {
+        const unsigned chunk = std::min(64u, stream.size() - pos);
+        payload.append(stream.read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    return undoConfig(payload, configs()[id - 2]);
+}
+
+} // namespace wlcrc::compress

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * BDI: Base-Delta-Immediate compression (Pekhimenko et al., PACT'12)
+ * for 512-bit lines: the line is viewed as equal-size values; if all
+ * values fit within small deltas of a common base (plus an implicit
+ * zero base for immediates), the line compresses to
+ * base + delta array + immediate mask.
+ */
+
+#ifndef WLCRC_COMPRESS_BDI_HH
+#define WLCRC_COMPRESS_BDI_HH
+
+#include "compress/compressor.hh"
+
+namespace wlcrc::compress
+{
+
+/** Base-Delta-Immediate compression. */
+class Bdi : public LineCompressor
+{
+  public:
+    std::string name() const override { return "BDI"; }
+
+    std::optional<BitBuffer>
+    compress(const Line512 &line) const override;
+
+    Line512 decompress(const BitBuffer &stream) const override;
+
+    /**
+     * One (value size, delta size) configuration. Public so that the
+     * COC bank can enumerate configurations directly.
+     */
+    struct Config
+    {
+        unsigned valueBytes; //!< 2, 4 or 8
+        unsigned deltaBytes; //!< < valueBytes
+    };
+
+    /** The standard BDI configuration set. */
+    static const std::vector<Config> &configs();
+
+    /**
+     * Try one configuration. @return metadata-free payload size in
+     * bits if every value is within delta range of the base or of
+     * zero, else nullopt.
+     */
+    static std::optional<BitBuffer> tryConfig(const Line512 &line,
+                                              const Config &cfg);
+
+    /** Inverse of tryConfig for the same @p cfg. */
+    static Line512 undoConfig(const BitBuffer &stream,
+                              const Config &cfg);
+
+  private:
+    // Encoding ids in the stream header (4 bits):
+    // 0 = zero line, 1 = repeated 8-byte value, 2.. = configs()[i-2].
+    static constexpr unsigned headerBits = 4;
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_BDI_HH

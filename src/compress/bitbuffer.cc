@@ -1,0 +1,70 @@
+#include "bitbuffer.hh"
+
+#include <cassert>
+
+namespace wlcrc::compress
+{
+
+void
+BitBuffer::append(uint64_t value, unsigned len)
+{
+    assert(len >= 1 && len <= 64);
+    if (len < 64)
+        value &= (uint64_t{1} << len) - 1;
+    const unsigned off = bits_ & 63;
+    if (!off)
+        words_.push_back(0);
+    words_.back() |= value << off;
+    if (off + len > 64) {
+        words_.push_back(value >> (64 - off));
+    }
+    bits_ += len;
+}
+
+uint64_t
+BitBuffer::read(unsigned pos, unsigned len) const
+{
+    assert(len >= 1 && len <= 64 && pos + len <= bits_);
+    const unsigned w = pos >> 6;
+    const unsigned off = pos & 63;
+    uint64_t v = words_[w] >> off;
+    if (off + len > 64)
+        v |= words_[w + 1] << (64 - off);
+    if (len < 64)
+        v &= (uint64_t{1} << len) - 1;
+    return v;
+}
+
+Line512
+BitBuffer::toLine() const
+{
+    assert(bits_ <= lineBits);
+    Line512 line;
+    for (size_t w = 0; w < words_.size(); ++w)
+        line.setWord(static_cast<unsigned>(w), words_[w]);
+    // Mask tail garbage beyond bits_.
+    if (bits_ & 63) {
+        const unsigned w = bits_ >> 6;
+        line.setWord(w, line.word(w) &
+                            ((uint64_t{1} << (bits_ & 63)) - 1));
+        for (unsigned i = w + 1; i < lineWords; ++i)
+            line.setWord(i, 0);
+    }
+    return line;
+}
+
+BitBuffer
+BitBuffer::fromLine(const Line512 &line, unsigned bits)
+{
+    assert(bits <= lineBits);
+    BitBuffer buf;
+    unsigned pos = 0;
+    while (pos < bits) {
+        const unsigned chunk = std::min(64u, bits - pos);
+        buf.append(line.bits(pos, chunk), chunk);
+        pos += chunk;
+    }
+    return buf;
+}
+
+} // namespace wlcrc::compress

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * BitBuffer: an append/read bit vector used by the variable-length
+ * line compressors (FPC, BDI, COC) and by DIN's 3-to-4 expansion.
+ */
+
+#ifndef WLCRC_COMPRESS_BITBUFFER_HH
+#define WLCRC_COMPRESS_BITBUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/line512.hh"
+
+namespace wlcrc::compress
+{
+
+/** Growable bit vector with LSB-first sequential access. */
+class BitBuffer
+{
+  public:
+    BitBuffer() = default;
+
+    /** Append the low @p len bits of @p value. */
+    void append(uint64_t value, unsigned len);
+
+    /** Read @p len bits starting at bit @p pos. */
+    uint64_t read(unsigned pos, unsigned len) const;
+
+    /** Number of bits stored. */
+    unsigned size() const { return bits_; }
+
+    /**
+     * Pack into a Line512, bit i of the buffer at line bit i;
+     * remaining line bits are zero. Buffer must fit (<= 512 bits).
+     */
+    Line512 toLine() const;
+
+    /** Rebuild from the first @p bits bits of @p line. */
+    static BitBuffer fromLine(const Line512 &line, unsigned bits);
+
+    bool operator==(const BitBuffer &o) const = default;
+
+  private:
+    std::vector<uint64_t> words_;
+    unsigned bits_ = 0;
+};
+
+/** Sequential reader over a BitBuffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const BitBuffer &buf) : buf_(buf) {}
+
+    /** Read and consume @p len bits. */
+    uint64_t
+    take(unsigned len)
+    {
+        const uint64_t v = buf_.read(pos_, len);
+        pos_ += len;
+        return v;
+    }
+
+    unsigned position() const { return pos_; }
+    bool exhausted() const { return pos_ >= buf_.size(); }
+
+  private:
+    const BitBuffer &buf_;
+    unsigned pos_ = 0;
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_BITBUFFER_HH

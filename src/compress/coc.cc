@@ -1,0 +1,106 @@
+#include "coc.hh"
+
+#include <cassert>
+
+namespace wlcrc::compress
+{
+
+namespace
+{
+
+/** True iff @p w equals its low @p bits bits sign-extended to 64. */
+bool
+signExtends64(uint64_t w, unsigned bits)
+{
+    const int64_t v = static_cast<int64_t>(w << (64 - bits)) >>
+                      (64 - bits);
+    return static_cast<uint64_t>(v) == w;
+}
+
+constexpr unsigned firstSignPackId = 2;
+constexpr unsigned signPackCount = 25; // kept = 15, 17, ..., 63
+
+unsigned
+keptBits(unsigned k)
+{
+    return 15 + 2 * k;
+}
+
+} // namespace
+
+unsigned
+Coc::bankSize()
+{
+    // FPC + BDI variants (zero, repeat, 6 configs) + sign packs.
+    return 1 + 8 + signPackCount;
+}
+
+std::optional<BitBuffer>
+Coc::compress(const Line512 &line) const
+{
+    std::optional<BitBuffer> best;
+    unsigned best_id = 0;
+
+    auto consider = [&](unsigned id, std::optional<BitBuffer> s) {
+        if (!s)
+            return;
+        if (!best || s->size() < best->size()) {
+            best = std::move(s);
+            best_id = id;
+        }
+    };
+
+    consider(0, fpc_.compress(line));
+    consider(1, bdi_.compress(line));
+    for (unsigned k = 0; k < signPackCount; ++k) {
+        const unsigned kept = keptBits(k);
+        bool ok = true;
+        for (unsigned w = 0; w < lineWords && ok; ++w)
+            ok = signExtends64(line.word(w), kept);
+        if (!ok)
+            continue;
+        BitBuffer s;
+        for (unsigned w = 0; w < lineWords; ++w)
+            s.append(line.word(w), kept);
+        consider(firstSignPackId + k, std::move(s));
+    }
+
+    if (!best || best->size() + idBits >= lineBits)
+        return std::nullopt;
+    BitBuffer out;
+    out.append(best_id, idBits);
+    for (unsigned pos = 0; pos < best->size();) {
+        const unsigned chunk = std::min(64u, best->size() - pos);
+        out.append(best->read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    return out;
+}
+
+Line512
+Coc::decompress(const BitBuffer &stream) const
+{
+    const auto id = static_cast<unsigned>(stream.read(0, idBits));
+    BitBuffer inner;
+    for (unsigned pos = idBits; pos < stream.size();) {
+        const unsigned chunk = std::min(64u, stream.size() - pos);
+        inner.append(stream.read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    if (id == 0)
+        return fpc_.decompress(inner);
+    if (id == 1)
+        return bdi_.decompress(inner);
+    const unsigned kept = keptBits(id - firstSignPackId);
+    Line512 line;
+    BitReader in(inner);
+    for (unsigned w = 0; w < lineWords; ++w) {
+        const uint64_t v = in.take(kept);
+        const int64_t x = static_cast<int64_t>(v << (64 - kept)) >>
+                          (64 - kept);
+        line.setWord(w, static_cast<uint64_t>(x));
+    }
+    return line;
+}
+
+} // namespace wlcrc::compress

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * COC: a coverage-oriented compressor bank in the spirit of Frugal
+ * ECC (Kim et al., SC'15): many variable-length compressors are tried
+ * and the smallest result wins, maximising the *fraction of lines*
+ * that compress (coverage) rather than the compression ratio.
+ *
+ * Substitution note (see DESIGN.md): the original COC uses 28
+ * hand-tuned variable-length compressors. We enumerate a bank of the
+ * same flavour — every BDI (value size, delta size) configuration,
+ * FPC, zero/repeat detectors and per-word sign-extension packing —
+ * which reproduces the two properties the paper relies on: >90 % line
+ * coverage, and bit-position scrambling that defeats differential
+ * write locality.
+ */
+
+#ifndef WLCRC_COMPRESS_COC_HH
+#define WLCRC_COMPRESS_COC_HH
+
+#include "compress/bdi.hh"
+#include "compress/compressor.hh"
+#include "compress/fpc.hh"
+
+namespace wlcrc::compress
+{
+
+/** Coverage-oriented compressor bank. */
+class Coc : public LineCompressor
+{
+  public:
+    std::string name() const override { return "COC"; }
+
+    std::optional<BitBuffer>
+    compress(const Line512 &line) const override;
+
+    Line512 decompress(const BitBuffer &stream) const override;
+
+    /** Number of member compressors in the bank. */
+    static unsigned bankSize();
+
+  private:
+    // Sub-stream ids: 0 = FPC, 1 = BDI, 2 + k = sign-pack with
+    // kept-bit count kept = 15 + 2k per 64-bit word (k = 0..24);
+    // odd counts reach a word whose MSB run is exactly r with
+    // kept = 65 - r.
+    static constexpr unsigned idBits = 5;
+
+    Fpc fpc_;
+    Bdi bdi_;
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_COC_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * LineCompressor: common interface of the variable-length 512-bit
+ * line compressors (FPC, BDI, FPC+BDI, COC).
+ */
+
+#ifndef WLCRC_COMPRESS_COMPRESSOR_HH
+#define WLCRC_COMPRESS_COMPRESSOR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/line512.hh"
+#include "compress/bitbuffer.hh"
+
+namespace wlcrc::compress
+{
+
+/** Abstract variable-length memory-line compressor. */
+class LineCompressor
+{
+  public:
+    virtual ~LineCompressor() = default;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compress @p line.
+     * @return self-describing bitstream (metadata + payload), or
+     *         nullopt when the line cannot be made smaller than 512
+     *         bits by this compressor.
+     */
+    virtual std::optional<BitBuffer>
+    compress(const Line512 &line) const = 0;
+
+    /** Invert compress(); @p stream must come from this compressor. */
+    virtual Line512 decompress(const BitBuffer &stream) const = 0;
+
+    /**
+     * Convenience: compressed size in bits, or nullopt.
+     */
+    std::optional<unsigned>
+    compressedBits(const Line512 &line) const
+    {
+        const auto s = compress(line);
+        return s ? std::optional<unsigned>(s->size()) : std::nullopt;
+    }
+};
+
+using CompressorPtr = std::unique_ptr<LineCompressor>;
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_COMPRESSOR_HH

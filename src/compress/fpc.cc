@@ -1,0 +1,142 @@
+#include "fpc.hh"
+
+#include <cassert>
+
+namespace wlcrc::compress
+{
+
+namespace
+{
+
+/** True iff @p w equals its low @p bits bits sign-extended to 32. */
+bool
+signExtends(uint32_t w, unsigned bits)
+{
+    const int32_t v = static_cast<int32_t>(w << (32 - bits)) >>
+                      (32 - bits);
+    return static_cast<uint32_t>(v) == w;
+}
+
+constexpr unsigned wordsPerLine = 16;
+
+} // namespace
+
+unsigned
+Fpc::classify(uint32_t w)
+{
+    if (w == 0)
+        return 0;
+    if (signExtends(w, 4))
+        return 1;
+    if (signExtends(w, 8))
+        return 2;
+    if (signExtends(w, 16))
+        return 3;
+    if ((w & 0xffff0000u) == 0)
+        return 4;
+    const uint32_t hi = w >> 16, lo = w & 0xffff;
+    if (signExtends(hi << 16 >> 16, 8) && signExtends(lo, 8) &&
+        signExtends(hi, 8))
+        return 5;
+    const uint32_t b = w & 0xff;
+    if (w == (b | (b << 8) | (b << 16) | (b << 24)))
+        return 6;
+    return 7;
+}
+
+unsigned
+Fpc::payloadBits(unsigned id)
+{
+    static const unsigned bits[8] = {0, 4, 8, 16, 16, 16, 8, 32};
+    return bits[id];
+}
+
+std::optional<BitBuffer>
+Fpc::compress(const Line512 &line) const
+{
+    BitBuffer out;
+    for (unsigned i = 0; i < wordsPerLine; ++i) {
+        const auto w =
+            static_cast<uint32_t>(line.bits(i * 32, 32));
+        const unsigned id = classify(w);
+        out.append(id, 3);
+        switch (id) {
+          case 0:
+            break;
+          case 1:
+            out.append(w & 0xf, 4);
+            break;
+          case 2:
+            out.append(w & 0xff, 8);
+            break;
+          case 3:
+          case 4:
+            out.append(w & 0xffff, 16);
+            break;
+          case 5:
+            out.append(w & 0xff, 8);
+            out.append((w >> 16) & 0xff, 8);
+            break;
+          case 6:
+            out.append(w & 0xff, 8);
+            break;
+          default:
+            out.append(w, 32);
+            break;
+        }
+    }
+    if (out.size() >= lineBits)
+        return std::nullopt;
+    return out;
+}
+
+Line512
+Fpc::decompress(const BitBuffer &stream) const
+{
+    Line512 line;
+    BitReader in(stream);
+    for (unsigned i = 0; i < wordsPerLine; ++i) {
+        const auto id = static_cast<unsigned>(in.take(3));
+        uint32_t w = 0;
+        auto sext = [](uint64_t v, unsigned bits) {
+            return static_cast<uint32_t>(
+                static_cast<int32_t>(v << (32 - bits)) >>
+                (32 - bits));
+        };
+        switch (id) {
+          case 0:
+            w = 0;
+            break;
+          case 1:
+            w = sext(in.take(4), 4);
+            break;
+          case 2:
+            w = sext(in.take(8), 8);
+            break;
+          case 3:
+            w = sext(in.take(16), 16);
+            break;
+          case 4:
+            w = static_cast<uint32_t>(in.take(16));
+            break;
+          case 5: {
+            const uint32_t lo = sext(in.take(8), 8) & 0xffff;
+            const uint32_t hi = sext(in.take(8), 8) & 0xffff;
+            w = lo | (hi << 16);
+            break;
+          }
+          case 6: {
+            const uint32_t b = static_cast<uint32_t>(in.take(8));
+            w = b | (b << 8) | (b << 16) | (b << 24);
+            break;
+          }
+          default:
+            w = static_cast<uint32_t>(in.take(32));
+            break;
+        }
+        line.setBits(i * 32, 32, w);
+    }
+    return line;
+}
+
+} // namespace wlcrc::compress

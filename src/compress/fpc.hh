@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FPC: Frequent Pattern Compression (Alameldeen & Wood), operating on
+ * sixteen 32-bit words per 512-bit line. Each word gets a 3-bit
+ * pattern prefix plus a variable payload.
+ */
+
+#ifndef WLCRC_COMPRESS_FPC_HH
+#define WLCRC_COMPRESS_FPC_HH
+
+#include "compress/compressor.hh"
+
+namespace wlcrc::compress
+{
+
+/**
+ * Frequent Pattern Compression.
+ *
+ * Per-word patterns (prefix, payload bits):
+ *   0 zero word                          (0)
+ *   1 4-bit sign-extended                (4)
+ *   2 8-bit sign-extended                (8)
+ *   3 16-bit sign-extended               (16)
+ *   4 upper half zero, lower half kept   (16)
+ *   5 two independently 8-bit
+ *     sign-extended halfwords            (16)
+ *   6 all four bytes equal               (8)
+ *   7 uncompressed                       (32)
+ */
+class Fpc : public LineCompressor
+{
+  public:
+    std::string name() const override { return "FPC"; }
+
+    std::optional<BitBuffer>
+    compress(const Line512 &line) const override;
+
+    Line512 decompress(const BitBuffer &stream) const override;
+
+    /** Classify one 32-bit word; @return pattern id 0..7. */
+    static unsigned classify(uint32_t word);
+
+    /** Payload bit count of pattern @p id. */
+    static unsigned payloadBits(unsigned id);
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_FPC_HH

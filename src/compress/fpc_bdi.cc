@@ -1,0 +1,48 @@
+#include "fpc_bdi.hh"
+
+namespace wlcrc::compress
+{
+
+std::optional<BitBuffer>
+FpcBdi::compress(const Line512 &line) const
+{
+    const auto f = fpc_.compress(line);
+    const auto b = bdi_.compress(line);
+    const BitBuffer *pick = nullptr;
+    unsigned selector = 0;
+    if (f && (!b || f->size() <= b->size())) {
+        pick = &*f;
+        selector = 0;
+    } else if (b) {
+        pick = &*b;
+        selector = 1;
+    }
+    if (!pick)
+        return std::nullopt;
+    BitBuffer out;
+    out.append(selector, 1);
+    for (unsigned pos = 0; pos < pick->size();) {
+        const unsigned chunk = std::min(64u, pick->size() - pos);
+        out.append(pick->read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    if (out.size() >= lineBits)
+        return std::nullopt;
+    return out;
+}
+
+Line512
+FpcBdi::decompress(const BitBuffer &stream) const
+{
+    const unsigned selector =
+        static_cast<unsigned>(stream.read(0, 1));
+    BitBuffer inner;
+    for (unsigned pos = 1; pos < stream.size();) {
+        const unsigned chunk = std::min(64u, stream.size() - pos);
+        inner.append(stream.read(pos, chunk), chunk);
+        pos += chunk;
+    }
+    return selector ? bdi_.decompress(inner) : fpc_.decompress(inner);
+}
+
+} // namespace wlcrc::compress

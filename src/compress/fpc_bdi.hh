@@ -1,0 +1,36 @@
+/**
+ * @file
+ * FPC+BDI: the composite compressor used by DIN — try both FPC and
+ * BDI and keep the smaller result. A 1-bit selector prefixes the
+ * chosen stream so decompression is self-describing.
+ */
+
+#ifndef WLCRC_COMPRESS_FPC_BDI_HH
+#define WLCRC_COMPRESS_FPC_BDI_HH
+
+#include "compress/bdi.hh"
+#include "compress/compressor.hh"
+#include "compress/fpc.hh"
+
+namespace wlcrc::compress
+{
+
+/** Best-of FPC and BDI. */
+class FpcBdi : public LineCompressor
+{
+  public:
+    std::string name() const override { return "FPC+BDI"; }
+
+    std::optional<BitBuffer>
+    compress(const Line512 &line) const override;
+
+    Line512 decompress(const BitBuffer &stream) const override;
+
+  private:
+    Fpc fpc_;
+    Bdi bdi_;
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_FPC_BDI_HH

@@ -1,0 +1,41 @@
+#include "wlc.hh"
+
+#include <bit>
+#include <cassert>
+
+namespace wlcrc::compress
+{
+
+unsigned
+Wlc::msbRunLength(uint64_t word)
+{
+    // Run of the MSB's value: flip if MSB is 1, then count zeros.
+    const uint64_t normalised =
+        (word >> 63) ? ~word : word;
+    const int zeros = std::countl_zero(normalised);
+    return zeros == 64 ? 64 : static_cast<unsigned>(zeros);
+}
+
+bool
+Wlc::lineCompressible(const Line512 &line, unsigned k)
+{
+    assert(k >= 1 && k <= 64);
+    for (unsigned w = 0; w < lineWords; ++w) {
+        if (!wordCompressible(line.word(w), k))
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+Wlc::signExtendWord(uint64_t word, unsigned reclaimed)
+{
+    assert(reclaimed >= 1 && reclaimed < 64);
+    const unsigned sign_bit = 63 - reclaimed;
+    const uint64_t mask = ~uint64_t{0} << sign_bit;
+    if ((word >> sign_bit) & 1)
+        return word | mask;
+    return word & ~mask;
+}
+
+} // namespace wlcrc::compress

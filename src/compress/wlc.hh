@@ -1,0 +1,56 @@
+/**
+ * @file
+ * WLC: the paper's Word-Level Compression (Section IV).
+ *
+ * A 512-bit line is WLC-compressible at parameter k iff, in each of
+ * its eight 64-bit words, the k most significant bits are all-0 or
+ * all-1. Compression then replaces those k bits by one (the sign)
+ * bit, reclaiming k-1 bits per word for auxiliary coset information.
+ * Decompression sign-extends bit 64-k back over the reclaimed region.
+ *
+ * WLC is deliberately *not* a bitstream compressor: all other bits
+ * keep their positions, preserving the bit locality that makes
+ * differential writes effective — the paper's key requirement.
+ */
+
+#ifndef WLCRC_COMPRESS_WLC_HH
+#define WLCRC_COMPRESS_WLC_HH
+
+#include <cstdint>
+
+#include "common/line512.hh"
+
+namespace wlcrc::compress
+{
+
+/** Word-Level Compression predicate and helpers. */
+class Wlc
+{
+  public:
+    /**
+     * Length of the run of identical bits starting at the MSB of
+     * @p word (1..64). A word with MSB run r is compressible for
+     * any k <= r.
+     */
+    static unsigned msbRunLength(uint64_t word);
+
+    /** True iff all k MSBs of @p word are equal. */
+    static bool
+    wordCompressible(uint64_t word, unsigned k)
+    {
+        return msbRunLength(word) >= k;
+    }
+
+    /** True iff every word of @p line is compressible at @p k. */
+    static bool lineCompressible(const Line512 &line, unsigned k);
+
+    /**
+     * Sign-extend bit (63 - reclaimed) of @p word over the reclaimed
+     * MSBs — WLC decompression of one word.
+     */
+    static uint64_t signExtendWord(uint64_t word, unsigned reclaimed);
+};
+
+} // namespace wlcrc::compress
+
+#endif // WLCRC_COMPRESS_WLC_HH

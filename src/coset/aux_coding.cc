@@ -1,0 +1,100 @@
+#include "aux_coding.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+State
+auxIndexState(unsigned candidate)
+{
+    assert(candidate < 4);
+    return pcm::stateFromIndex(candidate);
+}
+
+unsigned
+auxIndexFromState(State s)
+{
+    return pcm::stateIndex(s);
+}
+
+std::array<std::pair<State, State>, 6>
+cheapStatePairs(const pcm::EnergyModel &energy)
+{
+    struct Entry
+    {
+        double cost;
+        unsigned a, b;
+    };
+    std::array<Entry, 16> all{};
+    for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = 0; b < 4; ++b) {
+            all[a * 4 + b] = {
+                energy.setPj(pcm::stateFromIndex(a)) +
+                    energy.setPj(pcm::stateFromIndex(b)),
+                a, b};
+        }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Entry &x, const Entry &y) {
+                         return x.cost < y.cost;
+                     });
+    std::array<std::pair<State, State>, 6> out{};
+    for (unsigned i = 0; i < 6; ++i) {
+        out[i] = {pcm::stateFromIndex(all[i].a),
+                  pcm::stateFromIndex(all[i].b)};
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Frequency-ordered bit-pair mapping: 00->S1, 11->S2, 01->S3,
+ *  10->S4 (selector bits flip in runs, so uniform pairs dominate). */
+const Mapping &
+pairFriendlyMapping()
+{
+    static const Mapping m({pcm::State::S1, pcm::State::S3,
+                            pcm::State::S4, pcm::State::S2},
+                           "AuxPair");
+    return m;
+}
+
+} // namespace
+
+void
+packBitsToStates(const std::vector<uint8_t> &bits,
+                 std::vector<State> &cells, bool pair_friendly)
+{
+    const Mapping &map =
+        pair_friendly ? pairFriendlyMapping() : defaultMapping();
+    cells.clear();
+    for (size_t i = 0; i < bits.size(); i += 2) {
+        unsigned sym = bits[i] & 1;
+        if (i + 1 < bits.size())
+            sym |= (bits[i + 1] & 1) << 1;
+        cells.push_back(map.encode(sym));
+    }
+}
+
+std::vector<uint8_t>
+unpackBitsFromStates(const std::vector<State> &cells, unsigned count,
+                     bool pair_friendly)
+{
+    const Mapping &map =
+        pair_friendly ? pairFriendlyMapping() : defaultMapping();
+    std::vector<uint8_t> bits(count, 0);
+    for (unsigned i = 0; i < count; ++i) {
+        const unsigned sym = map.decode(cells[i / 2]);
+        bits[i] = (sym >> (i & 1)) & 1;
+    }
+    return bits;
+}
+
+} // namespace wlcrc::coset

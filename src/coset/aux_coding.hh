@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Helpers for storing auxiliary (candidate-selector) information in
+ * dedicated MLC cells.
+ *
+ * Two flavours are used by the paper:
+ *  - index cells: candidate i stored directly as state S(i+1), used
+ *    for up to 4 candidates (Section IX-A: C1->S1 ... C4->S4, so the
+ *    most frequent candidates occupy the low-energy states);
+ *  - cheap state pairs: for 6 candidates, the six cheapest of the 16
+ *    two-cell state combinations (Section III), so the aux cells of
+ *    6cosets rarely hold an expensive state;
+ *  - packed bits: raw auxiliary bit strings (restricted coset coding)
+ *    written through the default mapping, two bits per cell, with the
+ *    '0' value landing on low-energy states.
+ */
+
+#ifndef WLCRC_COSET_AUX_CODING_HH
+#define WLCRC_COSET_AUX_CODING_HH
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pcm/cell.hh"
+#include "pcm/energy_model.hh"
+
+namespace wlcrc::coset
+{
+
+/** candidate index <-> one cell state (for <= 4 candidates). */
+pcm::State auxIndexState(unsigned candidate);
+unsigned auxIndexFromState(pcm::State s);
+
+/**
+ * The six cheapest ordered (cell, cell) state pairs under @p energy,
+ * in increasing energy order. Deterministic tie-breaking.
+ */
+std::array<std::pair<pcm::State, pcm::State>, 6>
+cheapStatePairs(const pcm::EnergyModel &energy);
+
+/**
+ * Pack @p bits (LSB-first) into cell states. By default a
+ * frequency-ordered mapping is used — 00 -> S1, 11 -> S2, 01 -> S3,
+ * 10 -> S4 — so the common all-zero and all-one selector patterns
+ * land on the two low-energy states; pass pair_friendly = false for
+ * the plain default (C1) mapping. @p cells receives ceil(bits/2)
+ * states.
+ */
+void packBitsToStates(const std::vector<uint8_t> &bits,
+                      std::vector<pcm::State> &cells,
+                      bool pair_friendly = false);
+
+/** Inverse of packBitsToStates; returns @p count bits. */
+std::vector<uint8_t> unpackBitsFromStates(
+    const std::vector<pcm::State> &cells, unsigned count,
+    bool pair_friendly = false);
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_AUX_CODING_HH

@@ -1,0 +1,28 @@
+#include "baseline_codec.hh"
+
+namespace wlcrc::coset
+{
+
+pcm::TargetLine
+BaselineCodec::encode(const Line512 &data,
+                      const std::vector<pcm::State> &stored) const
+{
+    (void)stored; // No candidate selection: nothing to optimise.
+    pcm::TargetLine target(lineSymbols);
+    const Mapping &map = defaultMapping();
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        target.cells[s] = map.encode(data.symbol(s));
+    return target;
+}
+
+Line512
+BaselineCodec::decode(const std::vector<pcm::State> &stored) const
+{
+    Line512 data;
+    const Mapping &map = defaultMapping();
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        data.setSymbol(s, map.decode(stored[s]));
+    return data;
+}
+
+} // namespace wlcrc::coset

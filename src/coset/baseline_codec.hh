@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Baseline scheme: plain differential write of the 512-bit line under
+ * the default symbol-to-state mapping, with no auxiliary cells.
+ */
+
+#ifndef WLCRC_COSET_BASELINE_CODEC_HH
+#define WLCRC_COSET_BASELINE_CODEC_HH
+
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+/** Differential write only (paper's "Baseline"). */
+class BaselineCodec : public LineCodec
+{
+  public:
+    explicit BaselineCodec(const pcm::EnergyModel &energy)
+        : LineCodec(energy)
+    {}
+
+    std::string name() const override { return "Baseline"; }
+    unsigned cellCount() const override { return lineSymbols; }
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_BASELINE_CODEC_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * LineCodec: the common interface of every encoding scheme evaluated
+ * in the paper (Baseline, FNW, FlipMin, DIN, 6cosets, COC+4cosets,
+ * WLC+4cosets, WLCRC, ...).
+ *
+ * A codec translates a 512-bit payload into target cell states for a
+ * stored line of `cellCount()` cells (256 data cells plus any
+ * dedicated auxiliary cells), *given* the currently stored states so
+ * that candidate selection can minimise the differential-write cost.
+ * Decoding recovers the payload from stored states alone: formats are
+ * self-describing.
+ */
+
+#ifndef WLCRC_COSET_CODEC_HH
+#define WLCRC_COSET_CODEC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/line512.hh"
+#include "pcm/energy_model.hh"
+#include "pcm/write_unit.hh"
+
+namespace wlcrc::coset
+{
+
+/** Abstract line encoding scheme. */
+class LineCodec
+{
+  public:
+    explicit LineCodec(const pcm::EnergyModel &energy)
+        : energy_(energy)
+    {}
+
+    virtual ~LineCodec() = default;
+
+    /** Display name used by benches and reports. */
+    virtual std::string name() const = 0;
+
+    /** Total stored cells per line (data + dedicated aux cells). */
+    virtual unsigned cellCount() const = 0;
+
+    /**
+     * Encode @p data against the currently stored cell states.
+     *
+     * @param data    the new 512-bit payload.
+     * @param stored  current states of all cellCount() cells.
+     * @return target states + aux-region mask for the write unit.
+     */
+    virtual pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const = 0;
+
+    /** Recover the payload from stored states. */
+    virtual Line512 decode(
+        const std::vector<pcm::State> &stored) const = 0;
+
+    const pcm::EnergyModel &energyModel() const { return energy_; }
+
+  protected:
+    /** Cost of writing @p target into a cell storing @p stored. */
+    double
+    cellCost(pcm::State stored, pcm::State target) const
+    {
+        return energy_.writeEnergy(stored, target);
+    }
+
+  private:
+    pcm::EnergyModel energy_;
+};
+
+using CodecPtr = std::unique_ptr<LineCodec>;
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_CODEC_HH

@@ -1,0 +1,147 @@
+#include "din_codec.hh"
+
+#include <cassert>
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+namespace
+{
+
+// The eight cheapest 4-bit codewords (two cells) that never place a
+// cell in the top-energy state S4 (= symbol 01 under the default
+// mapping), ordered by write energy. Listed as (high symbol, low
+// symbol) packed into 4 bits.
+constexpr unsigned codewords[8] = {
+    (0 << 2) | 0, // 00,00 -> S1,S1
+    (0 << 2) | 2, // 00,10 -> S1,S2
+    (2 << 2) | 0, // 10,00 -> S2,S1
+    (2 << 2) | 2, // 10,10 -> S2,S2
+    (0 << 2) | 3, // 00,11 -> S1,S3
+    (3 << 2) | 0, // 11,00 -> S3,S1
+    (2 << 2) | 3, // 10,11 -> S2,S3
+    (3 << 2) | 2, // 11,10 -> S3,S2
+};
+
+constexpr unsigned invalidGroup = 0xff;
+
+/** codeword -> 3-bit group lookup, 0xff for non-codewords. */
+constexpr std::array<unsigned, 16>
+buildInverse()
+{
+    std::array<unsigned, 16> inv{};
+    for (auto &v : inv)
+        v = invalidGroup;
+    for (unsigned g = 0; g < 8; ++g)
+        inv[codewords[g]] = g;
+    return inv;
+}
+
+constexpr std::array<unsigned, 16> inverse = buildInverse();
+
+} // namespace
+
+unsigned
+DinCodec::expand3to4(unsigned v)
+{
+    assert(v < 8);
+    return codewords[v];
+}
+
+unsigned
+DinCodec::shrink4to3(unsigned cw)
+{
+    assert(cw < 16);
+    const unsigned g = inverse[cw];
+    // Non-codewords can only appear through uncorrected disturbance;
+    // degrade to group 0 rather than crashing the pipeline.
+    return g == invalidGroup ? 0 : g;
+}
+
+DinCodec::DinCodec(const pcm::EnergyModel &energy)
+    : LineCodec(energy), bch_(10, 2, expandedBits)
+{
+    assert(bch_.parityBits() == bchParityBits);
+    assert(expandedBits + bchParityBits == lineBits);
+}
+
+pcm::TargetLine
+DinCodec::encode(const Line512 &data,
+                 const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    (void)stored;
+    const Mapping &map = defaultMapping();
+    pcm::TargetLine target(cellCount());
+    target.auxMask[lineSymbols] = true;
+
+    const auto stream = compressor_.compress(data);
+    if (!stream || stream->size() > maxCompressedBits) {
+        // Raw format: flag = S2 (second-lowest energy state).
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            target.cells[s] = map.encode(data.symbol(s));
+        target.cells[lineSymbols] = State::S2;
+        return target;
+    }
+
+    // Pad the compressed stream to 369 bits, expand 3 -> 4, add BCH.
+    std::vector<uint8_t> bits(maxCompressedBits, 0);
+    for (unsigned i = 0; i < stream->size(); ++i)
+        bits[i] = static_cast<uint8_t>(stream->read(i, 1));
+
+    std::vector<uint8_t> expanded(expandedBits, 0);
+    for (unsigned g = 0; g < dataGroups; ++g) {
+        const unsigned v = bits[g * 3] | (bits[g * 3 + 1] << 1) |
+                           (bits[g * 3 + 2] << 2);
+        const unsigned cw = expand3to4(v);
+        for (unsigned b = 0; b < 4; ++b)
+            expanded[g * 4 + b] = (cw >> b) & 1;
+    }
+    const std::vector<uint8_t> codeword = bch_.encode(expanded);
+    assert(codeword.size() == lineBits);
+
+    Line512 encoded;
+    for (unsigned i = 0; i < lineBits; ++i)
+        encoded.setBit(i, codeword[i]);
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        target.cells[s] = map.encode(encoded.symbol(s));
+    target.cells[lineSymbols] = State::S1; // flag: encoded
+    return target;
+}
+
+Line512
+DinCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &map = defaultMapping();
+    Line512 raw;
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        raw.setSymbol(s, map.decode(stored[s]));
+
+    if (stored[lineSymbols] != State::S1)
+        return raw; // uncompressed format
+
+    std::vector<uint8_t> codeword(lineBits);
+    for (unsigned i = 0; i < lineBits; ++i)
+        codeword[i] = static_cast<uint8_t>(raw.bit(i));
+    bch_.decode(codeword); // corrects up to 2 disturbance errors
+
+    std::vector<uint8_t> bits(maxCompressedBits, 0);
+    for (unsigned g = 0; g < dataGroups; ++g) {
+        unsigned cw = 0;
+        for (unsigned b = 0; b < 4; ++b)
+            cw |= codeword[g * 4 + b] << b;
+        const unsigned v = shrink4to3(cw);
+        bits[g * 3] = v & 1;
+        bits[g * 3 + 1] = (v >> 1) & 1;
+        bits[g * 3 + 2] = (v >> 2) & 1;
+    }
+    compress::BitBuffer stream;
+    for (unsigned i = 0; i < maxCompressedBits; ++i)
+        stream.append(bits[i], 1);
+    return compressor_.decompress(stream);
+}
+
+} // namespace wlcrc::coset

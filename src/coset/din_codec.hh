@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DIN (Jiang et al., DSN'14), adapted to MLC per the paper's
+ * evaluation: memory lines that FPC+BDI can compress to at most 369
+ * bits are re-expanded with a 3-to-4-bit code whose codewords avoid
+ * the highest-energy / most disturbance-prone cell state, and a
+ * 20-bit BCH code (t = 2, over GF(2^10)) is appended to correct write
+ * disturbance errors during verification. Incompressible lines are
+ * written unencoded. One dedicated flag cell records which format the
+ * line uses.
+ */
+
+#ifndef WLCRC_COSET_DIN_CODEC_HH
+#define WLCRC_COSET_DIN_CODEC_HH
+
+#include <array>
+
+#include "compress/fpc_bdi.hh"
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+#include "ecc/bch.hh"
+
+namespace wlcrc::coset
+{
+
+/** DIN: compression-enabled 3-to-4-bit expansion + BCH. */
+class DinCodec : public LineCodec
+{
+  public:
+    explicit DinCodec(const pcm::EnergyModel &energy);
+
+    std::string name() const override { return "DIN"; }
+    /** 256 data cells + 1 compression flag cell. */
+    unsigned cellCount() const override { return lineSymbols + 1; }
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    /** Compression threshold for encodability (bits). */
+    static constexpr unsigned maxCompressedBits = 369;
+    /** 3-bit groups after padding to a multiple of 3. */
+    static constexpr unsigned dataGroups = 123; // ceil(369 / 3)
+    /** Expanded payload: 123 groups x 4 bits. */
+    static constexpr unsigned expandedBits = dataGroups * 4; // 492
+    /** BCH parity bits; 492 + 20 = 512 fills the line exactly. */
+    static constexpr unsigned bchParityBits = 20;
+
+    /** 3-bit value -> 4-bit low-energy codeword. */
+    static unsigned expand3to4(unsigned v);
+    /** Inverse of expand3to4 (codewords only). */
+    static unsigned shrink4to3(unsigned cw);
+
+  private:
+    compress::FpcBdi compressor_;
+    ecc::Bch bch_;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_DIN_CODEC_HH

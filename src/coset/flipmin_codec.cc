@@ -1,0 +1,83 @@
+#include "flipmin_codec.hh"
+
+#include <cassert>
+#include <limits>
+
+#include "coset/aux_coding.hh"
+#include "ecc/hamming.hh"
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+FlipMinCodec::FlipMinCodec(const pcm::EnergyModel &energy,
+                           uint64_t seed)
+    : LineCodec(energy), masks_(ecc::flipMinMasks(numCandidates, seed))
+{
+}
+
+pcm::TargetLine
+FlipMinCodec::encode(const Line512 &data,
+                     const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &map = defaultMapping();
+
+    double best_cost = std::numeric_limits<double>::infinity();
+    unsigned best = 0;
+    for (unsigned c = 0; c < numCandidates; ++c) {
+        const Line512 cand = data ^ masks_[c];
+        double cost = 0.0;
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            cost += cellCost(stored[s], map.encode(cand.symbol(s)));
+        // Include the cost of updating the two index cells.
+        const std::vector<uint8_t> bits{
+            static_cast<uint8_t>(c & 1),
+            static_cast<uint8_t>((c >> 1) & 1),
+            static_cast<uint8_t>((c >> 2) & 1),
+            static_cast<uint8_t>((c >> 3) & 1)};
+        std::vector<State> aux;
+        packBitsToStates(bits, aux);
+        cost += cellCost(stored[lineSymbols], aux[0]);
+        cost += cellCost(stored[lineSymbols + 1], aux[1]);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = c;
+        }
+    }
+
+    pcm::TargetLine target(cellCount());
+    const Line512 cand = data ^ masks_[best];
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        target.cells[s] = map.encode(cand.symbol(s));
+    const std::vector<uint8_t> bits{
+        static_cast<uint8_t>(best & 1),
+        static_cast<uint8_t>((best >> 1) & 1),
+        static_cast<uint8_t>((best >> 2) & 1),
+        static_cast<uint8_t>((best >> 3) & 1)};
+    std::vector<State> aux;
+    packBitsToStates(bits, aux);
+    target.cells[lineSymbols] = aux[0];
+    target.cells[lineSymbols + 1] = aux[1];
+    target.auxMask[lineSymbols] = true;
+    target.auxMask[lineSymbols + 1] = true;
+    return target;
+}
+
+Line512
+FlipMinCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &map = defaultMapping();
+    std::vector<State> aux(stored.begin() + lineSymbols, stored.end());
+    const std::vector<uint8_t> bits = unpackBitsFromStates(aux, 4);
+    const unsigned c = bits[0] | (bits[1] << 1) | (bits[2] << 2) |
+                       (bits[3] << 3);
+    Line512 data;
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        data.setSymbol(s, map.decode(stored[s]));
+    return data ^ masks_[c];
+}
+
+} // namespace wlcrc::coset

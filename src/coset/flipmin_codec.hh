@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FlipMin (Jacobvitz et al., HPCA'13), adapted to 512-bit MLC lines
+ * as in the paper's evaluation: 16 coset candidates — 512-bit XOR
+ * masks derived from the dual of a (72,64) Hamming code — and the
+ * candidate minimising the differential write energy is selected.
+ * The 4-bit candidate index occupies two dedicated aux cells.
+ */
+
+#ifndef WLCRC_COSET_FLIPMIN_CODEC_HH
+#define WLCRC_COSET_FLIPMIN_CODEC_HH
+
+#include <vector>
+
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+/** FlipMin with 16 XOR-mask candidates over the whole line. */
+class FlipMinCodec : public LineCodec
+{
+  public:
+    /**
+     * @param energy  write-energy model.
+     * @param seed    deterministic seed for mask derivation.
+     */
+    explicit FlipMinCodec(const pcm::EnergyModel &energy,
+                          uint64_t seed = 0x51f0);
+
+    std::string name() const override { return "FlipMin"; }
+    unsigned cellCount() const override { return lineSymbols + 2; }
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    static constexpr unsigned numCandidates = 16;
+
+  private:
+    std::vector<Line512> masks_;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_FLIPMIN_CODEC_HH

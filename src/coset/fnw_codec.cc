@@ -1,0 +1,88 @@
+#include "fnw_codec.hh"
+
+#include <cassert>
+
+#include "coset/aux_coding.hh"
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+FnwCodec::FnwCodec(const pcm::EnergyModel &energy, unsigned block_bits)
+    : LineCodec(energy), blockBits_(block_bits)
+{
+    assert(blockBits_ >= 2 && blockBits_ % 2 == 0);
+    assert(lineBits % blockBits_ == 0);
+    // Flip bits must fit the two-cell aux budget used in Figure 8's
+    // ISO-overhead comparison.
+    assert(blockCount() <= 4);
+}
+
+unsigned
+FnwCodec::cellCount() const
+{
+    return lineSymbols + (blockCount() + 1) / 2;
+}
+
+pcm::TargetLine
+FnwCodec::encode(const Line512 &data,
+                 const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &map = defaultMapping();
+    const unsigned symbols_per_block = blockBits_ / 2;
+    const unsigned nblocks = blockCount();
+
+    pcm::TargetLine target(cellCount());
+    std::vector<uint8_t> flips(nblocks, 0);
+    for (unsigned b = 0; b < nblocks; ++b) {
+        double cost_plain = 0.0, cost_flip = 0.0;
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned idx = b * symbols_per_block + s;
+            const unsigned sym = data.symbol(idx);
+            cost_plain += cellCost(stored[idx], map.encode(sym));
+            cost_flip += cellCost(stored[idx], map.encode(sym ^ 3));
+        }
+        flips[b] = cost_flip < cost_plain ? 1 : 0;
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned idx = b * symbols_per_block + s;
+            const unsigned sym = data.symbol(idx) ^ (flips[b] ? 3 : 0);
+            target.cells[idx] = map.encode(sym);
+        }
+    }
+
+    std::vector<State> aux;
+    packBitsToStates(flips, aux);
+    for (unsigned i = 0; i < aux.size(); ++i) {
+        target.cells[lineSymbols + i] = aux[i];
+        target.auxMask[lineSymbols + i] = true;
+    }
+    return target;
+}
+
+Line512
+FnwCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &map = defaultMapping();
+    const unsigned symbols_per_block = blockBits_ / 2;
+    const unsigned nblocks = blockCount();
+
+    std::vector<State> aux(stored.begin() + lineSymbols, stored.end());
+    const std::vector<uint8_t> flips =
+        unpackBitsFromStates(aux, nblocks);
+
+    Line512 data;
+    for (unsigned b = 0; b < nblocks; ++b) {
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned idx = b * symbols_per_block + s;
+            const unsigned sym =
+                map.decode(stored[idx]) ^ (flips[b] ? 3 : 0);
+            data.setSymbol(idx, sym);
+        }
+    }
+    return data;
+}
+
+} // namespace wlcrc::coset

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * FNW: Flip-N-Write (Cho & Lee, MICRO'09), adapted to MLC PCM as in
+ * the paper's evaluation: the 512-bit line is partitioned into
+ * 128-bit blocks, each written either as-is or bit-complemented,
+ * whichever costs less under differential write. One flip bit per
+ * block; the four flip bits occupy two dedicated aux cells, matching
+ * the space overhead of FlipMin / 6cosets.
+ */
+
+#ifndef WLCRC_COSET_FNW_CODEC_HH
+#define WLCRC_COSET_FNW_CODEC_HH
+
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+/** Flip-N-Write over 128-bit sub-blocks. */
+class FnwCodec : public LineCodec
+{
+  public:
+    /**
+     * @param energy      write-energy model.
+     * @param block_bits  invertible block size (default 128 per the
+     *                    paper's ISO-overhead setup).
+     */
+    explicit FnwCodec(const pcm::EnergyModel &energy,
+                      unsigned block_bits = 128);
+
+    std::string name() const override { return "FNW"; }
+    unsigned cellCount() const override;
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    unsigned blockCount() const { return lineBits / blockBits_; }
+
+  private:
+    unsigned blockBits_;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_FNW_CODEC_HH

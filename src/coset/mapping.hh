@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Symbol <-> cell-state mappings and the Table I coset candidates.
+ *
+ * An encoding of a 2-bit data symbol into a 4-level cell is a
+ * bijection between the four symbols {00, 01, 10, 11} and the four
+ * states {S1..S4}. The paper's default mapping (candidate C1) sends
+ * 00->S1, 10->S2, 11->S3, 01->S4; candidates C2..C4 (Table I) remap
+ * the frequent symbols 00/11 onto the two low-energy states.
+ */
+
+#ifndef WLCRC_COSET_MAPPING_HH
+#define WLCRC_COSET_MAPPING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcm/cell.hh"
+
+namespace wlcrc::coset
+{
+
+/** A bijective mapping of 2-bit symbols onto cell states. */
+class Mapping
+{
+  public:
+    /**
+     * @param symbol_to_state  state for each symbol value 0..3, where
+     *        a symbol's integer value has bit1 = the more significant
+     *        bit of the pair (paper notation 'b1 b0').
+     * @param name             short display name (e.g. "C1").
+     */
+    Mapping(const std::array<pcm::State, 4> &symbol_to_state,
+            std::string name);
+
+    /** @return state encoding @p symbol (0..3). */
+    pcm::State
+    encode(unsigned symbol) const
+    {
+        return toState_[symbol & 3];
+    }
+
+    /** @return symbol decoded from @p state. */
+    unsigned
+    decode(pcm::State state) const
+    {
+        return fromState_[pcm::stateIndex(state)];
+    }
+
+    const std::string &name() const { return name_; }
+
+    bool
+    operator==(const Mapping &o) const
+    {
+        return toState_ == o.toState_;
+    }
+
+  private:
+    std::array<pcm::State, 4> toState_;
+    std::array<uint8_t, 4> fromState_;
+    std::string name_;
+};
+
+/** The default mapping C1: 00->S1, 10->S2, 11->S3, 01->S4. */
+const Mapping &defaultMapping();
+
+/**
+ * Table I candidate @p k (1..4):
+ *   C1 = default;
+ *   C2: 11->S1, 00->S2, 10->S3, 01->S4 (biased data);
+ *   C3: 11->S1, 01->S2, 00->S3, 10->S4 (complements C1);
+ *   C4: 11->S1, 00->S2, 01->S3, 10->S4.
+ */
+const Mapping &tableICandidate(unsigned k);
+
+/** Candidates C1..Cn in Table I order (n = 3 or 4). */
+std::vector<const Mapping *> tableICandidates(unsigned n);
+
+/**
+ * The six candidates of Wang et al. (ICCD'11): for each unordered
+ * pair of symbols, a mapping that places that pair on {S1, S2} while
+ * staying as close to the default mapping as possible.
+ */
+std::vector<const Mapping *> sixCosetCandidates();
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_MAPPING_HH

@@ -1,0 +1,133 @@
+#include "ncosets_codec.hh"
+
+#include <cassert>
+#include <limits>
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+NCosetsCodec::NCosetsCodec(const pcm::EnergyModel &energy,
+                           std::vector<const Mapping *> candidates,
+                           unsigned granularity_bits)
+    : LineCodec(energy), candidates_(std::move(candidates)),
+      granularity_(granularity_bits),
+      pairs_(cheapStatePairs(energy))
+{
+    assert(candidates_.size() >= 2 && candidates_.size() <= 6);
+    assert(granularity_ >= 2 && granularity_ % 2 == 0);
+    assert(lineBits % granularity_ == 0);
+    auxPerBlock_ = candidates_.size() <= 4 ? 1 : 2;
+}
+
+std::string
+NCosetsCodec::name() const
+{
+    return std::to_string(candidates_.size()) + "cosets-" +
+           std::to_string(granularity_);
+}
+
+unsigned
+NCosetsCodec::cellCount() const
+{
+    return lineSymbols + blockCount() * auxPerBlock_;
+}
+
+void
+NCosetsCodec::auxStatesFor(unsigned c, State &a0, State &a1) const
+{
+    if (auxPerBlock_ == 1) {
+        a0 = auxIndexState(c);
+        a1 = State::S1; // unused
+    } else {
+        a0 = pairs_[c].first;
+        a1 = pairs_[c].second;
+    }
+}
+
+unsigned
+NCosetsCodec::candidateFromAux(State a0, State a1) const
+{
+    if (auxPerBlock_ == 1)
+        return auxIndexFromState(a0);
+    for (unsigned c = 0; c < candidates_.size(); ++c)
+        if (pairs_[c].first == a0 && pairs_[c].second == a1)
+            return c;
+    // Unreachable for states produced by encode(); treat as C1 so
+    // corrupted aux cells degrade gracefully.
+    return 0;
+}
+
+pcm::TargetLine
+NCosetsCodec::encode(const Line512 &data,
+                     const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    pcm::TargetLine target(cellCount());
+    const unsigned symbols_per_block = granularity_ / 2;
+    const unsigned nblocks = blockCount();
+
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const unsigned sym0 = b * symbols_per_block;
+        const unsigned aux0 = lineSymbols + b * auxPerBlock_;
+
+        double best_cost = std::numeric_limits<double>::infinity();
+        unsigned best = 0;
+        for (unsigned c = 0; c < candidates_.size(); ++c) {
+            const Mapping &map = *candidates_[c];
+            double cost = 0.0;
+            for (unsigned s = 0; s < symbols_per_block; ++s) {
+                cost += cellCost(stored[sym0 + s],
+                                 map.encode(data.symbol(sym0 + s)));
+            }
+            State a0, a1;
+            auxStatesFor(c, a0, a1);
+            cost += cellCost(stored[aux0], a0);
+            if (auxPerBlock_ == 2)
+                cost += cellCost(stored[aux0 + 1], a1);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = c;
+            }
+        }
+
+        const Mapping &map = *candidates_[best];
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            target.cells[sym0 + s] =
+                map.encode(data.symbol(sym0 + s));
+        }
+        State a0, a1;
+        auxStatesFor(best, a0, a1);
+        target.cells[aux0] = a0;
+        target.auxMask[aux0] = true;
+        if (auxPerBlock_ == 2) {
+            target.cells[aux0 + 1] = a1;
+            target.auxMask[aux0 + 1] = true;
+        }
+    }
+    return target;
+}
+
+Line512
+NCosetsCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    Line512 data;
+    const unsigned symbols_per_block = granularity_ / 2;
+    const unsigned nblocks = blockCount();
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const unsigned sym0 = b * symbols_per_block;
+        const unsigned aux0 = lineSymbols + b * auxPerBlock_;
+        const unsigned c = candidateFromAux(
+            stored[aux0],
+            auxPerBlock_ == 2 ? stored[aux0 + 1] : State::S1);
+        const Mapping &map =
+            *candidates_[c < candidates_.size() ? c : 0];
+        for (unsigned s = 0; s < symbols_per_block; ++s)
+            data.setSymbol(sym0 + s, map.decode(stored[sym0 + s]));
+    }
+    return data;
+}
+
+} // namespace wlcrc::coset

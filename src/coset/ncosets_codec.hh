@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NCosetsCodec: unrestricted coset coding at a configurable data-block
+ * granularity with a configurable candidate set.
+ *
+ * Each g-bit data block is independently encoded with the candidate
+ * mapping that minimises its differential write energy (including the
+ * cost of updating the block's auxiliary cells). This one class
+ * realises the paper's 3cosets / 4cosets (Table I candidates, one aux
+ * cell per block) and 6cosets (Wang ICCD'11 candidates, two aux cells
+ * per block encoded with the six cheapest state pairs) at any
+ * granularity from 8 to 512 bits — the configuration space swept in
+ * Figures 1, 2, 3 and 5.
+ */
+
+#ifndef WLCRC_COSET_NCOSETS_CODEC_HH
+#define WLCRC_COSET_NCOSETS_CODEC_HH
+
+#include <array>
+#include <utility>
+
+#include "coset/aux_coding.hh"
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+/** Unrestricted per-block coset selection. */
+class NCosetsCodec : public LineCodec
+{
+  public:
+    /**
+     * @param energy            write-energy model.
+     * @param candidates        candidate mappings (2..6 entries).
+     * @param granularity_bits  block size; must divide 512 and be a
+     *                          multiple of 2.
+     */
+    NCosetsCodec(const pcm::EnergyModel &energy,
+                 std::vector<const Mapping *> candidates,
+                 unsigned granularity_bits);
+
+    std::string name() const override;
+    unsigned cellCount() const override;
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    unsigned granularityBits() const { return granularity_; }
+    unsigned blockCount() const { return lineBits / granularity_; }
+    /** Aux cells used per data block (1 for <=4 candidates, else 2). */
+    unsigned auxCellsPerBlock() const { return auxPerBlock_; }
+
+  private:
+    /** Target aux states identifying candidate @p c for one block. */
+    void auxStatesFor(unsigned c, pcm::State &a0, pcm::State &a1) const;
+    /** Candidate index stored in a block's aux cells. */
+    unsigned candidateFromAux(pcm::State a0, pcm::State a1) const;
+
+    std::vector<const Mapping *> candidates_;
+    unsigned granularity_;
+    unsigned auxPerBlock_;
+    std::array<std::pair<pcm::State, pcm::State>, 6> pairs_;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_NCOSETS_CODEC_HH

@@ -1,0 +1,115 @@
+#include "restricted_codec.hh"
+
+#include <cassert>
+
+#include "coset/aux_coding.hh"
+
+namespace wlcrc::coset
+{
+
+using pcm::State;
+
+RestrictedCosetsCodec::RestrictedCosetsCodec(
+    const pcm::EnergyModel &energy, unsigned granularity_bits)
+    : LineCodec(energy), granularity_(granularity_bits)
+{
+    assert(granularity_ >= 2 && granularity_ % 2 == 0);
+    assert(lineBits % granularity_ == 0);
+}
+
+std::string
+RestrictedCosetsCodec::name() const
+{
+    return "3-r-cosets-" + std::to_string(granularity_);
+}
+
+unsigned
+RestrictedCosetsCodec::cellCount() const
+{
+    return lineSymbols + auxCells();
+}
+
+pcm::TargetLine
+RestrictedCosetsCodec::encode(const Line512 &data,
+                              const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const unsigned symbols_per_block = granularity_ / 2;
+    const unsigned nblocks = blockCount();
+    const Mapping &c1 = tableICandidate(1);
+
+    // Evaluate both groups: {C1, C2} and {C1, C3}. For each group,
+    // each block independently picks the cheaper member.
+    double group_cost[2] = {0.0, 0.0};
+    std::vector<uint8_t> choice[2]; // per-block: 0 = C1, 1 = other
+    for (unsigned g = 0; g < 2; ++g) {
+        choice[g].resize(nblocks);
+        const Mapping &alt = tableICandidate(g == 0 ? 2 : 3);
+        for (unsigned b = 0; b < nblocks; ++b) {
+            double cost_c1 = 0.0, cost_alt = 0.0;
+            for (unsigned s = 0; s < symbols_per_block; ++s) {
+                const unsigned idx = b * symbols_per_block + s;
+                const unsigned sym = data.symbol(idx);
+                cost_c1 += cellCost(stored[idx], c1.encode(sym));
+                cost_alt += cellCost(stored[idx], alt.encode(sym));
+            }
+            if (cost_alt < cost_c1) {
+                choice[g][b] = 1;
+                group_cost[g] += cost_alt;
+            } else {
+                choice[g][b] = 0;
+                group_cost[g] += cost_c1;
+            }
+        }
+    }
+    const unsigned g = group_cost[1] < group_cost[0] ? 1 : 0;
+    const Mapping &alt = tableICandidate(g == 0 ? 2 : 3);
+
+    pcm::TargetLine target(cellCount());
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const Mapping &map = choice[g][b] ? alt : c1;
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned idx = b * symbols_per_block + s;
+            target.cells[idx] = map.encode(data.symbol(idx));
+        }
+    }
+
+    // Aux bits: [group bit, block 0 choice, block 1 choice, ...].
+    std::vector<uint8_t> bits(auxBits());
+    bits[0] = static_cast<uint8_t>(g);
+    for (unsigned b = 0; b < nblocks; ++b)
+        bits[1 + b] = choice[g][b];
+    std::vector<State> aux;
+    packBitsToStates(bits, aux, /*pair_friendly=*/true);
+    for (unsigned i = 0; i < aux.size(); ++i) {
+        target.cells[lineSymbols + i] = aux[i];
+        target.auxMask[lineSymbols + i] = true;
+    }
+    return target;
+}
+
+Line512
+RestrictedCosetsCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const unsigned symbols_per_block = granularity_ / 2;
+    const unsigned nblocks = blockCount();
+
+    std::vector<State> aux(stored.begin() + lineSymbols, stored.end());
+    const std::vector<uint8_t> bits =
+        unpackBitsFromStates(aux, auxBits(), /*pair_friendly=*/true);
+    const Mapping &c1 = tableICandidate(1);
+    const Mapping &alt = tableICandidate(bits[0] ? 3 : 2);
+
+    Line512 data;
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const Mapping &map = bits[1 + b] ? alt : c1;
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned idx = b * symbols_per_block + s;
+            data.setSymbol(idx, map.decode(stored[idx]));
+        }
+    }
+    return data;
+}
+
+} // namespace wlcrc::coset

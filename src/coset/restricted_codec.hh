@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RestrictedCosetsCodec: the paper's Section V "3-r-cosets".
+ *
+ * Instead of letting every data block pick any of {C1, C2, C3}
+ * independently (2 aux bits per block), the whole memory line commits
+ * to one of two coset *groups* — {C1, C2} or {C1, C3} — recorded by a
+ * single global bit; each block then needs only one bit to select
+ * within the group. Total auxiliary information drops from
+ * 2*nblocks bits to (1 + nblocks) bits.
+ *
+ * C2 suits biased data (runs of 0s/1s), C3 suits non-biased data, and
+ * data locality makes whole lines lean one way or the other, so the
+ * restriction costs little energy (Figure 5).
+ */
+
+#ifndef WLCRC_COSET_RESTRICTED_CODEC_HH
+#define WLCRC_COSET_RESTRICTED_CODEC_HH
+
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::coset
+{
+
+/** Line-level restricted coset coding over C1/C2/C3. */
+class RestrictedCosetsCodec : public LineCodec
+{
+  public:
+    /**
+     * @param energy            write-energy model.
+     * @param granularity_bits  data block size (divides 512).
+     */
+    RestrictedCosetsCodec(const pcm::EnergyModel &energy,
+                          unsigned granularity_bits);
+
+    std::string name() const override;
+    unsigned cellCount() const override;
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    unsigned granularityBits() const { return granularity_; }
+    unsigned blockCount() const { return lineBits / granularity_; }
+    /** Aux bits per line: 1 global + 1 per block. */
+    unsigned auxBits() const { return 1 + blockCount(); }
+    /** Dedicated aux cells per line. */
+    unsigned auxCells() const { return (auxBits() + 1) / 2; }
+
+  private:
+    unsigned granularity_;
+};
+
+} // namespace wlcrc::coset
+
+#endif // WLCRC_COSET_RESTRICTED_CODEC_HH

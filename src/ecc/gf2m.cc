@@ -1,0 +1,107 @@
+#include "gf2m.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wlcrc::ecc
+{
+
+namespace
+{
+
+/** Default primitive polynomials (bit i = coefficient of x^i). */
+uint32_t
+defaultPoly(unsigned m)
+{
+    switch (m) {
+      case 3: return 0b1011;                 // x^3+x+1
+      case 4: return 0b10011;                // x^4+x+1
+      case 5: return 0b100101;               // x^5+x^2+1
+      case 6: return 0b1000011;              // x^6+x+1
+      case 7: return 0b10001001;             // x^7+x^3+1
+      case 8: return 0b100011101;            // x^8+x^4+x^3+x^2+1
+      case 9: return 0b1000010001;           // x^9+x^4+1
+      case 10: return 0b10000001001;         // x^10+x^3+1
+      case 11: return 0b100000000101;        // x^11+x^2+1
+      case 12: return 0b1000001010011;       // x^12+x^6+x^4+x+1
+      case 13: return 0b10000000011011;      // x^13+x^4+x^3+x+1
+      case 14: return 0b100010001000011;     // x^14+x^10+x^6+x+1
+      case 15: return 0b1000000000000011;    // x^15+x+1
+      case 16: return 0b10001000000001011;   // x^16+x^12+x^3+x+1
+      default:
+        throw std::invalid_argument("GF2m: unsupported degree");
+    }
+}
+
+} // namespace
+
+GF2m::GF2m(unsigned m, uint32_t poly) : m_(m), size_(1u << m)
+{
+    if (m < 3 || m > 16)
+        throw std::invalid_argument("GF2m: m must be in [3,16]");
+    if (!poly)
+        poly = defaultPoly(m);
+
+    exp_.assign(size_ * 2, 0);
+    log_.assign(size_, -1);
+    uint32_t x = 1;
+    for (unsigned i = 0; i < n(); ++i) {
+        exp_[i] = x;
+        if (log_[x] != -1)
+            throw std::invalid_argument("GF2m: poly not primitive");
+        log_[x] = static_cast<int32_t>(i);
+        x <<= 1;
+        if (x & size_)
+            x ^= poly;
+    }
+    if (x != 1)
+        throw std::invalid_argument("GF2m: poly not primitive");
+    // Duplicate table so alphaPow(i+j) never wraps during mul.
+    for (unsigned i = 0; i < n(); ++i)
+        exp_[n() + i] = exp_[i];
+}
+
+unsigned
+GF2m::log(uint32_t x) const
+{
+    assert(x != 0 && x < size_);
+    return static_cast<unsigned>(log_[x]);
+}
+
+uint32_t
+GF2m::mul(uint32_t a, uint32_t b) const
+{
+    if (!a || !b)
+        return 0;
+    return exp_[log(a) + log(b)];
+}
+
+uint32_t
+GF2m::inv(uint32_t a) const
+{
+    assert(a != 0);
+    return exp_[n() - log(a)];
+}
+
+uint32_t
+GF2m::div(uint32_t a, uint32_t b) const
+{
+    assert(b != 0);
+    if (!a)
+        return 0;
+    return exp_[log(a) + n() - log(b)];
+}
+
+uint32_t
+GF2m::pow(uint32_t a, int k) const
+{
+    if (!a)
+        return k == 0 ? 1 : 0;
+    const long order = static_cast<long>(n());
+    long e = (static_cast<long>(log(a)) * k) % order;
+    if (e < 0)
+        e += order;
+    return exp_[static_cast<unsigned>(e)];
+}
+
+} // namespace wlcrc::ecc

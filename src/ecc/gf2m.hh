@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Arithmetic in the binary extension field GF(2^m), 3 <= m <= 16,
+ * via exponential/logarithm tables over a primitive polynomial.
+ * Substrate for the BCH code used by the DIN scheme.
+ */
+
+#ifndef WLCRC_ECC_GF2M_HH
+#define WLCRC_ECC_GF2M_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wlcrc::ecc
+{
+
+/** GF(2^m) with log/antilog tables. Elements are 0..2^m-1. */
+class GF2m
+{
+  public:
+    /**
+     * @param m     field degree (3..16).
+     * @param poly  primitive polynomial bits incl. x^m term; 0 picks
+     *              a built-in default for the given m.
+     */
+    explicit GF2m(unsigned m, uint32_t poly = 0);
+
+    unsigned m() const { return m_; }
+    /** Field size minus one (order of the multiplicative group). */
+    unsigned n() const { return size_ - 1; }
+
+    /** alpha^i for 0 <= i (reduced mod n()). */
+    uint32_t
+    alphaPow(unsigned i) const
+    {
+        return exp_[i % n()];
+    }
+
+    /** Discrete log of nonzero @p x. */
+    unsigned log(uint32_t x) const;
+
+    uint32_t mul(uint32_t a, uint32_t b) const;
+    uint32_t inv(uint32_t a) const;
+    uint32_t div(uint32_t a, uint32_t b) const;
+    /** a^k with k possibly negative (mod group order). */
+    uint32_t pow(uint32_t a, int k) const;
+
+  private:
+    unsigned m_;
+    uint32_t size_;
+    std::vector<uint32_t> exp_;
+    std::vector<int32_t> log_;
+};
+
+} // namespace wlcrc::ecc
+
+#endif // WLCRC_ECC_GF2M_HH

@@ -1,0 +1,122 @@
+#include "hamming.hh"
+
+#include <bit>
+#include <cassert>
+
+#include "common/rng.hh"
+
+namespace wlcrc::ecc
+{
+
+Hamming7264::Hamming7264()
+{
+    // Standard Hamming construction: data bit d is checked by parity
+    // bit p iff bit p of d's (power-of-two-skipping) position is set.
+    // Mask 7 is the overall (extended/SEC-DED) parity over all data
+    // bits; it is fixed up in encode() to also cover parity bits.
+    masks_.fill(0);
+    unsigned pos = 3; // codeword positions 1,2,4,... hold parity
+    for (unsigned d = 0; d < 64; ++d) {
+        while (std::has_single_bit(pos))
+            ++pos;
+        for (unsigned p = 0; p < 7; ++p) {
+            if (pos & (1u << p))
+                masks_[p] |= uint64_t{1} << d;
+        }
+        masks_[7] |= uint64_t{1} << d;
+        ++pos;
+    }
+}
+
+std::pair<uint64_t, uint8_t>
+Hamming7264::encode(uint64_t data) const
+{
+    uint8_t parity = 0;
+    for (unsigned p = 0; p < 7; ++p)
+        parity |= (std::popcount(data & masks_[p]) & 1) << p;
+    // Extended parity covers data plus the 7 Hamming parity bits.
+    const unsigned overall = (std::popcount(data) +
+                              std::popcount(unsigned(parity & 0x7f))) &
+                             1;
+    parity |= overall << 7;
+    return {data, parity};
+}
+
+uint64_t
+Hamming7264::decode(uint64_t data, uint8_t parity, int &status) const
+{
+    const auto [_, expect] = encode(data);
+    const uint8_t syndrome7 = (parity ^ expect) & 0x7f;
+    // Overall parity check over the received word: data bits, the 7
+    // received Hamming parity bits and the received extended bit.
+    // Any single stored-bit error flips exactly this sum.
+    const unsigned overall =
+        (std::popcount(data) +
+         std::popcount(unsigned(parity & 0x7f)) +
+         ((parity >> 7) & 1)) &
+        1;
+    if (!syndrome7 && !overall) {
+        status = 0;
+        return data;
+    }
+    if (syndrome7 && !overall) {
+        status = 2; // double error detected, uncorrectable
+        return data;
+    }
+    if (!syndrome7 && overall) {
+        status = 1; // error in the extended parity bit itself
+        return data;
+    }
+    // Single error: syndrome gives the codeword position; map back to
+    // the data-bit index by skipping power-of-two positions.
+    unsigned pos = 3, d = 0;
+    for (; d < 64; ++d) {
+        while (std::has_single_bit(pos))
+            ++pos;
+        if (pos == syndrome7)
+            break;
+        ++pos;
+    }
+    status = 1;
+    if (d < 64)
+        return data ^ (uint64_t{1} << d);
+    return data; // error hit a parity position; data is intact
+}
+
+std::vector<Line512>
+flipMinMasks(unsigned count, uint64_t seed)
+{
+    // Dual-code codewords of the (72,64) Hamming code are spanned by
+    // the parity-check masks. Random GF(2) combinations of the check
+    // masks give dual codewords over the data positions; eight
+    // independent draws tile one 512-bit mask. The first mask is
+    // all-zero so the identity encoding is always a candidate, as in
+    // FlipMin.
+    Hamming7264 code;
+    Rng rng(seed);
+    std::vector<Line512> masks;
+    masks.reserve(count);
+    masks.emplace_back(); // all-zero
+    while (masks.size() < count) {
+        Line512 m;
+        for (unsigned w = 0; w < lineWords; ++w) {
+            uint64_t word = 0;
+            const unsigned combo =
+                static_cast<unsigned>(rng.next() & 0xff);
+            for (unsigned p = 0; p < 8; ++p) {
+                if (combo & (1u << p))
+                    word ^= code.checkMasks()[p];
+            }
+            // The dual-span over 64 data bits is only 8-dimensional;
+            // whiten across words with a rotation so tiled masks do
+            // not repeat byte patterns (the paper notes FlipMin's
+            // candidates are essentially random vectors).
+            word = std::rotl(word, static_cast<int>(rng.next() & 63));
+            m.setWord(w, word);
+        }
+        masks.push_back(m);
+    }
+    return masks;
+}
+
+} // namespace wlcrc::ecc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extended Hamming (72,64) SEC-DED code and FlipMin coset-mask
+ * generation from its dual code.
+ *
+ * FlipMin (Jacobvitz et al., HPCA'13) builds its coset candidates
+ * from the dual of a (72,64) Hamming generator matrix; since the
+ * resulting candidates are essentially random binary vectors, the
+ * paper adapts them to full 512-bit MLC lines. We do the same:
+ * dual-code codewords are tiled/expanded deterministically into
+ * 512-bit XOR masks.
+ */
+
+#ifndef WLCRC_ECC_HAMMING_HH
+#define WLCRC_ECC_HAMMING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/line512.hh"
+
+namespace wlcrc::ecc
+{
+
+/** Extended Hamming (72,64) SEC-DED codec. */
+class Hamming7264
+{
+  public:
+    Hamming7264();
+
+    /** Encode 64 data bits into a 72-bit codeword
+     *  (data in low 64 bits of first element, parity in second). */
+    std::pair<uint64_t, uint8_t> encode(uint64_t data) const;
+
+    /**
+     * Decode a received (data, parity) pair.
+     * @return corrected data; sets @p status to 0 (clean), 1
+     *         (corrected single error) or 2 (detected double error).
+     */
+    uint64_t decode(uint64_t data, uint8_t parity,
+                    int &status) const;
+
+    /** The 8 parity-check masks over data bits. */
+    const std::array<uint64_t, 8> &checkMasks() const
+    {
+        return masks_;
+    }
+
+  private:
+    std::array<uint64_t, 8> masks_;
+};
+
+/**
+ * Deterministically derive @p count 512-bit XOR masks for FlipMin
+ * from dual-code codewords of the (72,64) Hamming code.
+ */
+std::vector<Line512> flipMinMasks(unsigned count, uint64_t seed);
+
+} // namespace wlcrc::ecc
+
+#endif // WLCRC_ECC_HAMMING_HH

@@ -1,0 +1,119 @@
+#include "synth_model.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wlcrc::hw
+{
+
+namespace
+{
+
+/** Gate cost of an n-bit ripple/carry-select adder. */
+double
+adderGates(unsigned bits)
+{
+    return bits * 6.5;
+}
+
+/** Gate cost of an n-bit magnitude comparator. */
+double
+comparatorGates(unsigned bits)
+{
+    return bits * 4.0;
+}
+
+} // namespace
+
+SynthResult
+SynthModel::fromGates(double gates, double depth_fo4_write,
+                      double depth_fo4_read) const
+{
+    SynthResult r;
+    r.gateCount = static_cast<unsigned>(gates);
+    r.areaMm2 = gates * areaPerGateMm2;
+    r.writeDelayNs = depth_fo4_write * fo4DelayNs;
+    r.readDelayNs = depth_fo4_read * fo4DelayNs;
+    r.writeEnergyPj = gates * energyPerGatePj * activityFactor;
+    // The decode path exercises roughly the mux/LUT third of the
+    // design (no adder trees or comparators).
+    r.readEnergyPj = r.writeEnergyPj * 0.29;
+    return r;
+}
+
+SynthResult
+SynthModel::wlcrc(unsigned granularity_bits) const
+{
+    assert(granularity_bits == 8 || granularity_bits == 16 ||
+           granularity_bits == 32 || granularity_bits == 64);
+    const unsigned cells_per_word = 32;
+    const unsigned nblocks =
+        granularity_bits == 64 ? 1 : (64 / granularity_bits) -
+                                         (granularity_bits == 8 ? 1
+                                                                : 0);
+    const unsigned cells_per_block =
+        granularity_bits / 2; // approximate; top block is shorter
+    const unsigned nmaps = 3;
+    const unsigned cost_bits = 11; // max block cost ~ 8 * 583 pJ
+
+    // Per word module (Figure 7, "Restricted [Wi]"):
+    double gates = 0.0;
+    // 1. Per-cell, per-mapping state translation + energy LUT.
+    gates += cells_per_word * nmaps * 18.0;
+    // 2. Cost adder tree per block per mapping.
+    gates += nblocks * nmaps * cells_per_block *
+             adderGates(cost_bits) / 4.0;
+    // 3. Within-group and cross-group comparators + group adders.
+    gates += nblocks * 2 * comparatorGates(cost_bits);
+    gates += 2 * nblocks * adderGates(cost_bits + 3);
+    gates += comparatorGates(cost_bits + 3);
+    // 4. Output mux: selected mapping per cell (2 bits/cell).
+    gates += cells_per_word * 2 * 8.0;
+    // 5. Decoder: selector decode + per-cell inverse-map mux.
+    gates += cells_per_word * 2 * 10.0 + nblocks * 12.0;
+
+    // Eight word modules in parallel plus the WLC front-end and the
+    // line-level steering logic.
+    double total = gates * 8;
+    total += wlcOnly().gateCount;
+    total += 450.0; // flag handling, enable fan-out, output steering
+
+    // Write path: LUT (4 FO4) + adder tree (log2 cells * adder
+    // depth) + two comparator stages + output mux.
+    const double tree_depth =
+        std::ceil(std::log2(std::max(2u, cells_per_block)));
+    const double depth_write =
+        4 + tree_depth * 14 + 2 * 12 + 6 +
+        (granularity_bits == 8 ? 8 : 0);
+    // Read path: flag check + selector decode + inverse-map mux.
+    const double depth_read = 4 + 10 + 12;
+    return fromGates(total, depth_write, depth_read);
+}
+
+SynthResult
+SynthModel::wlcOnly() const
+{
+    // Per word: k-MSB uniformity (XOR reduce + AND tree) for
+    // compression, sign-extension fan-out for decompression.
+    const double per_word = 15.0;
+    const double total = per_word * 8 + 14.0; // + line AND reduce
+    return fromGates(total, 4.0, 3.5);
+}
+
+SynthResult
+SynthModel::nCosets(unsigned candidates,
+                    unsigned granularity_bits) const
+{
+    const unsigned symbols = granularity_bits / 2;
+    const unsigned cost_bits = 14;
+    double gates = 0.0;
+    gates += symbols * candidates * 18.0;
+    gates += candidates * symbols * adderGates(cost_bits) / 4.0;
+    gates += (candidates - 1) * comparatorGates(cost_bits);
+    gates += symbols * 2 * (4.0 + candidates);
+    const double tree_depth =
+        std::ceil(std::log2(std::max(2u, symbols)));
+    return fromGates(gates, 4 + tree_depth * 14 + 12 + 6, 4 + 12 + 14);
+}
+
+} // namespace wlcrc::hw

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic 45 nm hardware model for the WLCRC encoder/decoder
+ * pipeline (Figure 7), substituting for the paper's Synopsys Design
+ * Compiler + FreePDK45 synthesis (Section VI-B); see DESIGN.md.
+ *
+ * The model counts the structural primitives of the design —
+ * energy-cost lookup tables, carry-save adder trees, comparators and
+ * selection muxes per restricted-coset module, plus the trivial WLC
+ * MSB-uniformity checkers — and converts them to area/delay/energy
+ * with published FreePDK45 standard-cell characteristics. A single
+ * calibration factor aligns the WLCRC-16 write path with the paper's
+ * synthesized 2.63 ns; everything else follows structurally.
+ */
+
+#ifndef WLCRC_HW_SYNTH_MODEL_HH
+#define WLCRC_HW_SYNTH_MODEL_HH
+
+#include <string>
+
+namespace wlcrc::hw
+{
+
+/** Synthesis-style results for one module. */
+struct SynthResult
+{
+    double areaMm2 = 0.0;
+    double writeDelayNs = 0.0;
+    double readDelayNs = 0.0;
+    double writeEnergyPj = 0.0;
+    double readEnergyPj = 0.0;
+    unsigned gateCount = 0;
+};
+
+/** Analytic gate-level model of the WLCRC pipeline at 45 nm. */
+class SynthModel
+{
+  public:
+    SynthModel() = default;
+
+    /**
+     * Full WLCRC compression+encoding and decoding+decompression
+     * blocks for a given data block granularity (8/16/32/64), eight
+     * word modules in parallel as in Figure 7.
+     */
+    SynthResult wlcrc(unsigned granularity_bits) const;
+
+    /** Just the WLC compress/decompress portion. */
+    SynthResult wlcOnly() const;
+
+    /** An unrestricted n-cosets encoder at line granularity
+     *  (the 6cosets comparison point). */
+    SynthResult nCosets(unsigned candidates,
+                        unsigned granularity_bits) const;
+
+  private:
+    /** Convert a gate count + logic depth into a SynthResult. */
+    SynthResult fromGates(double gates, double depth_fo4_write,
+                          double depth_fo4_read) const;
+
+    // FreePDK45 standard-cell characteristics (NAND2-equivalent).
+    static constexpr double areaPerGateMm2 = 0.798e-6; // mm^2/gate
+    static constexpr double fo4DelayNs = 0.034;        // ns
+    static constexpr double energyPerGatePj = 1.1e-4;  // pJ/switch
+    static constexpr double activityFactor = 0.18;
+};
+
+} // namespace wlcrc::hw
+
+#endif // WLCRC_HW_SYNTH_MODEL_HH

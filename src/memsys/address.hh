@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Physical address decomposition for the Table II PCM topology:
+ * 2 channels x 2 DIMMs x 16 banks, 64 B lines. Low-order line bits
+ * interleave across channels, then DIMMs, then banks, maximising
+ * write parallelism for streaming traffic.
+ */
+
+#ifndef WLCRC_MEMSYS_ADDRESS_HH
+#define WLCRC_MEMSYS_ADDRESS_HH
+
+#include <cstdint>
+
+#include "pcm/config.hh"
+
+namespace wlcrc::memsys
+{
+
+/** Decoded location of a memory line. */
+struct LineLocation
+{
+    unsigned channel;
+    unsigned dimm;
+    unsigned bank;
+    uint64_t row;
+    /** Flat bank id across the whole system. */
+    unsigned flatBank;
+};
+
+/** Maps line addresses onto the PCM topology. */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const pcm::SystemConfig &cfg) : cfg_(cfg) {}
+
+    LineLocation
+    locate(uint64_t line_addr) const
+    {
+        LineLocation loc;
+        uint64_t a = line_addr;
+        loc.channel = static_cast<unsigned>(a % cfg_.channels);
+        a /= cfg_.channels;
+        loc.dimm = static_cast<unsigned>(a % cfg_.dimmsPerChannel);
+        a /= cfg_.dimmsPerChannel;
+        loc.bank = static_cast<unsigned>(a % cfg_.banksPerDimm);
+        loc.row = a / cfg_.banksPerDimm;
+        loc.flatBank =
+            (loc.channel * cfg_.dimmsPerChannel + loc.dimm) *
+                cfg_.banksPerDimm +
+            loc.bank;
+        return loc;
+    }
+
+    unsigned totalBanks() const { return cfg_.totalBanks(); }
+
+  private:
+    pcm::SystemConfig cfg_;
+};
+
+} // namespace wlcrc::memsys
+
+#endif // WLCRC_MEMSYS_ADDRESS_HH

@@ -1,0 +1,115 @@
+#include "controller.hh"
+
+#include <cassert>
+
+namespace wlcrc::memsys
+{
+
+MemoryController::MemoryController(const pcm::SystemConfig &cfg,
+                                   const coset::LineCodec &codec,
+                                   const pcm::WriteUnit &unit,
+                                   uint64_t seed)
+    : cfg_(cfg), mapper_(cfg), codec_(codec),
+      device_(codec.cellCount(), unit, seed),
+      bankBusyUntil_(cfg.totalBanks(), 0)
+{
+}
+
+bool
+MemoryController::enqueueWrite(const trace::WriteTransaction &txn)
+{
+    if (writeQueue_.size() >= cfg_.writeQueueEntries) {
+        ++stats_.stallCycles;
+        return false;
+    }
+    writeQueue_.push_back(txn);
+    return true;
+}
+
+void
+MemoryController::enqueueRead(uint64_t line_addr)
+{
+    readQueue_.push_back({line_addr, cycle_});
+}
+
+double
+MemoryController::writeQueueFill() const
+{
+    return static_cast<double>(writeQueue_.size()) /
+           static_cast<double>(cfg_.writeQueueEntries);
+}
+
+void
+MemoryController::serviceBank(unsigned bank)
+{
+    if (bankBusyUntil_[bank] > cycle_)
+        return;
+
+    const bool prefer_writes = draining_ || readQueue_.empty();
+
+    if (!prefer_writes) {
+        for (auto it = readQueue_.begin(); it != readQueue_.end();
+             ++it) {
+            if (mapper_.locate(it->addr).flatBank != bank)
+                continue;
+            bankBusyUntil_[bank] = cycle_ + cfg_.readLatencyCycles;
+            stats_.readLatency.add(static_cast<double>(
+                cycle_ + cfg_.readLatencyCycles - it->issued));
+            ++stats_.readsServiced;
+            readQueue_.erase(it);
+            return;
+        }
+    }
+    for (auto it = writeQueue_.begin(); it != writeQueue_.end();
+         ++it) {
+        if (mapper_.locate(it->lineAddr).flatBank != bank)
+            continue;
+        // Encoding pipeline: differentiate against the stored line
+        // and program through the write unit (Figure 7).
+        if (!device_.hasLine(it->lineAddr)) {
+            auto &stored = device_.line(it->lineAddr);
+            stored = codec_.encode(it->oldData, stored).cells;
+        }
+        const auto &stored = device_.line(it->lineAddr);
+        device_.write(it->lineAddr,
+                      codec_.encode(it->newData, stored));
+        bankBusyUntil_[bank] = cycle_ + cfg_.writeLatencyCycles;
+        ++stats_.writesServiced;
+        writeQueue_.erase(it);
+        return;
+    }
+}
+
+void
+MemoryController::tick()
+{
+    stats_.writeQueueDepth.add(
+        static_cast<double>(writeQueue_.size()));
+    // Write pausing policy: reads win unless the write queue is past
+    // the drain threshold (with hysteresis down to 25 %).
+    if (draining_ && writeQueueFill() < 0.25)
+        draining_ = false;
+    if (!draining_ && writeQueueFill() >= cfg_.writeDrainThreshold)
+        draining_ = true;
+    if (draining_)
+        ++stats_.drainCycles;
+    for (unsigned bank = 0; bank < bankBusyUntil_.size(); ++bank)
+        serviceBank(bank);
+    ++cycle_;
+}
+
+uint64_t
+MemoryController::drain()
+{
+    const uint64_t start = cycle_;
+    // Bounded by queue size * write latency; guard against livelock.
+    const uint64_t limit =
+        cycle_ + (writeQueue_.size() + readQueue_.size() + 1) *
+                     (cfg_.writeLatencyCycles + 1) * 4;
+    while (!queuesEmpty() && cycle_ < limit)
+        tick();
+    assert(queuesEmpty() && "controller failed to drain");
+    return cycle_ - start;
+}
+
+} // namespace wlcrc::memsys

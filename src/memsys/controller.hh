@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PCM memory controller: per-bank timing, a 32-entry write queue with
+ * the paper's scheduling policy (reads prioritised; writes drained
+ * ahead of reads once the queue passes 80 % occupancy — "write
+ * pausing"), and the encoding pipeline at the memory interface
+ * (Figure 7: the codec sits between the controller and the cells).
+ */
+
+#ifndef WLCRC_MEMSYS_CONTROLLER_HH
+#define WLCRC_MEMSYS_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "coset/codec.hh"
+#include "memsys/address.hh"
+#include "pcm/config.hh"
+#include "pcm/device.hh"
+#include "stats/stats.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::memsys
+{
+
+/** Controller statistics. */
+struct ControllerStats
+{
+    uint64_t readsServiced = 0;
+    uint64_t writesServiced = 0;
+    uint64_t drainCycles = 0;   //!< cycles spent in forced drain
+    uint64_t stallCycles = 0;   //!< enqueue attempts while full
+    stats::RunningStat readLatency;
+    stats::RunningStat writeQueueDepth;
+};
+
+/** Cycle-based PCM memory controller with an encoding pipeline. */
+class MemoryController
+{
+  public:
+    MemoryController(const pcm::SystemConfig &cfg,
+                     const coset::LineCodec &codec,
+                     const pcm::WriteUnit &unit, uint64_t seed = 11);
+
+    /**
+     * Try to enqueue a write-back. @return false (and count a stall)
+     * if the write queue is full; the caller retries next cycle.
+     */
+    bool enqueueWrite(const trace::WriteTransaction &txn);
+
+    /** Enqueue a demand read of @p line_addr. */
+    void enqueueRead(uint64_t line_addr);
+
+    /** Advance one controller cycle. */
+    void tick();
+
+    /** Run until both queues are empty. @return cycles consumed. */
+    uint64_t drain();
+
+    bool
+    queuesEmpty() const
+    {
+        return readQueue_.empty() && writeQueue_.empty();
+    }
+    /** Current write queue occupancy (0..1). */
+    double writeQueueFill() const;
+
+    const ControllerStats &stats() const { return stats_; }
+    const pcm::Device &device() const { return device_; }
+    pcm::Device &device() { return device_; }
+    uint64_t cycle() const { return cycle_; }
+
+  private:
+    struct ReadReq
+    {
+        uint64_t addr;
+        uint64_t issued;
+    };
+
+    /** Service one request on bank @p bank if one is eligible. */
+    void serviceBank(unsigned bank);
+
+    pcm::SystemConfig cfg_;
+    AddressMapper mapper_;
+    const coset::LineCodec &codec_;
+    pcm::Device device_;
+    std::deque<ReadReq> readQueue_;
+    std::deque<trace::WriteTransaction> writeQueue_;
+    std::vector<uint64_t> bankBusyUntil_;
+    bool draining_ = false;
+    uint64_t cycle_ = 0;
+    ControllerStats stats_;
+};
+
+} // namespace wlcrc::memsys
+
+#endif // WLCRC_MEMSYS_CONTROLLER_HH

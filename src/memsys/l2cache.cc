@@ -1,0 +1,132 @@
+#include "l2cache.hh"
+
+#include <cassert>
+
+namespace wlcrc::memsys
+{
+
+namespace
+{
+const Line512 zeroLine{};
+} // namespace
+
+L2Cache::L2Cache(const pcm::SystemConfig &cfg)
+    : sets_(static_cast<unsigned>(cfg.l2Bytes /
+                                  (cfg.l2Ways * cfg.l2LineBytes))),
+      ways_(cfg.l2Ways), entries_(sets_ * ways_)
+{
+    assert(sets_ > 0);
+}
+
+unsigned
+L2Cache::setOf(uint64_t line_addr) const
+{
+    return static_cast<unsigned>(line_addr % sets_);
+}
+
+const Line512 &
+L2Cache::memoryImage(uint64_t line_addr) const
+{
+    const auto it = memImage_.find(line_addr);
+    return it == memImage_.end() ? zeroLine : it->second;
+}
+
+void
+L2Cache::setMemoryImage(uint64_t line_addr, const Line512 &data)
+{
+    memImage_[line_addr] = data;
+}
+
+std::optional<trace::WriteTransaction>
+L2Cache::evict(Way &way, unsigned set)
+{
+    if (!way.valid || !way.dirty)
+        return std::nullopt;
+    const uint64_t addr =
+        way.tag * sets_ + set; // inverse of tag/set split
+    trace::WriteTransaction txn;
+    txn.lineAddr = addr;
+    txn.oldData = memoryImage(addr);
+    txn.newData = way.data;
+    memImage_[addr] = way.data;
+    ++writebacks_;
+    return txn;
+}
+
+std::optional<trace::WriteTransaction>
+L2Cache::access(uint64_t line_addr, bool is_write,
+                const Line512 *write_data)
+{
+    ++tick_;
+    const unsigned set = setOf(line_addr);
+    const uint64_t tag = line_addr / sets_;
+    Way *ways = &entries_[set * ways_];
+
+    Way *hit = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (ways[w].valid && ways[w].tag == tag) {
+            hit = &ways[w];
+            break;
+        }
+    }
+    std::optional<trace::WriteTransaction> writeback;
+    if (hit) {
+        ++hits_;
+    } else {
+        ++misses_;
+        // Victim: invalid way if any, else LRU.
+        Way *victim = &ways[0];
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (!ways[w].valid) {
+                victim = &ways[w];
+                break;
+            }
+            if (ways[w].lastUse < victim->lastUse)
+                victim = &ways[w];
+        }
+        writeback = evict(*victim, set);
+        victim->valid = true;
+        victim->dirty = false;
+        victim->tag = tag;
+        victim->data = memoryImage(line_addr);
+        hit = victim;
+    }
+
+    hit->lastUse = tick_;
+    if (is_write) {
+        assert(write_data && "stores must carry the new payload");
+        hit->data = *write_data;
+        hit->dirty = true;
+    }
+    return writeback;
+}
+
+const Line512 *
+L2Cache::peek(uint64_t line_addr) const
+{
+    const unsigned set = setOf(line_addr);
+    const uint64_t tag = line_addr / sets_;
+    const Way *ways = &entries_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w)
+        if (ways[w].valid && ways[w].tag == tag)
+            return &ways[w].data;
+    return nullptr;
+}
+
+std::vector<trace::WriteTransaction>
+L2Cache::flush()
+{
+    std::vector<trace::WriteTransaction> out;
+    for (unsigned set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < ways_; ++w) {
+            Way &way = entries_[set * ways_ + w];
+            if (auto txn = evict(way, set))
+                out.push_back(*txn);
+            way.valid = false;
+            way.dirty = false;
+        }
+    }
+    return out;
+}
+
+} // namespace wlcrc::memsys

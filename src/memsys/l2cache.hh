@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Private L2 cache model (Table II: 2 MB, 8-way, 64 B lines,
+ * write-back, LRU). Stores full line payloads so that dirty evictions
+ * emit complete (old, new) write transactions toward PCM — the same
+ * information the paper's traces record.
+ */
+
+#ifndef WLCRC_MEMSYS_L2CACHE_HH
+#define WLCRC_MEMSYS_L2CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/line512.hh"
+#include "pcm/config.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::memsys
+{
+
+/** Set-associative write-back cache over 512-bit lines. */
+class L2Cache
+{
+  public:
+    explicit L2Cache(const pcm::SystemConfig &cfg);
+
+    /**
+     * Perform one access.
+     *
+     * @param line_addr  line-aligned address.
+     * @param is_write   store (marks the line dirty) vs load.
+     * @param write_data line payload after the store (full-line
+     *                   semantics; partial stores are modelled by
+     *                   the caller mutating the current contents).
+     * @return a PCM write transaction if a dirty line was evicted.
+     */
+    std::optional<trace::WriteTransaction>
+    access(uint64_t line_addr, bool is_write,
+           const Line512 *write_data = nullptr);
+
+    /** Current cached contents of a line, if resident. */
+    const Line512 *peek(uint64_t line_addr) const;
+
+    /**
+     * Flush every dirty line (end-of-run), returning the resulting
+     * write transactions.
+     */
+    std::vector<trace::WriteTransaction> flush();
+
+    /** The memory image as PCM currently sees it (pre-writeback). */
+    const Line512 &memoryImage(uint64_t line_addr) const;
+    void setMemoryImage(uint64_t line_addr, const Line512 &data);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lastUse = 0;
+        Line512 data;
+    };
+
+    unsigned setOf(uint64_t line_addr) const;
+    std::optional<trace::WriteTransaction> evict(Way &way,
+                                                 unsigned set);
+
+    unsigned sets_;
+    unsigned ways_;
+    std::vector<Way> entries_; // sets_ x ways_
+    std::unordered_map<uint64_t, Line512> memImage_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t writebacks_ = 0;
+};
+
+} // namespace wlcrc::memsys
+
+#endif // WLCRC_MEMSYS_L2CACHE_HH

@@ -1,0 +1,100 @@
+#include "system.hh"
+
+namespace wlcrc::memsys
+{
+
+PcmSystem::PcmSystem(const pcm::SystemConfig &cfg,
+                     const coset::LineCodec &codec,
+                     const pcm::WriteUnit &unit,
+                     const trace::WorkloadProfile &profile,
+                     uint64_t seed)
+    : cfg_(cfg), codec_(codec), l2_(cfg),
+      controller_(cfg, codec, unit, seed ^ 0xc0ffee), profile_(profile),
+      rng_(seed)
+{
+}
+
+void
+PcmSystem::pushWriteback(const trace::WriteTransaction &txn)
+{
+    while (!controller_.enqueueWrite(txn))
+        controller_.tick();
+}
+
+void
+PcmSystem::access()
+{
+    // Address with reuse: 80 % of accesses hit the hot fifth.
+    const uint64_t n = profile_.footprintLines;
+    const uint64_t hot = std::max<uint64_t>(1, n / 5);
+    const uint64_t addr = rng_.chance(0.8)
+                              ? rng_.nextBelow(hot)
+                              : hot + rng_.nextBelow(n - hot);
+
+    // Stable per-line data class, as in the trace synthesizer.
+    auto type_it = lineTypes_.find(addr);
+    if (type_it == lineTypes_.end()) {
+        double p = rng_.nextDouble();
+        unsigned t = 0;
+        for (; t + 1 < trace::numLineTypes; ++t) {
+            p -= profile_.lineTypeProbs[t];
+            if (p < 0)
+                break;
+        }
+        type_it = lineTypes_
+                      .emplace(addr, static_cast<trace::LineType>(t))
+                      .first;
+        // Seed the memory image so first fills see realistic data.
+        l2_.setMemoryImage(
+            addr, trace::ValueModel::generateLine(type_it->second,
+                                                  rng_));
+    }
+
+    // Store ratio tracks memory intensity: write-heavy phases drive
+    // the paper's write-energy results.
+    const bool is_write =
+        rng_.chance(profile_.highIntensity ? 0.45 : 0.30);
+    std::optional<trace::WriteTransaction> wb;
+    if (is_write) {
+        ++stores_;
+        const Line512 *cur = l2_.peek(addr);
+        Line512 base = cur ? *cur : l2_.memoryImage(addr);
+        for (unsigned w = 0; w < lineWords; ++w) {
+            if (rng_.chance(profile_.wordChangeProb)) {
+                base.setWord(w, trace::ValueModel::mutateWord(
+                                    type_it->second, base.word(w),
+                                    rng_));
+            }
+        }
+        wb = l2_.access(addr, true, &base);
+    } else {
+        ++loads_;
+        const bool miss = l2_.peek(addr) == nullptr;
+        wb = l2_.access(addr, false);
+        if (miss)
+            controller_.enqueueRead(addr); // demand fill from PCM
+    }
+    if (wb)
+        pushWriteback(*wb);
+
+    // Core-side accesses arrive faster than the controller cycle;
+    // tick once per access to keep queues moving.
+    controller_.tick();
+}
+
+void
+PcmSystem::runAccesses(uint64_t count)
+{
+    for (uint64_t i = 0; i < count; ++i)
+        access();
+}
+
+void
+PcmSystem::finish()
+{
+    for (const auto &txn : l2_.flush())
+        pushWriteback(txn);
+    controller_.drain();
+}
+
+} // namespace wlcrc::memsys

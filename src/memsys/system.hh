@@ -1,0 +1,72 @@
+/**
+ * @file
+ * End-to-end system model: a synthetic core access stream feeding the
+ * private L2, whose dirty write-backs flow through the memory
+ * controller's encoding pipeline into the PCM device. This is the
+ * paper's full simulation stack (Section VII) with the Simics
+ * front-end replaced by the synthetic workload models.
+ */
+
+#ifndef WLCRC_MEMSYS_SYSTEM_HH
+#define WLCRC_MEMSYS_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+#include "coset/codec.hh"
+#include "memsys/controller.hh"
+#include "memsys/l2cache.hh"
+#include "trace/workload.hh"
+
+namespace wlcrc::memsys
+{
+
+/** Full workload -> L2 -> controller -> PCM pipeline. */
+class PcmSystem
+{
+  public:
+    /**
+     * @param cfg      Table II configuration.
+     * @param codec    encoding scheme at the memory interface.
+     * @param unit     energy/disturbance models.
+     * @param profile  synthetic workload.
+     * @param seed     master seed (accesses + disturbance).
+     */
+    PcmSystem(const pcm::SystemConfig &cfg,
+              const coset::LineCodec &codec,
+              const pcm::WriteUnit &unit,
+              const trace::WorkloadProfile &profile, uint64_t seed);
+
+    /** Execute @p count L2 accesses (loads + stores). */
+    void runAccesses(uint64_t count);
+
+    /** Flush the L2 and drain the controller. */
+    void finish();
+
+    const MemoryController &controller() const { return controller_; }
+    const L2Cache &l2() const { return l2_; }
+    uint64_t storesIssued() const { return stores_; }
+    uint64_t loadsIssued() const { return loads_; }
+
+  private:
+    /** One core access; may trigger a write-back toward PCM. */
+    void access();
+
+    /** Push a write-back, ticking the controller until it fits. */
+    void pushWriteback(const trace::WriteTransaction &txn);
+
+    pcm::SystemConfig cfg_;
+    const coset::LineCodec &codec_;
+    L2Cache l2_;
+    MemoryController controller_;
+    trace::WorkloadProfile profile_;
+    Rng rng_;
+    std::unordered_map<uint64_t, trace::LineType> lineTypes_;
+    uint64_t stores_ = 0;
+    uint64_t loads_ = 0;
+};
+
+} // namespace wlcrc::memsys
+
+#endif // WLCRC_MEMSYS_SYSTEM_HH

@@ -1,0 +1,13 @@
+#include "cell.hh"
+
+namespace wlcrc::pcm
+{
+
+const char *
+stateName(State s)
+{
+    static const char *names[numStates] = {"S1", "S2", "S3", "S4"};
+    return names[stateIndex(s)];
+}
+
+} // namespace wlcrc::pcm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * MLC PCM cell states and associated per-state constants.
+ *
+ * Cells are 4-level: states S1..S4, ordered by the energy required to
+ * program the cell into that state (paper Section III). S1 is reached
+ * by a plain RESET; S2 by a SET pulse; S3/S4 by iterative partial SETs
+ * under the 'single RESET + multiple SET' programming strategy.
+ */
+
+#ifndef WLCRC_PCM_CELL_HH
+#define WLCRC_PCM_CELL_HH
+
+#include <array>
+#include <cstdint>
+
+namespace wlcrc::pcm
+{
+
+/** The four programmable states of a 4-level MLC PCM cell. */
+enum class State : uint8_t { S1 = 0, S2 = 1, S3 = 2, S4 = 3 };
+
+/** Number of cell states. */
+inline constexpr unsigned numStates = 4;
+
+/** @return 0-based index of @p s. */
+constexpr unsigned
+stateIndex(State s)
+{
+    return static_cast<unsigned>(s);
+}
+
+/** @return state with 0-based index @p i (0..3). */
+constexpr State
+stateFromIndex(unsigned i)
+{
+    return static_cast<State>(i & 3);
+}
+
+/** Printable name ("S1".."S4"). */
+const char *stateName(State s);
+
+} // namespace wlcrc::pcm
+
+#endif // WLCRC_PCM_CELL_HH

@@ -1,0 +1,66 @@
+#include "device.hh"
+
+#include <cassert>
+
+namespace wlcrc::pcm
+{
+
+Device::Device(unsigned cells_per_line, const WriteUnit &unit,
+               uint64_t seed)
+    : cellsPerLine_(cells_per_line), unit_(unit), rng_(seed)
+{
+}
+
+std::vector<State> &
+Device::line(uint64_t addr)
+{
+    auto it = lines_.find(addr);
+    if (it == lines_.end()) {
+        it = lines_
+                 .emplace(addr, std::vector<State>(cellsPerLine_,
+                                                   State::S1))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+Device::hasLine(uint64_t addr) const
+{
+    return lines_.count(addr) != 0;
+}
+
+WriteStats
+Device::write(uint64_t addr, const TargetLine &target,
+              bool verify_n_restore)
+{
+    assert(target.cells.size() == cellsPerLine_);
+    auto &stored = line(addr);
+    if (wear_) {
+        std::vector<bool> updated(cellsPerLine_);
+        for (unsigned c = 0; c < cellsPerLine_; ++c)
+            updated[c] = stored[c] != target.cells[c];
+        wear_->recordLine(addr, updated);
+    }
+    const WriteStats st =
+        unit_.program(stored, target, rng_, verify_n_restore);
+    totals_ += st;
+    ++writes_;
+    return st;
+}
+
+void
+Device::attachWearTracker(WearTracker *tracker)
+{
+    assert(!tracker || tracker->cellsPerLine() == cellsPerLine_);
+    wear_ = tracker;
+}
+
+void
+Device::resetStats()
+{
+    totals_ = WriteStats();
+    writes_ = 0;
+}
+
+} // namespace wlcrc::pcm

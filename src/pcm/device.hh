@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Behavioural PCM device: a sparse store of per-line cell states,
+ * organised by bank, that applies codec-produced target lines through
+ * the WriteUnit and accumulates lifetime statistics.
+ */
+
+#ifndef WLCRC_PCM_DEVICE_HH
+#define WLCRC_PCM_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pcm/cell.hh"
+#include "pcm/wear.hh"
+#include "pcm/write_unit.hh"
+
+namespace wlcrc::pcm
+{
+
+/**
+ * Sparse PCM cell array. Lines are allocated on first touch with all
+ * cells in S1 (the post-RESET state of a fresh device).
+ *
+ * The device does not know about encodings; it stores raw cell states
+ * of `cellsPerLine` cells per line (data + dedicated aux cells, as
+ * required by the attached codec) and applies differential writes.
+ */
+class Device
+{
+  public:
+    /**
+     * @param cells_per_line  total cells per stored line.
+     * @param unit            energy/disturbance write unit.
+     * @param seed            seed for disturbance sampling.
+     */
+    Device(unsigned cells_per_line, const WriteUnit &unit,
+           uint64_t seed = 1);
+
+    /** @return mutable stored states of line @p addr (line-aligned
+     *  address, i.e. byte address >> 6). */
+    std::vector<State> &line(uint64_t addr);
+
+    /** @return true if the line has been written before. */
+    bool hasLine(uint64_t addr) const;
+
+    /**
+     * Apply @p target to line @p addr through differential write.
+     * @return per-write statistics.
+     */
+    WriteStats write(uint64_t addr, const TargetLine &target,
+                     bool verify_n_restore = false);
+
+    /** Lifetime totals across all writes. */
+    const WriteStats &totals() const { return totals_; }
+    uint64_t writeCount() const { return writes_; }
+    unsigned cellsPerLine() const { return cellsPerLine_; }
+
+    /** Reset lifetime statistics (stored contents are kept). */
+    void resetStats();
+
+    /**
+     * Attach a wear tracker; every subsequent write records its
+     * per-cell update mask. Pass nullptr to detach. The tracker must
+     * outlive the device and have matching cellsPerLine.
+     */
+    void attachWearTracker(WearTracker *tracker);
+
+  private:
+    unsigned cellsPerLine_;
+    WriteUnit unit_;
+    Rng rng_;
+    std::unordered_map<uint64_t, std::vector<State>> lines_;
+    WearTracker *wear_ = nullptr;
+    WriteStats totals_;
+    uint64_t writes_ = 0;
+};
+
+} // namespace wlcrc::pcm
+
+#endif // WLCRC_PCM_DEVICE_HH

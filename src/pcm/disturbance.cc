@@ -1,0 +1,77 @@
+#include "disturbance.hh"
+
+#include <cstddef>
+
+#include <cassert>
+
+namespace wlcrc::pcm
+{
+
+namespace
+{
+
+/** Number of programmed (RESETting) linear neighbours of cell i. */
+unsigned
+resetNeighbours(const std::vector<bool> &updated, std::size_t i)
+{
+    unsigned n = 0;
+    if (i > 0 && updated[i - 1])
+        ++n;
+    if (i + 1 < updated.size() && updated[i + 1])
+        ++n;
+    return n;
+}
+
+} // namespace
+
+unsigned
+DisturbanceModel::sample(const std::vector<State> &cells,
+                         const std::vector<bool> &updated, Rng &rng,
+                         std::vector<bool> *disturbed) const
+{
+    assert(cells.size() == updated.size());
+    if (disturbed)
+        disturbed->assign(cells.size(), false);
+    unsigned errors = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (updated[i])
+            continue; // Programmed cells are rewritten, not disturbed.
+        const double p = der_[stateIndex(cells[i])];
+        if (p <= 0.0)
+            continue;
+        const unsigned exposures = resetNeighbours(updated, i);
+        bool hit = false;
+        for (unsigned e = 0; e < exposures; ++e)
+            hit |= rng.chance(p);
+        if (hit) {
+            ++errors;
+            if (disturbed)
+                (*disturbed)[i] = true;
+        }
+    }
+    return errors;
+}
+
+double
+DisturbanceModel::expected(const std::vector<State> &cells,
+                           const std::vector<bool> &updated) const
+{
+    assert(cells.size() == updated.size());
+    double expected = 0.0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (updated[i])
+            continue;
+        const double p = der_[stateIndex(cells[i])];
+        if (p <= 0.0)
+            continue;
+        const unsigned exposures = resetNeighbours(updated, i);
+        // P(at least one of `exposures` independent pulses disturbs).
+        double survive = 1.0;
+        for (unsigned e = 0; e < exposures; ++e)
+            survive *= 1.0 - p;
+        expected += 1.0 - survive;
+    }
+    return expected;
+}
+
+} // namespace wlcrc::pcm

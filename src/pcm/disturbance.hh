@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Write-disturbance model for super-dense MLC PCM (paper Table II,
+ * rates from Jiang et al., DSN'14, 20 nm node).
+ *
+ * Every programmed cell starts with a RESET pulse whose heat can
+ * unintentionally lower the resistance of *idle* adjacent cells.
+ * Disturbance is unidirectional: cells already at minimum resistance
+ * (state S2 in the paper's energy ordering) are immune; idle cells in
+ * S1 / S3 / S4 are disturbed with per-state probabilities (DER).
+ */
+
+#ifndef WLCRC_PCM_DISTURBANCE_HH
+#define WLCRC_PCM_DISTURBANCE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pcm/cell.hh"
+
+namespace wlcrc::pcm
+{
+
+/** Per-state disturbance error rates when a neighbour is RESET. */
+class DisturbanceModel
+{
+  public:
+    /** Defaults from Table II (20 nm): S1 12.3%, S2 0%, S3 27.6%, S4 15.2%. */
+    constexpr DisturbanceModel() = default;
+
+    explicit constexpr
+    DisturbanceModel(const std::array<double, numStates> &der)
+        : der_(der)
+    {}
+
+    /** Disturbance probability of an idle cell in state @p s per
+     *  adjacent RESET. */
+    constexpr double der(State s) const { return der_[stateIndex(s)]; }
+
+    /**
+     * Sample the number of disturbed idle cells for one line write.
+     *
+     * @param cells    stored states after the write.
+     * @param updated  updated[i] true iff cell i was programmed.
+     * @param rng      randomness source.
+     * @param disturbed  out (optional): per-cell disturbed flags.
+     * @return number of disturbance errors in this write pass.
+     *
+     * Each programmed cell exposes its linear neighbours (i-1, i+1);
+     * an idle neighbour flanked by two programmed cells gets two
+     * independent chances to be disturbed, matching the physical
+     * model of per-RESET heat pulses.
+     */
+    unsigned sample(const std::vector<State> &cells,
+                    const std::vector<bool> &updated, Rng &rng,
+                    std::vector<bool> *disturbed = nullptr) const;
+
+    /**
+     * Expected number of disturbance errors for one write pass
+     * (deterministic; used by tests and fast analytic sweeps).
+     */
+    double expected(const std::vector<State> &cells,
+                    const std::vector<bool> &updated) const;
+
+  private:
+    std::array<double, numStates> der_{0.123, 0.0, 0.276, 0.152};
+};
+
+} // namespace wlcrc::pcm
+
+#endif // WLCRC_PCM_DISTURBANCE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Write-energy model for 4-level MLC PCM (paper Table II).
+ *
+ * Under differential write, a cell is programmed only when its target
+ * state differs from its stored state. Programming always begins with
+ * a RESET pulse (36 pJ) and, depending on the target state, continues
+ * with SET pulses: S1 +0 pJ, S2 +20 pJ, S3 +307 pJ, S4 +547 pJ
+ * ('single RESET, multiple SETs' strategy). The intermediate-state
+ * energies are adjustable to support the paper's Figure 14
+ * sensitivity study.
+ */
+
+#ifndef WLCRC_PCM_ENERGY_MODEL_HH
+#define WLCRC_PCM_ENERGY_MODEL_HH
+
+#include <array>
+
+#include "pcm/cell.hh"
+
+namespace wlcrc::pcm
+{
+
+/** Per-state programming energies, in picojoules. */
+class EnergyModel
+{
+  public:
+    /** Construct with the paper's default Table II energies. */
+    constexpr EnergyModel() = default;
+
+    /**
+     * Construct with custom energies.
+     *
+     * @param reset_pj  RESET pulse energy (paid by any programming).
+     * @param set_pj    per-target-state SET energy (S1..S4).
+     */
+    constexpr EnergyModel(double reset_pj,
+                          const std::array<double, numStates> &set_pj)
+        : resetPj_(reset_pj), setPj_(set_pj)
+    {}
+
+    /** Energy to program an (already differing) cell into @p target. */
+    constexpr double
+    programEnergy(State target) const
+    {
+        return resetPj_ + setPj_[stateIndex(target)];
+    }
+
+    /**
+     * Energy of a differential write of one cell.
+     * @return 0 if @p target equals @p stored, else programEnergy.
+     */
+    constexpr double
+    writeEnergy(State stored, State target) const
+    {
+        return stored == target ? 0.0 : programEnergy(target);
+    }
+
+    constexpr double resetPj() const { return resetPj_; }
+    constexpr double setPj(State s) const { return setPj_[stateIndex(s)]; }
+
+    /**
+     * The paper's Figure 14 scaling: reduce the intermediate/high
+     * state SET energies while keeping S1 and S2 unchanged.
+     */
+    static constexpr EnergyModel
+    withHighStateEnergies(double s3_pj, double s4_pj)
+    {
+        return EnergyModel(36.0, {0.0, 20.0, s3_pj, s4_pj});
+    }
+
+  private:
+    double resetPj_ = 36.0;
+    std::array<double, numStates> setPj_{0.0, 20.0, 307.0, 547.0};
+};
+
+} // namespace wlcrc::pcm
+
+#endif // WLCRC_PCM_ENERGY_MODEL_HH

@@ -1,0 +1,87 @@
+#include "wear.hh"
+
+#include <cassert>
+
+namespace wlcrc::pcm
+{
+
+double
+WearSummary::imbalance() const
+{
+    return avgCellWrites > 0
+               ? static_cast<double>(maxCellWrites) / avgCellWrites
+               : 0.0;
+}
+
+void
+WearTracker::recordProgram(uint64_t addr, unsigned cell)
+{
+    assert(cell < cellsPerLine_);
+    auto it = wear_.find(addr);
+    if (it == wear_.end()) {
+        it = wear_
+                 .emplace(addr,
+                          std::vector<uint32_t>(cellsPerLine_, 0))
+                 .first;
+    }
+    ++it->second[cell];
+}
+
+void
+WearTracker::recordLine(uint64_t addr,
+                        const std::vector<bool> &updated)
+{
+    assert(updated.size() == cellsPerLine_);
+    for (unsigned c = 0; c < cellsPerLine_; ++c) {
+        if (updated[c])
+            recordProgram(addr, c);
+    }
+}
+
+uint64_t
+WearTracker::cellWrites(uint64_t addr, unsigned cell) const
+{
+    const auto it = wear_.find(addr);
+    return it == wear_.end() ? 0 : it->second[cell];
+}
+
+WearSummary
+WearTracker::summary() const
+{
+    WearSummary s;
+    for (const auto &[addr, cells] : wear_) {
+        for (const uint32_t w : cells) {
+            if (!w)
+                continue;
+            ++s.touchedCells;
+            s.totalWrites += w;
+            s.maxCellWrites =
+                std::max<uint64_t>(s.maxCellWrites, w);
+        }
+    }
+    if (s.touchedCells) {
+        s.avgCellWrites = static_cast<double>(s.totalWrites) /
+                          static_cast<double>(s.touchedCells);
+    }
+    return s;
+}
+
+uint64_t
+WearTracker::projectedLifetime(uint64_t cell_endurance,
+                               uint64_t line_writes_so_far) const
+{
+    const WearSummary s = summary();
+    if (!s.maxCellWrites || !line_writes_so_far)
+        return 0;
+    if (s.maxCellWrites >= cell_endurance)
+        return 0;
+    // The most-worn cell accrues maxCellWrites per
+    // line_writes_so_far line writes; extrapolate to endurance.
+    const double rate = static_cast<double>(s.maxCellWrites) /
+                        static_cast<double>(line_writes_so_far);
+    return static_cast<uint64_t>(
+        static_cast<double>(cell_endurance - s.maxCellWrites) /
+        rate);
+}
+
+} // namespace wlcrc::pcm

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Differential-write application and per-write bookkeeping.
+ *
+ * A codec produces a TargetLine: the desired post-write state of every
+ * cell of a stored line (data cells plus any dedicated auxiliary
+ * cells) together with a mask tagging which cells belong to the
+ * auxiliary encoding. The WriteUnit applies the target to the stored
+ * states using differential write, and reports energy, updated cells
+ * and write-disturbance errors split into data/aux components — the
+ * three metrics evaluated throughout the paper.
+ */
+
+#ifndef WLCRC_PCM_WRITE_UNIT_HH
+#define WLCRC_PCM_WRITE_UNIT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "pcm/cell.hh"
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+
+namespace wlcrc::pcm
+{
+
+/** Desired post-write cell states plus an aux-region mask. */
+struct TargetLine
+{
+    /** Target state for each cell (data region first, then aux). */
+    std::vector<State> cells;
+    /** auxMask[i] true iff cell i carries auxiliary encoding bits. */
+    std::vector<bool> auxMask;
+
+    TargetLine() = default;
+    explicit TargetLine(std::size_t n_cells)
+        : cells(n_cells, State::S1), auxMask(n_cells, false)
+    {}
+};
+
+/** Metrics of one line write (paper Figures 8-13 report these). */
+struct WriteStats
+{
+    double dataEnergyPj = 0.0;   //!< energy spent on data cells
+    double auxEnergyPj = 0.0;    //!< energy spent on aux cells
+    unsigned dataUpdated = 0;    //!< data cells programmed
+    unsigned auxUpdated = 0;     //!< aux cells programmed
+    unsigned dataDisturbed = 0;  //!< disturbance errors in data cells
+    unsigned auxDisturbed = 0;   //!< disturbance errors in aux cells
+    unsigned vnrIterations = 0;  //!< Verify-n-Restore passes needed
+
+    double totalEnergyPj() const { return dataEnergyPj + auxEnergyPj; }
+    unsigned totalUpdated() const { return dataUpdated + auxUpdated; }
+    unsigned
+    totalDisturbed() const
+    {
+        return dataDisturbed + auxDisturbed;
+    }
+
+    WriteStats &operator+=(const WriteStats &o);
+};
+
+/**
+ * Applies differential writes and optionally the iterative
+ * Verify-n-Restore (VnR) disturbance-repair loop.
+ */
+class WriteUnit
+{
+  public:
+    WriteUnit(const EnergyModel &energy, const DisturbanceModel &disturb)
+        : energy_(energy), disturb_(disturb)
+    {}
+
+    /**
+     * Program @p stored toward @p target with differential write.
+     *
+     * Only cells whose stored state differs are programmed. The
+     * first-pass disturbance errors are sampled and reported in the
+     * stats (this is the quantity Figures 10/13 plot); when
+     * @p verify_n_restore is set, disturbed cells are then repaired
+     * iteratively until a pass completes without new disturbances,
+     * with repair energy *not* added to the reported write energy
+     * (the paper reports raw write energy and treats VnR as a
+     * correction mechanism).
+     *
+     * @param stored  current cell states; mutated to the final state.
+     * @param target  desired states + aux mask (sizes must match).
+     * @param rng     randomness for disturbance sampling.
+     * @param verify_n_restore  run the VnR repair loop.
+     */
+    WriteStats program(std::vector<State> &stored,
+                       const TargetLine &target, Rng &rng,
+                       bool verify_n_restore = false) const;
+
+    /**
+     * Deterministic variant: disturbance errors are accumulated as
+     * expectations (fractional), everything else identical. Used by
+     * fast analytic sweeps and property tests.
+     */
+    WriteStats programExpected(std::vector<State> &stored,
+                               const TargetLine &target) const;
+
+    const EnergyModel &energyModel() const { return energy_; }
+    const DisturbanceModel &disturbanceModel() const { return disturb_; }
+
+  private:
+    EnergyModel energy_;
+    DisturbanceModel disturb_;
+};
+
+} // namespace wlcrc::pcm
+
+#endif // WLCRC_PCM_WRITE_UNIT_HH

@@ -1,0 +1,118 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlcrc::stats
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &o)
+{
+    if (!o.n_)
+        return;
+    if (!n_) {
+        *this = o;
+        return;
+    }
+    const double delta = o.mean_ - mean_;
+    const double n = static_cast<double>(n_);
+    const double m = static_cast<double>(o.n_);
+    m2_ += o.m2_ + delta * delta * n * m / (n + m);
+    mean_ += delta * m / (n + m);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(unsigned buckets, double bucket_width)
+    : counts_(buckets, 0), width_(bucket_width)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0) {
+        ++counts_[0];
+        return;
+    }
+    const auto b = static_cast<uint64_t>(x / width_);
+    if (b >= counts_.size())
+        ++overflow_;
+    else
+        ++counts_[b];
+}
+
+double
+Histogram::cdfAt(double x) const
+{
+    if (!total_)
+        return 0.0;
+    uint64_t below = 0;
+    for (unsigned b = 0; b < counts_.size(); ++b) {
+        const double upper = (b + 1) * width_;
+        if (upper <= x)
+            below += counts_[b];
+    }
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void
+Histogram::write(std::ostream &os, const std::string &name) const
+{
+    for (unsigned b = 0; b < counts_.size(); ++b) {
+        os << name << ",[" << b * width_ << "," << (b + 1) * width_
+           << ")," << counts_[b] << '\n';
+    }
+    os << name << ",overflow," << overflow_ << '\n';
+}
+
+RunningStat &
+StatSet::operator[](const std::string &key)
+{
+    return stats_[key];
+}
+
+const RunningStat *
+StatSet::find(const std::string &key) const
+{
+    const auto it = stats_.find(key);
+    return it == stats_.end() ? nullptr : &it->second;
+}
+
+void
+StatSet::write(std::ostream &os) const
+{
+    os << "name,count,mean,min,max,stddev\n";
+    for (const auto &[name, s] : stats_) {
+        os << name << ',' << s.count() << ',' << s.mean() << ','
+           << s.min() << ',' << s.max() << ',' << s.stddev() << '\n';
+    }
+}
+
+} // namespace wlcrc::stats

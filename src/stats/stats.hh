@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight statistics primitives: running scalar statistics,
+ * fixed-bucket histograms, and named stat sets, in the spirit of a
+ * simulator stats package.
+ */
+
+#ifndef WLCRC_STATS_STATS_HH
+#define WLCRC_STATS_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wlcrc::stats
+{
+
+/**
+ * Running mean / min / max / variance over a stream of samples
+ * (Welford's algorithm; numerically stable).
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another RunningStat into this one. */
+    void merge(const RunningStat &o);
+
+    /** Remove all samples. */
+    void reset() { *this = RunningStat(); }
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+    /** Population variance. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram over [0, buckets * bucketWidth) with overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(unsigned buckets, double bucket_width);
+
+    void add(double x);
+
+    uint64_t bucketCount(unsigned b) const { return counts_.at(b); }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+    unsigned buckets() const { return counts_.size(); }
+    double bucketWidth() const { return width_; }
+
+    /** Fraction of samples at or below @p x. */
+    double cdfAt(double x) const;
+
+    void write(std::ostream &os, const std::string &name) const;
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    double width_;
+};
+
+/**
+ * A named collection of RunningStats, addressed by string key.
+ * Handy for per-benchmark/per-scheme result aggregation.
+ */
+class StatSet
+{
+  public:
+    /** @return the stat named @p key, creating it on first use. */
+    RunningStat &operator[](const std::string &key);
+
+    const RunningStat *find(const std::string &key) const;
+
+    /** Dump "name,count,mean,min,max,stddev" rows. */
+    void write(std::ostream &os) const;
+
+    auto begin() const { return stats_.begin(); }
+    auto end() const { return stats_.end(); }
+
+  private:
+    std::map<std::string, RunningStat> stats_;
+};
+
+} // namespace wlcrc::stats
+
+#endif // WLCRC_STATS_STATS_HH

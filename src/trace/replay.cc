@@ -1,0 +1,46 @@
+#include "replay.hh"
+
+namespace wlcrc::trace
+{
+
+Replayer::Replayer(const coset::LineCodec &codec,
+                   const pcm::WriteUnit &unit, uint64_t seed)
+    : codec_(codec), device_(codec.cellCount(), unit, seed)
+{
+}
+
+pcm::WriteStats
+Replayer::step(const WriteTransaction &txn)
+{
+    if (!device_.hasLine(txn.lineAddr)) {
+        // Prime: store the old contents, unmeasured.
+        auto &stored = device_.line(txn.lineAddr);
+        const pcm::TargetLine prime =
+            codec_.encode(txn.oldData, stored);
+        stored = prime.cells;
+    }
+    auto &stored = device_.line(txn.lineAddr);
+    const pcm::TargetLine target = codec_.encode(txn.newData, stored);
+
+    // Compression-flag bookkeeping for single-flag-cell formats.
+    if (target.cells.size() == lineSymbols + 1 &&
+        target.auxMask[lineSymbols] &&
+        target.cells[lineSymbols] != pcm::State::S2) {
+        ++result_.compressedWrites;
+    }
+
+    const pcm::WriteStats st = device_.write(txn.lineAddr, target);
+    result_.energyPj.add(st.totalEnergyPj());
+    result_.dataEnergyPj.add(st.dataEnergyPj);
+    result_.auxEnergyPj.add(st.auxEnergyPj);
+    result_.updatedCells.add(st.totalUpdated());
+    result_.dataUpdated.add(st.dataUpdated);
+    result_.auxUpdated.add(st.auxUpdated);
+    result_.disturbErrors.add(st.totalDisturbed());
+    result_.dataDisturbed.add(st.dataDisturbed);
+    result_.auxDisturbed.add(st.auxDisturbed);
+    ++result_.writes;
+    return st;
+}
+
+} // namespace wlcrc::trace

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Replayer: drives a codec + PCM device with a transaction stream and
+ * aggregates the per-write metrics the paper's figures report.
+ *
+ * For the first write to a line, the replayer primes the device with
+ * the transaction's old contents (unmeasured) so the measured write
+ * always differentiates against realistically encoded prior state.
+ */
+
+#ifndef WLCRC_TRACE_REPLAY_HH
+#define WLCRC_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "coset/codec.hh"
+#include "pcm/device.hh"
+#include "stats/stats.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::trace
+{
+
+/** Aggregated per-write metrics over a replay. */
+struct ReplayResult
+{
+    stats::RunningStat energyPj;        //!< total energy per write
+    stats::RunningStat dataEnergyPj;    //!< data-cell energy
+    stats::RunningStat auxEnergyPj;     //!< aux-cell energy
+    stats::RunningStat updatedCells;    //!< cells programmed
+    stats::RunningStat dataUpdated;
+    stats::RunningStat auxUpdated;
+    stats::RunningStat disturbErrors;   //!< disturbance errors
+    stats::RunningStat dataDisturbed;
+    stats::RunningStat auxDisturbed;
+    uint64_t writes = 0;
+    uint64_t compressedWrites = 0; //!< flag-cell = compressed formats
+};
+
+/** Replays transactions through one codec onto one device. */
+class Replayer
+{
+  public:
+    /**
+     * @param codec  encoding scheme under test.
+     * @param unit   energy/disturbance model.
+     * @param seed   device disturbance-sampling seed.
+     */
+    Replayer(const coset::LineCodec &codec, const pcm::WriteUnit &unit,
+             uint64_t seed = 7);
+
+    /** Replay one transaction (priming the line if first touch). */
+    pcm::WriteStats step(const WriteTransaction &txn);
+
+    /** Replay @p count transactions pulled from @p source. */
+    template <typename Source>
+    void
+    run(Source &source, uint64_t count)
+    {
+        for (uint64_t i = 0; i < count; ++i)
+            step(source.next());
+    }
+
+    const ReplayResult &result() const { return result_; }
+    pcm::Device &device() { return device_; }
+
+  private:
+    const coset::LineCodec &codec_;
+    pcm::Device device_;
+    ReplayResult result_;
+};
+
+} // namespace wlcrc::trace
+
+#endif // WLCRC_TRACE_REPLAY_HH

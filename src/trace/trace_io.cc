@@ -1,0 +1,95 @@
+#include "trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace wlcrc::trace
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'W', 'L', 'C', 'T', 'R', 'C', '0', '1'};
+
+void
+putU64(std::ostream &os, uint64_t v)
+{
+    std::array<char, 8> buf;
+    for (unsigned i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf.data(), 8);
+}
+
+bool
+getU64(std::istream &is, uint64_t &v)
+{
+    std::array<char, 8> buf;
+    if (!is.read(buf.data(), 8))
+        return false;
+    v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= uint64_t(static_cast<uint8_t>(buf[i])) << (8 * i);
+    return true;
+}
+
+void
+putLine(std::ostream &os, const Line512 &line)
+{
+    for (unsigned w = 0; w < lineWords; ++w)
+        putU64(os, line.word(w));
+}
+
+bool
+getLine(std::istream &is, Line512 &line)
+{
+    for (unsigned w = 0; w < lineWords; ++w) {
+        uint64_t v;
+        if (!getU64(is, v))
+            return false;
+        line.setWord(w, v);
+    }
+    return true;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        throw std::runtime_error("TraceWriter: cannot open " + path);
+    out_.write(magic, sizeof(magic));
+}
+
+void
+TraceWriter::write(const WriteTransaction &txn)
+{
+    putU64(out_, txn.lineAddr);
+    putLine(out_, txn.oldData);
+    putLine(out_, txn.newData);
+    ++count_;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        throw std::runtime_error("TraceReader: cannot open " + path);
+    char got[8];
+    if (!in_.read(got, 8) || std::memcmp(got, magic, 8) != 0)
+        throw std::runtime_error("TraceReader: bad magic in " + path);
+}
+
+std::optional<WriteTransaction>
+TraceReader::read()
+{
+    WriteTransaction txn;
+    if (!getU64(in_, txn.lineAddr))
+        return std::nullopt;
+    if (!getLine(in_, txn.oldData) || !getLine(in_, txn.newData))
+        throw std::runtime_error("TraceReader: truncated record");
+    return txn;
+}
+
+} // namespace wlcrc::trace

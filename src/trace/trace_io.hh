@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Binary trace file format, so externally collected traces (gem5,
+ * Pin, Simics) can be replayed through the same pipeline as the
+ * synthetic workloads.
+ *
+ * Format: 8-byte magic "WLCTRC01", then records of
+ *   u64 lineAddr | 64 bytes old data | 64 bytes new data
+ * in little-endian byte order.
+ */
+
+#ifndef WLCRC_TRACE_TRACE_IO_HH
+#define WLCRC_TRACE_TRACE_IO_HH
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "trace/transaction.hh"
+
+namespace wlcrc::trace
+{
+
+/** Sequential trace file writer. */
+class TraceWriter
+{
+  public:
+    /** @throws std::runtime_error if the file cannot be opened. */
+    explicit TraceWriter(const std::string &path);
+
+    void write(const WriteTransaction &txn);
+
+    uint64_t written() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    uint64_t count_ = 0;
+};
+
+/** Sequential trace file reader. */
+class TraceReader
+{
+  public:
+    /** @throws std::runtime_error on open failure or bad magic. */
+    explicit TraceReader(const std::string &path);
+
+    /** @return the next transaction, or nullopt at end of file. */
+    std::optional<WriteTransaction> read();
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace wlcrc::trace
+
+#endif // WLCRC_TRACE_TRACE_IO_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * WriteTransaction: one PCM line write as recorded by the paper's
+ * Simics-based traces — the value to be stored *and* the value being
+ * overwritten, since every evaluated scheme sits on top of
+ * differential write.
+ */
+
+#ifndef WLCRC_TRACE_TRANSACTION_HH
+#define WLCRC_TRACE_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "common/line512.hh"
+
+namespace wlcrc::trace
+{
+
+/** One 512-bit line write. */
+struct WriteTransaction
+{
+    uint64_t lineAddr = 0; //!< line-aligned address (byte addr >> 6)
+    Line512 oldData;       //!< line contents being overwritten
+    Line512 newData;       //!< line contents to store
+};
+
+} // namespace wlcrc::trace
+
+#endif // WLCRC_TRACE_TRANSACTION_HH

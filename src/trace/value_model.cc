@@ -1,0 +1,270 @@
+#include "value_model.hh"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace wlcrc::trace
+{
+
+const char *
+lineTypeName(LineType t)
+{
+    static const char *names[numLineTypes] = {
+        "zeroish", "integer", "mid6", "mid7", "float", "random"};
+    return names[static_cast<unsigned>(t)];
+}
+
+uint64_t
+ValueModel::smallPositive(Rng &rng)
+{
+    // Narrow positive integer: width skewed toward small values.
+    const unsigned width =
+        4 + static_cast<unsigned>(rng.nextBelow(25)); // 4..28 bits
+    return rng.next() >> (64 - width);
+}
+
+uint64_t
+ValueModel::smallNegative(Rng &rng)
+{
+    const unsigned width =
+        4 + static_cast<unsigned>(rng.nextBelow(25));
+    const uint64_t mag = (rng.next() >> (64 - width)) | 1;
+    return ~mag + 1; // two's complement: long run of leading 1s
+}
+
+uint64_t
+ValueModel::pointerLike(Rng &rng)
+{
+    // Two distinct user-space regions ("heap" vs "stack") whose
+    // bases differ by more than any BDI delta, with enough entropy
+    // in bits 32..43 that neither 8-byte nor 4-byte BDI chunking
+    // finds a single base, 8-byte aligned. MSB run stays >= 17 so
+    // WLC still compresses pointer-heavy lines.
+    static constexpr uint64_t heap = 0x0000500000000000ull;
+    static constexpr uint64_t stack = 0x00007f0000000000ull;
+    const uint64_t base = rng.chance(0.5) ? heap : stack;
+    return base | (rng.next() & 0x00000ffffffffff8ull);
+}
+
+uint64_t
+ValueModel::packedShorts(Rng &rng, unsigned field_bits)
+{
+    // Four independent signed 16-bit struct fields. The top field
+    // stays narrow so the word keeps an MSB run >= 9 and WLC still
+    // compresses the line; mixed field signs create exactly the
+    // sub-word diversity that favours 16-bit coset granularity.
+    auto field = [&rng](unsigned max_bits) -> uint64_t {
+        const uint64_t mag =
+            rng.nextBelow(uint64_t{1} << (max_bits - 1));
+        const int64_t v = rng.chance(0.5)
+                              ? -static_cast<int64_t>(mag) - 1
+                              : static_cast<int64_t>(mag);
+        return static_cast<uint64_t>(v) & 0xffff;
+    };
+    return (field(6) << 48) | (field(field_bits) << 32) |
+           (field(field_bits) << 16) | field(field_bits);
+}
+
+uint64_t
+ValueModel::packedInts(Rng &rng)
+{
+    // Two independent signed 32-bit fields; the upper one narrow
+    // enough to preserve WLC compressibility at k = 9.
+    auto field = [&rng](unsigned max_bits) -> uint64_t {
+        const uint64_t mag =
+            rng.nextBelow(uint64_t{1} << (max_bits - 1));
+        const int64_t v = rng.chance(0.5)
+                              ? -static_cast<int64_t>(mag) - 1
+                              : static_cast<int64_t>(mag);
+        return static_cast<uint64_t>(v) & 0xffffffff;
+    };
+    return (field(22) << 32) | field(28);
+}
+
+uint64_t
+ValueModel::packedMidShorts(Rng &rng, unsigned run)
+{
+    // An array-of-shorts word whose *top* field pins the word's MSB
+    // run to exactly `run` (so the line keeps its WLC-k signature)
+    // while the other three fields are independent signed shorts.
+    // Single-field rewrites of such words are where 16-bit coset
+    // granularity beats 32-bit: only the touched field's block must
+    // switch mappings.
+    auto field = [&rng]() -> uint64_t {
+        const uint64_t mag = rng.nextBelow(uint64_t{1} << 12);
+        const int64_t v = rng.chance(0.5)
+                              ? -static_cast<int64_t>(mag) - 1
+                              : static_cast<int64_t>(mag);
+        return static_cast<uint64_t>(v) & 0xffff;
+    };
+    // Top field: bits 15..(16-run) equal, bit (15-run) differs.
+    const uint64_t low =
+        rng.nextBelow(uint64_t{1} << (15 - run));
+    uint64_t top = (uint64_t{1} << (15 - run)) | low;
+    if (rng.chance(0.5))
+        top = ~top & 0xffff;
+    return (top << 48) | (field() << 32) | (field() << 16) |
+           field();
+}
+
+uint64_t
+ValueModel::midRun(Rng &rng, unsigned run_lo, unsigned run_hi)
+{
+    // MSB run of exactly r in [run_lo, run_hi]: top r bits equal, bit
+    // 63-r differs, the rest random.
+    const unsigned r =
+        run_lo + static_cast<unsigned>(rng.nextBelow(
+                     run_hi - run_lo + 1));
+    const unsigned sign = rng.chance(0.5) ? 1 : 0;
+    uint64_t low = rng.next() & ((uint64_t{1} << (63 - r)) - 1);
+    uint64_t word = (uint64_t{1} << (63 - r)) | low; // run of 0s
+    if (sign)
+        word = ~word; // run of 1s
+    return word;
+}
+
+uint64_t
+ValueModel::doubleLike(Rng &rng)
+{
+    // Doubles spanning typical simulation magnitudes; the exponent
+    // bits make the MSB run 1-2 bits, defeating WLC at any k >= 4.
+    const double mag = std::pow(10.0, -3.0 + 9.0 * rng.nextDouble());
+    const double v = (rng.chance(0.3) ? -1.0 : 1.0) *
+                     (0.1 + rng.nextDouble()) * mag;
+    return std::bit_cast<uint64_t>(v);
+}
+
+uint64_t
+ValueModel::generateWord(LineType t, Rng &rng)
+{
+    const double p = rng.nextDouble();
+    switch (t) {
+      case LineType::Zeroish:
+        if (p < 0.55)
+            return 0;
+        if (p < 0.80)
+            return rng.next() >> (64 - 14); // tiny positive
+        if (p < 0.88)
+            return smallNegative(rng) | ~uint64_t{0} << 14;
+        return packedShorts(rng, 8); // tiny fields: FPC-friendly
+      case LineType::Integer:
+        if (p < 0.30)
+            return pointerLike(rng);
+        if (p < 0.45)
+            return smallPositive(rng);
+        if (p < 0.55)
+            return smallNegative(rng);
+        if (p < 0.83)
+            return packedShorts(rng, 13);
+        if (p < 0.95)
+            return packedInts(rng);
+        return 0;
+      case LineType::Mid6:
+        if (p < 0.75)
+            return packedMidShorts(rng, 6);
+        if (p < 0.85)
+            return midRun(rng, 6, 6);
+        if (p < 0.95)
+            return midRun(rng, 7, 8);
+        return smallPositive(rng);
+      case LineType::Mid7:
+        if (p < 0.75)
+            return packedMidShorts(rng, 7);
+        if (p < 0.85)
+            return midRun(rng, 7, 7);
+        if (p < 0.95)
+            return midRun(rng, 8, 8);
+        return smallPositive(rng);
+      case LineType::Float:
+        if (p < 0.80)
+            return doubleLike(rng);
+        return 0;
+      case LineType::Random:
+      default:
+        return rng.next();
+    }
+}
+
+Line512
+ValueModel::generateLine(LineType t, Rng &rng)
+{
+    Line512 line;
+    for (unsigned w = 0; w < lineWords; ++w)
+        line.setWord(w, generateWord(t, rng));
+    return line;
+}
+
+uint64_t
+ValueModel::mutateWord(LineType t, uint64_t word, Rng &rng)
+{
+    // Fill/clear transitions are common across integer-typed memory
+    // (memset(0)/memset(0xff), -1 sentinels, bitmap words). They
+    // rewrite whole cells between the 00 and 11 symbols — the
+    // transitions coset candidate C2 turns from S3 programs into S1
+    // programs.
+    if (t == LineType::Zeroish || t == LineType::Integer ||
+        t == LineType::Mid6 || t == LineType::Mid7) {
+        const double p = rng.nextDouble();
+        if (p < 0.07)
+            return 0;
+        if (p < 0.14)
+            return ~uint64_t{0};
+    }
+    switch (t) {
+      case LineType::Zeroish:
+      case LineType::Integer: {
+        // Sign transitions are frequent in real integer data
+        // (accumulators crossing zero, deltas, flags): they rewrite
+        // the whole sign-extension region (00 <-> 11 symbol runs),
+        // which is exactly where coset remapping pays off.
+        if (rng.chance(0.3)) {
+            const bool was_negative = word >> 63;
+            return was_negative ? smallPositive(rng)
+                                : smallNegative(rng);
+        }
+        // Otherwise integers evolve by small deltas (loop counters,
+        // pointer bumps) or are overwritten outright.
+        if (word != 0 && rng.chance(0.55)) {
+            const int64_t delta =
+                static_cast<int64_t>(rng.nextBelow(256)) - 128;
+            return word + static_cast<uint64_t>(delta);
+        }
+        return generateWord(t, rng);
+      }
+      case LineType::Mid6:
+      case LineType::Mid7: {
+        const unsigned run = t == LineType::Mid6 ? 6 : 7;
+        const double q = rng.nextDouble();
+        if (q < 0.65) {
+            // Single-field rewrite: replace one 16-bit field with a
+            // fresh signed short (or, for the top field, a fresh
+            // run-preserving value). Only one 16-bit block changes,
+            // often flipping that block's preferred coset.
+            const unsigned f =
+                static_cast<unsigned>(rng.nextBelow(4));
+            const uint64_t fresh = packedMidShorts(rng, run);
+            const uint64_t mask = uint64_t{0xffff} << (f * 16);
+            return (word & ~mask) | (fresh & mask);
+        }
+        if (q < 0.75) {
+            // Byte-fill of the low half (buffer refill patterns).
+            const uint64_t b = rng.next() & 0xff;
+            return (word & ~uint64_t{0xffffffff}) |
+                   (b * 0x01010101ull);
+        }
+        if (q < 0.85) {
+            // Noisy low half.
+            return (word & ~uint64_t{0xffffffff}) |
+                   (rng.next() & 0xffffffff);
+        }
+        return generateWord(t, rng);
+      }
+      case LineType::Float:
+      case LineType::Random:
+      default:
+        return generateWord(t, rng);
+    }
+}
+
+} // namespace wlcrc::trace

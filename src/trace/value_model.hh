@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic data-value models.
+ *
+ * The paper's traces come from SPEC CPU2006 / PARSEC runs; what the
+ * evaluated schemes actually consume is the distribution of 64-bit
+ * word values and their temporal evolution. We model words by class
+ * — the classes the compression literature identifies in real
+ * workloads (zeros, narrow positive/negative integers, pointers,
+ * floating point, near-random) plus a "mid-magnitude" class whose
+ * MSB run is 6-8 bits, which controls where WLC's coverage cliff
+ * falls (Figure 4). Lines are homogeneous: a line type fixes its
+ * word-class mix, reflecting spatial locality of data structures.
+ */
+
+#ifndef WLCRC_TRACE_VALUE_MODEL_HH
+#define WLCRC_TRACE_VALUE_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/line512.hh"
+#include "common/rng.hh"
+
+namespace wlcrc::trace
+{
+
+/** Line types with distinct compressibility signatures. */
+enum class LineType : uint8_t
+{
+    Zeroish,   //!< zeros + narrow ints: everything compresses
+    Integer,   //!< narrow ints/pointers: WLC yes, FPC+BDI mostly no
+    Mid6,      //!< MSB runs of exactly 6-8: WLC k<=6 only
+    Mid7,      //!< MSB runs of exactly 7-8: WLC k<=7 only
+    Float,     //!< doubles: WLC no, COC mostly no
+    Random,    //!< high entropy: nothing compresses
+    NumTypes
+};
+
+/** Number of line types. */
+inline constexpr unsigned numLineTypes =
+    static_cast<unsigned>(LineType::NumTypes);
+
+const char *lineTypeName(LineType t);
+
+/** Per-line-type word value generator. */
+class ValueModel
+{
+  public:
+    /** Draw a fresh 64-bit word of the given line type. */
+    static uint64_t generateWord(LineType t, Rng &rng);
+
+    /** Draw a full line of the given type. */
+    static Line512 generateLine(LineType t, Rng &rng);
+
+    /**
+     * Mutate @p word in a type-consistent way (e.g. an int gets
+     * incremented or replaced, a double is re-drawn), preserving the
+     * class's MSB-run signature so WLC compressibility is stable
+     * across rewrites of the same data structure.
+     */
+    static uint64_t mutateWord(LineType t, uint64_t word, Rng &rng);
+
+  private:
+    static uint64_t smallPositive(Rng &rng);
+    static uint64_t smallNegative(Rng &rng);
+    static uint64_t pointerLike(Rng &rng);
+    static uint64_t packedShorts(Rng &rng, unsigned field_bits = 13);
+    static uint64_t packedMidShorts(Rng &rng, unsigned run);
+    static uint64_t packedInts(Rng &rng);
+    static uint64_t midRun(Rng &rng, unsigned run_lo, unsigned run_hi);
+    static uint64_t doubleLike(Rng &rng);
+};
+
+} // namespace wlcrc::trace
+
+#endif // WLCRC_TRACE_VALUE_MODEL_HH

@@ -1,0 +1,137 @@
+#include "coc_cosets_codec.hh"
+
+#include <cassert>
+#include <limits>
+
+#include "coset/aux_coding.hh"
+
+namespace wlcrc::core
+{
+
+using coset::Mapping;
+using coset::tableICandidate;
+using pcm::State;
+
+CocCosetsCodec::CocCosetsCodec(const pcm::EnergyModel &energy)
+    : LineCodec(energy)
+{
+}
+
+void
+CocCosetsCodec::encodePayload(const Line512 &packed,
+                              unsigned payload_bits,
+                              unsigned granularity,
+                              const std::vector<State> &stored,
+                              pcm::TargetLine &target) const
+{
+    // Payload cells first, then one aux cell per block, then filler.
+    const unsigned payload_cells = payload_bits / 2;
+    const unsigned nblocks = payload_bits / granularity;
+    const unsigned symbols_per_block = granularity / 2;
+
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const unsigned sym0 = b * symbols_per_block;
+        const unsigned aux_cell = payload_cells + b;
+        double best_cost = std::numeric_limits<double>::infinity();
+        unsigned best = 0;
+        for (unsigned m = 0; m < 4; ++m) {
+            const Mapping &map = tableICandidate(m + 1);
+            double cost = 0.0;
+            for (unsigned s = 0; s < symbols_per_block; ++s) {
+                cost += cellCost(stored[sym0 + s],
+                                 map.encode(packed.symbol(sym0 + s)));
+            }
+            cost += cellCost(stored[aux_cell],
+                             coset::auxIndexState(m));
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = m;
+            }
+        }
+        const Mapping &map = tableICandidate(best + 1);
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            target.cells[sym0 + s] =
+                map.encode(packed.symbol(sym0 + s));
+        }
+        target.cells[aux_cell] = coset::auxIndexState(best);
+        target.auxMask[aux_cell] = true;
+    }
+    // Filler cells beyond payload + aux idle at S1.
+    for (unsigned c = payload_cells + nblocks; c < lineSymbols; ++c) {
+        target.cells[c] = State::S1;
+        target.auxMask[c] = true;
+    }
+}
+
+Line512
+CocCosetsCodec::decodePayload(const std::vector<State> &stored,
+                              unsigned payload_bits,
+                              unsigned granularity) const
+{
+    const unsigned payload_cells = payload_bits / 2;
+    const unsigned nblocks = payload_bits / granularity;
+    const unsigned symbols_per_block = granularity / 2;
+    Line512 packed;
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const unsigned sym0 = b * symbols_per_block;
+        unsigned idx = coset::auxIndexFromState(
+            stored[payload_cells + b]);
+        const Mapping &map = tableICandidate(idx + 1);
+        for (unsigned s = 0; s < symbols_per_block; ++s)
+            packed.setSymbol(sym0 + s, map.decode(stored[sym0 + s]));
+    }
+    return packed;
+}
+
+pcm::TargetLine
+CocCosetsCodec::encode(const Line512 &data,
+                       const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    pcm::TargetLine target(cellCount());
+    target.auxMask[lineSymbols] = true;
+
+    const auto stream = coc_.compress(data);
+    if (stream && stream->size() <= budget16) {
+        encodePayload(stream->toLine(), budget16, 16, stored, target);
+        target.cells[lineSymbols] = State::S1;
+        return target;
+    }
+    if (stream && stream->size() <= budget32) {
+        encodePayload(stream->toLine(), budget32, 32, stored, target);
+        target.cells[lineSymbols] = State::S3;
+        return target;
+    }
+    // Raw. Flag S2: with >90 % of lines compressing, the common
+    // (compressed, 16-bit) format keeps the lowest-energy state.
+    const Mapping &c1 = tableICandidate(1);
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        target.cells[s] = c1.encode(data.symbol(s));
+    target.cells[lineSymbols] = State::S2;
+    return target;
+}
+
+Line512
+CocCosetsCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const State flag = stored[lineSymbols];
+    if (flag == State::S2) {
+        const Mapping &c1 = tableICandidate(1);
+        Line512 data;
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            data.setSymbol(s, c1.decode(stored[s]));
+        return data;
+    }
+    const unsigned payload_bits =
+        flag == State::S1 ? budget16 : budget32;
+    const unsigned granularity = flag == State::S1 ? 16 : 32;
+    const Line512 packed =
+        decodePayload(stored, payload_bits, granularity);
+    // The COC stream is self-describing; trailing padding is ignored.
+    const auto stream =
+        compress::BitBuffer::fromLine(packed, payload_bits);
+    return coc_.decompress(stream);
+}
+
+} // namespace wlcrc::core

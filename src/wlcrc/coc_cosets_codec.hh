@@ -1,0 +1,60 @@
+/**
+ * @file
+ * COC+4cosets (an evaluation scheme in Section VIII): the line is
+ * compressed with the COC bank; lines fitting in 448 bits are
+ * 4coset-encoded at 16-bit granularity, lines fitting in 480 bits at
+ * 32-bit granularity, everything else is written raw. The flag cell
+ * distinguishes the three formats.
+ *
+ * Because COC's variable-length packing shifts bit positions between
+ * consecutive writes of similar data, differential write loses its
+ * locality advantage — the effect the paper demonstrates against.
+ */
+
+#ifndef WLCRC_WLCRC_COC_COSETS_CODEC_HH
+#define WLCRC_WLCRC_COC_COSETS_CODEC_HH
+
+#include "compress/coc.hh"
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::core
+{
+
+/** COC compression + unrestricted 4cosets. */
+class CocCosetsCodec : public coset::LineCodec
+{
+  public:
+    explicit CocCosetsCodec(const pcm::EnergyModel &energy);
+
+    std::string name() const override { return "COC+4cosets"; }
+    unsigned cellCount() const override { return lineSymbols + 1; }
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    /** Payload budgets from the paper. */
+    static constexpr unsigned budget16 = 448;
+    static constexpr unsigned budget32 = 480;
+
+  private:
+    /** Coset-encode @p payload_bits of @p packed at @p granularity. */
+    void encodePayload(const Line512 &packed, unsigned payload_bits,
+                       unsigned granularity,
+                       const std::vector<pcm::State> &stored,
+                       pcm::TargetLine &target) const;
+
+    Line512 decodePayload(const std::vector<pcm::State> &stored,
+                          unsigned payload_bits,
+                          unsigned granularity) const;
+
+    compress::Coc coc_;
+};
+
+} // namespace wlcrc::core
+
+#endif // WLCRC_WLCRC_COC_COSETS_CODEC_HH

@@ -1,0 +1,69 @@
+#include "factory.hh"
+
+#include <stdexcept>
+
+#include "coset/baseline_codec.hh"
+#include "coset/din_codec.hh"
+#include "coset/flipmin_codec.hh"
+#include "coset/fnw_codec.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+#include "wlcrc/coc_cosets_codec.hh"
+#include "wlcrc/wlc_cosets_codec.hh"
+#include "pcm/disturbance.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+namespace wlcrc::core
+{
+
+coset::CodecPtr
+makeCodec(const std::string &name, const pcm::EnergyModel &energy)
+{
+    using coset::sixCosetCandidates;
+    if (name == "Baseline")
+        return std::make_unique<coset::BaselineCodec>(energy);
+    if (name == "FlipMin")
+        return std::make_unique<coset::FlipMinCodec>(energy);
+    if (name == "FNW")
+        return std::make_unique<coset::FnwCodec>(energy);
+    if (name == "DIN")
+        return std::make_unique<coset::DinCodec>(energy);
+    if (name == "6cosets") {
+        // Whole-line granularity: two aux cells per 512-bit line.
+        return std::make_unique<coset::NCosetsCodec>(
+            energy, sixCosetCandidates(), lineBits);
+    }
+    if (name == "COC+4cosets")
+        return std::make_unique<CocCosetsCodec>(energy);
+    if (name == "WLC+4cosets")
+        return std::make_unique<WlcCosetsCodec>(energy, 4, 32);
+    if (name == "WLC+3cosets")
+        return std::make_unique<WlcCosetsCodec>(energy, 3, 32);
+    if (name == "WLCRC-8")
+        return std::make_unique<WlcrcCodec>(energy, 8);
+    if (name == "WLCRC-16")
+        return std::make_unique<WlcrcCodec>(energy, 16);
+    if (name == "WLCRC-32")
+        return std::make_unique<WlcrcCodec>(energy, 32);
+    if (name == "WLCRC-64")
+        return std::make_unique<WlcrcCodec>(energy, 64);
+    if (name == "WLCRC-16-mo")
+        return std::make_unique<WlcrcCodec>(energy, 16, 0.01);
+    if (name == "WLCRC-16-da") {
+        return std::make_unique<WlcrcCodec>(
+            WlcrcCodec::disturbanceAware(energy,
+                                         pcm::DisturbanceModel(),
+                                         16));
+    }
+    throw std::invalid_argument("makeCodec: unknown scheme " + name);
+}
+
+std::vector<std::string>
+figure8Schemes()
+{
+    return {"Baseline",    "FlipMin",     "FNW",
+            "DIN",         "6cosets",     "COC+4cosets",
+            "WLC+4cosets", "WLCRC-16"};
+}
+
+} // namespace wlcrc::core

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Codec factory: builds any of the paper's evaluated schemes by name,
+ * plus the standard Figure 8 scheme list.
+ */
+
+#ifndef WLCRC_WLCRC_FACTORY_HH
+#define WLCRC_WLCRC_FACTORY_HH
+
+#include <string>
+#include <vector>
+
+#include "coset/codec.hh"
+
+namespace wlcrc::core
+{
+
+/**
+ * Create a codec by scheme name. Recognised names:
+ *   "Baseline", "FlipMin", "FNW", "DIN", "6cosets",
+ *   "COC+4cosets", "WLC+4cosets" (32-bit), "WLC+3cosets",
+ *   "WLCRC-8" / "WLCRC-16" / "WLCRC-32" / "WLCRC-64",
+ *   "WLCRC-16-mo" (multi-objective, T = 1 %),
+ *   "WLCRC-16-da" (disturbance-aware future-work extension).
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+coset::CodecPtr makeCodec(const std::string &name,
+                          const pcm::EnergyModel &energy);
+
+/** The eight schemes compared in Figures 8-10, in paper order. */
+std::vector<std::string> figure8Schemes();
+
+} // namespace wlcrc::core
+
+#endif // WLCRC_WLCRC_FACTORY_HH

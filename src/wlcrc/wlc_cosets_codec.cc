@@ -1,0 +1,160 @@
+#include "wlc_cosets_codec.hh"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "compress/wlc.hh"
+#include "coset/aux_coding.hh"
+
+namespace wlcrc::core
+{
+
+using coset::Mapping;
+using coset::tableICandidate;
+using pcm::State;
+
+WlcCosetsCodec::WlcCosetsCodec(const pcm::EnergyModel &energy,
+                               unsigned num_candidates,
+                               unsigned granularity_bits)
+    : LineCodec(energy), candidates_(num_candidates),
+      granularity_(granularity_bits)
+{
+    if (candidates_ < 3 || candidates_ > 4)
+        throw std::invalid_argument(
+            "WlcCosetsCodec: 3 or 4 candidates");
+    if (granularity_ != 8 && granularity_ != 16 &&
+        granularity_ != 32 && granularity_ != 64) {
+        throw std::invalid_argument(
+            "WlcCosetsCodec: granularity must be 8/16/32/64");
+    }
+    // Two aux bits per (pre-compression) block, as in Section VI.
+    reclaimed_ = 2 * (64 / granularity_);
+    blocks_ = (64 - reclaimed_ + granularity_ - 1) / granularity_;
+}
+
+std::string
+WlcCosetsCodec::name() const
+{
+    return "WLC+" + std::to_string(candidates_) + "cosets-" +
+           std::to_string(granularity_);
+}
+
+bool
+WlcCosetsCodec::compressible(const Line512 &data) const
+{
+    return compress::Wlc::lineCompressible(data, compressionK());
+}
+
+pcm::TargetLine
+WlcCosetsCodec::encode(const Line512 &data,
+                       const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    pcm::TargetLine target(cellCount());
+    target.auxMask[lineSymbols] = true;
+
+    const Mapping &c1 = tableICandidate(1);
+    if (!compressible(data)) {
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            target.cells[s] = c1.encode(data.symbol(s));
+        target.cells[lineSymbols] = State::S2; // flag: raw
+        return target;
+    }
+    target.cells[lineSymbols] = State::S1; // flag: compressed
+
+    const unsigned aux_cells = reclaimed_ / 2;
+    const unsigned aux_start = 32 - aux_cells;
+    const unsigned top_data_bit = 63 - reclaimed_;
+
+    for (unsigned w = 0; w < lineWords; ++w) {
+        const uint64_t word = data.word(w);
+        const unsigned cell0 = w * 32;
+
+        for (unsigned b = 0; b < blocks_; ++b) {
+            const unsigned lo_cell = (b * granularity_) / 2;
+            const unsigned hi_cell =
+                std::min((b + 1) * granularity_ - 1, top_data_bit) /
+                2;
+            const unsigned aux_cell = aux_start + b;
+
+            double best_cost =
+                std::numeric_limits<double>::infinity();
+            unsigned best = 0;
+            for (unsigned m = 0; m < candidates_; ++m) {
+                const Mapping &map = tableICandidate(m + 1);
+                double cost = 0.0;
+                for (unsigned c = lo_cell; c <= hi_cell; ++c) {
+                    const unsigned sym = static_cast<unsigned>(
+                        (word >> (c * 2)) & 3);
+                    cost += cellCost(stored[cell0 + c],
+                                     map.encode(sym));
+                }
+                cost += cellCost(stored[cell0 + aux_cell],
+                                 coset::auxIndexState(m));
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = m;
+                }
+            }
+            const Mapping &map = tableICandidate(best + 1);
+            for (unsigned c = lo_cell; c <= hi_cell; ++c) {
+                const unsigned sym = static_cast<unsigned>(
+                    (word >> (c * 2)) & 3);
+                target.cells[cell0 + c] = map.encode(sym);
+            }
+            target.cells[cell0 + aux_cell] =
+                coset::auxIndexState(best);
+            target.auxMask[cell0 + aux_cell] = true;
+        }
+        // Reserved-but-unused aux cells (8-bit granularity) idle at
+        // the cheapest state.
+        for (unsigned b = blocks_; b < aux_cells; ++b) {
+            target.cells[cell0 + aux_start + b] = State::S1;
+            target.auxMask[cell0 + aux_start + b] = true;
+        }
+    }
+    return target;
+}
+
+Line512
+WlcCosetsCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    const Mapping &c1 = tableICandidate(1);
+    Line512 data;
+    if (stored[lineSymbols] != State::S1) {
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            data.setSymbol(s, c1.decode(stored[s]));
+        return data;
+    }
+
+    const unsigned aux_cells = reclaimed_ / 2;
+    const unsigned aux_start = 32 - aux_cells;
+    const unsigned top_data_bit = 63 - reclaimed_;
+
+    for (unsigned w = 0; w < lineWords; ++w) {
+        const unsigned cell0 = w * 32;
+        uint64_t bits = 0;
+        for (unsigned b = 0; b < blocks_; ++b) {
+            const unsigned lo_cell = (b * granularity_) / 2;
+            const unsigned hi_cell =
+                std::min((b + 1) * granularity_ - 1, top_data_bit) /
+                2;
+            unsigned idx = coset::auxIndexFromState(
+                stored[cell0 + aux_start + b]);
+            if (idx >= candidates_)
+                idx = 0;
+            const Mapping &map = tableICandidate(idx + 1);
+            for (unsigned c = lo_cell; c <= hi_cell; ++c) {
+                bits |= uint64_t(map.decode(stored[cell0 + c]))
+                        << (c * 2);
+            }
+        }
+        data.setWord(w, compress::Wlc::signExtendWord(bits,
+                                                      reclaimed_));
+    }
+    return data;
+}
+
+} // namespace wlcrc::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * WLC + unrestricted coset coding (Section VI: "WLC can be integrated
+ * with unrestricted 3cosets or 4cosets encodings").
+ *
+ * Each data block picks any candidate independently, so 2 aux bits
+ * per block must be reclaimed by WLC: 2, 4, 8 or 16 bits per 64-bit
+ * word for 64/32/16/8-bit granularity (k = 3/5/9/17). Aux bits are
+ * held in whole cells at the top of each word, one cell per block,
+ * storing the candidate index directly as a state (C1->S1, ...,
+ * C4->S4 per Section IX-A). The paper's "WLC+4cosets" scheme is this
+ * codec at 32-bit granularity.
+ */
+
+#ifndef WLCRC_WLCRC_WLC_COSETS_CODEC_HH
+#define WLCRC_WLCRC_WLC_COSETS_CODEC_HH
+
+#include "coset/codec.hh"
+#include "coset/mapping.hh"
+
+namespace wlcrc::core
+{
+
+/** WLC + unrestricted Table-I cosets. */
+class WlcCosetsCodec : public coset::LineCodec
+{
+  public:
+    /**
+     * @param energy            write-energy model.
+     * @param num_candidates    3 or 4 (Table I prefixes).
+     * @param granularity_bits  8, 16, 32 or 64.
+     */
+    WlcCosetsCodec(const pcm::EnergyModel &energy,
+                   unsigned num_candidates,
+                   unsigned granularity_bits = 32);
+
+    std::string name() const override;
+    unsigned cellCount() const override { return lineSymbols + 1; }
+
+    pcm::TargetLine encode(
+        const Line512 &data,
+        const std::vector<pcm::State> &stored) const override;
+
+    Line512 decode(
+        const std::vector<pcm::State> &stored) const override;
+
+    unsigned granularityBits() const { return granularity_; }
+    /** Reclaimed bits per word (2 aux bits per block). */
+    unsigned reclaimedBits() const { return reclaimed_; }
+    /** WLC parameter k. */
+    unsigned compressionK() const { return reclaimed_ + 1; }
+    /** Data blocks actually encoded per word. */
+    unsigned blocksPerWord() const { return blocks_; }
+
+    bool compressible(const Line512 &data) const;
+
+  private:
+    unsigned candidates_;
+    unsigned granularity_;
+    unsigned reclaimed_;
+    unsigned blocks_;
+};
+
+} // namespace wlcrc::core
+
+#endif // WLCRC_WLCRC_WLC_COSETS_CODEC_HH

@@ -1,0 +1,476 @@
+#include "wlcrc_codec.hh"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "compress/wlc.hh"
+#include "coset/aux_coding.hh"
+
+namespace wlcrc::core
+{
+
+using coset::Mapping;
+using coset::tableICandidate;
+using pcm::State;
+
+namespace
+{
+
+/** Energy and endurance cost of one choice. */
+struct Cost
+{
+    double energy = 0.0;
+    unsigned updated = 0;
+
+    Cost &
+    operator+=(const Cost &o)
+    {
+        energy += o.energy;
+        updated += o.updated;
+        return *this;
+    }
+};
+
+/**
+ * Symbol->state mappings for the aux-only cells, ordered by the
+ * expected frequency of selector-bit patterns so the common ones
+ * land on low-energy states (the Section IX-A allocation principle,
+ * extended to both bits of a shared aux cell).
+ *
+ * A cell holding (group bit, block bit): all-C1 words give (0,0);
+ * biased words that switch wholesale to C2 give (0,1); group-1
+ * (random-leaning) words are rarer and already expensive.
+ */
+const Mapping &
+auxGroupMapping()
+{
+    static const Mapping m({State::S1, State::S2, State::S3,
+                            State::S4},
+                           "AuxG");
+    return m;
+}
+
+/** A cell holding two block-selector bits: (0,0) and (1,1) dominate
+ *  (runs of data switch candidates together). */
+const Mapping &
+auxPairMapping()
+{
+    static const Mapping m({State::S1, State::S3, State::S4,
+                            State::S2},
+                           "AuxP");
+    return m;
+}
+
+/**
+ * Multi-objective comparison: prefer lower energy, unless the two
+ * energies are within fraction @p threshold of the larger, in which
+ * case prefer fewer updated cells (Section VIII-D).
+ */
+bool
+better(const Cost &a, const Cost &b, double threshold)
+{
+    if (threshold > 0.0) {
+        const double larger = std::max(a.energy, b.energy);
+        if (larger > 0.0 &&
+            std::abs(a.energy - b.energy) <= threshold * larger) {
+            if (a.updated != b.updated)
+                return a.updated < b.updated;
+        }
+    }
+    return a.energy < b.energy;
+}
+
+} // namespace
+
+WlcrcCodec::WlcrcCodec(
+    const pcm::EnergyModel &energy, unsigned granularity_bits,
+    double endurance_threshold,
+    const std::array<double, pcm::numStates> &state_penalty_pj)
+    : LineCodec(energy), granularity_(granularity_bits),
+      threshold_(endurance_threshold), penalty_(state_penalty_pj)
+{
+    if (granularity_ != 8 && granularity_ != 16 &&
+        granularity_ != 32 && granularity_ != 64) {
+        throw std::invalid_argument(
+            "WlcrcCodec: granularity must be 8/16/32/64");
+    }
+}
+
+WlcrcCodec
+WlcrcCodec::disturbanceAware(const pcm::EnergyModel &energy,
+                             const pcm::DisturbanceModel &disturb,
+                             unsigned granularity_bits,
+                             double lambda_pj)
+{
+    std::array<double, pcm::numStates> penalty{};
+    for (unsigned s = 0; s < pcm::numStates; ++s) {
+        penalty[s] =
+            lambda_pj * disturb.der(pcm::stateFromIndex(s));
+    }
+    return WlcrcCodec(energy, granularity_bits, 0.0, penalty);
+}
+
+std::string
+WlcrcCodec::name() const
+{
+    std::string n = "WLCRC-" + std::to_string(granularity_);
+    if (threshold_ > 0.0)
+        n += "-mo";
+    for (const double p : penalty_) {
+        if (p > 0.0) {
+            n += "-da";
+            break;
+        }
+    }
+    return n;
+}
+
+unsigned
+WlcrcCodec::compressionK() const
+{
+    // g = 64 degenerates to unrestricted 3cosets: 2 reclaimed bits.
+    return granularity_ == 64 ? 3
+                              : WordLayout::restricted(granularity_)
+                                        .reclaimed +
+                                    1;
+}
+
+bool
+WlcrcCodec::compressible(const Line512 &data) const
+{
+    return compress::Wlc::lineCompressible(data, compressionK());
+}
+
+void
+WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
+                                 const std::vector<State> &stored,
+                                 pcm::TargetLine &target) const
+{
+    const WordLayout &layout = WordLayout::restricted(granularity_);
+    const unsigned cell0 = w * 32;
+    const unsigned nblocks = layout.blocks.size();
+    const Mapping *maps[3] = {&tableICandidate(1), &tableICandidate(2),
+                              &tableICandidate(3)};
+
+    // Per-block cost of each candidate over the fully-known cells
+    // (Algorithm 1 line 4, evaluated in parallel in hardware).
+    std::vector<std::array<Cost, 3>> cost(nblocks);
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const BlockLayout &blk = layout.blocks[b];
+        for (unsigned c = blk.loCostCell; c <= blk.hiCostCell; ++c) {
+            const unsigned sym =
+                static_cast<unsigned>((word >> (c * 2)) & 3);
+            for (unsigned m = 0; m < 3; ++m) {
+                const State t = maps[m]->encode(sym);
+                cost[b][m].energy +=
+                    selectCost(stored[cell0 + c], t);
+                if (t != stored[cell0 + c])
+                    ++cost[b][m].updated;
+            }
+        }
+    }
+
+    // Selector-bit holder for each block: the aux-only cell (or the
+    // data cell it shares with a block) whose rewrite cost the
+    // choice of that selector bit controls. Writing an auxiliary
+    // cell is a real differential write, so the selection must
+    // charge for it — exactly as the unrestricted codecs do.
+    auto aux_map = [&](unsigned cell) -> const Mapping & {
+        return cell == layout.groupBitPos / 2 ? auxGroupMapping()
+                                              : auxPairMapping();
+    };
+    auto aux_cell_cost = [&](unsigned cell,
+                             unsigned sym) -> Cost {
+        const State t = aux_map(cell).encode(sym);
+        Cost k;
+        k.energy = selectCost(stored[cell0 + cell], t);
+        k.updated = t != stored[cell0 + cell] ? 1 : 0;
+        return k;
+    };
+
+    // Evaluate both groups; within each, decide every selector bit
+    // together with the aux cell it lands in.
+    Cost group_cost[2];
+    std::vector<uint8_t> pick[2];
+    for (unsigned g = 0; g < 2; ++g) {
+        pick[g].assign(nblocks, 0);
+        const unsigned alt = g + 1; // candidate index into maps[]
+        Cost total;
+
+        // Pass 1: blocks whose selector bit sits in an aux-only
+        // cell. Bits sharing one cell are decided jointly (their
+        // states are coupled through the 2-bit symbol).
+        for (unsigned cell : layout.auxOnlyCells) {
+            const unsigned hi_bit = cell * 2 + 1;
+            const unsigned lo_bit = cell * 2;
+            // Identify what each bit of this cell is.
+            auto bit_owner = [&](unsigned pos) -> int {
+                if (pos == layout.groupBitPos)
+                    return -1; // the group bit, fixed to g
+                for (unsigned b = 0; b < nblocks; ++b)
+                    if (layout.blockBitPos[b] == pos)
+                        return static_cast<int>(b);
+                return -2; // unused (never happens for 8/16/32)
+            };
+            const int hi = bit_owner(hi_bit);
+            const int lo = bit_owner(lo_bit);
+            Cost best;
+            unsigned best_hi = 0, best_lo = 0;
+            bool first = true;
+            for (unsigned x = 0; x < (hi >= 0 ? 2u : 1u); ++x) {
+                for (unsigned y = 0; y < (lo >= 0 ? 2u : 1u); ++y) {
+                    const unsigned hb = hi == -1 ? g : x;
+                    const unsigned lb = lo == -1 ? g : y;
+                    Cost cand =
+                        aux_cell_cost(cell, (hb << 1) | lb);
+                    if (hi >= 0)
+                        cand += cost[hi][x ? alt : 0];
+                    if (lo >= 0)
+                        cand += cost[lo][y ? alt : 0];
+                    if (first || better(cand, best, threshold_)) {
+                        best = cand;
+                        best_hi = x;
+                        best_lo = y;
+                        first = false;
+                    }
+                }
+            }
+            if (hi >= 0)
+                pick[g][hi] = static_cast<uint8_t>(best_hi);
+            if (lo >= 0)
+                pick[g][lo] = static_cast<uint8_t>(best_lo);
+            total += best;
+        }
+
+        // Pass 2: blocks whose selector bit shares a data cell with
+        // another block (decode order guarantees the host block is
+        // already decided). The shared cell is mapped by the host
+        // block's candidate.
+        for (unsigned b : layout.decodeOrder) {
+            const unsigned pos = layout.blockBitPos[b];
+            const unsigned cell = pos / 2;
+            bool in_aux = false;
+            for (unsigned a : layout.auxOnlyCells)
+                in_aux |= a == cell;
+            if (in_aux)
+                continue;
+            // Find the host block owning this cell.
+            bool found_host = false;
+            unsigned host_idx = 0;
+            for (unsigned hb = 0; hb < nblocks; ++hb) {
+                if (cell >= layout.blocks[hb].loCell &&
+                    cell <= layout.blocks[hb].hiCell && hb != b) {
+                    found_host = true;
+                    host_idx = hb;
+                    break;
+                }
+            }
+            assert(found_host && pos % 2 == 1 &&
+                   "selector must be the high bit of a data cell");
+            (void)found_host;
+            const Mapping &host_map =
+                pick[g][host_idx] ? *maps[alt] : *maps[0];
+            const unsigned data_bit = static_cast<unsigned>(
+                (word >> (pos - 1)) & 1);
+            Cost best;
+            unsigned best_x = 0;
+            for (unsigned x = 0; x < 2; ++x) {
+                const State t = host_map.encode((x << 1) | data_bit);
+                Cost cand;
+                cand.energy = selectCost(stored[cell0 + cell], t);
+                cand.updated =
+                    t != stored[cell0 + cell] ? 1 : 0;
+                cand += cost[b][x ? alt : 0];
+                if (x == 0 || better(cand, best, threshold_)) {
+                    best = cand;
+                    best_x = x;
+                }
+            }
+            pick[g][b] = static_cast<uint8_t>(best_x);
+            total += best;
+        }
+        group_cost[g] = total;
+    }
+
+    // Algorithm 1 line 5, with ties resolved toward group 0.
+    const unsigned group =
+        better(group_cost[1], group_cost[0], threshold_) ? 1 : 0;
+
+    // Assemble the final bit pattern: data bits + aux bits in the
+    // reclaimed region.
+    uint64_t out = word;
+    auto set_bit = [&out](unsigned pos, unsigned v) {
+        out = (out & ~(uint64_t{1} << pos)) |
+              (uint64_t(v & 1) << pos);
+    };
+    set_bit(layout.groupBitPos, group);
+    for (unsigned b = 0; b < nblocks; ++b)
+        set_bit(layout.blockBitPos[b], pick[group][b]);
+
+    // Map block cells with their chosen candidate; aux-only cells
+    // with the default mapping (their '0' bits land on S1).
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const BlockLayout &blk = layout.blocks[b];
+        const Mapping &m =
+            pick[group][b] ? *maps[group + 1] : *maps[0];
+        for (unsigned c = blk.loCell; c <= blk.hiCell; ++c) {
+            const unsigned sym =
+                static_cast<unsigned>((out >> (c * 2)) & 3);
+            target.cells[cell0 + c] = m.encode(sym);
+        }
+    }
+    for (unsigned c : layout.auxOnlyCells) {
+        const unsigned sym =
+            static_cast<unsigned>((out >> (c * 2)) & 3);
+        const Mapping &am = c == layout.groupBitPos / 2
+                                ? auxGroupMapping()
+                                : auxPairMapping();
+        target.cells[cell0 + c] = am.encode(sym);
+        target.auxMask[cell0 + c] = true;
+    }
+}
+
+void
+WlcrcCodec::encodeWord64(unsigned w, uint64_t word,
+                         const std::vector<State> &stored,
+                         pcm::TargetLine &target) const
+{
+    // WLCRC-64 == unrestricted 3cosets on bits 61..0; the candidate
+    // index is held in cell 31 directly as a state (C1->S1 etc.).
+    const unsigned cell0 = w * 32;
+    const Mapping *maps[3] = {&tableICandidate(1), &tableICandidate(2),
+                              &tableICandidate(3)};
+    Cost cost[3];
+    for (unsigned m = 0; m < 3; ++m) {
+        for (unsigned c = 0; c < 31; ++c) {
+            const unsigned sym =
+                static_cast<unsigned>((word >> (c * 2)) & 3);
+            const State t = maps[m]->encode(sym);
+            cost[m].energy += selectCost(stored[cell0 + c], t);
+            if (t != stored[cell0 + c])
+                ++cost[m].updated;
+        }
+        const State aux = coset::auxIndexState(m);
+        cost[m].energy += selectCost(stored[cell0 + 31], aux);
+        if (aux != stored[cell0 + 31])
+            ++cost[m].updated;
+    }
+    unsigned best = 0;
+    for (unsigned m = 1; m < 3; ++m)
+        if (better(cost[m], cost[best], threshold_))
+            best = m;
+
+    for (unsigned c = 0; c < 31; ++c) {
+        const unsigned sym =
+            static_cast<unsigned>((word >> (c * 2)) & 3);
+        target.cells[cell0 + c] = maps[best]->encode(sym);
+    }
+    target.cells[cell0 + 31] = coset::auxIndexState(best);
+    target.auxMask[cell0 + 31] = true;
+}
+
+pcm::TargetLine
+WlcrcCodec::encode(const Line512 &data,
+                   const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    pcm::TargetLine target(cellCount());
+    target.auxMask[lineSymbols] = true;
+
+    if (!compressible(data)) {
+        // Raw format: flag = S2, plain default-mapping write.
+        const Mapping &c1 = tableICandidate(1);
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            target.cells[s] = c1.encode(data.symbol(s));
+        target.cells[lineSymbols] = State::S2;
+        return target;
+    }
+
+    target.cells[lineSymbols] = State::S1; // flag: compressed
+    for (unsigned w = 0; w < lineWords; ++w) {
+        if (granularity_ == 64)
+            encodeWord64(w, data.word(w), stored, target);
+        else
+            encodeWordRestricted(w, data.word(w), stored, target);
+    }
+    return target;
+}
+
+uint64_t
+WlcrcCodec::decodeWordRestricted(
+    unsigned w, const std::vector<State> &stored) const
+{
+    const WordLayout &layout = WordLayout::restricted(granularity_);
+    const unsigned cell0 = w * 32;
+    const Mapping &c1 = tableICandidate(1);
+
+    uint64_t bits = 0;
+    auto set_sym = [&bits](unsigned cell, unsigned sym) {
+        bits = (bits & ~(uint64_t{3} << (cell * 2))) |
+               (uint64_t(sym & 3) << (cell * 2));
+    };
+    // Aux-only cells first: they hold the group bit and the selector
+    // bits of the independently-decodable blocks (written through
+    // the frequency-ordered aux mappings).
+    for (unsigned c : layout.auxOnlyCells) {
+        const Mapping &am = c == layout.groupBitPos / 2
+                                ? auxGroupMapping()
+                                : auxPairMapping();
+        set_sym(c, am.decode(stored[cell0 + c]));
+    }
+
+    const unsigned group =
+        static_cast<unsigned>((bits >> layout.groupBitPos) & 1);
+    const Mapping &alt = tableICandidate(group ? 3 : 2);
+
+    // Blocks in dependency order: a block whose selector bit lives
+    // inside another block's cells is decoded after that block.
+    for (unsigned b : layout.decodeOrder) {
+        const BlockLayout &blk = layout.blocks[b];
+        const unsigned sel = static_cast<unsigned>(
+            (bits >> layout.blockBitPos[b]) & 1);
+        const Mapping &m = sel ? alt : c1;
+        for (unsigned c = blk.loCell; c <= blk.hiCell; ++c)
+            set_sym(c, m.decode(stored[cell0 + c]));
+    }
+
+    // WLC decompression: extend the sign bit over the reclaimed MSBs.
+    return compress::Wlc::signExtendWord(bits, layout.reclaimed);
+}
+
+uint64_t
+WlcrcCodec::decodeWord64(unsigned w,
+                         const std::vector<State> &stored) const
+{
+    const unsigned cell0 = w * 32;
+    const unsigned idx =
+        coset::auxIndexFromState(stored[cell0 + 31]);
+    const Mapping &m = tableICandidate(idx < 3 ? idx + 1 : 1);
+    uint64_t bits = 0;
+    for (unsigned c = 0; c < 31; ++c) {
+        bits |= uint64_t(m.decode(stored[cell0 + c])) << (c * 2);
+    }
+    return compress::Wlc::signExtendWord(bits, 2);
+}
+
+Line512
+WlcrcCodec::decode(const std::vector<State> &stored) const
+{
+    assert(stored.size() == cellCount());
+    Line512 data;
+    if (stored[lineSymbols] != State::S1) {
+        const Mapping &c1 = tableICandidate(1);
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            data.setSymbol(s, c1.decode(stored[s]));
+        return data;
+    }
+    for (unsigned w = 0; w < lineWords; ++w) {
+        data.setWord(w, granularity_ == 64
+                            ? decodeWord64(w, stored)
+                            : decodeWordRestricted(w, stored));
+    }
+    return data;
+}
+
+} // namespace wlcrc::core

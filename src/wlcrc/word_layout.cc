@@ -1,0 +1,97 @@
+#include "word_layout.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace wlcrc::core
+{
+
+namespace
+{
+
+WordLayout
+build16()
+{
+    // Figure 6(b): b63 = group, b62..b59 select the coset for blocks
+    // 3..0, data bits b58..b0 in four blocks. Block 3 spans bits
+    // 48..58; its top cell (29) also carries the aux bit b59, so its
+    // cost cells stop at cell 28. Decode must therefore resolve
+    // block 3 (selector b62, held in an aux-only cell) before block 0
+    // (selector b59, inside block 3's cells).
+    WordLayout l;
+    l.granularity = 16;
+    l.reclaimed = 5;
+    l.signBit = 58;
+    l.groupBitPos = 63;
+    l.blocks = {
+        {0, 15, 0, 7, 0, 7},
+        {16, 31, 8, 15, 8, 15},
+        {32, 47, 16, 23, 16, 23},
+        {48, 58, 24, 29, 24, 28},
+    };
+    l.blockBitPos = {59, 60, 61, 62};
+    l.auxOnlyCells = {30, 31};
+    l.decodeOrder = {3, 2, 1, 0};
+    return l;
+}
+
+WordLayout
+build32()
+{
+    // b63 = group, b62 -> top block (bits 32..60), b61 -> block 0.
+    // Cell 30 is shared between data bit b60 and aux bit b61.
+    WordLayout l;
+    l.granularity = 32;
+    l.reclaimed = 3;
+    l.signBit = 60;
+    l.groupBitPos = 63;
+    l.blocks = {
+        {0, 31, 0, 15, 0, 15},
+        {32, 60, 16, 30, 16, 29},
+    };
+    l.blockBitPos = {61, 62};
+    l.auxOnlyCells = {31};
+    l.decodeOrder = {1, 0};
+    return l;
+}
+
+WordLayout
+build8()
+{
+    // The most significant byte is fully compressed away (k = 9):
+    // b63 = group, b62..b56 select the coset for blocks 6..0, data
+    // bits b55..b0 in seven byte blocks. No cell sharing.
+    WordLayout l;
+    l.granularity = 8;
+    l.reclaimed = 8;
+    l.signBit = 55;
+    l.groupBitPos = 63;
+    for (unsigned j = 0; j < 7; ++j) {
+        l.blocks.push_back({j * 8, j * 8 + 7, j * 4, j * 4 + 3,
+                            j * 4, j * 4 + 3});
+        l.blockBitPos.push_back(56 + j);
+        l.decodeOrder.push_back(6 - j);
+    }
+    l.auxOnlyCells = {28, 29, 30, 31};
+    return l;
+}
+
+} // namespace
+
+const WordLayout &
+WordLayout::restricted(unsigned g)
+{
+    static const WordLayout l8 = build8();
+    static const WordLayout l16 = build16();
+    static const WordLayout l32 = build32();
+    switch (g) {
+      case 8: return l8;
+      case 16: return l16;
+      case 32: return l32;
+      default:
+        throw std::invalid_argument(
+            "WordLayout::restricted: granularity must be 8/16/32");
+    }
+}
+
+} // namespace wlcrc::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-word bit/cell layouts for the WLC-based codecs (Figure 6).
+ *
+ * After WLC reclaims the top `reclaimed` bits of a 64-bit word, the
+ * remaining data bits are split into coset-encoded blocks. A block's
+ * *cost cells* are the cells fully contained in its data bits — the
+ * cells the parallel encoder can evaluate before auxiliary bits are
+ * known; a block whose top data bit shares a cell with a reclaimed
+ * bit also owns that shared cell when the final mapping is applied
+ * (the paper's 11-bit most-significant block at 16-bit granularity).
+ */
+
+#ifndef WLCRC_WLCRC_WORD_LAYOUT_HH
+#define WLCRC_WLCRC_WORD_LAYOUT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wlcrc::core
+{
+
+/** One coset-encoded block inside a 64-bit word. */
+struct BlockLayout
+{
+    unsigned loBit;       //!< lowest data bit (within the word)
+    unsigned hiBit;       //!< highest data bit (inclusive)
+    unsigned loCell;      //!< first cell owned by the block
+    unsigned hiCell;      //!< last cell owned (may hold an aux bit)
+    unsigned loCostCell;  //!< first fully-known cell
+    unsigned hiCostCell;  //!< last fully-known cell
+};
+
+/** Restricted-coset word layout for one WLCRC granularity. */
+struct WordLayout
+{
+    unsigned granularity;     //!< data block size in bits
+    unsigned reclaimed;       //!< WLC-reclaimed MSBs per word
+    unsigned signBit;         //!< bit extended over the reclaimed MSBs
+    unsigned groupBitPos;     //!< position of the coset-group bit
+    std::vector<BlockLayout> blocks;
+    std::vector<unsigned> blockBitPos;  //!< selector bit per block
+    std::vector<unsigned> auxOnlyCells; //!< cells holding only aux bits
+    std::vector<unsigned> decodeOrder;  //!< block decode dependency order
+
+    /** WLC compressibility parameter: k MSBs must be uniform. */
+    unsigned k() const { return reclaimed + 1; }
+
+    /**
+     * The layout for granularity @p g in {8, 16, 32} (g = 64 is the
+     * unrestricted-3cosets special case handled by the codec itself).
+     */
+    static const WordLayout &restricted(unsigned g);
+};
+
+} // namespace wlcrc::core
+
+#endif // WLCRC_WLCRC_WORD_LAYOUT_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the common substrate: Line512, Rng, CsvTable,
+ * BitBuffer and env helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/env.hh"
+#include "common/line512.hh"
+#include "common/rng.hh"
+#include "compress/bitbuffer.hh"
+
+namespace
+{
+
+using wlcrc::CsvTable;
+using wlcrc::Line512;
+using wlcrc::lineBits;
+using wlcrc::lineSymbols;
+using wlcrc::lineWords;
+using wlcrc::Rng;
+using wlcrc::compress::BitBuffer;
+using wlcrc::compress::BitReader;
+
+TEST(Line512, DefaultIsZero)
+{
+    Line512 line;
+    for (unsigned w = 0; w < lineWords; ++w)
+        EXPECT_EQ(line.word(w), 0u);
+    for (unsigned b = 0; b < lineBits; ++b)
+        EXPECT_EQ(line.bit(b), 0u);
+}
+
+TEST(Line512, BitSetGet)
+{
+    Line512 line;
+    line.setBit(0, 1);
+    line.setBit(63, 1);
+    line.setBit(64, 1);
+    line.setBit(511, 1);
+    EXPECT_EQ(line.bit(0), 1u);
+    EXPECT_EQ(line.bit(63), 1u);
+    EXPECT_EQ(line.bit(64), 1u);
+    EXPECT_EQ(line.bit(511), 1u);
+    EXPECT_EQ(line.bit(1), 0u);
+    line.setBit(63, 0);
+    EXPECT_EQ(line.bit(63), 0u);
+    EXPECT_EQ(line.word(0), 1u);
+}
+
+TEST(Line512, SymbolMapsToBitPairs)
+{
+    Line512 line;
+    line.setSymbol(0, 3);
+    EXPECT_EQ(line.bit(0), 1u);
+    EXPECT_EQ(line.bit(1), 1u);
+    line.setSymbol(1, 2); // bits {3,2} = {1,0}
+    EXPECT_EQ(line.bit(2), 0u);
+    EXPECT_EQ(line.bit(3), 1u);
+    EXPECT_EQ(line.symbol(1), 2u);
+    // Symbol 32 lives in word 1.
+    line.setSymbol(32, 1);
+    EXPECT_EQ(line.word(1) & 3u, 1u);
+}
+
+TEST(Line512, BitsCrossWordBoundary)
+{
+    Line512 line;
+    line.setBits(60, 8, 0xab);
+    EXPECT_EQ(line.bits(60, 8), 0xabu);
+    EXPECT_EQ(line.bits(60, 4), 0xbu);
+    EXPECT_EQ(line.bits(64, 4), 0xau);
+    // Full 64-bit read/write at an unaligned offset.
+    line.setBits(100, 64, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(line.bits(100, 64), 0xdeadbeefcafef00dull);
+    // Neighbouring bits are untouched.
+    EXPECT_EQ(line.bits(60, 8), 0xabu);
+}
+
+TEST(Line512, SetBitsMasksValue)
+{
+    Line512 line;
+    line.setBits(8, 4, 0xff); // only low 4 bits stored
+    EXPECT_EQ(line.bits(8, 4), 0xfu);
+    EXPECT_EQ(line.bits(12, 4), 0u);
+}
+
+TEST(Line512, XorAndNot)
+{
+    Line512 a, b;
+    a.setWord(0, 0xff00ff00ff00ff00ull);
+    b.setWord(0, 0x0ff00ff00ff00ff0ull);
+    const Line512 x = a ^ b;
+    EXPECT_EQ(x.word(0), 0xf0f0f0f0f0f0f0f0ull);
+    const Line512 n = ~Line512();
+    for (unsigned w = 0; w < lineWords; ++w)
+        EXPECT_EQ(n.word(w), ~uint64_t{0});
+    EXPECT_EQ((a ^ a), Line512());
+}
+
+TEST(Line512, HexRoundTripVisual)
+{
+    Line512 line;
+    line.setWord(7, 0x0123456789abcdefull);
+    const std::string hex = line.toHex();
+    EXPECT_EQ(hex.substr(0, 16), "0123456789abcdef");
+    EXPECT_EQ(hex.size(), 16 * 8 + 7); // 8 words + separators
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        const uint64_t v = rng.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    CsvTable t({"a", "b"});
+    t.addRow(1, "x");
+    t.addRow(2.5, "y,z");
+    std::ostringstream os;
+    t.write(os);
+    EXPECT_EQ(os.str(), "a,b\n1,x\n2.5,\"y,z\"\n");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    CsvTable t({"v"});
+    t.addRow("he said \"hi\"");
+    std::ostringstream os;
+    t.write(os);
+    EXPECT_EQ(os.str(), "v\n\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(BitBuffer, AppendReadRoundTrip)
+{
+    BitBuffer buf;
+    buf.append(0x5, 3);
+    buf.append(0xdeadbeef, 32);
+    buf.append(1, 1);
+    EXPECT_EQ(buf.size(), 36u);
+    EXPECT_EQ(buf.read(0, 3), 0x5u);
+    EXPECT_EQ(buf.read(3, 32), 0xdeadbeefu);
+    EXPECT_EQ(buf.read(35, 1), 1u);
+}
+
+TEST(BitBuffer, CrossesWordBoundary)
+{
+    BitBuffer buf;
+    buf.append(~uint64_t{0}, 60);
+    buf.append(0xabc, 12);
+    EXPECT_EQ(buf.read(60, 12), 0xabcu);
+}
+
+TEST(BitBuffer, LineRoundTrip)
+{
+    BitBuffer buf;
+    for (unsigned i = 0; i < 7; ++i)
+        buf.append(0x123456789abcdefull * (i + 1), 61);
+    const wlcrc::Line512 line = buf.toLine();
+    const BitBuffer back = BitBuffer::fromLine(line, buf.size());
+    EXPECT_EQ(buf, back);
+}
+
+TEST(BitBuffer, ReaderConsumesSequentially)
+{
+    BitBuffer buf;
+    buf.append(3, 2);
+    buf.append(9, 5);
+    BitReader in(buf);
+    EXPECT_EQ(in.take(2), 3u);
+    EXPECT_EQ(in.take(5), 9u);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Env, ParsesAndFallsBack)
+{
+    ::setenv("WLCRC_TEST_ENV_U64", "123", 1);
+    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_U64", 7), 123u);
+    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_MISSING", 7), 7u);
+    ::setenv("WLCRC_TEST_ENV_BAD", "12x", 1);
+    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_BAD", 7), 7u);
+    ::setenv("WLCRC_TEST_ENV_D", "0.25", 1);
+    EXPECT_DOUBLE_EQ(wlcrc::envDouble("WLCRC_TEST_ENV_D", 1.0), 0.25);
+    EXPECT_EQ(wlcrc::envString("WLCRC_TEST_ENV_MISSING", "dflt"),
+              "dflt");
+}
+
+} // namespace

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Unit + property tests for the coset module: Table I mappings,
+ * aux coding, and the Baseline / NCosets / Restricted / FNW /
+ * FlipMin / DIN codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "coset/aux_coding.hh"
+#include "coset/baseline_codec.hh"
+#include "coset/din_codec.hh"
+#include "coset/flipmin_codec.hh"
+#include "coset/fnw_codec.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+#include "coset/restricted_codec.hh"
+#include "trace/value_model.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using coset::LineCodec;
+using coset::Mapping;
+using pcm::EnergyModel;
+using pcm::State;
+using trace::LineType;
+using trace::ValueModel;
+
+Line512
+randomLine(Rng &rng)
+{
+    Line512 line;
+    for (unsigned w = 0; w < lineWords; ++w)
+        line.setWord(w, rng.next());
+    return line;
+}
+
+std::vector<State>
+randomStored(unsigned cells, Rng &rng)
+{
+    std::vector<State> stored(cells);
+    for (auto &s : stored)
+        s = pcm::stateFromIndex(
+            static_cast<unsigned>(rng.nextBelow(4)));
+    return stored;
+}
+
+/** Differential-write energy of a target against stored states. */
+double
+targetEnergy(const pcm::TargetLine &t, const std::vector<State> &old,
+             const EnergyModel &e)
+{
+    double total = 0;
+    for (size_t i = 0; i < t.cells.size(); ++i)
+        total += e.writeEnergy(old[i], t.cells[i]);
+    return total;
+}
+
+// ------------------------------------------------------------ Table I
+
+TEST(Mapping, TableIDefaultMapping)
+{
+    const Mapping &c1 = coset::defaultMapping();
+    EXPECT_EQ(c1.encode(0b00), State::S1);
+    EXPECT_EQ(c1.encode(0b10), State::S2);
+    EXPECT_EQ(c1.encode(0b11), State::S3);
+    EXPECT_EQ(c1.encode(0b01), State::S4);
+}
+
+TEST(Mapping, TableICandidates)
+{
+    const Mapping &c2 = coset::tableICandidate(2);
+    EXPECT_EQ(c2.encode(0b11), State::S1);
+    EXPECT_EQ(c2.encode(0b00), State::S2);
+    EXPECT_EQ(c2.encode(0b10), State::S3);
+    EXPECT_EQ(c2.encode(0b01), State::S4);
+
+    const Mapping &c3 = coset::tableICandidate(3);
+    EXPECT_EQ(c3.encode(0b11), State::S1);
+    EXPECT_EQ(c3.encode(0b01), State::S2);
+    EXPECT_EQ(c3.encode(0b00), State::S3);
+    EXPECT_EQ(c3.encode(0b10), State::S4);
+
+    const Mapping &c4 = coset::tableICandidate(4);
+    EXPECT_EQ(c4.encode(0b11), State::S1);
+    EXPECT_EQ(c4.encode(0b00), State::S2);
+    EXPECT_EQ(c4.encode(0b01), State::S3);
+    EXPECT_EQ(c4.encode(0b10), State::S4);
+}
+
+TEST(Mapping, C1AndC3CoverAllSymbolsWithLowStates)
+{
+    // Section III: combined, C1 and C3 map every symbol to a
+    // low-energy state in at least one of the two.
+    const Mapping &c1 = coset::tableICandidate(1);
+    const Mapping &c3 = coset::tableICandidate(3);
+    for (unsigned sym = 0; sym < 4; ++sym) {
+        const bool low1 = c1.encode(sym) == State::S1 ||
+                          c1.encode(sym) == State::S2;
+        const bool low3 = c3.encode(sym) == State::S1 ||
+                          c3.encode(sym) == State::S2;
+        EXPECT_TRUE(low1 || low3) << "symbol " << sym;
+    }
+}
+
+TEST(Mapping, AllCandidatesAreBijections)
+{
+    for (unsigned k = 1; k <= 4; ++k) {
+        const Mapping &m = coset::tableICandidate(k);
+        for (unsigned sym = 0; sym < 4; ++sym)
+            EXPECT_EQ(m.decode(m.encode(sym)), sym);
+    }
+    for (const Mapping *m : coset::sixCosetCandidates()) {
+        for (unsigned sym = 0; sym < 4; ++sym)
+            EXPECT_EQ(m->decode(m->encode(sym)), sym);
+    }
+}
+
+TEST(Mapping, SixCosetsCoverAllSymbolPairs)
+{
+    // Every unordered symbol pair must land on {S1, S2} in exactly
+    // one candidate (Wang et al.'s C(4,2) = 6 construction).
+    const auto candidates = coset::sixCosetCandidates();
+    ASSERT_EQ(candidates.size(), 6u);
+    std::set<std::pair<unsigned, unsigned>> covered;
+    for (const Mapping *m : candidates) {
+        unsigned lo[2], n = 0;
+        for (unsigned sym = 0; sym < 4; ++sym) {
+            if (m->encode(sym) == State::S1 ||
+                m->encode(sym) == State::S2)
+                lo[n++] = sym;
+        }
+        ASSERT_EQ(n, 2u);
+        covered.insert({std::min(lo[0], lo[1]),
+                        std::max(lo[0], lo[1])});
+    }
+    EXPECT_EQ(covered.size(), 6u);
+}
+
+TEST(Mapping, SixCosetsIncludeDefault)
+{
+    const auto candidates = coset::sixCosetCandidates();
+    bool has_default = false;
+    for (const Mapping *m : candidates)
+        has_default |= (*m == coset::defaultMapping());
+    EXPECT_TRUE(has_default);
+}
+
+// --------------------------------------------------------- aux coding
+
+TEST(AuxCoding, IndexStatesRoundTrip)
+{
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(coset::auxIndexFromState(coset::auxIndexState(c)),
+                  c);
+}
+
+TEST(AuxCoding, CheapPairsAreSortedAndUnique)
+{
+    const EnergyModel e;
+    const auto pairs = coset::cheapStatePairs(e);
+    double prev = -1;
+    std::set<std::pair<unsigned, unsigned>> seen;
+    for (const auto &[a, b] : pairs) {
+        const double cost = e.setPj(a) + e.setPj(b);
+        EXPECT_GE(cost, prev);
+        prev = cost;
+        EXPECT_TRUE(
+            seen.insert({pcm::stateIndex(a), pcm::stateIndex(b)})
+                .second);
+    }
+    // The six cheapest combinations avoid S4 entirely.
+    for (const auto &[a, b] : pairs) {
+        EXPECT_NE(a, State::S4);
+        EXPECT_NE(b, State::S4);
+    }
+}
+
+TEST(AuxCoding, PackUnpackBits)
+{
+    const std::vector<uint8_t> bits = {1, 0, 1, 1, 0, 1, 0};
+    std::vector<State> cells;
+    coset::packBitsToStates(bits, cells);
+    EXPECT_EQ(cells.size(), 4u);
+    EXPECT_EQ(coset::unpackBitsFromStates(cells, bits.size()), bits);
+}
+
+// ------------------------------------------------------------- codecs
+
+/** Round-trip property shared by every codec. */
+void
+checkRoundTrip(const LineCodec &codec, uint64_t seed, int iters = 200)
+{
+    Rng rng(seed);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < iters; ++i) {
+        // Alternate biased and random payloads.
+        const Line512 data =
+            (i % 2) ? randomLine(rng)
+                    : ValueModel::generateLine(
+                          static_cast<LineType>(
+                              rng.nextBelow(trace::numLineTypes)),
+                          rng);
+        const pcm::TargetLine target = codec.encode(data, stored);
+        ASSERT_EQ(target.cells.size(), codec.cellCount());
+        ASSERT_EQ(target.auxMask.size(), codec.cellCount());
+        stored = target.cells;
+        ASSERT_EQ(codec.decode(stored), data)
+            << codec.name() << " iteration " << i;
+    }
+}
+
+TEST(BaselineCodec, RoundTripAndNoAux)
+{
+    const EnergyModel e;
+    const coset::BaselineCodec codec(e);
+    EXPECT_EQ(codec.cellCount(), lineSymbols);
+    checkRoundTrip(codec, 101);
+}
+
+class NCosetsParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(NCosetsParam, RoundTrip)
+{
+    const auto [ncand, gran] = GetParam();
+    const EnergyModel e;
+    const auto cands = ncand == 6 ? coset::sixCosetCandidates()
+                                  : coset::tableICandidates(ncand);
+    const coset::NCosetsCodec codec(e, cands, gran);
+    checkRoundTrip(codec, 100 * ncand + gran, 60);
+}
+
+TEST_P(NCosetsParam, NeverWorseThanForcingTheFirstCandidate)
+{
+    // Per-block minimisation (data + aux cost) can never spend more
+    // than unconditionally using the first candidate everywhere.
+    const auto [ncand, gran] = GetParam();
+    const EnergyModel e;
+    const auto cands = ncand == 6 ? coset::sixCosetCandidates()
+                                  : coset::tableICandidates(ncand);
+    const coset::NCosetsCodec codec(e, cands, gran);
+    Rng rng(2);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 50; ++i) {
+        const Line512 data = randomLine(rng);
+        const auto target = codec.encode(data, stored);
+        double enc = targetEnergy(target, stored, e);
+        // Forced: candidate 0 on every block; aux cells match the
+        // real codec's layout only for <=4 candidates with one aux
+        // cell per block, so compare data-cell spend plus an upper
+        // bound on aux spend.
+        const Mapping &c0 = *cands[0];
+        double forced_data = 0;
+        for (unsigned s = 0; s < lineSymbols; ++s) {
+            forced_data += e.writeEnergy(stored[s],
+                                         c0.encode(data.symbol(s)));
+        }
+        // Aux for candidate 0 everywhere: codec's own encoding of
+        // candidate 0 costs at most one full reprogram per aux cell.
+        const unsigned aux_cells = codec.cellCount() - lineSymbols;
+        const double aux_bound =
+            aux_cells * e.programEnergy(State::S2);
+        EXPECT_LE(enc, forced_data + aux_bound + 1e-9);
+        stored = target.cells;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NCosetsParam,
+    ::testing::Combine(::testing::Values(3u, 4u, 6u),
+                       ::testing::Values(8u, 16u, 32u, 64u, 128u,
+                                         256u, 512u)));
+
+TEST(NCosetsCodec, AuxCellBudget)
+{
+    const EnergyModel e;
+    const coset::NCosetsCodec four(e, coset::tableICandidates(4), 16);
+    EXPECT_EQ(four.auxCellsPerBlock(), 1u);
+    EXPECT_EQ(four.cellCount(), lineSymbols + 32);
+    const coset::NCosetsCodec six(e, coset::sixCosetCandidates(), 16);
+    EXPECT_EQ(six.auxCellsPerBlock(), 2u);
+    EXPECT_EQ(six.cellCount(), lineSymbols + 64);
+}
+
+class RestrictedParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RestrictedParam, RoundTrip)
+{
+    const EnergyModel e;
+    const coset::RestrictedCosetsCodec codec(e, GetParam());
+    checkRoundTrip(codec, 300 + GetParam(), 60);
+}
+
+TEST_P(RestrictedParam, AuxBudgetHalvedVsUnrestricted)
+{
+    const EnergyModel e;
+    const coset::RestrictedCosetsCodec codec(e, GetParam());
+    // 1 global bit + 1 bit per block vs 2 bits per block.
+    EXPECT_EQ(codec.auxBits(), 1 + lineBits / GetParam());
+    EXPECT_LT(codec.auxBits(), 2 * lineBits / GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, RestrictedParam,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+TEST(RestrictedCodec, SectionVExampleBudget)
+{
+    // Section V: 16-bit granularity -> 33 aux bits (17 cells) vs 64.
+    const EnergyModel e;
+    const coset::RestrictedCosetsCodec codec(e, 16);
+    EXPECT_EQ(codec.auxBits(), 33u);
+    EXPECT_EQ(codec.auxCells(), 17u);
+}
+
+TEST(FnwCodec, RoundTrip)
+{
+    const EnergyModel e;
+    const coset::FnwCodec codec(e);
+    EXPECT_EQ(codec.cellCount(), lineSymbols + 2);
+    checkRoundTrip(codec, 400);
+}
+
+TEST(FnwCodec, FlipsWhenComplementIsCheaper)
+{
+    const EnergyModel e;
+    const coset::FnwCodec codec(e);
+    // Stored: everything S3 (= symbol 11). New data: all-0s.
+    // Writing 0s directly would reprogram every cell; flipping makes
+    // each 128-bit block all-1s == symbol 11 == stored -> free.
+    std::vector<State> stored(codec.cellCount(), State::S3);
+    const Line512 zeros;
+    const auto target = codec.encode(zeros, stored);
+    unsigned changed_data = 0;
+    for (unsigned s = 0; s < lineSymbols; ++s)
+        changed_data += target.cells[s] != stored[s];
+    EXPECT_EQ(changed_data, 0u);
+    EXPECT_EQ(codec.decode(target.cells), zeros);
+}
+
+TEST(FlipMinCodec, RoundTrip)
+{
+    const EnergyModel e;
+    const coset::FlipMinCodec codec(e);
+    EXPECT_EQ(codec.cellCount(), lineSymbols + 2);
+    checkRoundTrip(codec, 500);
+}
+
+TEST(FlipMinCodec, IdentityCandidateBoundsCost)
+{
+    // Mask 0 is the identity, so FlipMin never spends more than the
+    // baseline encoding (plus aux-cell cost it accounts for).
+    const EnergyModel e;
+    const coset::FlipMinCodec codec(e);
+    const coset::BaselineCodec base(e);
+    Rng rng(501);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 30; ++i) {
+        const Line512 data = randomLine(rng);
+        const auto target = codec.encode(data, stored);
+        const std::vector<State> base_stored(
+            stored.begin(), stored.begin() + lineSymbols);
+        const auto base_target = base.encode(data, base_stored);
+        const double enc = targetEnergy(target, stored, e);
+        double raw = 0;
+        for (unsigned s = 0; s < lineSymbols; ++s)
+            raw += e.writeEnergy(stored[s], base_target.cells[s]);
+        // identity + worst-case aux rewrite of two cells
+        EXPECT_LE(enc, raw + 2 * e.programEnergy(State::S4) + 1e-9);
+        stored = target.cells;
+    }
+}
+
+TEST(DinCodec, ExpansionAvoidsS4Codewords)
+{
+    for (unsigned v = 0; v < 8; ++v) {
+        const unsigned cw = coset::DinCodec::expand3to4(v);
+        // Neither 2-bit symbol may be 01 (-> S4 under the default
+        // mapping).
+        EXPECT_NE(cw & 3u, 1u);
+        EXPECT_NE((cw >> 2) & 3u, 1u);
+        EXPECT_EQ(coset::DinCodec::shrink4to3(cw), v);
+    }
+}
+
+TEST(DinCodec, RoundTripCompressibleAndNot)
+{
+    const EnergyModel e;
+    const coset::DinCodec codec(e);
+    checkRoundTrip(codec, 600, 80);
+}
+
+TEST(DinCodec, CompressedFormatSurvivesTwoFlippedCells)
+{
+    // DIN's raison d'etre: the 20-bit BCH corrects up to two
+    // disturbance errors during verification.
+    const EnergyModel e;
+    const coset::DinCodec codec(e);
+    Rng rng(601);
+    std::vector<State> stored(codec.cellCount(), State::S1);
+    const Line512 data =
+        ValueModel::generateLine(LineType::Zeroish, rng);
+    auto target = codec.encode(data, stored);
+    ASSERT_EQ(target.cells[lineSymbols], State::S1)
+        << "zeroish line must be FPC+BDI compressible";
+    // Flip two random data cells' low bit (S1<->S2 keeps the decoded
+    // bit the same only for some mappings; flip the decoded *bits*
+    // instead by swapping to the complementary-symbol state).
+    auto flip_bit = [&](unsigned cell, unsigned bit_in_cell) {
+        const auto &map = coset::defaultMapping();
+        const unsigned sym = map.decode(target.cells[cell]);
+        target.cells[cell] = map.encode(sym ^ (1u << bit_in_cell));
+    };
+    flip_bit(17, 0);
+    flip_bit(203, 1);
+    EXPECT_EQ(codec.decode(target.cells), data);
+}
+
+} // namespace

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit + property tests for the ECC substrate: GF(2^m) arithmetic,
+ * the shortened BCH(t=2) code used by DIN, and the (72,64) extended
+ * Hamming code behind FlipMin's coset masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "ecc/bch.hh"
+#include "ecc/gf2m.hh"
+#include "ecc/hamming.hh"
+
+namespace
+{
+
+using wlcrc::Rng;
+using wlcrc::ecc::Bch;
+using wlcrc::ecc::GF2m;
+using wlcrc::ecc::Hamming7264;
+
+class GF2mParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(GF2mParam, FieldAxioms)
+{
+    const GF2m f(GetParam());
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const uint32_t a =
+            static_cast<uint32_t>(rng.nextBelow(f.n())) + 1;
+        const uint32_t b =
+            static_cast<uint32_t>(rng.nextBelow(f.n())) + 1;
+        // Commutativity, inverses, associativity with division.
+        EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+        EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+        EXPECT_EQ(f.div(f.mul(a, b), b), a);
+        EXPECT_EQ(f.mul(a, 1), a);
+        EXPECT_EQ(f.mul(a, 0), 0u);
+    }
+}
+
+TEST_P(GF2mParam, LogExpInverse)
+{
+    const GF2m f(GetParam());
+    for (unsigned i = 0; i < f.n(); ++i)
+        EXPECT_EQ(f.log(f.alphaPow(i)), i % f.n());
+}
+
+TEST_P(GF2mParam, PowMatchesRepeatedMul)
+{
+    const GF2m f(GetParam());
+    const uint32_t g = f.alphaPow(1);
+    uint32_t acc = 1;
+    for (int k = 0; k < 20; ++k) {
+        EXPECT_EQ(f.pow(g, k), acc);
+        acc = f.mul(acc, g);
+    }
+    EXPECT_EQ(f.pow(g, -1), f.inv(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GF2mParam,
+                         ::testing::Values(4u, 8u, 10u, 13u));
+
+TEST(GF2m, RejectsBadDegree)
+{
+    EXPECT_THROW(GF2m(2), std::invalid_argument);
+    EXPECT_THROW(GF2m(17), std::invalid_argument);
+}
+
+TEST(GF2m, RejectsNonPrimitivePoly)
+{
+    // x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive.
+    EXPECT_THROW(GF2m(4, 0b11111), std::invalid_argument);
+}
+
+TEST(Bch, DinParametersGiveTwentyParityBits)
+{
+    const Bch bch(10, 2, 492);
+    EXPECT_EQ(bch.parityBits(), 20u);
+    EXPECT_EQ(bch.codewordBits(), 512u);
+}
+
+TEST(Bch, CleanCodewordDecodesToZeroErrors)
+{
+    const Bch bch(10, 2, 492);
+    Rng rng(1);
+    std::vector<uint8_t> data(492);
+    for (auto &b : data)
+        b = rng.next() & 1;
+    auto cw = bch.encode(data);
+    EXPECT_EQ(bch.decode(cw), 0);
+    for (unsigned i = 0; i < 492; ++i)
+        EXPECT_EQ(cw[i], data[i]);
+}
+
+class BchErrors : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BchErrors, CorrectsSingleError)
+{
+    const Bch bch(10, 2, 492);
+    std::vector<uint8_t> data(492, 0);
+    data[37] = 1;
+    data[401] = 1;
+    const auto clean = bch.encode(data);
+    auto corrupted = clean;
+    corrupted[GetParam()] ^= 1;
+    EXPECT_EQ(bch.decode(corrupted), 1);
+    EXPECT_EQ(corrupted, clean);
+}
+
+TEST_P(BchErrors, CorrectsDoubleError)
+{
+    const Bch bch(10, 2, 492);
+    Rng rng(GetParam());
+    std::vector<uint8_t> data(492);
+    for (auto &b : data)
+        b = rng.next() & 1;
+    const auto clean = bch.encode(data);
+    auto corrupted = clean;
+    const unsigned p1 = GetParam();
+    const unsigned p2 = (GetParam() + 251) % 512;
+    corrupted[p1] ^= 1;
+    corrupted[p2] ^= 1;
+    EXPECT_EQ(bch.decode(corrupted), 2);
+    EXPECT_EQ(corrupted, clean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, BchErrors,
+                         ::testing::Values(0u, 1u, 63u, 255u, 491u,
+                                           492u, 500u, 511u));
+
+TEST(Bch, RandomDoubleErrorsSweep)
+{
+    const Bch bch(10, 2, 492);
+    Rng rng(99);
+    std::vector<uint8_t> data(492);
+    for (auto &b : data)
+        b = rng.next() & 1;
+    const auto clean = bch.encode(data);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto corrupted = clean;
+        const unsigned p1 =
+            static_cast<unsigned>(rng.nextBelow(512));
+        unsigned p2 = static_cast<unsigned>(rng.nextBelow(512));
+        if (p2 == p1)
+            p2 = (p2 + 1) % 512;
+        corrupted[p1] ^= 1;
+        corrupted[p2] ^= 1;
+        ASSERT_EQ(bch.decode(corrupted), 2)
+            << "positions " << p1 << "," << p2;
+        ASSERT_EQ(corrupted, clean);
+    }
+}
+
+TEST(Bch, SmallFieldConfig)
+{
+    // A toy (15, 7, t=2) BCH: 8 parity bits over GF(2^4).
+    const Bch bch(4, 2, 7);
+    EXPECT_EQ(bch.parityBits(), 8u);
+    std::vector<uint8_t> data = {1, 0, 1, 1, 0, 0, 1};
+    auto cw = bch.encode(data);
+    cw[2] ^= 1;
+    cw[9] ^= 1;
+    EXPECT_EQ(bch.decode(cw), 2);
+    for (unsigned i = 0; i < 7; ++i)
+        EXPECT_EQ(cw[i], data[i]);
+}
+
+TEST(Bch, RejectsOversizedPayload)
+{
+    EXPECT_THROW(Bch(4, 2, 8), std::invalid_argument);
+    EXPECT_THROW(Bch(10, 3, 100), std::invalid_argument);
+}
+
+TEST(Hamming, RoundTripNoError)
+{
+    const Hamming7264 h;
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t data = rng.next();
+        const auto [d, parity] = h.encode(data);
+        int status = -1;
+        EXPECT_EQ(h.decode(d, parity, status), data);
+        EXPECT_EQ(status, 0);
+    }
+}
+
+TEST(Hamming, CorrectsEverySingleDataBitError)
+{
+    const Hamming7264 h;
+    const uint64_t data = 0xfeedfacecafebeefull;
+    const auto [d, parity] = h.encode(data);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        int status = -1;
+        const uint64_t corrupted = d ^ (uint64_t{1} << bit);
+        EXPECT_EQ(h.decode(corrupted, parity, status), data)
+            << "bit " << bit;
+        EXPECT_EQ(status, 1);
+    }
+}
+
+TEST(Hamming, DetectsDoubleDataBitError)
+{
+    const Hamming7264 h;
+    const uint64_t data = 0x0123456789abcdefull;
+    const auto [d, parity] = h.encode(data);
+    int status = -1;
+    h.decode(d ^ 0b11, parity, status);
+    EXPECT_EQ(status, 2);
+}
+
+TEST(FlipMinMasks, DeterministicAndDistinct)
+{
+    const auto a = wlcrc::ecc::flipMinMasks(16, 0x51f0);
+    const auto b = wlcrc::ecc::flipMinMasks(16, 0x51f0);
+    ASSERT_EQ(a.size(), 16u);
+    EXPECT_EQ(a[0], wlcrc::Line512()); // identity candidate
+    for (unsigned i = 0; i < 16; ++i) {
+        EXPECT_EQ(a[i], b[i]);
+        for (unsigned j = i + 1; j < 16; ++j)
+            EXPECT_NE(a[i], a[j]);
+    }
+}
+
+} // namespace

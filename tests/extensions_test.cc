@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the extension modules: per-cell wear tracking, the
+ * disturbance-aware WLCRC mode (the paper's future work), and
+ * per-profile statistical properties of the workload suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/wlc.hh"
+#include "pcm/wear.hh"
+#include "trace/replay.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using pcm::State;
+using pcm::WearTracker;
+
+// --------------------------------------------------------------- wear
+
+TEST(WearTracker, CountsPrograms)
+{
+    WearTracker wear(4);
+    wear.recordProgram(10, 0);
+    wear.recordProgram(10, 0);
+    wear.recordProgram(10, 3);
+    wear.recordProgram(11, 1);
+    EXPECT_EQ(wear.cellWrites(10, 0), 2u);
+    EXPECT_EQ(wear.cellWrites(10, 3), 1u);
+    EXPECT_EQ(wear.cellWrites(10, 1), 0u);
+    EXPECT_EQ(wear.cellWrites(99, 0), 0u);
+}
+
+TEST(WearTracker, SummaryAggregates)
+{
+    WearTracker wear(2);
+    for (int i = 0; i < 5; ++i)
+        wear.recordProgram(0, 0);
+    wear.recordProgram(0, 1);
+    const auto s = wear.summary();
+    EXPECT_EQ(s.maxCellWrites, 5u);
+    EXPECT_EQ(s.touchedCells, 2u);
+    EXPECT_EQ(s.totalWrites, 6u);
+    EXPECT_DOUBLE_EQ(s.avgCellWrites, 3.0);
+    EXPECT_DOUBLE_EQ(s.imbalance(), 5.0 / 3.0);
+}
+
+TEST(WearTracker, RecordLineUsesMask)
+{
+    WearTracker wear(3);
+    wear.recordLine(7, {true, false, true});
+    EXPECT_EQ(wear.cellWrites(7, 0), 1u);
+    EXPECT_EQ(wear.cellWrites(7, 1), 0u);
+    EXPECT_EQ(wear.cellWrites(7, 2), 1u);
+}
+
+TEST(WearTracker, LifetimeProjection)
+{
+    WearTracker wear(1);
+    for (int i = 0; i < 10; ++i)
+        wear.recordProgram(0, 0);
+    // 10 cell programs over 100 line writes -> rate 0.1/write;
+    // endurance 1000 -> (1000-10)/0.1 = 9900 writes left.
+    EXPECT_EQ(wear.projectedLifetime(1000, 100), 9900u);
+    // Already exhausted.
+    EXPECT_EQ(wear.projectedLifetime(10, 100), 0u);
+    // No data.
+    WearTracker empty(1);
+    EXPECT_EQ(empty.projectedLifetime(1000, 100), 0u);
+}
+
+TEST(WearTracker, DeviceIntegration)
+{
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    pcm::Device dev(4, unit);
+    WearTracker wear(4);
+    dev.attachWearTracker(&wear);
+
+    pcm::TargetLine t(4);
+    t.cells = {State::S2, State::S1, State::S1, State::S1};
+    dev.write(0, t); // cell 0 changes (fresh lines start at S1)
+    dev.write(0, t); // nothing changes
+    t.cells[1] = State::S3;
+    dev.write(0, t); // cell 1 changes
+    EXPECT_EQ(wear.cellWrites(0, 0), 1u);
+    EXPECT_EQ(wear.cellWrites(0, 1), 1u);
+    EXPECT_EQ(wear.summary().totalWrites, 2u);
+}
+
+TEST(WearTracker, EncodingEvensOutWear)
+{
+    // WLCRC touches fewer cells per write than the baseline, so its
+    // total wear must be lower over the same transaction stream.
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto &p = trace::WorkloadProfile::byName("gcc");
+
+    uint64_t wear_total[2];
+    int i = 0;
+    for (const char *scheme : {"Baseline", "WLCRC-16"}) {
+        const auto codec = core::makeCodec(scheme, e);
+        trace::Replayer rep(*codec, unit);
+        WearTracker wear(codec->cellCount());
+        rep.device().attachWearTracker(&wear);
+        trace::TraceSynthesizer synth(p, 3);
+        rep.run(synth, 500);
+        wear_total[i++] = wear.summary().totalWrites;
+    }
+    EXPECT_LT(wear_total[1], wear_total[0]);
+}
+
+// ------------------------------------------------ disturbance-aware
+
+TEST(DisturbanceAware, FactoryBuildsIt)
+{
+    const pcm::EnergyModel e;
+    const auto codec = core::makeCodec("WLCRC-16-da", e);
+    EXPECT_EQ(codec->name(), "WLCRC-16-da");
+}
+
+TEST(DisturbanceAware, RoundTripStillExact)
+{
+    const pcm::EnergyModel e;
+    const auto da = core::WlcrcCodec::disturbanceAware(
+        e, pcm::DisturbanceModel(), 16);
+    Rng rng(5);
+    std::vector<State> stored(da.cellCount(), State::S1);
+    for (int i = 0; i < 200; ++i) {
+        const auto type = static_cast<trace::LineType>(
+            rng.nextBelow(trace::numLineTypes));
+        const Line512 data =
+            trace::ValueModel::generateLine(type, rng);
+        stored = da.encode(data, stored).cells;
+        ASSERT_EQ(da.decode(stored), data);
+    }
+}
+
+TEST(DisturbanceAware, ReducesDisturbanceAtSmallEnergyCost)
+{
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    double energy[2], disturb[2];
+    int i = 0;
+    for (const char *scheme : {"WLCRC-16", "WLCRC-16-da"}) {
+        const auto codec = core::makeCodec(scheme, e);
+        double es = 0, ds = 0;
+        for (const auto &p : trace::WorkloadProfile::all()) {
+            trace::Replayer rep(*codec, unit);
+            trace::TraceSynthesizer synth(p, 11);
+            rep.run(synth, 300);
+            es += rep.result().energyPj.mean();
+            ds += rep.result().disturbErrors.mean();
+        }
+        energy[i] = es;
+        disturb[i] = ds;
+        ++i;
+    }
+    EXPECT_LT(disturb[1], disturb[0]);
+    EXPECT_LT(energy[1], energy[0] * 1.10);
+}
+
+TEST(DisturbanceAware, ZeroLambdaMatchesPlain)
+{
+    const pcm::EnergyModel e;
+    const auto da = core::WlcrcCodec::disturbanceAware(
+        e, pcm::DisturbanceModel(), 16, 0.0);
+    const core::WlcrcCodec plain(e, 16);
+    Rng rng(6);
+    std::vector<State> sa(da.cellCount(), State::S1);
+    std::vector<State> sp(plain.cellCount(), State::S1);
+    for (int i = 0; i < 100; ++i) {
+        const Line512 data = trace::ValueModel::generateLine(
+            static_cast<trace::LineType>(
+                rng.nextBelow(trace::numLineTypes)),
+            rng);
+        sa = da.encode(data, sa).cells;
+        sp = plain.encode(data, sp).cells;
+        ASSERT_EQ(sa, sp);
+    }
+}
+
+// ------------------------------------------- per-profile statistics
+
+class ProfileStats : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ProfileStats, WlcCoverageMatchesFigure4Band)
+{
+    const auto &p = trace::WorkloadProfile::byName(GetParam());
+    trace::TraceSynthesizer synth(p, 99);
+    unsigned ok6 = 0, ok9 = 0;
+    const int n = 800;
+    for (int i = 0; i < n; ++i) {
+        const Line512 d = synth.next().newData;
+        ok6 += compress::Wlc::lineCompressible(d, 6);
+        ok9 += compress::Wlc::lineCompressible(d, 9);
+    }
+    // Figure 4: every benchmark compresses most lines at k <= 6,
+    // and k = 9 coverage is strictly lower.
+    EXPECT_GT(ok6, n * 0.75) << GetParam();
+    EXPECT_LT(ok9, ok6) << GetParam();
+}
+
+TEST_P(ProfileStats, IntensityOrdersEnergy)
+{
+    // A profile's baseline write energy must scale with its word
+    // change probability relative to libq (the least intensive).
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto codec = core::makeCodec("Baseline", e);
+    auto energy_of = [&](const std::string &name) {
+        trace::Replayer rep(*codec, unit);
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName(name), 13);
+        rep.run(synth, 300);
+        return rep.result().energyPj.mean();
+    };
+    if (GetParam() == "libq")
+        GTEST_SKIP() << "reference workload";
+    if (trace::WorkloadProfile::byName(GetParam()).highIntensity) {
+        EXPECT_GT(energy_of(GetParam()), energy_of("libq"));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileStats,
+    ::testing::Values("lesl", "milc", "wrf", "sopl", "zeus", "lbm",
+                      "gcc", "asta", "mcf", "cann", "libq", "omne"));
+
+} // namespace

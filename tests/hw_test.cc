@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the analytic 45 nm hardware model (Section VI-B
+ * substitute): envelope checks against the paper's synthesized
+ * numbers and structural monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/synth_model.hh"
+
+namespace
+{
+
+using wlcrc::hw::SynthModel;
+using wlcrc::hw::SynthResult;
+
+TEST(SynthModel, Wlcrc16WithinPaperEnvelope)
+{
+    const SynthModel m;
+    const SynthResult r = m.wlcrc(16);
+    // Paper: 0.0498 mm^2, 2.63 ns write, 0.89 ns read, 0.94 pJ
+    // write, 0.27 pJ read. The analytic model must land in the same
+    // regime (within ~2x), not on the exact synthesis output.
+    EXPECT_GT(r.areaMm2, 0.0498 / 2);
+    EXPECT_LT(r.areaMm2, 0.0498 * 2);
+    EXPECT_GT(r.writeDelayNs, 2.63 / 2);
+    EXPECT_LT(r.writeDelayNs, 2.63 * 2);
+    EXPECT_GT(r.readDelayNs, 0.89 / 2);
+    EXPECT_LT(r.readDelayNs, 0.89 * 2);
+    EXPECT_GT(r.writeEnergyPj, 0.94 / 2);
+    EXPECT_LT(r.writeEnergyPj, 0.94 * 2);
+    EXPECT_GT(r.readEnergyPj, 0.27 / 2);
+    EXPECT_LT(r.readEnergyPj, 0.27 * 2);
+}
+
+TEST(SynthModel, WlcPortionIsTiny)
+{
+    const SynthModel m;
+    const SynthResult wlc = m.wlcOnly();
+    const SynthResult full = m.wlcrc(16);
+    // Paper: 0.0002 mm^2, 0.13 ns, 0.0017 pJ — negligible vs the
+    // encoder.
+    EXPECT_LT(wlc.areaMm2, 0.001);
+    EXPECT_LT(wlc.areaMm2, full.areaMm2 / 50);
+    EXPECT_LT(wlc.writeDelayNs, 0.3);
+    EXPECT_LT(wlc.writeEnergyPj, 0.01);
+}
+
+TEST(SynthModel, ReadPathFasterThanWritePath)
+{
+    const SynthModel m;
+    for (unsigned g : {8u, 16u, 32u, 64u}) {
+        const SynthResult r = m.wlcrc(g);
+        EXPECT_LT(r.readDelayNs, r.writeDelayNs) << g;
+        EXPECT_LT(r.readEnergyPj, r.writeEnergyPj) << g;
+    }
+}
+
+TEST(SynthModel, FinerGranularityCostsMoreLogic)
+{
+    const SynthModel m;
+    EXPECT_GT(m.wlcrc(16).gateCount, m.wlcrc(64).gateCount);
+    EXPECT_GT(m.wlcrc(8).gateCount, m.wlcrc(32).gateCount);
+}
+
+TEST(SynthModel, MoreCandidatesCostMore)
+{
+    const SynthModel m;
+    EXPECT_GT(m.nCosets(6, 512).gateCount,
+              m.nCosets(4, 512).gateCount);
+    EXPECT_GT(m.nCosets(4, 512).gateCount,
+              m.nCosets(3, 512).gateCount);
+}
+
+TEST(SynthModel, AreaIsNegligibleVsMainMemory)
+{
+    // Sanity: the encoder must be a vanishing fraction of a PCM die
+    // (tens to hundreds of mm^2).
+    const SynthModel m;
+    EXPECT_LT(m.wlcrc(16).areaMm2, 0.2);
+}
+
+} // namespace

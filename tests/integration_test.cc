@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Integration and paper-shape tests: every scheme replayed over
+ * every workload, checking correctness (decode == written data) and
+ * the headline relationships the paper reports — WLCRC-16 beating
+ * the baseline and 6cosets on energy, endurance in the right regime,
+ * disturbance errors in the 2-6 per line band, WLC coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+#include "trace/replay.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using trace::Replayer;
+using trace::TraceSynthesizer;
+using trace::WorkloadProfile;
+
+constexpr uint64_t linesPerRun = 400;
+
+/** Replay one scheme over one workload and return the results. */
+trace::ReplayResult
+runScheme(const std::string &scheme, const WorkloadProfile &profile,
+          uint64_t seed = 97)
+{
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto codec = core::makeCodec(scheme, e);
+    Replayer rep(*codec, unit, seed);
+    TraceSynthesizer synth(profile, seed);
+    rep.run(synth, linesPerRun);
+    return rep.result();
+}
+
+class PerWorkload : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadProfile &
+    profile() const
+    {
+        return WorkloadProfile::byName(GetParam());
+    }
+};
+
+TEST_P(PerWorkload, AllSchemesDecodeCorrectly)
+{
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    for (const auto &scheme : core::figure8Schemes()) {
+        const auto codec = core::makeCodec(scheme, e);
+        Replayer rep(*codec, unit);
+        TraceSynthesizer synth(profile(), 55);
+        Line512 last;
+        uint64_t last_addr = 0;
+        for (int i = 0; i < 150; ++i) {
+            const auto txn = synth.next();
+            rep.step(txn);
+            last = txn.newData;
+            last_addr = txn.lineAddr;
+        }
+        ASSERT_EQ(codec->decode(rep.device().line(last_addr)), last)
+            << scheme << " on " << GetParam();
+    }
+}
+
+TEST_P(PerWorkload, WlcrcBeatsBaselineEnergy)
+{
+    const auto base = runScheme("Baseline", profile());
+    const auto wlcrc = runScheme("WLCRC-16", profile());
+    EXPECT_LT(wlcrc.energyPj.mean(), base.energyPj.mean())
+        << GetParam();
+}
+
+TEST_P(PerWorkload, DisturbanceInPaperBand)
+{
+    // Figure 10: three to four errors per line on average across
+    // schemes; per-workload values range roughly 1-9.
+    for (const auto &scheme :
+         {"Baseline", "6cosets", "WLCRC-16"}) {
+        const auto r = runScheme(scheme, profile());
+        EXPECT_GT(r.disturbErrors.mean(), 0.2) << scheme;
+        EXPECT_LT(r.disturbErrors.mean(), 12.0) << scheme;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PerWorkload,
+    ::testing::Values("lesl", "milc", "wrf", "sopl", "zeus", "lbm",
+                      "gcc", "asta", "mcf", "cann", "libq", "omne"));
+
+TEST(PaperShape, WlcrcBeats6cosetsOnSuiteAverage)
+{
+    stats::RunningStat six, wlcrc;
+    for (const auto &p : WorkloadProfile::all()) {
+        six.add(runScheme("6cosets", p).energyPj.mean());
+        wlcrc.add(runScheme("WLCRC-16", p).energyPj.mean());
+    }
+    // Paper: 39 % average improvement; insist on a clear win.
+    EXPECT_LT(wlcrc.mean(), six.mean() * 0.85);
+}
+
+TEST(PaperShape, WlcrcBeatsWlc4cosetsOnSuiteAverage)
+{
+    stats::RunningStat w4, wlcrc;
+    for (const auto &p : WorkloadProfile::all()) {
+        w4.add(runScheme("WLC+4cosets", p).energyPj.mean());
+        wlcrc.add(runScheme("WLCRC-16", p).energyPj.mean());
+    }
+    // Paper: ~10 % improvement of WLCRC-16 over WLC+4cosets-32.
+    EXPECT_LT(wlcrc.mean(), w4.mean());
+}
+
+TEST(PaperShape, Endurance20PercentRegime)
+{
+    stats::RunningStat base, wlcrc;
+    for (const auto &p : WorkloadProfile::all()) {
+        base.add(runScheme("Baseline", p).updatedCells.mean());
+        wlcrc.add(runScheme("WLCRC-16", p).updatedCells.mean());
+    }
+    // Paper Figure 9: ~20 % fewer updated cells than baseline.
+    EXPECT_LT(wlcrc.mean(), base.mean());
+}
+
+TEST(PaperShape, HmiWorkloadsUseMoreEnergyThanLmi)
+{
+    stats::RunningStat hmi, lmi;
+    for (const auto &p : WorkloadProfile::all()) {
+        const auto r = runScheme("Baseline", p);
+        (p.highIntensity ? hmi : lmi).add(r.energyPj.mean());
+    }
+    EXPECT_GT(hmi.mean(), lmi.mean());
+}
+
+TEST(PaperShape, SixteenBitIsWlcrcEnergyOptimum)
+{
+    // Figure 11: the WLCRC energy minimum sits at 16-bit blocks.
+    std::map<unsigned, double> energy;
+    for (unsigned g : {8u, 16u, 32u, 64u}) {
+        stats::RunningStat s;
+        for (const auto &p : WorkloadProfile::all()) {
+            s.add(runScheme("WLCRC-" + std::to_string(g), p)
+                      .energyPj.mean());
+        }
+        energy[g] = s.mean();
+    }
+    EXPECT_LT(energy[16], energy[8]);
+    EXPECT_LT(energy[16], energy[32]);
+    EXPECT_LT(energy[16], energy[64]);
+}
+
+TEST(PaperShape, MultiObjectiveTradesEnergyForEndurance)
+{
+    stats::RunningStat plain_e, mo_e, plain_u, mo_u;
+    for (const auto &p : WorkloadProfile::all()) {
+        const auto plain = runScheme("WLCRC-16", p);
+        const auto mo = runScheme("WLCRC-16-mo", p);
+        plain_e.add(plain.energyPj.mean());
+        mo_e.add(mo.energyPj.mean());
+        plain_u.add(plain.updatedCells.mean());
+        mo_u.add(mo.updatedCells.mean());
+    }
+    // Section VIII-D: T = 1 % costs ~1-2 % energy, saves updated
+    // cells.
+    EXPECT_LT(mo_u.mean(), plain_u.mean());
+    EXPECT_LT(mo_e.mean(), plain_e.mean() * 1.05);
+}
+
+TEST(PaperShape, AuxEnergyShareSmallForWlcrc16)
+{
+    // Section IX-A: the auxiliary part peaks at ~5.5 % of total
+    // write energy for WLCRC-16.
+    stats::RunningStat aux_share;
+    for (const auto &p : WorkloadProfile::all()) {
+        const auto r = runScheme("WLCRC-16", p);
+        aux_share.add(r.auxEnergyPj.mean() /
+                      std::max(1.0, r.energyPj.mean()));
+    }
+    EXPECT_LT(aux_share.mean(), 0.15);
+}
+
+TEST(PaperShape, Figure14SensitivityMonotone)
+{
+    // Scaling down S3/S4 energies shrinks WLCRC's absolute win but
+    // it must keep beating the baseline (paper: still 32 % at >6x).
+    const std::vector<std::pair<double, double>> levels = {
+        {307, 547}, {152, 273}, {75, 135}, {50, 80}};
+    double prev_gain = 1.0;
+    for (const auto &[s3, s4] : levels) {
+        const auto e =
+            pcm::EnergyModel::withHighStateEnergies(s3, s4);
+        const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+        const auto base = core::makeCodec("Baseline", e);
+        const auto wlcrc = core::makeCodec("WLCRC-16", e);
+        stats::RunningStat be, we;
+        for (const auto &p :
+             {WorkloadProfile::byName("gcc"),
+              WorkloadProfile::byName("milc")}) {
+            Replayer rb(*base, unit);
+            TraceSynthesizer sb(p, 3);
+            rb.run(sb, 250);
+            be.add(rb.result().energyPj.mean());
+            Replayer rw(*wlcrc, unit);
+            TraceSynthesizer sw(p, 3);
+            rw.run(sw, 250);
+            we.add(rw.result().energyPj.mean());
+        }
+        const double gain = 1.0 - we.mean() / be.mean();
+        EXPECT_GT(gain, 0.10);
+        EXPECT_LE(gain, prev_gain + 0.05);
+        prev_gain = gain;
+    }
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the memory-system substrate: address mapping, the L2
+ * write-back cache, the memory controller's write-pausing policy and
+ * the end-to-end PcmSystem pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coset/baseline_codec.hh"
+#include "memsys/address.hh"
+#include "memsys/controller.hh"
+#include "memsys/l2cache.hh"
+#include "memsys/system.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using memsys::AddressMapper;
+using memsys::L2Cache;
+using memsys::MemoryController;
+using memsys::PcmSystem;
+using pcm::State;
+using pcm::SystemConfig;
+
+// ----------------------------------------------------------- address
+
+TEST(AddressMapper, CoversAllBanks)
+{
+    const SystemConfig cfg;
+    const AddressMapper map(cfg);
+    std::set<unsigned> banks;
+    for (uint64_t a = 0; a < cfg.totalBanks(); ++a)
+        banks.insert(map.locate(a).flatBank);
+    EXPECT_EQ(banks.size(), cfg.totalBanks());
+}
+
+TEST(AddressMapper, ChannelInterleavesFirst)
+{
+    const SystemConfig cfg;
+    const AddressMapper map(cfg);
+    EXPECT_NE(map.locate(0).channel, map.locate(1).channel);
+    EXPECT_EQ(map.locate(0).channel, map.locate(2).channel);
+}
+
+TEST(AddressMapper, FieldsWithinBounds)
+{
+    const SystemConfig cfg;
+    const AddressMapper map(cfg);
+    for (uint64_t a = 0; a < 10000; a += 37) {
+        const auto loc = map.locate(a);
+        EXPECT_LT(loc.channel, cfg.channels);
+        EXPECT_LT(loc.dimm, cfg.dimmsPerChannel);
+        EXPECT_LT(loc.bank, cfg.banksPerDimm);
+        EXPECT_LT(loc.flatBank, cfg.totalBanks());
+    }
+}
+
+// ---------------------------------------------------------------- L2
+
+TEST(L2Cache, HitAfterFill)
+{
+    const SystemConfig cfg;
+    L2Cache l2(cfg);
+    EXPECT_FALSE(l2.access(100, false).has_value());
+    EXPECT_EQ(l2.misses(), 1u);
+    l2.access(100, false);
+    EXPECT_EQ(l2.hits(), 1u);
+}
+
+TEST(L2Cache, DirtyEvictionEmitsWriteback)
+{
+    SystemConfig cfg;
+    cfg.l2Bytes = 8 * 64; // tiny: 1 set x 8 ways
+    cfg.l2Ways = 8;
+    L2Cache l2(cfg);
+    Line512 data;
+    data.setWord(0, 0xabc);
+    l2.access(0, true, &data);
+    // Fill all other ways, then one more to evict line 0.
+    for (uint64_t a = 1; a <= 8; ++a) {
+        const auto wb = l2.access(a, false);
+        if (a < 8) {
+            EXPECT_FALSE(wb.has_value());
+        } else {
+            ASSERT_TRUE(wb.has_value());
+            EXPECT_EQ(wb->lineAddr, 0u);
+            EXPECT_EQ(wb->newData.word(0), 0xabcu);
+            EXPECT_EQ(wb->oldData, Line512());
+        }
+    }
+    EXPECT_EQ(l2.writebacks(), 1u);
+}
+
+TEST(L2Cache, CleanEvictionIsSilent)
+{
+    SystemConfig cfg;
+    cfg.l2Bytes = 2 * 64;
+    cfg.l2Ways = 2;
+    L2Cache l2(cfg);
+    l2.access(0, false);
+    l2.access(1, false);
+    EXPECT_FALSE(l2.access(2, false).has_value());
+    EXPECT_EQ(l2.writebacks(), 0u);
+}
+
+TEST(L2Cache, FlushDrainsAllDirtyLines)
+{
+    const SystemConfig cfg;
+    L2Cache l2(cfg);
+    Line512 d1, d2;
+    d1.setWord(0, 1);
+    d2.setWord(0, 2);
+    l2.access(10, true, &d1);
+    l2.access(20, true, &d2);
+    l2.access(30, false);
+    const auto txns = l2.flush();
+    EXPECT_EQ(txns.size(), 2u);
+    EXPECT_EQ(l2.memoryImage(10).word(0), 1u);
+    EXPECT_EQ(l2.memoryImage(20).word(0), 2u);
+}
+
+TEST(L2Cache, WritebackCarriesOldContents)
+{
+    SystemConfig cfg;
+    cfg.l2Bytes = 1 * 64;
+    cfg.l2Ways = 1;
+    L2Cache l2(cfg);
+    Line512 v1, v2;
+    v1.setWord(0, 111);
+    v2.setWord(0, 222);
+    l2.access(5, true, &v1);
+    l2.access(6, false); // evicts 5, image[5] = v1
+    l2.access(5, true, &v2);
+    const auto wb = l2.access(6, false); // evicts 5 again
+    ASSERT_TRUE(wb.has_value());
+    EXPECT_EQ(wb->oldData.word(0), 111u);
+    EXPECT_EQ(wb->newData.word(0), 222u);
+}
+
+// -------------------------------------------------------- controller
+
+TEST(Controller, ServicesReadsAndWrites)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const coset::BaselineCodec codec(e);
+    MemoryController mc(cfg, codec, unit);
+
+    trace::WriteTransaction txn;
+    txn.lineAddr = 3;
+    txn.newData.setWord(0, 0xff);
+    EXPECT_TRUE(mc.enqueueWrite(txn));
+    mc.enqueueRead(7);
+    mc.drain();
+    EXPECT_EQ(mc.stats().readsServiced, 1u);
+    EXPECT_EQ(mc.stats().writesServiced, 1u);
+    EXPECT_EQ(codec.decode(mc.device().line(3)), txn.newData);
+}
+
+TEST(Controller, WriteQueueBoundsAndStalls)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const coset::BaselineCodec codec(e);
+    MemoryController mc(cfg, codec, unit);
+    trace::WriteTransaction txn;
+    unsigned accepted = 0;
+    for (unsigned i = 0; i < cfg.writeQueueEntries + 5; ++i) {
+        txn.lineAddr = i;
+        accepted += mc.enqueueWrite(txn);
+    }
+    EXPECT_EQ(accepted, cfg.writeQueueEntries);
+    EXPECT_EQ(mc.stats().stallCycles, 5u);
+    EXPECT_DOUBLE_EQ(mc.writeQueueFill(), 1.0);
+    mc.drain();
+    EXPECT_TRUE(mc.queuesEmpty());
+}
+
+TEST(Controller, DrainModeEngagesPastThreshold)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const coset::BaselineCodec codec(e);
+    MemoryController mc(cfg, codec, unit);
+    // Saturate the write queue to one bank and add a read: with the
+    // queue past 80 %, writes must be serviced ahead of the read.
+    trace::WriteTransaction txn;
+    const unsigned banks = cfg.totalBanks();
+    for (unsigned i = 0; i < cfg.writeQueueEntries; ++i) {
+        txn.lineAddr = i * banks; // all map to bank 0
+        ASSERT_TRUE(mc.enqueueWrite(txn));
+    }
+    mc.enqueueRead(0);
+    mc.tick();
+    EXPECT_EQ(mc.stats().writesServiced, 1u);
+    EXPECT_EQ(mc.stats().readsServiced, 0u);
+    EXPECT_GT(mc.stats().drainCycles, 0u);
+}
+
+TEST(Controller, ReadsWinBelowThreshold)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const coset::BaselineCodec codec(e);
+    MemoryController mc(cfg, codec, unit);
+    trace::WriteTransaction txn;
+    txn.lineAddr = 0;
+    mc.enqueueWrite(txn);
+    mc.enqueueRead(0); // same bank
+    mc.tick();
+    EXPECT_EQ(mc.stats().readsServiced, 1u);
+    EXPECT_EQ(mc.stats().writesServiced, 0u);
+}
+
+// ------------------------------------------------------------ system
+
+TEST(PcmSystem, EndToEndCoherence)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto codec = core::makeCodec("WLCRC-16", e);
+    const auto &profile = trace::WorkloadProfile::byName("gcc");
+    PcmSystem sys(cfg, *codec, unit, profile, 31);
+    sys.runAccesses(20000);
+    sys.finish();
+
+    EXPECT_GT(sys.storesIssued(), 0u);
+    EXPECT_GT(sys.loadsIssued(), 0u);
+    EXPECT_GT(sys.l2().writebacks(), 0u);
+    const auto &mc = sys.controller();
+    EXPECT_EQ(mc.stats().writesServiced, sys.l2().writebacks());
+    EXPECT_GT(mc.device().writeCount(), 0u);
+
+    // Coherence through the full stack: decoding what PCM stores
+    // must reproduce the memory image the L2 believes is in PCM.
+    unsigned checked = 0;
+    for (uint64_t addr = 0; addr < profile.footprintLines; ++addr) {
+        if (!sys.controller().device().hasLine(addr))
+            continue;
+        auto &dev = const_cast<memsys::MemoryController &>(mc)
+                        .device();
+        ASSERT_EQ(codec->decode(dev.line(addr)),
+                  sys.l2().memoryImage(addr))
+            << "line " << addr;
+        ++checked;
+    }
+    EXPECT_GT(checked, 100u);
+}
+
+TEST(PcmSystem, WriteEnergyDependsOnScheme)
+{
+    const SystemConfig cfg;
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto &profile = trace::WorkloadProfile::byName("milc");
+    const coset::BaselineCodec base(e);
+    const auto wlcrc16 = core::makeCodec("WLCRC-16", e);
+
+    PcmSystem sys_base(cfg, base, unit, profile, 37);
+    sys_base.runAccesses(15000);
+    sys_base.finish();
+    PcmSystem sys_wlcrc(cfg, *wlcrc16, unit, profile, 37);
+    sys_wlcrc.runAccesses(15000);
+    sys_wlcrc.finish();
+
+    const double e_base =
+        sys_base.controller().device().totals().dataEnergyPj;
+    const double e_wlcrc =
+        sys_wlcrc.controller().device().totals().totalEnergyPj();
+    EXPECT_LT(e_wlcrc, e_base);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace
+{
+
+using wlcrc::stats::Histogram;
+using wlcrc::stats::RunningStat;
+using wlcrc::stats::StatSet;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    RunningStat all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = i * 0.37 - 3;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(5);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10.0); // [0,40) + overflow
+    for (double x : {0.0, 5.0, 9.99, 10.0, 25.0, 39.9, 40.0, 100.0})
+        h.add(x);
+    EXPECT_EQ(h.total(), 8u);
+    EXPECT_EQ(h.bucketCount(0), 3u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, Cdf)
+{
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_DOUBLE_EQ(h.cdfAt(5.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.cdfAt(10.0), 1.0);
+}
+
+TEST(StatSet, NamedAccumulation)
+{
+    StatSet set;
+    set["energy"].add(10);
+    set["energy"].add(20);
+    set["cells"].add(3);
+    EXPECT_EQ(set["energy"].count(), 2u);
+    EXPECT_DOUBLE_EQ(set["energy"].mean(), 15.0);
+    EXPECT_NE(set.find("cells"), nullptr);
+    EXPECT_EQ(set.find("nope"), nullptr);
+}
+
+TEST(StatSet, WritesCsv)
+{
+    StatSet set;
+    set["a"].add(1);
+    std::ostringstream os;
+    set.write(os);
+    EXPECT_NE(os.str().find("name,count,mean"), std::string::npos);
+    EXPECT_NE(os.str().find("a,1,1"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,450 @@
+/**
+ * @file
+ * Unit + property tests for the core contribution: word layouts
+ * (Figure 6), the WLCRC codec at all four granularities, the
+ * WLC+n-cosets codec, COC+4cosets, the multi-objective variant and
+ * the codec factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "compress/wlc.hh"
+#include "coset/baseline_codec.hh"
+#include "trace/value_model.hh"
+#include "wlcrc/coc_cosets_codec.hh"
+#include "wlcrc/factory.hh"
+#include "wlcrc/wlc_cosets_codec.hh"
+#include "wlcrc/wlcrc_codec.hh"
+#include "wlcrc/word_layout.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using core::WlcCosetsCodec;
+using core::WlcrcCodec;
+using core::WordLayout;
+using pcm::EnergyModel;
+using pcm::State;
+using trace::LineType;
+using trace::ValueModel;
+
+std::vector<State>
+randomStored(unsigned cells, Rng &rng)
+{
+    std::vector<State> stored(cells);
+    for (auto &s : stored)
+        s = pcm::stateFromIndex(
+            static_cast<unsigned>(rng.nextBelow(4)));
+    return stored;
+}
+
+/** A line guaranteed WLC-compressible at parameter @p k. */
+Line512
+compressibleLine(unsigned k, Rng &rng)
+{
+    Line512 line;
+    for (unsigned w = 0; w < lineWords; ++w) {
+        uint64_t v = rng.next();
+        if (v >> 63)
+            v |= ~uint64_t{0} << (64 - k);
+        else
+            v &= ~(~uint64_t{0} << (64 - k));
+        line.setWord(w, v);
+    }
+    return line;
+}
+
+// -------------------------------------------------------- WordLayout
+
+class LayoutParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(LayoutParam, CellsPartitionTheWord)
+{
+    const WordLayout &l = WordLayout::restricted(GetParam());
+    // Every cell 0..31 is owned by exactly one block or is aux-only.
+    std::set<unsigned> owned;
+    for (const auto &b : l.blocks) {
+        for (unsigned c = b.loCell; c <= b.hiCell; ++c)
+            EXPECT_TRUE(owned.insert(c).second) << "cell " << c;
+    }
+    for (unsigned c : l.auxOnlyCells)
+        EXPECT_TRUE(owned.insert(c).second) << "aux cell " << c;
+    EXPECT_EQ(owned.size(), 32u);
+}
+
+TEST_P(LayoutParam, SelectorBitsLiveInReclaimedRegion)
+{
+    const WordLayout &l = WordLayout::restricted(GetParam());
+    const unsigned first_reclaimed = 64 - l.reclaimed;
+    EXPECT_GE(l.groupBitPos, first_reclaimed);
+    for (unsigned pos : l.blockBitPos)
+        EXPECT_GE(pos, first_reclaimed);
+    // Group + one bit per block exactly fills the reclaimed region.
+    EXPECT_EQ(1 + l.blockBitPos.size(), l.reclaimed);
+    EXPECT_EQ(l.k(), l.reclaimed + 1);
+}
+
+TEST_P(LayoutParam, DecodeOrderResolvesDependencies)
+{
+    const WordLayout &l = WordLayout::restricted(GetParam());
+    // Walking decodeOrder, each block's selector bit must be either
+    // in an aux-only cell or inside an already-decoded block.
+    std::set<unsigned> known_cells(l.auxOnlyCells.begin(),
+                                   l.auxOnlyCells.end());
+    for (unsigned b : l.decodeOrder) {
+        const unsigned sel_cell = l.blockBitPos[b] / 2;
+        EXPECT_TRUE(known_cells.count(sel_cell))
+            << "block " << b << " selector cell " << sel_cell;
+        for (unsigned c = l.blocks[b].loCell;
+             c <= l.blocks[b].hiCell; ++c)
+            known_cells.insert(c);
+    }
+}
+
+TEST_P(LayoutParam, CostCellsAreFullyInsideDataBits)
+{
+    const WordLayout &l = WordLayout::restricted(GetParam());
+    for (const auto &b : l.blocks) {
+        EXPECT_GE(b.loCostCell * 2, b.loBit);
+        EXPECT_LE(b.hiCostCell * 2 + 1,
+                  b.hiBit + (b.hiBit % 2 == 0 ? 1 : 0));
+        EXPECT_LE(b.hiCostCell * 2 + 1, 63 - l.reclaimed + 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, LayoutParam,
+                         ::testing::Values(8u, 16u, 32u));
+
+TEST(WordLayout, Figure6Layout16)
+{
+    const WordLayout &l = WordLayout::restricted(16);
+    EXPECT_EQ(l.reclaimed, 5u);
+    EXPECT_EQ(l.k(), 6u);
+    EXPECT_EQ(l.signBit, 58u);
+    EXPECT_EQ(l.groupBitPos, 63u);
+    ASSERT_EQ(l.blocks.size(), 4u);
+    // The paper's 11-bit most significant block b58..b48.
+    EXPECT_EQ(l.blocks[3].loBit, 48u);
+    EXPECT_EQ(l.blocks[3].hiBit, 58u);
+    EXPECT_EQ(l.blocks[3].hiCostCell, 28u);
+    EXPECT_EQ(l.blocks[3].hiCell, 29u);
+}
+
+// ------------------------------------------------------------- WLCRC
+
+class WlcrcParam : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WlcrcParam, RoundTripCompressibleLines)
+{
+    const EnergyModel e;
+    const WlcrcCodec codec(e, GetParam());
+    Rng rng(1000 + GetParam());
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 300; ++i) {
+        const Line512 data =
+            compressibleLine(codec.compressionK(), rng);
+        ASSERT_TRUE(codec.compressible(data));
+        const auto target = codec.encode(data, stored);
+        EXPECT_EQ(target.cells[lineSymbols], State::S1);
+        stored = target.cells;
+        ASSERT_EQ(codec.decode(stored), data) << "iter " << i;
+    }
+}
+
+TEST_P(WlcrcParam, RoundTripIncompressibleLines)
+{
+    const EnergyModel e;
+    const WlcrcCodec codec(e, GetParam());
+    Rng rng(2000 + GetParam());
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    int raw_seen = 0;
+    for (int i = 0; i < 200; ++i) {
+        Line512 data;
+        for (unsigned w = 0; w < lineWords; ++w)
+            data.setWord(w, rng.next());
+        const auto target = codec.encode(data, stored);
+        if (!codec.compressible(data)) {
+            EXPECT_EQ(target.cells[lineSymbols], State::S2);
+            ++raw_seen;
+        }
+        stored = target.cells;
+        ASSERT_EQ(codec.decode(stored), data);
+    }
+    EXPECT_GT(raw_seen, 150); // random lines are rarely compressible
+}
+
+TEST_P(WlcrcParam, RoundTripRealisticWorkloadData)
+{
+    const EnergyModel e;
+    const WlcrcCodec codec(e, GetParam());
+    Rng rng(3000 + GetParam());
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 300; ++i) {
+        const auto type = static_cast<LineType>(
+            rng.nextBelow(trace::numLineTypes));
+        const Line512 data = ValueModel::generateLine(type, rng);
+        stored = codec.encode(data, stored).cells;
+        ASSERT_EQ(codec.decode(stored), data)
+            << lineTypeName(type) << " iter " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, WlcrcParam,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+TEST(Wlcrc, CompressionKPerGranularity)
+{
+    const EnergyModel e;
+    EXPECT_EQ(WlcrcCodec(e, 8).compressionK(), 9u);
+    EXPECT_EQ(WlcrcCodec(e, 16).compressionK(), 6u);
+    EXPECT_EQ(WlcrcCodec(e, 32).compressionK(), 4u);
+    EXPECT_EQ(WlcrcCodec(e, 64).compressionK(), 3u);
+}
+
+TEST(Wlcrc, SpaceOverheadIsOneCell)
+{
+    const EnergyModel e;
+    const WlcrcCodec codec(e, 16);
+    // Section VI-A: < 0.4 % overhead = 1 cell per 256.
+    EXPECT_EQ(codec.cellCount(), lineSymbols + 1);
+}
+
+TEST(Wlcrc, RejectsBadGranularity)
+{
+    const EnergyModel e;
+    EXPECT_THROW(WlcrcCodec(e, 24), std::invalid_argument);
+    EXPECT_THROW(WlcrcCodec(e, 128), std::invalid_argument);
+}
+
+TEST(Wlcrc, AuxCellsUseDefaultMappingLowStates)
+{
+    // Figure 6 / Section IX-A: an all-C1 encoding (aux bits all 0)
+    // leaves the reclaimed cells in S1.
+    const EnergyModel e;
+    const WlcrcCodec codec(e, 16);
+    Rng rng(42);
+    // Stored all S1, write an all-zero line: C1 keeps everything at
+    // S1 for free, so the aux-only cells (30, 31 per word) stay S1.
+    std::vector<State> stored(codec.cellCount(), State::S1);
+    const auto target = codec.encode(Line512(), stored);
+    for (unsigned w = 0; w < lineWords; ++w) {
+        EXPECT_EQ(target.cells[w * 32 + 30], State::S1);
+        EXPECT_EQ(target.cells[w * 32 + 31], State::S1);
+        EXPECT_TRUE(target.auxMask[w * 32 + 30]);
+        EXPECT_TRUE(target.auxMask[w * 32 + 31]);
+    }
+}
+
+TEST(Wlcrc, EncodingNeverCostsMoreThanAllC1)
+{
+    // The restricted selection includes "C1 everywhere" (all
+    // selector bits 0, either group), so the chosen encoding of each
+    // word can never cost more on its cost-cells than C1.
+    const EnergyModel e;
+    const WlcrcCodec codec(e, 16);
+    const coset::BaselineCodec base(e);
+    Rng rng(77);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 100; ++i) {
+        const Line512 data = compressibleLine(6, rng);
+        const auto target = codec.encode(data, stored);
+        const std::vector<State> base_stored(
+            stored.begin(), stored.begin() + lineSymbols);
+        const auto raw = base.encode(data, base_stored);
+        double enc = 0, c1 = 0;
+        const auto &layout = WordLayout::restricted(16);
+        for (unsigned w = 0; w < lineWords; ++w) {
+            for (const auto &blk : layout.blocks) {
+                for (unsigned c = blk.loCostCell;
+                     c <= blk.hiCostCell; ++c) {
+                    enc += e.writeEnergy(stored[w * 32 + c],
+                                         target.cells[w * 32 + c]);
+                    c1 += e.writeEnergy(stored[w * 32 + c],
+                                        raw.cells[w * 32 + c]);
+                }
+            }
+        }
+        EXPECT_LE(enc, c1 + 1e-9);
+        stored = target.cells;
+    }
+}
+
+// ------------------------------------------------- multi-objective
+
+TEST(WlcrcMultiObjective, ReducesUpdatedCellsAtSmallEnergyCost)
+{
+    const EnergyModel e;
+    const pcm::DisturbanceModel d;
+    const pcm::WriteUnit unit(e, d);
+    const WlcrcCodec plain(e, 16);
+    const WlcrcCodec mo(e, 16, 0.01);
+    Rng rng(88);
+
+    double plain_energy = 0, mo_energy = 0;
+    long plain_updated = 0, mo_updated = 0;
+    std::vector<State> sp(plain.cellCount(), State::S1);
+    std::vector<State> sm(mo.cellCount(), State::S1);
+    Rng rng2(88);
+    for (int i = 0; i < 400; ++i) {
+        const auto type = static_cast<LineType>(i % 4); // biased mix
+        const Line512 data = ValueModel::generateLine(type, rng);
+        const auto tp = plain.encode(data, sp);
+        const auto tm = mo.encode(data, sm);
+        for (unsigned c = 0; c < plain.cellCount(); ++c) {
+            plain_energy += e.writeEnergy(sp[c], tp.cells[c]);
+            plain_updated += sp[c] != tp.cells[c];
+            mo_energy += e.writeEnergy(sm[c], tm.cells[c]);
+            mo_updated += sm[c] != tm.cells[c];
+        }
+        sp = tp.cells;
+        sm = tm.cells;
+        ASSERT_EQ(mo.decode(sm), data);
+    }
+    // Section VIII-D: fewer updated cells, energy within ~2 %.
+    EXPECT_LE(mo_updated, plain_updated);
+    EXPECT_LE(mo_energy, plain_energy * 1.03);
+}
+
+TEST(WlcrcMultiObjective, NameReflectsMode)
+{
+    const EnergyModel e;
+    EXPECT_EQ(WlcrcCodec(e, 16).name(), "WLCRC-16");
+    EXPECT_EQ(WlcrcCodec(e, 16, 0.01).name(), "WLCRC-16-mo");
+}
+
+// -------------------------------------------------- WLC + n cosets
+
+class WlcCosetsParam
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(WlcCosetsParam, RoundTrip)
+{
+    const auto [ncand, gran] = GetParam();
+    const EnergyModel e;
+    const WlcCosetsCodec codec(e, ncand, gran);
+    Rng rng(4000 + 10 * ncand + gran);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    for (int i = 0; i < 200; ++i) {
+        const Line512 data =
+            (i % 3 == 0) ? compressibleLine(codec.compressionK(), rng)
+                         : ValueModel::generateLine(
+                               static_cast<LineType>(rng.nextBelow(
+                                   trace::numLineTypes)),
+                               rng);
+        stored = codec.encode(data, stored).cells;
+        ASSERT_EQ(codec.decode(stored), data) << codec.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WlcCosetsParam,
+    ::testing::Combine(::testing::Values(3u, 4u),
+                       ::testing::Values(8u, 16u, 32u, 64u)));
+
+TEST(WlcCosets, ReclaimedBitsMatchSectionVI)
+{
+    const EnergyModel e;
+    // "WLC has to reclaim 16, 8, 4 and 2 bits per word" for
+    // granularities 8, 16, 32, 64.
+    EXPECT_EQ(WlcCosetsCodec(e, 4, 8).reclaimedBits(), 16u);
+    EXPECT_EQ(WlcCosetsCodec(e, 4, 16).reclaimedBits(), 8u);
+    EXPECT_EQ(WlcCosetsCodec(e, 4, 32).reclaimedBits(), 4u);
+    EXPECT_EQ(WlcCosetsCodec(e, 4, 64).reclaimedBits(), 2u);
+}
+
+TEST(WlcCosets, CoverageDropsWithFinerGranularity)
+{
+    // Figure 4's cliff: k = 5 compresses far more lines than k = 9.
+    const EnergyModel e;
+    const WlcCosetsCodec g32(e, 4, 32); // k = 5
+    const WlcCosetsCodec g16(e, 4, 16); // k = 9
+    Rng rng(99);
+    unsigned ok32 = 0, ok16 = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Line512 data =
+            ValueModel::generateLine(LineType::Mid6, rng);
+        ok32 += g32.compressible(data);
+        ok16 += g16.compressible(data);
+    }
+    EXPECT_GT(ok32, 1800u);
+    EXPECT_LT(ok16, 400u);
+}
+
+// ------------------------------------------------------ COC+4cosets
+
+TEST(CocCosets, RoundTripAllFormats)
+{
+    const EnergyModel e;
+    const core::CocCosetsCodec codec(e);
+    Rng rng(5000);
+    std::vector<State> stored = randomStored(codec.cellCount(), rng);
+    std::set<State> flags_seen;
+    for (int i = 0; i < 400; ++i) {
+        const auto type = static_cast<LineType>(
+            rng.nextBelow(trace::numLineTypes));
+        const Line512 data = ValueModel::generateLine(type, rng);
+        const auto target = codec.encode(data, stored);
+        flags_seen.insert(target.cells[lineSymbols]);
+        stored = target.cells;
+        ASSERT_EQ(codec.decode(stored), data)
+            << lineTypeName(type) << " iter " << i;
+    }
+    // Compressed-16, compressed-32 and raw must all occur.
+    EXPECT_EQ(flags_seen.size(), 3u);
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(Factory, BuildsEveryFigure8Scheme)
+{
+    const EnergyModel e;
+    for (const auto &name : core::figure8Schemes()) {
+        const auto codec = core::makeCodec(name, e);
+        ASSERT_NE(codec, nullptr);
+        // Codec names may append their granularity (6cosets-512,
+        // WLC+4cosets-32) but must start with the scheme name.
+        EXPECT_EQ(codec->name().rfind(name, 0), 0u) << codec->name();
+        EXPECT_GE(codec->cellCount(), lineSymbols);
+    }
+}
+
+TEST(Factory, RejectsUnknownScheme)
+{
+    const EnergyModel e;
+    EXPECT_THROW(core::makeCodec("nonsense", e),
+                 std::invalid_argument);
+}
+
+TEST(Factory, AllSchemesRoundTripTogether)
+{
+    const EnergyModel e;
+    Rng rng(6000);
+    std::vector<coset::CodecPtr> codecs;
+    std::vector<std::vector<State>> stores;
+    for (const auto &name : core::figure8Schemes()) {
+        codecs.push_back(core::makeCodec(name, e));
+        stores.emplace_back(codecs.back()->cellCount(), State::S1);
+    }
+    for (int i = 0; i < 60; ++i) {
+        const auto type = static_cast<LineType>(
+            rng.nextBelow(trace::numLineTypes));
+        const Line512 data = ValueModel::generateLine(type, rng);
+        for (size_t c = 0; c < codecs.size(); ++c) {
+            stores[c] = codecs[c]->encode(data, stores[c]).cells;
+            ASSERT_EQ(codecs[c]->decode(stores[c]), data)
+                << codecs[c]->name();
+        }
+    }
+}
+
+} // namespace

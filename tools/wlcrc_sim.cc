@@ -1,0 +1,212 @@
+/**
+ * @file
+ * wlcrc_sim: the command-line front end of the trace-driven
+ * simulator — the workflow of the paper's Section VII in one binary.
+ *
+ * Modes:
+ *   --workload <name>      synthesize the named benchmark workload
+ *   --random               random-data workload (Figures 1a/2)
+ *   --trace-in <file>      replay an existing binary trace
+ *   --trace-out <file>     also persist the synthesized trace
+ *
+ * Options:
+ *   --scheme <name>        encoding scheme (default WLCRC-16);
+ *                          may be repeated
+ *   --lines <N>            write transactions to simulate
+ *   --seed <S>             RNG seed
+ *   --vnr                  run Verify-n-Restore after each write
+ *   --wear <endurance>     track per-cell wear and project lifetime
+ *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
+ *
+ * Output: one CSV row per scheme with the paper's three metrics.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "pcm/wear.hh"
+#include "trace/replay.hh"
+#include "trace/trace_io.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+struct Options
+{
+    std::vector<std::string> schemes;
+    std::string workload;
+    std::string traceIn;
+    std::string traceOut;
+    bool random = false;
+    bool vnr = false;
+    uint64_t lines = 10000;
+    uint64_t seed = 1;
+    uint64_t wearEndurance = 0;
+    double s3 = 307.0, s4 = 547.0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--scheme S]... (--workload W | --random | "
+        "--trace-in F)\n"
+        "          [--trace-out F] [--lines N] [--seed S] [--vnr]\n"
+        "          [--wear ENDURANCE] [--s3 pJ] [--s4 pJ]\n",
+        argv0);
+}
+
+std::optional<Options>
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--scheme") {
+            if (const char *v = next())
+                o.schemes.push_back(v);
+        } else if (a == "--workload") {
+            if (const char *v = next())
+                o.workload = v;
+        } else if (a == "--trace-in") {
+            if (const char *v = next())
+                o.traceIn = v;
+        } else if (a == "--trace-out") {
+            if (const char *v = next())
+                o.traceOut = v;
+        } else if (a == "--random") {
+            o.random = true;
+        } else if (a == "--vnr") {
+            o.vnr = true;
+        } else if (a == "--lines") {
+            if (const char *v = next())
+                o.lines = std::strtoull(v, nullptr, 0);
+        } else if (a == "--seed") {
+            if (const char *v = next())
+                o.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--wear") {
+            if (const char *v = next())
+                o.wearEndurance = std::strtoull(v, nullptr, 0);
+        } else if (a == "--s3") {
+            if (const char *v = next())
+                o.s3 = std::strtod(v, nullptr);
+        } else if (a == "--s4") {
+            if (const char *v = next())
+                o.s4 = std::strtod(v, nullptr);
+        } else {
+            usage(argv[0]);
+            return std::nullopt;
+        }
+    }
+    if (o.schemes.empty())
+        o.schemes.push_back("WLCRC-16");
+    const int sources = !o.workload.empty() + o.random +
+                        !o.traceIn.empty();
+    if (sources != 1) {
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    return o;
+}
+
+/** Pull the transaction stream for one full scheme run. */
+std::vector<trace::WriteTransaction>
+gatherTransactions(const Options &o)
+{
+    std::vector<trace::WriteTransaction> txns;
+    if (!o.traceIn.empty()) {
+        trace::TraceReader reader(o.traceIn);
+        while (const auto t = reader.read())
+            txns.push_back(*t);
+    } else if (o.random) {
+        trace::RandomWorkload random(o.seed);
+        for (uint64_t i = 0; i < o.lines; ++i)
+            txns.push_back(random.next());
+    } else {
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName(o.workload), o.seed);
+        for (uint64_t i = 0; i < o.lines; ++i)
+            txns.push_back(synth.next());
+    }
+    if (!o.traceOut.empty()) {
+        trace::TraceWriter writer(o.traceOut);
+        for (const auto &t : txns)
+            writer.write(t);
+    }
+    return txns;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parse(argc, argv);
+    if (!opts)
+        return 2;
+
+    try {
+        const auto energy = pcm::EnergyModel::withHighStateEnergies(
+            opts->s3, opts->s4);
+        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+        const auto txns = gatherTransactions(*opts);
+
+        CsvTable table({"scheme", "writes", "energy_pJ",
+                        "updated_cells", "disturb_errors",
+                        "compressed_pct", "vnr_iterations",
+                        "max_cell_wear", "projected_lifetime"});
+        for (const auto &scheme : opts->schemes) {
+            const auto codec = core::makeCodec(scheme, energy);
+            trace::Replayer rep(*codec, unit, opts->seed);
+            pcm::WearTracker wear(codec->cellCount());
+            if (opts->wearEndurance)
+                rep.device().attachWearTracker(&wear);
+            double vnr = 0;
+            for (const auto &t : txns) {
+                if (opts->vnr) {
+                    // Re-encode through the replayer but with the
+                    // repair loop enabled on the device write.
+                    vnr += rep.step(t).vnrIterations;
+                } else {
+                    rep.step(t);
+                }
+            }
+            const auto &r = rep.result();
+            table.newRow();
+            table.add(scheme);
+            table.add(r.writes);
+            table.add(r.energyPj.mean());
+            table.add(r.updatedCells.mean());
+            table.add(r.disturbErrors.mean());
+            table.add(100.0 * r.compressedWrites /
+                      std::max<uint64_t>(1, r.writes));
+            table.add(vnr / std::max<uint64_t>(1, r.writes));
+            if (opts->wearEndurance) {
+                table.add(wear.summary().maxCellWrites);
+                table.add(wear.projectedLifetime(
+                    opts->wearEndurance, r.writes));
+            } else {
+                table.add("-");
+                table.add("-");
+            }
+        }
+        table.write(std::cout);
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    return 0;
+}
