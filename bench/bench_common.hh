@@ -41,6 +41,20 @@ randomLines()
     return envU64("WLCRC_BENCH_RANDOM_LINES", 20000);
 }
 
+/** Worker threads for runner-driven sweeps (0 = all cores). */
+inline unsigned
+benchJobs()
+{
+    return static_cast<unsigned>(envU64("WLCRC_BENCH_JOBS", 0));
+}
+
+/** Replay shards per grid point (results depend on this, not jobs). */
+inline unsigned
+benchShards()
+{
+    return static_cast<unsigned>(envU64("WLCRC_BENCH_SHARDS", 1));
+}
+
 /** Replay @p lines synthetic writes of @p profile through @p codec. */
 inline trace::ReplayResult
 runWorkload(const coset::LineCodec &codec,

@@ -3,6 +3,11 @@
  * Shared driver for Figures 8/9/10: run every evaluated scheme over
  * every benchmark and tabulate one metric per (scheme, benchmark)
  * cell, with the paper's HMI/LMI grouping and averages.
+ *
+ * The {workload x scheme} grid executes on the parallel experiment
+ * runner (src/runner); WLCRC_BENCH_JOBS caps the worker threads and
+ * WLCRC_BENCH_SHARDS shards each replay. The printed table is
+ * identical for any job count.
  */
 
 #ifndef WLCRC_BENCH_SCHEME_SWEEP_HH
@@ -10,11 +15,14 @@
 
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
+#include "runner/grid.hh"
+#include "runner/runner.hh"
 #include "wlcrc/factory.hh"
 
 namespace wlcrc::bench
@@ -33,9 +41,21 @@ using MetricFn =
 inline std::map<std::string, double>
 schemeSweep(const std::string &metric_name, const MetricFn &metric)
 {
-    const pcm::EnergyModel energy;
     const auto schemes = core::figure8Schemes();
-    const uint64_t lines = linesPerWorkload();
+    const auto &profiles = trace::WorkloadProfile::all();
+
+    std::vector<std::string> workload_names;
+    for (const auto &p : profiles)
+        workload_names.push_back(p.name);
+
+    const runner::ExperimentRunner engine({benchJobs()});
+    const auto results =
+        engine.run(runner::ExperimentGrid()
+                       .workloads(workload_names)
+                       .schemes(schemes)
+                       .lines(linesPerWorkload())
+                       .seed(1234)
+                       .shards(benchShards()));
 
     std::vector<std::string> header = {"workload", "intensity"};
     header.insert(header.end(), schemes.begin(), schemes.end());
@@ -54,16 +74,21 @@ schemeSweep(const std::string &metric_name, const MetricFn &metric)
             table.add(sum.at(s) / n);
     };
 
-    for (const auto &p : trace::WorkloadProfile::all()) {
+    // Grid expansion is workload-major, scheme-minor, so the result
+    // of (workload w, scheme s) sits at w * schemes.size() + s.
+    for (std::size_t w = 0; w < profiles.size(); ++w) {
+        const auto &p = profiles[w];
         table.newRow();
         table.add(p.name);
         table.add(p.highIntensity ? "HMI" : "LMI");
-        for (const auto &s : schemes) {
-            const auto codec = core::makeCodec(s, energy);
-            const double v =
-                metric(runWorkload(*codec, p, lines));
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const auto &r = results[w * schemes.size() + s];
+            if (!r.ok)
+                throw std::runtime_error(r.spec.label() + ": " +
+                                         r.error);
+            const double v = metric(r.replay);
             table.add(v);
-            (p.highIntensity ? hmi_sum : lmi_sum)[s] += v;
+            (p.highIntensity ? hmi_sum : lmi_sum)[schemes[s]] += v;
         }
         ++(p.highIntensity ? hmi_n : lmi_n);
     }

@@ -66,4 +66,15 @@ Rng::nextDouble()
     return (next() >> 11) * 0x1.0p-53;
 }
 
+uint64_t
+childSeed(uint64_t parent, uint64_t shard)
+{
+    // Offset the parent along the SplitMix64 Weyl sequence by the
+    // shard index, then scramble. Distinct shards of one parent and
+    // equal shards of distinct parents both land far apart, and
+    // childSeed(p, s) never equals p itself.
+    uint64_t x = parent + shard * 0xbf58476d1ce4e5b9ull;
+    return splitMix64(x);
+}
+
 } // namespace wlcrc

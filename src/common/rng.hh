@@ -49,6 +49,14 @@ class Rng
     uint64_t s_[4];
 };
 
+/**
+ * Deterministically derive the seed of shard @p shard from
+ * @p parent (SplitMix64-style mixing). Sharded replays seed each
+ * shard's generator with childSeed(run_seed, shard) so results are
+ * reproducible regardless of how shards are scheduled onto threads.
+ */
+uint64_t childSeed(uint64_t parent, uint64_t shard);
+
 } // namespace wlcrc
 
 #endif // WLCRC_COMMON_RNG_HH

@@ -38,6 +38,21 @@ WearTracker::recordLine(uint64_t addr,
     }
 }
 
+void
+WearTracker::merge(const WearTracker &o)
+{
+    assert(o.cellsPerLine_ == cellsPerLine_);
+    for (const auto &[addr, cells] : o.wear_) {
+        auto it = wear_.find(addr);
+        if (it == wear_.end()) {
+            wear_.emplace(addr, cells);
+            continue;
+        }
+        for (unsigned c = 0; c < cellsPerLine_; ++c)
+            it->second[c] += cells[c];
+    }
+}
+
 uint64_t
 WearTracker::cellWrites(uint64_t addr, unsigned cell) const
 {

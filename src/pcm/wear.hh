@@ -46,6 +46,13 @@ class WearTracker
     /** Record a whole-line update mask. */
     void recordLine(uint64_t addr, const std::vector<bool> &updated);
 
+    /**
+     * Fold another tracker's per-cell counts into this one. Used to
+     * combine the per-shard trackers of a sharded replay (shards
+     * partition the address space, so maps are typically disjoint).
+     */
+    void merge(const WearTracker &o);
+
     /** Write count of one cell (0 if untouched). */
     uint64_t cellWrites(uint64_t addr, unsigned cell) const;
 

@@ -1,0 +1,39 @@
+#include "experiment.hh"
+
+#include <sstream>
+
+namespace wlcrc::runner
+{
+
+std::string
+DeviceConfig::label() const
+{
+    std::ostringstream os;
+    os << "s3=" << s3 << ",s4=" << s4;
+    if (vnr)
+        os << ",vnr";
+    if (wearEndurance)
+        os << ",wear=" << wearEndurance;
+    return os.str();
+}
+
+std::string
+ExperimentSpec::sourceName() const
+{
+    if (txns)
+        return "trace";
+    if (random)
+        return "random";
+    return workload;
+}
+
+std::string
+ExperimentSpec::label() const
+{
+    std::ostringstream os;
+    os << scheme << '/' << sourceName() << "/lines=" << lines
+       << "/seed=" << seed << "/shards=" << shards;
+    return os.str();
+}
+
+} // namespace wlcrc::runner

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment descriptions for the parallel experiment runner: one
+ * ExperimentSpec pins down a single {codec scheme, workload, line
+ * count, device config, seed} evaluation point of the paper's
+ * Section VII grid, and ExperimentResult carries its merged metrics.
+ *
+ * Sharding: a spec's transaction stream is partitioned into
+ * `shards` sub-streams by line address (addr % shards), so every
+ * line's full write history lands in exactly one shard and priming /
+ * differential-write state stays coherent. Shard s replays on a
+ * device seeded with childSeed(seed, s) when shards > 1; a
+ * single-shard spec uses `seed` directly and is bit-identical with
+ * the legacy serial Replayer path.
+ */
+
+#ifndef WLCRC_RUNNER_EXPERIMENT_HH
+#define WLCRC_RUNNER_EXPERIMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcm/wear.hh"
+#include "trace/replay.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::runner
+{
+
+/** Device-side knobs shared by a group of experiments. */
+struct DeviceConfig
+{
+    double s3 = 307.0;           //!< S3 SET energy override (pJ)
+    double s4 = 547.0;           //!< S4 SET energy override (pJ)
+    bool vnr = false;            //!< run Verify-n-Restore per write
+    uint64_t wearEndurance = 0;  //!< per-cell endurance; 0 = no wear
+
+    /** Short label for result rows, e.g. "s3=307,s4=547". */
+    std::string label() const;
+};
+
+/** One grid point: what to replay, through what, and how. */
+struct ExperimentSpec
+{
+    std::string scheme = "WLCRC-16"; //!< factory codec name
+    /** Named benchmark workload; empty = random or shared source. */
+    std::string workload;
+    /** Use the uniform-random workload (Figures 1a/2). */
+    bool random = false;
+    /**
+     * Pre-gathered transaction stream (e.g. a loaded trace file),
+     * shared read-only across specs and shards. Overrides
+     * workload/random when set.
+     */
+    std::shared_ptr<const std::vector<trace::WriteTransaction>> txns;
+    uint64_t lines = 10000; //!< writes to synthesize (ignored w/ txns)
+    uint64_t seed = 1;      //!< synthesis + device master seed
+    unsigned shards = 1;    //!< parallel shards (fixed, not #threads)
+    DeviceConfig device;
+
+    /** "workload", "random" or "trace" — the stream's origin. */
+    std::string sourceName() const;
+    /** Human-readable point label for reports and logs. */
+    std::string label() const;
+};
+
+/** Merged metrics of one completed grid point. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+    trace::ReplayResult replay;    //!< merged across shards
+    pcm::WearSummary wear;         //!< merged wear (if tracked)
+    uint64_t projectedLifetime = 0;
+    bool ok = false;
+    std::string error;             //!< failure reason when !ok
+};
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_EXPERIMENT_HH

@@ -1,0 +1,131 @@
+#include "grid.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wlcrc::runner
+{
+
+ExperimentGrid &
+ExperimentGrid::schemes(std::vector<std::string> v)
+{
+    schemes_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::workloads(std::vector<std::string> v)
+{
+    workloads_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::randomSource()
+{
+    random_ = true;
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::transactions(
+    std::shared_ptr<const std::vector<trace::WriteTransaction>> txns)
+{
+    txns_ = std::move(txns);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::lineCounts(std::vector<uint64_t> v)
+{
+    lineCounts_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::lines(uint64_t n)
+{
+    lineCounts_ = {n};
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::seeds(std::vector<uint64_t> v)
+{
+    seeds_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::seed(uint64_t s)
+{
+    seeds_ = {s};
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::deviceConfigs(std::vector<DeviceConfig> v)
+{
+    configs_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::shards(unsigned n)
+{
+    shards_ = n ? n : 1;
+    return *this;
+}
+
+std::size_t
+ExperimentGrid::size() const
+{
+    const std::size_t sources =
+        workloads_.empty() ? 1 : workloads_.size();
+    return sources * schemes_.size() * lineCounts_.size() *
+           seeds_.size() * configs_.size();
+}
+
+std::vector<ExperimentSpec>
+ExperimentGrid::expand() const
+{
+    if (workloads_.empty() && !random_ && !txns_) {
+        throw std::invalid_argument(
+            "ExperimentGrid: no transaction source configured "
+            "(workloads / randomSource / transactions)");
+    }
+
+    // A single pseudo-workload entry keeps the loop nest uniform
+    // when the source is random data or a shared stream.
+    const std::vector<std::string> sources =
+        workloads_.empty() ? std::vector<std::string>{""}
+                           : workloads_;
+
+    std::vector<ExperimentSpec> specs;
+    specs.reserve(size());
+    for (const auto &workload : sources) {
+        for (const auto &scheme : schemes_) {
+            for (const uint64_t lines : lineCounts_) {
+                for (const uint64_t seed : seeds_) {
+                    for (const auto &cfg : configs_) {
+                        ExperimentSpec s;
+                        s.scheme = scheme;
+                        s.workload = workload;
+                        s.random = workload.empty() && random_;
+                        s.txns =
+                            workload.empty() && !random_ ? txns_
+                                                         : nullptr;
+                        s.lines = lines;
+                        s.seed = seed;
+                        s.shards = shards_;
+                        s.device = cfg;
+                        specs.push_back(std::move(s));
+                    }
+                }
+            }
+        }
+    }
+    return specs;
+}
+
+} // namespace wlcrc::runner

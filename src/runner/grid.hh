@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ExperimentGrid: the cartesian sweep builder behind the paper's
+ * evaluation tables. Axes default to a single sensible value, so a
+ * grid is declared by naming only the axes that actually vary:
+ *
+ *   auto specs = ExperimentGrid()
+ *                    .schemes(core::figure8Schemes())
+ *                    .workloads(allWorkloadNames())
+ *                    .lines(3000)
+ *                    .expand();
+ *
+ * Expansion order is deterministic and paper-shaped: workload-major
+ * (table rows), then scheme (table columns), then line count, seed
+ * and device config.
+ */
+
+#ifndef WLCRC_RUNNER_GRID_HH
+#define WLCRC_RUNNER_GRID_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hh"
+
+namespace wlcrc::runner
+{
+
+/** Cartesian-product builder of ExperimentSpecs. */
+class ExperimentGrid
+{
+  public:
+    ExperimentGrid &schemes(std::vector<std::string> v);
+    ExperimentGrid &workloads(std::vector<std::string> v);
+    /** Use the uniform-random workload as the (single) source. */
+    ExperimentGrid &randomSource();
+    /** Use a pre-gathered stream as the (single) source. */
+    ExperimentGrid &transactions(
+        std::shared_ptr<const std::vector<trace::WriteTransaction>>
+            txns);
+    ExperimentGrid &lineCounts(std::vector<uint64_t> v);
+    ExperimentGrid &lines(uint64_t n);
+    ExperimentGrid &seeds(std::vector<uint64_t> v);
+    ExperimentGrid &seed(uint64_t s);
+    ExperimentGrid &deviceConfigs(std::vector<DeviceConfig> v);
+    ExperimentGrid &shards(unsigned n);
+
+    /** Number of specs expand() will produce. */
+    std::size_t size() const;
+
+    /**
+     * Materialise the grid as a flat spec list in deterministic
+     * order. @throws std::invalid_argument if no transaction source
+     * (workloads, random or transactions) was configured.
+     */
+    std::vector<ExperimentSpec> expand() const;
+
+  private:
+    std::vector<std::string> schemes_ = {"WLCRC-16"};
+    std::vector<std::string> workloads_;
+    bool random_ = false;
+    std::shared_ptr<const std::vector<trace::WriteTransaction>>
+        txns_;
+    std::vector<uint64_t> lineCounts_ = {10000};
+    std::vector<uint64_t> seeds_ = {1};
+    std::vector<DeviceConfig> configs_ = {DeviceConfig{}};
+    unsigned shards_ = 1;
+};
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_GRID_HH

@@ -1,0 +1,127 @@
+#include "report.hh"
+
+#include <algorithm>
+
+#include "common/csv.hh"
+
+namespace wlcrc::runner
+{
+
+namespace
+{
+
+double
+compressedPct(const trace::ReplayResult &r)
+{
+    return 100.0 * static_cast<double>(r.compressedWrites) /
+           static_cast<double>(std::max<uint64_t>(1, r.writes));
+}
+
+double
+vnrPerWrite(const trace::ReplayResult &r)
+{
+    return static_cast<double>(r.vnrIterations) /
+           static_cast<double>(std::max<uint64_t>(1, r.writes));
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u00";
+            const char *hex = "0123456789abcdef";
+            out += hex[(c >> 4) & 0xf];
+            out += hex[c & 0xf];
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+CsvReporter::write(std::ostream &os,
+                   const std::vector<ExperimentResult> &results) const
+{
+    CsvTable table({"scheme", "source", "lines", "seed", "shards",
+                    "status", "writes", "energy_pJ", "updated_cells",
+                    "disturb_errors", "compressed_pct",
+                    "vnr_per_write", "max_cell_wear",
+                    "projected_lifetime"});
+    for (const auto &r : results) {
+        table.newRow();
+        table.add(r.spec.scheme);
+        table.add(r.spec.sourceName());
+        // `lines` is ignored for pre-gathered streams; the real
+        // count is the writes column.
+        if (r.spec.txns)
+            table.add("-");
+        else
+            table.add(r.spec.lines);
+        table.add(r.spec.seed);
+        table.add(r.spec.shards);
+        table.add(r.ok ? "ok" : "error");
+        table.add(r.replay.writes);
+        table.add(r.replay.energyPj.mean());
+        table.add(r.replay.updatedCells.mean());
+        table.add(r.replay.disturbErrors.mean());
+        table.add(compressedPct(r.replay));
+        table.add(vnrPerWrite(r.replay));
+        if (r.spec.device.wearEndurance && r.ok) {
+            table.add(r.wear.maxCellWrites);
+            table.add(r.projectedLifetime);
+        } else {
+            table.add("-");
+            table.add("-");
+        }
+    }
+    table.write(os);
+}
+
+void
+JsonReporter::write(std::ostream &os,
+                    const std::vector<ExperimentResult> &results)
+    const
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "  {\"scheme\":\"" << jsonEscape(r.spec.scheme)
+           << "\",\"source\":\"" << jsonEscape(r.spec.sourceName())
+           << "\"";
+        if (!r.spec.txns)
+            os << ",\"lines\":" << r.spec.lines;
+        os << ",\"seed\":" << r.spec.seed
+           << ",\"shards\":" << r.spec.shards << ",\"ok\":"
+           << (r.ok ? "true" : "false");
+        if (!r.ok) {
+            os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
+        } else {
+            os << ",\"writes\":" << r.replay.writes
+               << ",\"energy_pj\":" << r.replay.energyPj.mean()
+               << ",\"updated_cells\":"
+               << r.replay.updatedCells.mean()
+               << ",\"disturb_errors\":"
+               << r.replay.disturbErrors.mean()
+               << ",\"compressed_pct\":" << compressedPct(r.replay)
+               << ",\"vnr_per_write\":" << vnrPerWrite(r.replay);
+            if (r.spec.device.wearEndurance) {
+                os << ",\"max_cell_wear\":" << r.wear.maxCellWrites
+                   << ",\"projected_lifetime\":"
+                   << r.projectedLifetime;
+            }
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+} // namespace wlcrc::runner

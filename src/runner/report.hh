@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Result reporters for the experiment runner: one row/object per
+ * grid point, to CSV (via common/csv, for spreadsheets and the
+ * paper's tables) or JSON (for downstream tooling). Reporters are
+ * deterministic formatters — rows come out in spec order with fixed
+ * columns, so reports are byte-comparable across runs and job
+ * counts.
+ */
+
+#ifndef WLCRC_RUNNER_REPORT_HH
+#define WLCRC_RUNNER_REPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "runner/experiment.hh"
+
+namespace wlcrc::runner
+{
+
+/** Streams a batch of experiment results in some format. */
+class Reporter
+{
+  public:
+    virtual ~Reporter() = default;
+
+    virtual void
+    write(std::ostream &os,
+          const std::vector<ExperimentResult> &results) const = 0;
+};
+
+/**
+ * CSV report: grid coordinates, then the paper's metrics. Failed
+ * grid points appear with an "error" status column so a sweep's
+ * output always has one row per requested point.
+ */
+class CsvReporter : public Reporter
+{
+  public:
+    void write(std::ostream &os,
+               const std::vector<ExperimentResult> &results)
+        const override;
+};
+
+/** JSON report: an array of result objects, same fields as CSV. */
+class JsonReporter : public Reporter
+{
+  public:
+    void write(std::ostream &os,
+               const std::vector<ExperimentResult> &results)
+        const override;
+};
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_REPORT_HH

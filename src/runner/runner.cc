@@ -1,0 +1,137 @@
+#include "runner.hh"
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+#include "runner/thread_pool.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace wlcrc::runner
+{
+
+namespace
+{
+
+/** Everything one shard task produces. */
+struct ShardOutcome
+{
+    trace::ReplayResult replay;
+    std::optional<pcm::WearTracker> wear;
+    std::string error; // empty = success
+};
+
+/**
+ * Replay shard @p shard of @p spec. The full transaction stream is
+ * re-derived (or re-read from the shared vector) and filtered down
+ * to this shard's addresses; synthesis is cheap relative to replay
+ * and keeping shards source-independent avoids any cross-thread
+ * coordination.
+ */
+ShardOutcome
+runShard(const ExperimentSpec &spec, unsigned shard)
+{
+    ShardOutcome out;
+    try {
+        const auto energy = pcm::EnergyModel::withHighStateEnergies(
+            spec.device.s3, spec.device.s4);
+        const auto codec = core::makeCodec(spec.scheme, energy);
+        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+        trace::Replayer rep(*codec, unit,
+                            shardSeed(spec.seed, shard, spec.shards),
+                            spec.device.vnr);
+        if (spec.device.wearEndurance) {
+            out.wear.emplace(codec->cellCount());
+            rep.device().attachWearTracker(&*out.wear);
+        }
+
+        auto replayIfMine = [&](const trace::WriteTransaction &t) {
+            if (shardOf(t.lineAddr, spec.shards) == shard)
+                rep.step(t);
+        };
+        if (spec.txns) {
+            for (const auto &t : *spec.txns)
+                replayIfMine(t);
+        } else if (spec.random) {
+            trace::RandomWorkload random(spec.seed);
+            for (uint64_t i = 0; i < spec.lines; ++i)
+                replayIfMine(random.next());
+        } else {
+            trace::TraceSynthesizer synth(
+                trace::WorkloadProfile::byName(spec.workload),
+                spec.seed);
+            for (uint64_t i = 0; i < spec.lines; ++i)
+                replayIfMine(synth.next());
+        }
+        out.replay = rep.result();
+    } catch (const std::exception &err) {
+        out.error = err.what();
+    }
+    return out;
+}
+
+/** Merge per-shard outcomes (in shard order) into one result. */
+ExperimentResult
+mergeShards(const ExperimentSpec &spec,
+            std::vector<ShardOutcome> &outcomes)
+{
+    ExperimentResult res;
+    res.spec = spec;
+    std::optional<pcm::WearTracker> wear;
+    for (auto &o : outcomes) {
+        if (!o.error.empty()) {
+            res.error = o.error;
+            return res;
+        }
+        res.replay.merge(o.replay);
+        if (o.wear) {
+            if (!wear)
+                wear = std::move(o.wear);
+            else
+                wear->merge(*o.wear);
+        }
+    }
+    if (wear) {
+        res.wear = wear->summary();
+        res.projectedLifetime = wear->projectedLifetime(
+            spec.device.wearEndurance, res.replay.writes);
+    }
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+std::vector<ExperimentResult>
+ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
+{
+    // One outcome slot per (spec, shard); tasks only touch their
+    // own slot, so no synchronisation is needed beyond the pool's.
+    std::vector<std::vector<ShardOutcome>> outcomes(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        outcomes[i].resize(specs[i].shards ? specs[i].shards : 1);
+
+    {
+        ThreadPool pool(opts_.jobs);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            for (unsigned s = 0; s < outcomes[i].size(); ++s) {
+                pool.submit([&specs, &outcomes, i, s] {
+                    outcomes[i][s] = runShard(specs[i], s);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        results.push_back(mergeShards(specs[i], outcomes[i]));
+    return results;
+}
+
+} // namespace wlcrc::runner

@@ -1,0 +1,74 @@
+#include "thread_pool.hh"
+
+namespace wlcrc::runner
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (!threads)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            workReady_.wait(
+                lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and no work left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace wlcrc::runner

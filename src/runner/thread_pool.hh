@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-size thread pool with a plain FIFO queue. Deliberately
+ * simple (no work stealing, no futures): the runner's tasks are
+ * coarse (one replay shard each), so a mutex-guarded queue is
+ * nowhere near the bottleneck, and FIFO keeps scheduling easy to
+ * reason about.
+ */
+
+#ifndef WLCRC_RUNNER_THREAD_POOL_HH
+#define WLCRC_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wlcrc::runner
+{
+
+/**
+ * Fixed pool of worker threads draining a FIFO task queue.
+ * Tasks must not throw; wrap fallible work and capture errors into
+ * the task's own result slot.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const { return workers_.size(); }
+
+    /** 0-guarded hardware concurrency. */
+    static unsigned defaultThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_THREAD_POOL_HH

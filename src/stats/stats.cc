@@ -98,6 +98,13 @@ StatSet::operator[](const std::string &key)
     return stats_[key];
 }
 
+void
+StatSet::merge(const StatSet &o)
+{
+    for (const auto &[name, s] : o.stats_)
+        stats_[name].merge(s);
+}
+
 const RunningStat *
 StatSet::find(const std::string &key) const
 {

@@ -92,6 +92,9 @@ class StatSet
 
     const RunningStat *find(const std::string &key) const;
 
+    /** Merge every stat of @p o into the same-named stat here. */
+    void merge(const StatSet &o);
+
     /** Dump "name,count,mean,min,max,stddev" rows. */
     void write(std::ostream &os) const;
 

@@ -3,9 +3,28 @@
 namespace wlcrc::trace
 {
 
+void
+ReplayResult::merge(const ReplayResult &o)
+{
+    energyPj.merge(o.energyPj);
+    dataEnergyPj.merge(o.dataEnergyPj);
+    auxEnergyPj.merge(o.auxEnergyPj);
+    updatedCells.merge(o.updatedCells);
+    dataUpdated.merge(o.dataUpdated);
+    auxUpdated.merge(o.auxUpdated);
+    disturbErrors.merge(o.disturbErrors);
+    dataDisturbed.merge(o.dataDisturbed);
+    auxDisturbed.merge(o.auxDisturbed);
+    writes += o.writes;
+    compressedWrites += o.compressedWrites;
+    vnrIterations += o.vnrIterations;
+}
+
 Replayer::Replayer(const coset::LineCodec &codec,
-                   const pcm::WriteUnit &unit, uint64_t seed)
-    : codec_(codec), device_(codec.cellCount(), unit, seed)
+                   const pcm::WriteUnit &unit, uint64_t seed,
+                   bool verify_n_restore)
+    : codec_(codec), device_(codec.cellCount(), unit, seed),
+      vnr_(verify_n_restore)
 {
 }
 
@@ -29,7 +48,8 @@ Replayer::step(const WriteTransaction &txn)
         ++result_.compressedWrites;
     }
 
-    const pcm::WriteStats st = device_.write(txn.lineAddr, target);
+    const pcm::WriteStats st =
+        device_.write(txn.lineAddr, target, vnr_);
     result_.energyPj.add(st.totalEnergyPj());
     result_.dataEnergyPj.add(st.dataEnergyPj);
     result_.auxEnergyPj.add(st.auxEnergyPj);
@@ -39,6 +59,7 @@ Replayer::step(const WriteTransaction &txn)
     result_.disturbErrors.add(st.totalDisturbed());
     result_.dataDisturbed.add(st.dataDisturbed);
     result_.auxDisturbed.add(st.auxDisturbed);
+    result_.vnrIterations += st.vnrIterations;
     ++result_.writes;
     return st;
 }

@@ -36,6 +36,14 @@ struct ReplayResult
     stats::RunningStat auxDisturbed;
     uint64_t writes = 0;
     uint64_t compressedWrites = 0; //!< flag-cell = compressed formats
+    uint64_t vnrIterations = 0;    //!< total Verify-n-Restore passes
+
+    /**
+     * Fold another replay's metrics into this one, as if both
+     * transaction streams had been replayed back-to-back. Used to
+     * combine per-shard results of a sharded replay.
+     */
+    void merge(const ReplayResult &o);
 };
 
 /** Replays transactions through one codec onto one device. */
@@ -46,9 +54,10 @@ class Replayer
      * @param codec  encoding scheme under test.
      * @param unit   energy/disturbance model.
      * @param seed   device disturbance-sampling seed.
+     * @param verify_n_restore  run the VnR repair loop per write.
      */
     Replayer(const coset::LineCodec &codec, const pcm::WriteUnit &unit,
-             uint64_t seed = 7);
+             uint64_t seed = 7, bool verify_n_restore = false);
 
     /** Replay one transaction (priming the line if first touch). */
     pcm::WriteStats step(const WriteTransaction &txn);
@@ -69,6 +78,7 @@ class Replayer
     const coset::LineCodec &codec_;
     pcm::Device device_;
     ReplayResult result_;
+    bool vnr_;
 };
 
 } // namespace wlcrc::trace

@@ -12,6 +12,7 @@
 #include "pcm/device.hh"
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
+#include "pcm/wear.hh"
 #include "pcm/write_unit.hh"
 
 namespace
@@ -216,6 +217,31 @@ TEST(SystemConfig, TableIITopology)
     EXPECT_EQ(cfg.writeQueueEntries, 32u);
     EXPECT_DOUBLE_EQ(cfg.writeDrainThreshold, 0.80);
     EXPECT_EQ(cfg.l2Bytes, 2ull * 1024 * 1024);
+}
+
+TEST(WearTracker, MergeMatchesSingleTrackerOracle)
+{
+    pcm::WearTracker oracle(4), a(4), b(4);
+    // Disjoint addresses (the sharded-replay case) plus one shared
+    // address to cover elementwise addition.
+    for (int i = 0; i < 50; ++i) {
+        oracle.recordProgram(10, i % 4);
+        a.recordProgram(10, i % 4);
+        oracle.recordProgram(20, i % 3);
+        b.recordProgram(20, i % 3);
+        oracle.recordProgram(30, 0);
+        (i % 2 ? a : b).recordProgram(30, 0);
+    }
+    a.merge(b);
+    for (const uint64_t addr : {10u, 20u, 30u}) {
+        for (unsigned c = 0; c < 4; ++c)
+            EXPECT_EQ(a.cellWrites(addr, c),
+                      oracle.cellWrites(addr, c));
+    }
+    const auto sa = a.summary(), so = oracle.summary();
+    EXPECT_EQ(sa.maxCellWrites, so.maxCellWrites);
+    EXPECT_EQ(sa.totalWrites, so.totalWrites);
+    EXPECT_EQ(sa.touchedCells, so.touchedCells);
 }
 
 } // namespace

@@ -109,6 +109,32 @@ TEST(StatSet, NamedAccumulation)
     EXPECT_EQ(set.find("nope"), nullptr);
 }
 
+TEST(StatSet, MergeCombinesByName)
+{
+    StatSet all, a, b;
+    for (int i = 0; i < 60; ++i) {
+        const double x = 0.5 * i - 7;
+        all["energy"].add(x);
+        (i % 2 ? a : b)["energy"].add(x);
+        if (i % 3 == 0) {
+            all["cells"].add(i);
+            (i % 2 ? a : b)["cells"].add(i);
+        }
+    }
+    b["only_b"].add(42);
+    a.merge(b);
+    ASSERT_NE(a.find("energy"), nullptr);
+    EXPECT_EQ(a.find("energy")->count(),
+              all.find("energy")->count());
+    EXPECT_NEAR(a.find("energy")->mean(),
+                all.find("energy")->mean(), 1e-12);
+    EXPECT_NEAR(a.find("energy")->variance(),
+                all.find("energy")->variance(), 1e-9);
+    EXPECT_EQ(a.find("cells")->count(), all.find("cells")->count());
+    ASSERT_NE(a.find("only_b"), nullptr);
+    EXPECT_DOUBLE_EQ(a.find("only_b")->mean(), 42.0);
+}
+
 TEST(StatSet, WritesCsv)
 {
     StatSet set;

@@ -276,6 +276,76 @@ TEST(Replayer, StatsArePopulatedAndConsistent)
     EXPECT_EQ(r.auxEnergyPj.max(), 0.0);
 }
 
+TEST(ReplayResult, MergeMatchesSingleStreamOracle)
+{
+    // Feed one sample stream into an oracle result and, split
+    // round-robin, into two partial results; merging the partials
+    // must reproduce the oracle's Welford moments and counters.
+    trace::ReplayResult oracle, a, b;
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const double energy = 20.0 + rng.nextDouble() * 500.0;
+        const double cells = rng.nextBelow(128);
+        const double errors = rng.nextBelow(8);
+        for (trace::ReplayResult *r :
+             {&oracle, i % 2 ? &a : &b}) {
+            r->energyPj.add(energy);
+            r->updatedCells.add(cells);
+            r->disturbErrors.add(errors);
+            ++r->writes;
+            if (errors > 0)
+                ++r->vnrIterations;
+            if (i % 3 == 0)
+                ++r->compressedWrites;
+        }
+    }
+    a.merge(b);
+    EXPECT_EQ(a.writes, oracle.writes);
+    EXPECT_EQ(a.compressedWrites, oracle.compressedWrites);
+    EXPECT_EQ(a.vnrIterations, oracle.vnrIterations);
+    EXPECT_EQ(a.energyPj.count(), oracle.energyPj.count());
+    EXPECT_NEAR(a.energyPj.mean(), oracle.energyPj.mean(), 1e-9);
+    EXPECT_NEAR(a.energyPj.variance(), oracle.energyPj.variance(),
+                1e-6);
+    EXPECT_DOUBLE_EQ(a.energyPj.min(), oracle.energyPj.min());
+    EXPECT_DOUBLE_EQ(a.energyPj.max(), oracle.energyPj.max());
+    EXPECT_NEAR(a.updatedCells.mean(), oracle.updatedCells.mean(),
+                1e-9);
+    EXPECT_NEAR(a.disturbErrors.mean(),
+                oracle.disturbErrors.mean(), 1e-9);
+}
+
+TEST(ReplayResult, MergeWithEmptyIsIdentity)
+{
+    trace::ReplayResult r, empty;
+    r.energyPj.add(5.0);
+    ++r.writes;
+    r.merge(empty);
+    EXPECT_EQ(r.writes, 1u);
+    EXPECT_DOUBLE_EQ(r.energyPj.mean(), 5.0);
+    empty.merge(r);
+    EXPECT_EQ(empty.writes, 1u);
+    EXPECT_DOUBLE_EQ(empty.energyPj.mean(), 5.0);
+}
+
+TEST(Replayer, VnrFlagEnablesRepairLoop)
+{
+    // With VnR enabled the repair loop runs to convergence, so the
+    // iteration count must be at least the detection-only count.
+    const pcm::EnergyModel e;
+    const pcm::WriteUnit unit{e, pcm::DisturbanceModel()};
+    const auto codec = core::makeCodec("Baseline", e);
+    trace::Replayer plain(*codec, unit, 5);
+    trace::Replayer vnr(*codec, unit, 5, true);
+    TraceSynthesizer s1(WorkloadProfile::byName("lesl"), 5);
+    TraceSynthesizer s2(WorkloadProfile::byName("lesl"), 5);
+    plain.run(s1, 200);
+    vnr.run(s2, 200);
+    EXPECT_GT(plain.result().vnrIterations, 0u);
+    EXPECT_GE(vnr.result().vnrIterations,
+              plain.result().vnrIterations);
+}
+
 TEST(Replayer, WlcCompressesMostBiasedLines)
 {
     // Figure 4's headline: WLC (k = 6) compresses > 85 % of lines

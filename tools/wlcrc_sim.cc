@@ -1,7 +1,8 @@
 /**
  * @file
  * wlcrc_sim: the command-line front end of the trace-driven
- * simulator — the workflow of the paper's Section VII in one binary.
+ * simulator — the workflow of the paper's Section VII in one binary,
+ * executed by the parallel experiment runner (src/runner).
  *
  * Modes:
  *   --workload <name>      synthesize the named benchmark workload
@@ -14,27 +15,31 @@
  *                          may be repeated
  *   --lines <N>            write transactions to simulate
  *   --seed <S>             RNG seed
+ *   --jobs <N>             worker threads (default: all cores)
+ *   --shards <N>           shards per scheme run (default 1);
+ *                          results depend on the shard count but
+ *                          never on --jobs
  *   --vnr                  run Verify-n-Restore after each write
  *   --wear <endurance>     track per-cell wear and project lifetime
  *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
+ *   --json                 report JSON instead of CSV
  *
- * Output: one CSV row per scheme with the paper's three metrics.
+ * Output: one row/object per scheme with the paper's three metrics.
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "common/csv.hh"
-#include "pcm/wear.hh"
-#include "trace/replay.hh"
+#include "runner/grid.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
-#include "wlcrc/factory.hh"
 
 namespace
 {
@@ -49,9 +54,12 @@ struct Options
     std::string traceOut;
     bool random = false;
     bool vnr = false;
+    bool json = false;
     uint64_t lines = 10000;
     uint64_t seed = 1;
     uint64_t wearEndurance = 0;
+    unsigned jobs = 0;
+    unsigned shards = 1;
     double s3 = 307.0, s4 = 547.0;
 };
 
@@ -61,8 +69,10 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--scheme S]... (--workload W | --random | "
         "--trace-in F)\n"
-        "          [--trace-out F] [--lines N] [--seed S] [--vnr]\n"
-        "          [--wear ENDURANCE] [--s3 pJ] [--s4 pJ]\n",
+        "          [--trace-out F] [--lines N] [--seed S] "
+        "[--jobs N] [--shards N]\n"
+        "          [--vnr] [--wear ENDURANCE] [--s3 pJ] [--s4 pJ] "
+        "[--json]\n",
         argv0);
 }
 
@@ -91,12 +101,20 @@ parse(int argc, char **argv)
             o.random = true;
         } else if (a == "--vnr") {
             o.vnr = true;
+        } else if (a == "--json") {
+            o.json = true;
         } else if (a == "--lines") {
             if (const char *v = next())
                 o.lines = std::strtoull(v, nullptr, 0);
         } else if (a == "--seed") {
             if (const char *v = next())
                 o.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--jobs") {
+            if (const char *v = next())
+                o.jobs = std::strtoul(v, nullptr, 0);
+        } else if (a == "--shards") {
+            if (const char *v = next())
+                o.shards = std::strtoul(v, nullptr, 0);
         } else if (a == "--wear") {
             if (const char *v = next())
                 o.wearEndurance = std::strtoull(v, nullptr, 0);
@@ -122,31 +140,37 @@ parse(int argc, char **argv)
     return o;
 }
 
-/** Pull the transaction stream for one full scheme run. */
-std::vector<trace::WriteTransaction>
-gatherTransactions(const Options &o)
+/** Load a trace file into a shareable stream for the runner. */
+std::shared_ptr<const std::vector<trace::WriteTransaction>>
+loadTrace(const std::string &path)
 {
-    std::vector<trace::WriteTransaction> txns;
-    if (!o.traceIn.empty()) {
-        trace::TraceReader reader(o.traceIn);
-        while (const auto t = reader.read())
-            txns.push_back(*t);
-    } else if (o.random) {
+    auto txns =
+        std::make_shared<std::vector<trace::WriteTransaction>>();
+    trace::TraceReader reader(path);
+    while (const auto t = reader.read())
+        txns->push_back(*t);
+    return txns;
+}
+
+/**
+ * Persist the synthesized stream for --trace-out. This only writes
+ * the file; the runner's shards re-synthesize the identical stream
+ * from the seed, so the reported source stays the workload name.
+ */
+void
+persistTrace(const Options &o)
+{
+    trace::TraceWriter writer(o.traceOut);
+    if (o.random) {
         trace::RandomWorkload random(o.seed);
         for (uint64_t i = 0; i < o.lines; ++i)
-            txns.push_back(random.next());
+            writer.write(random.next());
     } else {
         trace::TraceSynthesizer synth(
             trace::WorkloadProfile::byName(o.workload), o.seed);
         for (uint64_t i = 0; i < o.lines; ++i)
-            txns.push_back(synth.next());
+            writer.write(synth.next());
     }
-    if (!o.traceOut.empty()) {
-        trace::TraceWriter writer(o.traceOut);
-        for (const auto &t : txns)
-            writer.write(t);
-    }
-    return txns;
 }
 
 } // namespace
@@ -159,51 +183,42 @@ main(int argc, char **argv)
         return 2;
 
     try {
-        const auto energy = pcm::EnergyModel::withHighStateEnergies(
-            opts->s3, opts->s4);
-        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
-        const auto txns = gatherTransactions(*opts);
+        runner::DeviceConfig device;
+        device.s3 = opts->s3;
+        device.s4 = opts->s4;
+        device.vnr = opts->vnr;
+        device.wearEndurance = opts->wearEndurance;
 
-        CsvTable table({"scheme", "writes", "energy_pJ",
-                        "updated_cells", "disturb_errors",
-                        "compressed_pct", "vnr_iterations",
-                        "max_cell_wear", "projected_lifetime"});
-        for (const auto &scheme : opts->schemes) {
-            const auto codec = core::makeCodec(scheme, energy);
-            trace::Replayer rep(*codec, unit, opts->seed);
-            pcm::WearTracker wear(codec->cellCount());
-            if (opts->wearEndurance)
-                rep.device().attachWearTracker(&wear);
-            double vnr = 0;
-            for (const auto &t : txns) {
-                if (opts->vnr) {
-                    // Re-encode through the replayer but with the
-                    // repair loop enabled on the device write.
-                    vnr += rep.step(t).vnrIterations;
-                } else {
-                    rep.step(t);
-                }
-            }
-            const auto &r = rep.result();
-            table.newRow();
-            table.add(scheme);
-            table.add(r.writes);
-            table.add(r.energyPj.mean());
-            table.add(r.updatedCells.mean());
-            table.add(r.disturbErrors.mean());
-            table.add(100.0 * r.compressedWrites /
-                      std::max<uint64_t>(1, r.writes));
-            table.add(vnr / std::max<uint64_t>(1, r.writes));
-            if (opts->wearEndurance) {
-                table.add(wear.summary().maxCellWrites);
-                table.add(wear.projectedLifetime(
-                    opts->wearEndurance, r.writes));
-            } else {
-                table.add("-");
-                table.add("-");
+        runner::ExperimentGrid grid;
+        grid.schemes(opts->schemes)
+            .lines(opts->lines)
+            .seed(opts->seed)
+            .shards(opts->shards)
+            .deviceConfigs({device});
+        if (!opts->traceIn.empty())
+            grid.transactions(loadTrace(opts->traceIn));
+        else if (opts->random)
+            grid.randomSource();
+        else
+            grid.workloads({opts->workload});
+        if (!opts->traceOut.empty())
+            persistTrace(*opts);
+
+        const runner::ExperimentRunner engine({opts->jobs});
+        const auto results = engine.run(grid);
+
+        for (const auto &r : results) {
+            if (!r.ok) {
+                std::fprintf(stderr, "error: %s: %s\n",
+                             r.spec.label().c_str(),
+                             r.error.c_str());
+                return 1;
             }
         }
-        table.write(std::cout);
+        if (opts->json)
+            runner::JsonReporter().write(std::cout, results);
+        else
+            runner::CsvReporter().write(std::cout, results);
     } catch (const std::exception &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;
