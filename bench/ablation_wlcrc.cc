@@ -16,7 +16,8 @@
 #include "bench_common.hh"
 
 #include "common/csv.hh"
-#include "wlcrc/factory.hh"
+#include "pcm/disturbance.hh"
+#include "runner/grid.hh"
 #include "wlcrc/wlc_cosets_codec.hh"
 #include "wlcrc/wlcrc_codec.hh"
 
@@ -26,42 +27,75 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Ablation", "WLCRC design-choice ablation at 16-bit");
-    const pcm::EnergyModel energy;
-    const pcm::DisturbanceModel disturb;
-    CsvTable table({"variant", "energy_pJ", "updated_cells",
-                    "disturb_errors"});
+    return wb::benchMain([] {
+        wb::banner("Ablation",
+                   "WLCRC design-choice ablation at 16-bit");
 
-    auto run = [&](const coset::LineCodec &codec,
-                   const std::string &label) {
-        double e = 0, u = 0, d = 0;
-        const auto &all = trace::WorkloadProfile::all();
-        for (const auto &p : all) {
-            const auto r =
-                wb::runWorkload(codec, p, wb::linesPerWorkload());
-            e += r.energyPj.mean();
-            u += r.updatedCells.mean();
-            d += r.disturbErrors.mean();
+        const std::vector<runner::SchemeDef> defs = {
+            {"WLCRC-16 (restricted, paper)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcrcCodec>(energy,
+                                                           16);
+             }},
+            {"WLC+3cosets-16 (unrestricted, k=9)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcCosetsCodec>(
+                     energy, 3, 16);
+             }},
+            {"WLC+4cosets-16 (unrestricted, k=9)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcCosetsCodec>(
+                     energy, 4, 16);
+             }},
+            {"WLCRC-16 multi-objective (T=1%)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcrcCodec>(energy, 16,
+                                                           0.01);
+             }},
+            {"WLCRC-16 disturbance-aware (future work)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcrcCodec>(
+                     core::WlcrcCodec::disturbanceAware(
+                         energy, pcm::DisturbanceModel(), 16));
+             }},
+            {"WLCRC-16 disturbance-aware (lambda=1200)",
+             [](const pcm::EnergyModel &energy) {
+                 return std::make_unique<core::WlcrcCodec>(
+                     core::WlcrcCodec::disturbanceAware(
+                         energy, pcm::DisturbanceModel(), 16,
+                         1200.0));
+             }},
+        };
+
+        const auto results =
+            wb::makeRunner("Ablation")
+                .run(runner::ExperimentGrid()
+                         .workloads(wb::allWorkloadNames())
+                         .schemeDefs(defs)
+                         .lines(wb::linesPerWorkload())
+                         .seed(1234)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        CsvTable table({"variant", "energy_pJ", "updated_cells",
+                        "disturb_errors"});
+        for (std::size_t d = 0; d < defs.size(); ++d) {
+            table.addRow(
+                defs[d].name,
+                wb::suiteAverage(results, defs.size(), d,
+                                 [](const trace::ReplayResult &r) {
+                                     return r.energyPj.mean();
+                                 }),
+                wb::suiteAverage(results, defs.size(), d,
+                                 [](const trace::ReplayResult &r) {
+                                     return r.updatedCells.mean();
+                                 }),
+                wb::suiteAverage(results, defs.size(), d,
+                                 [](const trace::ReplayResult &r) {
+                                     return r.disturbErrors.mean();
+                                 }));
         }
-        table.addRow(label, e / all.size(), u / all.size(),
-                     d / all.size());
-    };
-
-    const core::WlcrcCodec restricted(energy, 16);
-    run(restricted, "WLCRC-16 (restricted, paper)");
-    const core::WlcCosetsCodec un3(energy, 3, 16);
-    run(un3, "WLC+3cosets-16 (unrestricted, k=9)");
-    const core::WlcCosetsCodec un4(energy, 4, 16);
-    run(un4, "WLC+4cosets-16 (unrestricted, k=9)");
-    const core::WlcrcCodec mo(energy, 16, 0.01);
-    run(mo, "WLCRC-16 multi-objective (T=1%)");
-    const auto da = core::WlcrcCodec::disturbanceAware(
-        energy, disturb, 16);
-    run(da, "WLCRC-16 disturbance-aware (future work)");
-    const auto da_strong = core::WlcrcCodec::disturbanceAware(
-        energy, disturb, 16, 1200.0);
-    run(da_strong, "WLCRC-16 disturbance-aware (lambda=1200)");
-
-    table.write(std::cout);
-    return 0;
+        table.write(std::cout);
+        return 0;
+    });
 }

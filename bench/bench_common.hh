@@ -3,25 +3,37 @@
  * Shared helpers for the figure-regeneration bench binaries.
  *
  * Every bench prints the same rows/series the corresponding paper
- * figure plots (CSV to stdout) plus a short headline summary. The
- * simulated write count scales with WLCRC_BENCH_LINES (per workload;
- * default 3000) and WLCRC_BENCH_RANDOM_LINES (for the random-data
- * figures; default 20000) so the suite can run anywhere from a smoke
- * test to paper-fidelity volume.
+ * figure plots (CSV to stdout) plus a short headline summary, and
+ * executes its sweep on the parallel experiment runner (src/runner):
+ * build an ExperimentGrid, run it through makeRunner(), aggregate
+ * the returned results. stdout is a deterministic function of the
+ * WLCRC_BENCH_* knobs below — never of the job count or scheduling —
+ * which is what tests/bench_golden_test.cc enforces.
+ *
+ * Knobs: WLCRC_BENCH_LINES (writes per workload; default 3000),
+ * WLCRC_BENCH_RANDOM_LINES (random-data figures; default 20000),
+ * WLCRC_BENCH_JOBS (worker threads; 0 = all cores),
+ * WLCRC_BENCH_SHARDS (replay shards per grid point; results depend
+ * on this, not on jobs), WLCRC_BENCH_PROGRESS (stderr ETA line;
+ * default on).
  */
 
 #ifndef WLCRC_BENCH_BENCH_COMMON_HH
 #define WLCRC_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/env.hh"
 #include "coset/codec.hh"
-#include "pcm/disturbance.hh"
-#include "pcm/energy_model.hh"
-#include "trace/replay.hh"
+#include "coset/mapping.hh"
+#include "coset/ncosets_codec.hh"
+#include "runner/runner.hh"
 #include "trace/workload.hh"
 
 namespace wlcrc::bench
@@ -55,46 +67,127 @@ benchShards()
     return static_cast<unsigned>(envU64("WLCRC_BENCH_SHARDS", 1));
 }
 
-/** Replay @p lines synthetic writes of @p profile through @p codec. */
-inline trace::ReplayResult
-runWorkload(const coset::LineCodec &codec,
-            const trace::WorkloadProfile &profile, uint64_t lines,
-            uint64_t seed = 1234)
+/** All 13 benchmark workload names, paper order. */
+inline std::vector<std::string>
+allWorkloadNames()
 {
-    const pcm::WriteUnit unit{codec.energyModel(),
-                              pcm::DisturbanceModel()};
-    trace::Replayer rep(codec, unit, seed);
-    trace::TraceSynthesizer synth(profile, seed);
-    rep.run(synth, lines);
-    return rep.result();
+    std::vector<std::string> names;
+    for (const auto &p : trace::WorkloadProfile::all())
+        names.push_back(p.name);
+    return names;
 }
 
-/** Replay @p lines random-data writes through @p codec. */
-inline trace::ReplayResult
-runRandom(const coset::LineCodec &codec, uint64_t lines,
-          uint64_t seed = 4321)
+/**
+ * The 6cosets-vs-4cosets scheme axis of Figures 2 and 3: per
+ * granularity, an NCosetsCodec over the six-coset candidates and
+ * one over the Table-I four-candidate prefix, in figure row order.
+ */
+inline std::vector<runner::SchemeDef>
+sixVsFourCosetsDefs(const std::vector<unsigned> &granularities)
 {
-    const pcm::WriteUnit unit{codec.energyModel(),
-                              pcm::DisturbanceModel()};
-    trace::Replayer rep(codec, unit, seed);
-    trace::RandomWorkload random(seed);
-    rep.run(random, lines);
-    return rep.result();
+    std::vector<runner::SchemeDef> defs;
+    for (const unsigned g : granularities) {
+        for (const unsigned n : {6u, 4u}) {
+            defs.push_back(
+                {std::to_string(n) + "cosets-" + std::to_string(g),
+                 [n, g](const pcm::EnergyModel &energy) {
+                     return std::make_unique<coset::NCosetsCodec>(
+                         energy,
+                         n == 6 ? coset::sixCosetCandidates()
+                                : coset::tableICandidates(4),
+                         g);
+                 }});
+        }
+    }
+    return defs;
 }
 
-/** Average a per-workload metric over the whole benchmark suite. */
+/**
+ * Result of grid point (workload @p w, scheme @p d) in a
+ * workload-major {workloads x ndefs schemes} sweep — the expansion
+ * order ExperimentGrid guarantees.
+ */
+inline const trace::ReplayResult &
+suiteCell(const std::vector<runner::ExperimentResult> &results,
+          std::size_t ndefs, std::size_t w, std::size_t d)
+{
+    return results[w * ndefs + d].replay;
+}
+
+/**
+ * Sum of @p metric over the workload axis for scheme column @p d of
+ * a workload-major sweep over the full benchmark suite. Kept as a
+ * sum (not an average) so multi-component rows can combine
+ * components before the single division, exactly as the figures'
+ * suite averages are defined.
+ */
 template <typename MetricFn>
 double
-suiteAverage(const coset::LineCodec &codec, uint64_t lines,
-             MetricFn metric, uint64_t seed = 1234)
+suiteSum(const std::vector<runner::ExperimentResult> &results,
+         std::size_t ndefs, std::size_t d, MetricFn metric)
 {
+    const std::size_t nworkloads =
+        trace::WorkloadProfile::all().size();
     double total = 0;
-    unsigned n = 0;
-    for (const auto &p : trace::WorkloadProfile::all()) {
-        total += metric(runWorkload(codec, p, lines, seed));
-        ++n;
+    for (std::size_t w = 0; w < nworkloads; ++w)
+        total += metric(suiteCell(results, ndefs, w, d));
+    return total;
+}
+
+/** Equal-weight suite average of @p metric for scheme column @p d. */
+template <typename MetricFn>
+double
+suiteAverage(const std::vector<runner::ExperimentResult> &results,
+             std::size_t ndefs, std::size_t d, MetricFn metric)
+{
+    return suiteSum(results, ndefs, d, metric) /
+           trace::WorkloadProfile::all().size();
+}
+
+/**
+ * The engine every bench runs on: WLCRC_BENCH_JOBS workers and a
+ * stderr ETA line (WLCRC_BENCH_PROGRESS=0 silences it; stdout is
+ * untouched either way, keeping the CSV byte-comparable).
+ *
+ * @param jobs_override  pin the worker count regardless of
+ *        WLCRC_BENCH_JOBS (the throughput bench pins 1 so its timed
+ *        kernels never contend with each other).
+ */
+inline runner::ExperimentRunner
+makeRunner(const std::string &label,
+           std::optional<unsigned> jobs_override = std::nullopt)
+{
+    runner::RunnerOptions opts;
+    opts.jobs = jobs_override ? *jobs_override : benchJobs();
+    if (envU64("WLCRC_BENCH_PROGRESS", 1))
+        opts.progress = runner::stderrProgress(label);
+    return runner::ExperimentRunner(opts);
+}
+
+/** Throw (with the point's label) if any grid point failed. */
+inline void
+requireOk(const std::vector<runner::ExperimentResult> &results)
+{
+    for (const auto &r : results) {
+        if (!r.ok)
+            throw std::runtime_error(r.spec.label() + ": " + r.error);
     }
-    return total / n;
+}
+
+/**
+ * Run a bench body, converting exceptions (malformed WLCRC_BENCH_*
+ * knobs, failed grid points) into a loud stderr line and a non-zero
+ * exit instead of std::terminate noise.
+ */
+inline int
+benchMain(const std::function<int()> &body)
+{
+    try {
+        return body();
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
 }
 
 /** Print the standard bench banner. */

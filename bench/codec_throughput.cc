@@ -1,20 +1,30 @@
 /**
  * @file
- * Google-benchmark microbenchmarks: software encode/decode
- * throughput of every scheme, plus the WLC compressibility check and
- * the compressor bank. Not a paper figure — these quantify the
- * simulator itself and give a software analogue of the Section VI-B
- * pipeline costs.
+ * Software throughput microbenchmarks of the simulator itself:
+ * encode/decode rate of every Figure 8 scheme, the WLC
+ * compressibility check, the compressor bank and trace synthesis.
+ * Not a paper figure — these quantify the simulation hot paths and
+ * give a software analogue of the Section VI-B pipeline costs.
+ *
+ * Each micro-kernel is one zero-replay grid point: the runner hands
+ * the hook a synthesized "gcc" stream (WLCRC_BENCH_LINES long) and
+ * the hook times its kernel over it. The `checksum` column is a
+ * deterministic digest of the kernel's outputs, so the golden
+ * harness can pin every kernel's *behaviour* while masking the
+ * timing columns (`ns_per_op`, `ops_per_s`), which are inherently
+ * machine-dependent.
  */
 
-#include <benchmark/benchmark.h>
+#include "bench_common.hh"
 
-#include "common/rng.hh"
+#include <chrono>
+
+#include "common/csv.hh"
 #include "compress/coc.hh"
 #include "compress/fpc_bdi.hh"
 #include "compress/wlc.hh"
-#include "trace/value_model.hh"
-#include "trace/workload.hh"
+#include "pcm/energy_model.hh"
+#include "runner/runner.hh"
 #include "wlcrc/factory.hh"
 
 namespace
@@ -22,119 +32,148 @@ namespace
 
 using namespace wlcrc;
 
-/** Pre-generated biased lines shared by all benchmarks. */
-const std::vector<Line512> &
-lines()
+/** What one timed kernel reports. */
+struct KernelOutcome
 {
-    static const std::vector<Line512> data = [] {
-        Rng rng(2718);
-        std::vector<Line512> v;
-        for (int i = 0; i < 256; ++i) {
-            const auto type = static_cast<trace::LineType>(
-                rng.nextBelow(trace::numLineTypes));
-            v.push_back(
-                trace::ValueModel::generateLine(type, rng));
-        }
-        return v;
-    }();
-    return data;
-}
+    uint64_t checksum = 0; //!< deterministic digest of the outputs
+    double nsPerOp = 0;    //!< wall time per processed line
+};
 
-void
-encodeScheme(benchmark::State &state, const std::string &name)
+/** Time @p body over @p txns; digest via @p body's return values. */
+template <typename Body>
+KernelOutcome
+timeKernel(const std::vector<trace::WriteTransaction> &txns,
+           Body &&body)
 {
-    const pcm::EnergyModel energy;
-    const auto codec = core::makeCodec(name, energy);
-    std::vector<pcm::State> stored(codec->cellCount(),
-                                   pcm::State::S1);
-    size_t i = 0;
-    for (auto _ : state) {
-        const auto target =
-            codec->encode(lines()[i++ % lines().size()], stored);
-        benchmark::DoNotOptimize(target.cells.data());
-        stored = target.cells;
-    }
-    state.SetItemsProcessed(state.iterations());
+    KernelOutcome out;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &t : txns)
+        out.checksum = out.checksum * 0x100000001b3ull ^ body(t);
+    const double ns = std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    out.nsPerOp = txns.empty() ? 0 : ns / txns.size();
+    return out;
 }
-
-void
-decodeScheme(benchmark::State &state, const std::string &name)
-{
-    const pcm::EnergyModel energy;
-    const auto codec = core::makeCodec(name, energy);
-    std::vector<pcm::State> stored(codec->cellCount(),
-                                   pcm::State::S1);
-    stored = codec->encode(lines()[0], stored).cells;
-    for (auto _ : state) {
-        const Line512 out = codec->decode(stored);
-        benchmark::DoNotOptimize(out.word(0));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-BM_WlcCheck(benchmark::State &state)
-{
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(compress::Wlc::lineCompressible(
-            lines()[i++ % lines().size()],
-            static_cast<unsigned>(state.range(0))));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_WlcCheck)->Arg(6)->Arg(9);
-
-void
-BM_FpcBdi(benchmark::State &state)
-{
-    const compress::FpcBdi c;
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            c.compress(lines()[i++ % lines().size()]));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_FpcBdi);
-
-void
-BM_Coc(benchmark::State &state)
-{
-    const compress::Coc c;
-    size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            c.compress(lines()[i++ % lines().size()]));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_Coc);
-
-void
-BM_SynthesizeTrace(benchmark::State &state)
-{
-    trace::TraceSynthesizer synth(
-        trace::WorkloadProfile::byName("gcc"), 5);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(synth.next().newData.word(0));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SynthesizeTrace);
 
 } // namespace
 
 int
-main(int argc, char **argv)
+main()
 {
-    for (const auto &name : core::figure8Schemes()) {
-        benchmark::RegisterBenchmark(("encode/" + name).c_str(),
-                                     encodeScheme, name);
-        benchmark::RegisterBenchmark(("decode/" + name).c_str(),
-                                     decodeScheme, name);
-    }
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    namespace wb = wlcrc::bench;
+
+    return wb::benchMain([] {
+        wb::banner("codec_throughput",
+                   "software encode/decode throughput");
+
+        using Kernel = std::function<KernelOutcome(
+            const std::vector<trace::WriteTransaction> &)>;
+        std::vector<std::pair<std::string, Kernel>> kernels;
+
+        const pcm::EnergyModel energy;
+        for (const auto &name : core::figure8Schemes()) {
+            kernels.emplace_back(
+                "encode/" + name, [name, &energy](const auto &txns) {
+                    const auto codec = core::makeCodec(name, energy);
+                    std::vector<pcm::State> stored(
+                        codec->cellCount(), pcm::State::S1);
+                    return timeKernel(txns, [&](const auto &t) {
+                        auto target = codec->encode(t.newData, stored);
+                        uint64_t updated = 0;
+                        for (std::size_t i = 0; i < stored.size();
+                             ++i)
+                            updated += target.cells[i] != stored[i];
+                        stored = std::move(target.cells);
+                        return updated;
+                    });
+                });
+            kernels.emplace_back(
+                "decode/" + name, [name, &energy](const auto &txns) {
+                    const auto codec = core::makeCodec(name, energy);
+                    std::vector<pcm::State> stored(
+                        codec->cellCount(), pcm::State::S1);
+                    if (!txns.empty())
+                        stored = codec->encode(txns[0].newData,
+                                               stored)
+                                     .cells;
+                    return timeKernel(txns, [&](const auto &) {
+                        return codec->decode(stored).word(0);
+                    });
+                });
+        }
+        for (const unsigned k : {6u, 9u}) {
+            kernels.emplace_back(
+                "wlc_check/k=" + std::to_string(k),
+                [k](const auto &txns) {
+                    return timeKernel(txns, [&](const auto &t) {
+                        return uint64_t{compress::Wlc::
+                                            lineCompressible(
+                                                t.newData, k)};
+                    });
+                });
+        }
+        kernels.emplace_back("compress/FPC+BDI", [](const auto &txns) {
+            const compress::FpcBdi c;
+            return timeKernel(txns, [&](const auto &t) {
+                const auto bits = c.compressedBits(t.newData);
+                return uint64_t{bits ? *bits : 0};
+            });
+        });
+        kernels.emplace_back("compress/COC", [](const auto &txns) {
+            const compress::Coc c;
+            return timeKernel(txns, [&](const auto &t) {
+                const auto bits = c.compressedBits(t.newData);
+                return uint64_t{bits ? *bits : 0};
+            });
+        });
+        kernels.emplace_back(
+            "trace/synthesize", [](const auto &txns) {
+                trace::TraceSynthesizer synth(
+                    trace::WorkloadProfile::byName("gcc"), 5);
+                return timeKernel(txns, [&](const auto &) {
+                    return synth.next().newData.word(0);
+                });
+            });
+
+        // One grid point per kernel, all sharing the same
+        // synthesized biased stream spec.
+        std::vector<KernelOutcome> slots(kernels.size());
+        std::vector<runner::ExperimentSpec> specs;
+        for (std::size_t k = 0; k < kernels.size(); ++k) {
+            runner::ExperimentSpec spec;
+            spec.scheme = kernels[k].first;
+            spec.workload = "gcc";
+            spec.lines = wb::linesPerWorkload();
+            spec.seed = 2718;
+            spec.customReplay =
+                [&kernels, &slots, k](
+                    const runner::ExperimentSpec &,
+                    const std::vector<trace::WriteTransaction>
+                        &txns) {
+                    slots[k] = kernels[k].second(txns);
+                    trace::ReplayResult out;
+                    out.writes = txns.size();
+                    return out;
+                };
+            specs.push_back(std::move(spec));
+        }
+
+        // One worker, always: concurrently-timed kernels would
+        // measure contention, not kernel cost. The deterministic
+        // columns are identical either way.
+        wb::requireOk(
+            wb::makeRunner("codec_throughput", 1).run(specs));
+
+        CsvTable table({"kernel", "lines", "checksum", "ns_per_op",
+                        "ops_per_s"});
+        for (std::size_t k = 0; k < kernels.size(); ++k) {
+            const auto &r = slots[k];
+            table.addRow(kernels[k].first, wb::linesPerWorkload(),
+                         r.checksum, r.nsPerOp,
+                         r.nsPerOp > 0 ? 1e9 / r.nsPerOp : 0);
+        }
+        table.write(std::cout);
+        return 0;
+    });
 }

@@ -15,6 +15,7 @@
 #include "common/csv.hh"
 #include "coset/mapping.hh"
 #include "coset/ncosets_codec.hh"
+#include "runner/grid.hh"
 
 int
 main()
@@ -22,33 +23,66 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 1",
-               "6cosets write energy vs data block granularity");
-    const pcm::EnergyModel energy;
-    CsvTable table({"workload_class", "granularity_bits", "blk_pJ",
-                    "aux_pJ", "total_pJ"});
+    return wb::benchMain([] {
+        wb::banner("Figure 1",
+                   "6cosets write energy vs data block granularity");
 
-    for (const unsigned g : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-        const coset::NCosetsCodec codec(
-            energy, coset::sixCosetCandidates(), g);
-        // (a) random workloads.
-        const auto random =
-            wb::runRandom(codec, wb::randomLines());
-        table.addRow("random", g, random.dataEnergyPj.mean(),
-                     random.auxEnergyPj.mean(),
-                     random.energyPj.mean());
-        // (b) biased workloads (suite average).
-        double blk = 0, aux = 0;
-        for (const auto &p : trace::WorkloadProfile::all()) {
-            const auto r =
-                wb::runWorkload(codec, p, wb::linesPerWorkload());
-            blk += r.dataEnergyPj.mean();
-            aux += r.auxEnergyPj.mean();
+        const std::vector<unsigned> grans = {8,  16,  32,  64,
+                                             128, 256, 512};
+        std::vector<runner::SchemeDef> defs;
+        for (const unsigned g : grans) {
+            defs.push_back(
+                {"6cosets-" + std::to_string(g),
+                 [g](const pcm::EnergyModel &energy) {
+                     return std::make_unique<coset::NCosetsCodec>(
+                         energy, coset::sixCosetCandidates(), g);
+                 }});
         }
-        const unsigned n = trace::WorkloadProfile::all().size();
-        table.addRow("biased", g, blk / n, aux / n,
-                     (blk + aux) / n);
-    }
-    table.write(std::cout);
-    return 0;
+
+        // One combined run: the 7 random points, then the
+        // {workload x granularity} block, workload-major.
+        auto specs = runner::ExperimentGrid()
+                         .randomSource()
+                         .schemeDefs(defs)
+                         .lines(wb::randomLines())
+                         .seed(4321)
+                         .shards(wb::benchShards())
+                         .expand();
+        const auto biased = runner::ExperimentGrid()
+                                .workloads(wb::allWorkloadNames())
+                                .schemeDefs(defs)
+                                .lines(wb::linesPerWorkload())
+                                .seed(1234)
+                                .shards(wb::benchShards())
+                                .expand();
+        specs.insert(specs.end(), biased.begin(), biased.end());
+
+        const auto results =
+            wb::makeRunner("Figure 1").run(specs);
+        wb::requireOk(results);
+
+        const unsigned nworkloads =
+            trace::WorkloadProfile::all().size();
+        CsvTable table({"workload_class", "granularity_bits",
+                        "blk_pJ", "aux_pJ", "total_pJ"});
+        for (std::size_t gi = 0; gi < grans.size(); ++gi) {
+            const auto &random = results[gi].replay;
+            table.addRow("random", grans[gi],
+                         random.dataEnergyPj.mean(),
+                         random.auxEnergyPj.mean(),
+                         random.energyPj.mean());
+            double blk = 0, aux = 0;
+            for (unsigned w = 0; w < nworkloads; ++w) {
+                const auto &r =
+                    results[grans.size() * (1 + w) + gi].replay;
+                blk += r.dataEnergyPj.mean();
+                aux += r.auxEnergyPj.mean();
+            }
+            table.addRow("biased", grans[gi], blk / nworkloads,
+                         aux / nworkloads,
+                         (blk + aux) / nworkloads);
+        }
+        table.write(std::cout);
+        return 0;
+    });
 }

@@ -11,8 +11,7 @@
 #include "bench_common.hh"
 
 #include "common/csv.hh"
-#include "coset/mapping.hh"
-#include "coset/ncosets_codec.hh"
+#include "runner/grid.hh"
 
 int
 main()
@@ -20,23 +19,34 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 2", "6cosets vs 4cosets on random data");
-    const pcm::EnergyModel energy;
-    CsvTable table({"scheme", "granularity_bits", "aux_pJ", "blk_pJ",
-                    "total_pJ"});
+    return wb::benchMain([] {
+        wb::banner("Figure 2", "6cosets vs 4cosets on random data");
 
-    for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
-        for (const unsigned n : {6u, 4u}) {
-            const auto cands = n == 6
-                                   ? coset::sixCosetCandidates()
-                                   : coset::tableICandidates(4);
-            const coset::NCosetsCodec codec(energy, cands, g);
-            const auto r = wb::runRandom(codec, wb::randomLines());
-            table.addRow(std::to_string(n) + "cosets", g,
-                         r.auxEnergyPj.mean(), r.dataEnergyPj.mean(),
-                         r.energyPj.mean());
+        const std::vector<unsigned> grans = {8, 16, 32, 64, 128};
+        const auto defs = wb::sixVsFourCosetsDefs(grans);
+        const auto results =
+            wb::makeRunner("Figure 2")
+                .run(runner::ExperimentGrid()
+                         .randomSource()
+                         .schemeDefs(defs)
+                         .lines(wb::randomLines())
+                         .seed(4321)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        CsvTable table({"scheme", "granularity_bits", "aux_pJ",
+                        "blk_pJ", "total_pJ"});
+        std::size_t i = 0;
+        for (const unsigned g : grans) {
+            for (const unsigned n : {6u, 4u}) {
+                const auto &r = results[i++].replay;
+                table.addRow(std::to_string(n) + "cosets", g,
+                             r.auxEnergyPj.mean(),
+                             r.dataEnergyPj.mean(),
+                             r.energyPj.mean());
+            }
         }
-    }
-    table.write(std::cout);
-    return 0;
+        table.write(std::cout);
+        return 0;
+    });
 }

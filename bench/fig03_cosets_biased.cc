@@ -12,8 +12,7 @@
 #include "bench_common.hh"
 
 #include "common/csv.hh"
-#include "coset/mapping.hh"
-#include "coset/ncosets_codec.hh"
+#include "runner/grid.hh"
 
 int
 main()
@@ -21,30 +20,46 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 3", "6cosets vs 4cosets on biased workloads");
-    const pcm::EnergyModel energy;
-    CsvTable table({"scheme", "granularity_bits", "aux_pJ", "blk_pJ",
-                    "total_pJ"});
+    return wb::benchMain([] {
+        wb::banner("Figure 3",
+                   "6cosets vs 4cosets on biased workloads");
 
-    const unsigned nworkloads = trace::WorkloadProfile::all().size();
-    for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
-        for (const unsigned n : {6u, 4u}) {
-            const auto cands = n == 6
-                                   ? coset::sixCosetCandidates()
-                                   : coset::tableICandidates(4);
-            const coset::NCosetsCodec codec(energy, cands, g);
-            double aux = 0, blk = 0;
-            for (const auto &p : trace::WorkloadProfile::all()) {
-                const auto r = wb::runWorkload(
-                    codec, p, wb::linesPerWorkload());
-                aux += r.auxEnergyPj.mean();
-                blk += r.dataEnergyPj.mean();
+        const std::vector<unsigned> grans = {8, 16, 32, 64, 128};
+        const auto defs = wb::sixVsFourCosetsDefs(grans);
+        const auto results =
+            wb::makeRunner("Figure 3")
+                .run(runner::ExperimentGrid()
+                         .workloads(wb::allWorkloadNames())
+                         .schemeDefs(defs)
+                         .lines(wb::linesPerWorkload())
+                         .seed(1234)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        const double nworkloads =
+            trace::WorkloadProfile::all().size();
+        CsvTable table({"scheme", "granularity_bits", "aux_pJ",
+                        "blk_pJ", "total_pJ"});
+        std::size_t d = 0;
+        for (const unsigned g : grans) {
+            for (const unsigned n : {6u, 4u}) {
+                const double aux = wb::suiteSum(
+                    results, defs.size(), d,
+                    [](const trace::ReplayResult &r) {
+                        return r.auxEnergyPj.mean();
+                    });
+                const double blk = wb::suiteSum(
+                    results, defs.size(), d,
+                    [](const trace::ReplayResult &r) {
+                        return r.dataEnergyPj.mean();
+                    });
+                ++d;
+                table.addRow(std::to_string(n) + "cosets", g,
+                             aux / nworkloads, blk / nworkloads,
+                             (aux + blk) / nworkloads);
             }
-            table.addRow(std::to_string(n) + "cosets", g,
-                         aux / nworkloads, blk / nworkloads,
-                         (aux + blk) / nworkloads);
         }
-    }
-    table.write(std::cout);
-    return 0;
+        table.write(std::cout);
+        return 0;
+    });
 }

@@ -15,6 +15,7 @@
 #include "coset/mapping.hh"
 #include "coset/ncosets_codec.hh"
 #include "coset/restricted_codec.hh"
+#include "runner/grid.hh"
 
 int
 main()
@@ -22,36 +23,64 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 5",
-               "4cosets vs 3cosets vs 3-r-cosets (biased workloads)");
-    const pcm::EnergyModel energy;
-    CsvTable table({"scheme", "granularity_bits", "aux_pJ", "blk_pJ",
-                    "total_pJ"});
+    return wb::benchMain([] {
+        wb::banner(
+            "Figure 5",
+            "4cosets vs 3cosets vs 3-r-cosets (biased workloads)");
 
-    const unsigned nworkloads = trace::WorkloadProfile::all().size();
-    auto run_suite = [&](const coset::LineCodec &codec,
-                         const std::string &name, unsigned g) {
-        double aux = 0, blk = 0;
-        for (const auto &p : trace::WorkloadProfile::all()) {
-            const auto r =
-                wb::runWorkload(codec, p, wb::linesPerWorkload());
-            aux += r.auxEnergyPj.mean();
-            blk += r.dataEnergyPj.mean();
+        std::vector<runner::SchemeDef> defs;
+        std::vector<std::pair<std::string, unsigned>> rows;
+        for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
+            for (const unsigned n : {4u, 3u}) {
+                defs.push_back(
+                    {std::to_string(n) + "cosets-" +
+                         std::to_string(g),
+                     [n, g](const pcm::EnergyModel &energy) {
+                         return std::make_unique<
+                             coset::NCosetsCodec>(
+                             energy, coset::tableICandidates(n), g);
+                     }});
+                rows.emplace_back(std::to_string(n) + "cosets", g);
+            }
+            defs.push_back(
+                {"3-r-cosets-" + std::to_string(g),
+                 [g](const pcm::EnergyModel &energy) {
+                     return std::make_unique<
+                         coset::RestrictedCosetsCodec>(energy, g);
+                 }});
+            rows.emplace_back("3-r-cosets", g);
         }
-        table.addRow(name, g, aux / nworkloads, blk / nworkloads,
-                     (aux + blk) / nworkloads);
-    };
 
-    for (const unsigned g : {8u, 16u, 32u, 64u, 128u}) {
-        const coset::NCosetsCodec four(
-            energy, coset::tableICandidates(4), g);
-        run_suite(four, "4cosets", g);
-        const coset::NCosetsCodec three(
-            energy, coset::tableICandidates(3), g);
-        run_suite(three, "3cosets", g);
-        const coset::RestrictedCosetsCodec restricted(energy, g);
-        run_suite(restricted, "3-r-cosets", g);
-    }
-    table.write(std::cout);
-    return 0;
+        const auto results =
+            wb::makeRunner("Figure 5")
+                .run(runner::ExperimentGrid()
+                         .workloads(wb::allWorkloadNames())
+                         .schemeDefs(defs)
+                         .lines(wb::linesPerWorkload())
+                         .seed(1234)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        const double nworkloads =
+            trace::WorkloadProfile::all().size();
+        CsvTable table({"scheme", "granularity_bits", "aux_pJ",
+                        "blk_pJ", "total_pJ"});
+        for (std::size_t d = 0; d < defs.size(); ++d) {
+            const double aux =
+                wb::suiteSum(results, defs.size(), d,
+                             [](const trace::ReplayResult &r) {
+                                 return r.auxEnergyPj.mean();
+                             });
+            const double blk =
+                wb::suiteSum(results, defs.size(), d,
+                             [](const trace::ReplayResult &r) {
+                                 return r.dataEnergyPj.mean();
+                             });
+            table.addRow(rows[d].first, rows[d].second,
+                         aux / nworkloads, blk / nworkloads,
+                         (aux + blk) / nworkloads);
+        }
+        table.write(std::cout);
+        return 0;
+    });
 }

@@ -15,16 +15,18 @@ int
 main()
 {
     namespace wb = wlcrc::bench;
-    wb::banner("Figure 8", "write energy (pJ/line) per scheme");
-    const auto grand = wb::schemeSweep(
-        "energy", [](const wlcrc::trace::ReplayResult &r) {
-            return r.energyPj.mean();
-        });
-    wb::headline(grand, "WLCRC-16", "Baseline");
-    wb::headline(grand, "WLCRC-16", "6cosets");
-    wb::headline(grand, "WLCRC-16", "COC+4cosets");
-    wb::headline(grand, "WLCRC-16", "WLC+4cosets");
-    wb::headline(grand, "WLCRC-16", "FlipMin");
-    wb::headline(grand, "WLCRC-16", "DIN");
-    return 0;
+    return wb::benchMain([] {
+        wb::banner("Figure 8", "write energy (pJ/line) per scheme");
+        const auto grand = wb::schemeSweep(
+            "energy", [](const wlcrc::trace::ReplayResult &r) {
+                return r.energyPj.mean();
+            });
+        wb::headline(grand, "WLCRC-16", "Baseline");
+        wb::headline(grand, "WLCRC-16", "6cosets");
+        wb::headline(grand, "WLCRC-16", "COC+4cosets");
+        wb::headline(grand, "WLCRC-16", "WLC+4cosets");
+        wb::headline(grand, "WLCRC-16", "FlipMin");
+        wb::headline(grand, "WLCRC-16", "DIN");
+        return 0;
+    });
 }

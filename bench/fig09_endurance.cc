@@ -15,14 +15,16 @@ int
 main()
 {
     namespace wb = wlcrc::bench;
-    wb::banner("Figure 9", "updated cells per line write");
-    const auto grand = wb::schemeSweep(
-        "updated", [](const wlcrc::trace::ReplayResult &r) {
-            return r.updatedCells.mean();
-        });
-    wb::headline(grand, "WLCRC-16", "Baseline");
-    wb::headline(grand, "WLCRC-16", "FlipMin");
-    wb::headline(grand, "WLCRC-16", "COC+4cosets");
-    wb::headline(grand, "WLCRC-16", "6cosets");
-    return 0;
+    return wb::benchMain([] {
+        wb::banner("Figure 9", "updated cells per line write");
+        const auto grand = wb::schemeSweep(
+            "updated", [](const wlcrc::trace::ReplayResult &r) {
+                return r.updatedCells.mean();
+            });
+        wb::headline(grand, "WLCRC-16", "Baseline");
+        wb::headline(grand, "WLCRC-16", "FlipMin");
+        wb::headline(grand, "WLCRC-16", "COC+4cosets");
+        wb::headline(grand, "WLCRC-16", "6cosets");
+        return 0;
+    });
 }

@@ -15,12 +15,14 @@ int
 main()
 {
     namespace wb = wlcrc::bench;
-    wb::banner("Figure 10", "write disturbance errors per line");
-    const auto grand = wb::schemeSweep(
-        "disturbance", [](const wlcrc::trace::ReplayResult &r) {
-            return r.disturbErrors.mean();
-        });
-    wb::headline(grand, "WLCRC-16", "Baseline");
-    wb::headline(grand, "WLCRC-16", "DIN");
-    return 0;
+    return wb::benchMain([] {
+        wb::banner("Figure 10", "write disturbance errors per line");
+        const auto grand = wb::schemeSweep(
+            "disturbance", [](const wlcrc::trace::ReplayResult &r) {
+                return r.disturbErrors.mean();
+            });
+        wb::headline(grand, "WLCRC-16", "Baseline");
+        wb::headline(grand, "WLCRC-16", "DIN");
+        return 0;
+    });
 }

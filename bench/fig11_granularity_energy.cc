@@ -10,11 +10,7 @@
  * need k = 9 and lose WLC coverage.
  */
 
-#include "bench_common.hh"
-
-#include "common/csv.hh"
-#include "wlcrc/wlc_cosets_codec.hh"
-#include "wlcrc/wlcrc_codec.hh"
+#include "granularity_sweep.hh"
 
 int
 main()
@@ -22,50 +18,35 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 11",
-               "WLC+{4,3}cosets vs WLCRC energy vs granularity");
-    const pcm::EnergyModel energy;
-    CsvTable table({"scheme", "granularity_bits", "blk_pJ", "aux_pJ",
-                    "total_pJ"});
+    return wb::benchMain([] {
+        wb::banner("Figure 11",
+                   "WLC+{4,3}cosets vs WLCRC energy vs granularity");
 
-    const unsigned n = trace::WorkloadProfile::all().size();
-    auto run_suite = [&](const coset::LineCodec &codec,
-                         const std::string &name, unsigned g) {
-        double blk = 0, aux = 0;
-        for (const auto &p : trace::WorkloadProfile::all()) {
-            const auto r =
-                wb::runWorkload(codec, p, wb::linesPerWorkload());
-            blk += r.dataEnergyPj.mean();
-            aux += r.auxEnergyPj.mean();
-        }
-        table.addRow(name, g, blk / n, aux / n, (blk + aux) / n);
-    };
+        const auto rows = wb::granularitySweep("Figure 11");
+        wb::writeGranularityTable(
+            rows,
+            {"scheme", "granularity_bits", "blk_pJ", "aux_pJ",
+             "total_pJ"},
+            [](const trace::ReplayResult &r) {
+                return r.dataEnergyPj.mean();
+            },
+            [](const trace::ReplayResult &r) {
+                return r.auxEnergyPj.mean();
+            });
 
-    double best_wlcrc16 = 0, best_unrestricted32 = 0;
-    for (const unsigned g : {8u, 16u, 32u, 64u}) {
-        const core::WlcCosetsCodec four(energy, 4, g);
-        run_suite(four, "4cosets", g);
-        const core::WlcCosetsCodec three(energy, 3, g);
-        run_suite(three, "3cosets", g);
-        const core::WlcrcCodec wlcrc(energy, g);
-        run_suite(wlcrc, "WLCRC", g);
-        if (g == 32) {
-            best_unrestricted32 = wb::suiteAverage(
-                four, wb::linesPerWorkload(),
-                [](const trace::ReplayResult &r) {
-                    return r.energyPj.mean();
-                });
+        auto total_energy = [](const trace::ReplayResult &r) {
+            return r.energyPj.mean();
+        };
+        double best_wlcrc16 = 0, best_unrestricted32 = 0;
+        for (const auto &row : rows) {
+            if (row.scheme == "WLCRC" && row.granularity == 16)
+                best_wlcrc16 = row.suiteAverage(total_energy);
+            if (row.scheme == "4cosets" && row.granularity == 32)
+                best_unrestricted32 = row.suiteAverage(total_energy);
         }
-        if (g == 16) {
-            best_wlcrc16 = wb::suiteAverage(
-                wlcrc, wb::linesPerWorkload(),
-                [](const trace::ReplayResult &r) {
-                    return r.energyPj.mean();
-                });
-        }
-    }
-    table.write(std::cout);
-    std::printf("# WLCRC-16 vs WLC+4cosets-32: %.1f%% lower\n",
-                100.0 * (1 - best_wlcrc16 / best_unrestricted32));
-    return 0;
+        std::printf("# WLCRC-16 vs WLC+4cosets-32: %.1f%% lower\n",
+                    100.0 * (1 - best_wlcrc16 /
+                                     best_unrestricted32));
+        return 0;
+    });
 }

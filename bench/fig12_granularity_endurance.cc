@@ -9,11 +9,7 @@
  * converge.
  */
 
-#include "bench_common.hh"
-
-#include "common/csv.hh"
-#include "wlcrc/wlc_cosets_codec.hh"
-#include "wlcrc/wlcrc_codec.hh"
+#include "granularity_sweep.hh"
 
 int
 main()
@@ -21,32 +17,18 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 12", "updated cells vs granularity");
-    const pcm::EnergyModel energy;
-    CsvTable table({"scheme", "granularity_bits", "blk_cells",
-                    "aux_cells", "total_cells"});
-
-    const unsigned n = trace::WorkloadProfile::all().size();
-    auto run_suite = [&](const coset::LineCodec &codec,
-                         const std::string &name, unsigned g) {
-        double blk = 0, aux = 0;
-        for (const auto &p : trace::WorkloadProfile::all()) {
-            const auto r =
-                wb::runWorkload(codec, p, wb::linesPerWorkload());
-            blk += r.dataUpdated.mean();
-            aux += r.auxUpdated.mean();
-        }
-        table.addRow(name, g, blk / n, aux / n, (blk + aux) / n);
-    };
-
-    for (const unsigned g : {8u, 16u, 32u, 64u}) {
-        const core::WlcCosetsCodec four(energy, 4, g);
-        run_suite(four, "4cosets", g);
-        const core::WlcCosetsCodec three(energy, 3, g);
-        run_suite(three, "3cosets", g);
-        const core::WlcrcCodec wlcrc(energy, g);
-        run_suite(wlcrc, "WLCRC", g);
-    }
-    table.write(std::cout);
-    return 0;
+    return wb::benchMain([] {
+        wb::banner("Figure 12", "updated cells vs granularity");
+        wb::writeGranularityTable(
+            wb::granularitySweep("Figure 12"),
+            {"scheme", "granularity_bits", "blk_cells", "aux_cells",
+             "total_cells"},
+            [](const trace::ReplayResult &r) {
+                return r.dataUpdated.mean();
+            },
+            [](const trace::ReplayResult &r) {
+                return r.auxUpdated.mean();
+            });
+        return 0;
+    });
 }

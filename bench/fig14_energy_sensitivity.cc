@@ -6,13 +6,15 @@
  *
  * Expected shape (paper): the improvement shrinks as S3/S4 get
  * cheaper but stays >= ~32 % even at a >6x reduction.
+ *
+ * The S3/S4 levels ride the grid's device-config axis; the runner
+ * rebuilds each grid point's energy model from its DeviceConfig.
  */
 
 #include "bench_common.hh"
 
 #include "common/csv.hh"
-#include "coset/baseline_codec.hh"
-#include "wlcrc/wlcrc_codec.hh"
+#include "runner/grid.hh"
 
 int
 main()
@@ -20,27 +22,57 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Figure 14",
-               "WLCRC-16 improvement vs intermediate state energy");
-    CsvTable table({"S3_set_pJ", "S4_set_pJ", "baseline_pJ",
-                    "wlcrc16_pJ", "improvement_pct"});
+    return wb::benchMain([] {
+        wb::banner(
+            "Figure 14",
+            "WLCRC-16 improvement vs intermediate state energy");
 
-    const std::vector<std::pair<double, double>> levels = {
-        {307, 547}, {152, 273}, {75, 135}, {50, 80}};
-    for (const auto &[s3, s4] : levels) {
-        const auto energy =
-            pcm::EnergyModel::withHighStateEnergies(s3, s4);
-        const coset::BaselineCodec base(energy);
-        const core::WlcrcCodec wlcrc(energy, 16);
-        auto mean_energy = [](const trace::ReplayResult &r) {
-            return r.energyPj.mean();
+        const std::vector<std::pair<double, double>> levels = {
+            {307, 547}, {152, 273}, {75, 135}, {50, 80}};
+        std::vector<runner::DeviceConfig> configs;
+        for (const auto &[s3, s4] : levels) {
+            runner::DeviceConfig cfg;
+            cfg.s3 = s3;
+            cfg.s4 = s4;
+            configs.push_back(cfg);
+        }
+
+        const std::vector<std::string> schemes = {"Baseline",
+                                                  "WLCRC-16"};
+        const auto results =
+            wb::makeRunner("Figure 14")
+                .run(runner::ExperimentGrid()
+                         .workloads(wb::allWorkloadNames())
+                         .schemes(schemes)
+                         .deviceConfigs(configs)
+                         .lines(wb::linesPerWorkload())
+                         .seed(1234)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        // Equal-weight suite average of (scheme s, config c); the
+        // expansion is workload-major, then scheme, then config.
+        const unsigned nworkloads =
+            trace::WorkloadProfile::all().size();
+        auto suite_energy = [&](unsigned s, unsigned c) {
+            double total = 0;
+            for (unsigned w = 0; w < nworkloads; ++w) {
+                const auto idx =
+                    (w * schemes.size() + s) * configs.size() + c;
+                total += results[idx].replay.energyPj.mean();
+            }
+            return total / nworkloads;
         };
-        const double be = wb::suiteAverage(
-            base, wb::linesPerWorkload(), mean_energy);
-        const double we = wb::suiteAverage(
-            wlcrc, wb::linesPerWorkload(), mean_energy);
-        table.addRow(s3, s4, be, we, 100.0 * (1 - we / be));
-    }
-    table.write(std::cout);
-    return 0;
+
+        CsvTable table({"S3_set_pJ", "S4_set_pJ", "baseline_pJ",
+                        "wlcrc16_pJ", "improvement_pct"});
+        for (unsigned c = 0; c < configs.size(); ++c) {
+            const double be = suite_energy(0, c);
+            const double we = suite_energy(1, c);
+            table.addRow(levels[c].first, levels[c].second, be, we,
+                         100.0 * (1 - we / be));
+        }
+        table.write(std::cout);
+        return 0;
+    });
 }

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Shared driver for Figures 11/12/13: WLC+4cosets, WLC+3cosets and
+ * WLCRC at granularities 8/16/32/64 over the whole workload suite,
+ * with one blk/aux metric pair tabulated per figure.
+ *
+ * The {workload x (scheme, granularity)} grid executes on the
+ * parallel experiment runner; suite averages are the arithmetic mean
+ * of the per-workload means (every workload replays the same number
+ * of lines), matching the paper's equal-weight benchmark averages.
+ */
+
+#ifndef WLCRC_BENCH_GRANULARITY_SWEEP_HH
+#define WLCRC_BENCH_GRANULARITY_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "runner/grid.hh"
+#include "wlcrc/wlc_cosets_codec.hh"
+#include "wlcrc/wlcrc_codec.hh"
+
+namespace wlcrc::bench
+{
+
+/** Per-write metric, e.g. the mean data-cell energy. */
+using GranularityMetric =
+    std::function<double(const trace::ReplayResult &)>;
+
+/** One (scheme, granularity) series of a granularity figure. */
+struct GranularityRow
+{
+    std::string scheme; //!< "4cosets" / "3cosets" / "WLCRC"
+    unsigned granularity;
+    std::vector<trace::ReplayResult> perWorkload; //!< suite order
+
+    /** Equal-weight suite average of @p metric. */
+    double
+    suiteAverage(const GranularityMetric &metric) const
+    {
+        double total = 0;
+        for (const auto &r : perWorkload)
+            total += metric(r);
+        return total / perWorkload.size();
+    }
+};
+
+/**
+ * Run the Figure 11-13 grid, one result row per (scheme,
+ * granularity) in the figures' order (per granularity: 4cosets,
+ * 3cosets, WLCRC).
+ */
+inline std::vector<GranularityRow>
+granularitySweep(const std::string &label)
+{
+    std::vector<runner::SchemeDef> defs;
+    std::vector<GranularityRow> rows;
+    for (const unsigned g : {8u, 16u, 32u, 64u}) {
+        for (const unsigned n : {4u, 3u}) {
+            defs.push_back(
+                {std::to_string(n) + "cosets-" + std::to_string(g),
+                 [n, g](const pcm::EnergyModel &energy) {
+                     return std::make_unique<core::WlcCosetsCodec>(
+                         energy, n, g);
+                 }});
+            rows.push_back({std::to_string(n) + "cosets", g, {}});
+        }
+        defs.push_back({"WLCRC-" + std::to_string(g),
+                        [g](const pcm::EnergyModel &energy) {
+                            return std::make_unique<
+                                core::WlcrcCodec>(energy, g);
+                        }});
+        rows.push_back({"WLCRC", g, {}});
+    }
+
+    const auto results =
+        makeRunner(label).run(runner::ExperimentGrid()
+                                  .workloads(allWorkloadNames())
+                                  .schemeDefs(defs)
+                                  .lines(linesPerWorkload())
+                                  .seed(1234)
+                                  .shards(benchShards()));
+    requireOk(results);
+
+    const unsigned nworkloads = trace::WorkloadProfile::all().size();
+    for (std::size_t d = 0; d < defs.size(); ++d) {
+        for (unsigned w = 0; w < nworkloads; ++w)
+            rows[d].perWorkload.push_back(
+                results[w * defs.size() + d].replay);
+    }
+    return rows;
+}
+
+/**
+ * Print the figure's suite-average table: one row per (scheme,
+ * granularity) with @p blk and @p aux averages plus their sum.
+ */
+inline void
+writeGranularityTable(const std::vector<GranularityRow> &rows,
+                      const std::vector<std::string> &header,
+                      const GranularityMetric &blk,
+                      const GranularityMetric &aux)
+{
+    CsvTable table(header);
+    for (const auto &row : rows) {
+        double b = 0, a = 0;
+        for (const auto &r : row.perWorkload) {
+            b += blk(r);
+            a += aux(r);
+        }
+        const double n = row.perWorkload.size();
+        table.addRow(row.scheme, row.granularity, b / n, a / n,
+                     (b + a) / n);
+    }
+    table.write(std::cout);
+}
+
+} // namespace wlcrc::bench
+
+#endif // WLCRC_BENCH_GRANULARITY_SWEEP_HH

@@ -11,7 +11,10 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
+
 #include "common/csv.hh"
+#include "runner/grid.hh"
 #include "wlcrc/wlcrc_codec.hh"
 
 int
@@ -20,42 +23,68 @@ main()
     using namespace wlcrc;
     namespace wb = wlcrc::bench;
 
-    wb::banner("Section VIII-D",
-               "multi-objective WLCRC-16 threshold sweep");
-    CsvTable table({"threshold_pct", "energy_pJ", "updated_cells"});
+    return wb::benchMain([] {
+        wb::banner("Section VIII-D",
+                   "multi-objective WLCRC-16 threshold sweep");
 
-    const pcm::EnergyModel energy;
-    auto mean_energy = [](const trace::ReplayResult &r) {
-        return r.energyPj.mean();
-    };
-    auto mean_updated = [](const trace::ReplayResult &r) {
-        return r.updatedCells.mean();
-    };
-    for (const double t : {0.0, 0.005, 0.01, 0.02, 0.05}) {
-        const core::WlcrcCodec codec(energy, 16, t);
-        table.addRow(100 * t,
-                     wb::suiteAverage(codec, wb::linesPerWorkload(),
-                                      mean_energy),
-                     wb::suiteAverage(codec, wb::linesPerWorkload(),
-                                      mean_updated));
-    }
-    table.write(std::cout);
+        const std::vector<double> thresholds = {0.0, 0.005, 0.01,
+                                                0.02, 0.05};
+        std::vector<runner::SchemeDef> defs;
+        for (const double t : thresholds) {
+            defs.push_back(
+                {"WLCRC-16 T=" + std::to_string(100 * t) + "%",
+                 [t](const pcm::EnergyModel &energy) {
+                     return std::make_unique<core::WlcrcCodec>(
+                         energy, 16, t);
+                 }});
+        }
 
-    // The paper's per-workload case study at T = 1 %.
-    CsvTable cases({"workload", "plain_updated", "mo_updated",
-                    "plain_pJ", "mo_pJ"});
-    const core::WlcrcCodec plain(energy, 16);
-    const core::WlcrcCodec mo(energy, 16, 0.01);
-    for (const char *name : {"lesl", "lbm"}) {
-        const auto &p = trace::WorkloadProfile::byName(name);
-        const auto rp =
-            wb::runWorkload(plain, p, wb::linesPerWorkload());
-        const auto rm =
-            wb::runWorkload(mo, p, wb::linesPerWorkload());
-        cases.addRow(name, rp.updatedCells.mean(),
-                     rm.updatedCells.mean(), rp.energyPj.mean(),
-                     rm.energyPj.mean());
-    }
-    cases.write(std::cout);
-    return 0;
+        const auto workloads = wb::allWorkloadNames();
+        const auto results =
+            wb::makeRunner("Section VIII-D")
+                .run(runner::ExperimentGrid()
+                         .workloads(workloads)
+                         .schemeDefs(defs)
+                         .lines(wb::linesPerWorkload())
+                         .seed(1234)
+                         .shards(wb::benchShards()));
+        wb::requireOk(results);
+
+        CsvTable table(
+            {"threshold_pct", "energy_pJ", "updated_cells"});
+        for (std::size_t d = 0; d < thresholds.size(); ++d) {
+            table.addRow(
+                100 * thresholds[d],
+                wb::suiteAverage(results, defs.size(), d,
+                                 [](const trace::ReplayResult &r) {
+                                     return r.energyPj.mean();
+                                 }),
+                wb::suiteAverage(results, defs.size(), d,
+                                 [](const trace::ReplayResult &r) {
+                                     return r.updatedCells.mean();
+                                 }));
+        }
+        table.write(std::cout);
+
+        // The paper's per-workload case study at T = 1 % (grid
+        // columns T=0% and T=1%).
+        CsvTable cases({"workload", "plain_updated", "mo_updated",
+                        "plain_pJ", "mo_pJ"});
+        for (const char *name : {"lesl", "lbm"}) {
+            const auto it = std::find(workloads.begin(),
+                                      workloads.end(), name);
+            if (it == workloads.end())
+                throw std::runtime_error(
+                    std::string("case-study workload missing: ") +
+                    name);
+            const unsigned w = it - workloads.begin();
+            const auto &rp = wb::suiteCell(results, defs.size(), w, 0);
+            const auto &rm = wb::suiteCell(results, defs.size(), w, 2);
+            cases.addRow(name, rp.updatedCells.mean(),
+                         rm.updatedCells.mean(), rp.energyPj.mean(),
+                         rm.energyPj.mean());
+        }
+        cases.write(std::cout);
+        return 0;
+    });
 }

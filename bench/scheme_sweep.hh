@@ -44,14 +44,10 @@ schemeSweep(const std::string &metric_name, const MetricFn &metric)
     const auto schemes = core::figure8Schemes();
     const auto &profiles = trace::WorkloadProfile::all();
 
-    std::vector<std::string> workload_names;
-    for (const auto &p : profiles)
-        workload_names.push_back(p.name);
-
-    const runner::ExperimentRunner engine({benchJobs()});
+    const auto engine = makeRunner(metric_name + " sweep");
     const auto results =
         engine.run(runner::ExperimentGrid()
-                       .workloads(workload_names)
+                       .workloads(allWorkloadNames())
                        .schemes(schemes)
                        .lines(linesPerWorkload())
                        .seed(1234)
@@ -105,7 +101,6 @@ schemeSweep(const std::string &metric_name, const MetricFn &metric)
         table.add(grand[s]);
     }
     table.write(std::cout);
-    (void)metric_name;
     return grand;
 }
 

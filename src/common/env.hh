@@ -16,10 +16,18 @@
 namespace wlcrc
 {
 
-/** @return $name parsed as u64, or @p fallback if unset/invalid. */
+/**
+ * @return $name parsed as u64, or @p fallback if unset/empty.
+ * @throws std::invalid_argument for malformed values (trailing
+ *         garbage, negative numbers, overflow): a typo'd knob must
+ *         fail the run loudly, not silently fall back to a default.
+ */
 uint64_t envU64(const std::string &name, uint64_t fallback);
 
-/** @return $name parsed as double, or @p fallback if unset/invalid. */
+/**
+ * @return $name parsed as double, or @p fallback if unset/empty.
+ * @throws std::invalid_argument for malformed values, as envU64().
+ */
 double envDouble(const std::string &name, double fallback);
 
 /** @return $name, or @p fallback if unset. */

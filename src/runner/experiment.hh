@@ -18,16 +18,60 @@
 #define WLCRC_RUNNER_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "coset/codec.hh"
+#include "pcm/energy_model.hh"
 #include "pcm/wear.hh"
 #include "trace/replay.hh"
 #include "trace/transaction.hh"
 
 namespace wlcrc::runner
 {
+
+struct ExperimentSpec;
+
+/**
+ * Builds the codec of a grid point from the point's energy model.
+ * Set on a spec (or via a SchemeDef axis) when the codec is not one
+ * of the factory's named schemes — e.g. the granularity sweeps of
+ * Figures 1-3/5/11-13 instantiate NCosetsCodec / WlcCosetsCodec /
+ * WlcrcCodec at parameters the name table doesn't cover. When set,
+ * `ExperimentSpec::scheme` is a display label only.
+ */
+using CodecFactory =
+    std::function<coset::CodecPtr(const pcm::EnergyModel &)>;
+
+/**
+ * Per-point custom replay hook, for experiments that consume the
+ * transaction stream with something other than the stock
+ * codec-through-device replay (e.g. Figure 4 counts compressibility,
+ * the throughput bench times raw encode calls). The runner still
+ * derives the stream from the spec (workload / random / txns) and
+ * hands it over in stream order. The returned ReplayResult is what
+ * the stock reporters/merge path see — populate the fields that map
+ * onto it (typically at least `writes`); metrics with no
+ * ReplayResult field must be captured by the hook itself (each spec
+ * owning its own output slot keeps the parallel hooks race-free).
+ * Specs with a custom replay always execute as a single shard with
+ * the spec's own seed.
+ */
+using CustomReplayFn = std::function<trace::ReplayResult(
+    const ExperimentSpec &spec,
+    const std::vector<trace::WriteTransaction> &txns)>;
+
+/**
+ * One point of the scheme axis: a display name plus, when the codec
+ * is not factory-addressable, the factory function building it.
+ */
+struct SchemeDef
+{
+    std::string name;     //!< row label; factory name if no factory
+    CodecFactory factory; //!< null = core::makeCodec(name, ...)
+};
 
 /** Device-side knobs shared by a group of experiments. */
 struct DeviceConfig
@@ -59,6 +103,10 @@ struct ExperimentSpec
     uint64_t seed = 1;      //!< synthesis + device master seed
     unsigned shards = 1;    //!< parallel shards (fixed, not #threads)
     DeviceConfig device;
+    /** Non-factory codec for this point; scheme becomes a label. */
+    CodecFactory codecFactory;
+    /** Replaces the stock replay entirely (single-sharded). */
+    CustomReplayFn customReplay;
 
     /** "workload", "random" or "trace" — the stream's origin. */
     std::string sourceName() const;

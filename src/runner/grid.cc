@@ -1,5 +1,6 @@
 #include "grid.hh"
 
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +9,16 @@ namespace wlcrc::runner
 
 ExperimentGrid &
 ExperimentGrid::schemes(std::vector<std::string> v)
+{
+    schemes_.clear();
+    schemes_.reserve(v.size());
+    for (auto &name : v)
+        schemes_.push_back({std::move(name), nullptr});
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::schemeDefs(std::vector<SchemeDef> v)
 {
     schemes_ = std::move(v);
     return *this;
@@ -77,6 +88,13 @@ ExperimentGrid::shards(unsigned n)
     return *this;
 }
 
+ExperimentGrid &
+ExperimentGrid::customReplay(CustomReplayFn fn)
+{
+    customReplay_ = std::move(fn);
+    return *this;
+}
+
 std::size_t
 ExperimentGrid::size() const
 {
@@ -94,6 +112,20 @@ ExperimentGrid::expand() const
             "ExperimentGrid: no transaction source configured "
             "(workloads / randomSource / transactions)");
     }
+    if (schemes_.empty() || lineCounts_.empty() || seeds_.empty() ||
+        configs_.empty()) {
+        throw std::invalid_argument(
+            "ExperimentGrid: an axis was set to an empty list; "
+            "every configured axis needs at least one value");
+    }
+    std::set<std::string> names;
+    for (const auto &s : schemes_) {
+        if (!names.insert(s.name).second) {
+            throw std::invalid_argument(
+                "ExperimentGrid: duplicate scheme name '" + s.name +
+                "' (report rows would be indistinguishable)");
+        }
+    }
 
     // A single pseudo-workload entry keeps the loop nest uniform
     // when the source is random data or a shared stream.
@@ -109,7 +141,9 @@ ExperimentGrid::expand() const
                 for (const uint64_t seed : seeds_) {
                     for (const auto &cfg : configs_) {
                         ExperimentSpec s;
-                        s.scheme = scheme;
+                        s.scheme = scheme.name;
+                        s.codecFactory = scheme.factory;
+                        s.customReplay = customReplay_;
                         s.workload = workload;
                         s.random = workload.empty() && random_;
                         s.txns =

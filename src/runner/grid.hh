@@ -33,6 +33,8 @@ class ExperimentGrid
 {
   public:
     ExperimentGrid &schemes(std::vector<std::string> v);
+    /** Scheme axis with per-point codec factories (see SchemeDef). */
+    ExperimentGrid &schemeDefs(std::vector<SchemeDef> v);
     ExperimentGrid &workloads(std::vector<std::string> v);
     /** Use the uniform-random workload as the (single) source. */
     ExperimentGrid &randomSource();
@@ -46,6 +48,8 @@ class ExperimentGrid
     ExperimentGrid &seed(uint64_t s);
     ExperimentGrid &deviceConfigs(std::vector<DeviceConfig> v);
     ExperimentGrid &shards(unsigned n);
+    /** Stamp every expanded spec with a custom replay hook. */
+    ExperimentGrid &customReplay(CustomReplayFn fn);
 
     /** Number of specs expand() will produce. */
     std::size_t size() const;
@@ -53,12 +57,14 @@ class ExperimentGrid
     /**
      * Materialise the grid as a flat spec list in deterministic
      * order. @throws std::invalid_argument if no transaction source
-     * (workloads, random or transactions) was configured.
+     * (workloads, random or transactions) was configured, if any
+     * configured axis is empty, or if the scheme axis repeats a name
+     * (rows would be indistinguishable in every report).
      */
     std::vector<ExperimentSpec> expand() const;
 
   private:
-    std::vector<std::string> schemes_ = {"WLCRC-16"};
+    std::vector<SchemeDef> schemes_ = {{"WLCRC-16", nullptr}};
     std::vector<std::string> workloads_;
     bool random_ = false;
     std::shared_ptr<const std::vector<trace::WriteTransaction>>
@@ -67,6 +73,7 @@ class ExperimentGrid
     std::vector<uint64_t> seeds_ = {1};
     std::vector<DeviceConfig> configs_ = {DeviceConfig{}};
     unsigned shards_ = 1;
+    CustomReplayFn customReplay_;
 };
 
 } // namespace wlcrc::runner

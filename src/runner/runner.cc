@@ -1,7 +1,10 @@
 #include "runner.hh"
 
+#include <chrono>
+#include <cstdio>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
@@ -25,6 +28,41 @@ struct ShardOutcome
     std::string error; // empty = success
 };
 
+/** Shard count a spec actually executes with. */
+unsigned
+effectiveShards(const ExperimentSpec &spec)
+{
+    // Custom replays consume the whole stream in one pass: the hook
+    // owns its own state, which the runner cannot merge shard-wise.
+    if (spec.customReplay)
+        return 1;
+    return spec.shards ? spec.shards : 1;
+}
+
+/**
+ * Materialise a synthesized spec's full transaction stream, for
+ * hooks that want it as a vector rather than a pull loop. Specs
+ * with a pre-gathered stream pass *spec.txns directly instead —
+ * never copy a shared trace per grid point.
+ */
+std::vector<trace::WriteTransaction>
+synthesizeStream(const ExperimentSpec &spec)
+{
+    std::vector<trace::WriteTransaction> txns;
+    txns.reserve(spec.lines);
+    if (spec.random) {
+        trace::RandomWorkload random(spec.seed);
+        for (uint64_t i = 0; i < spec.lines; ++i)
+            txns.push_back(random.next());
+    } else {
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName(spec.workload), spec.seed);
+        for (uint64_t i = 0; i < spec.lines; ++i)
+            txns.push_back(synth.next());
+    }
+    return txns;
+}
+
 /**
  * Replay shard @p shard of @p spec. The full transaction stream is
  * re-derived (or re-read from the shared vector) and filtered down
@@ -37,9 +75,18 @@ runShard(const ExperimentSpec &spec, unsigned shard)
 {
     ShardOutcome out;
     try {
+        if (spec.customReplay) {
+            out.replay = spec.txns
+                             ? spec.customReplay(spec, *spec.txns)
+                             : spec.customReplay(
+                                   spec, synthesizeStream(spec));
+            return out;
+        }
         const auto energy = pcm::EnergyModel::withHighStateEnergies(
             spec.device.s3, spec.device.s4);
-        const auto codec = core::makeCodec(spec.scheme, energy);
+        const auto codec = spec.codecFactory
+                               ? spec.codecFactory(energy)
+                               : core::makeCodec(spec.scheme, energy);
         const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
         trace::Replayer rep(*codec, unit,
                             shardSeed(spec.seed, shard, spec.shards),
@@ -104,7 +151,69 @@ mergeShards(const ExperimentSpec &spec,
     return res;
 }
 
+/**
+ * Serialises progress callbacks and derives the elapsed/ETA figures
+ * from completed-task counts. The ETA assumes uniform task cost —
+ * good enough for the benches' homogeneous replay grids.
+ */
+class ProgressMeter
+{
+  public:
+    ProgressMeter(const ProgressFn &fn, std::size_t total)
+        : fn_(fn), total_(total),
+          start_(std::chrono::steady_clock::now())
+    {
+        if (fn_)
+            fn_(snapshot(0));
+    }
+
+    void
+    taskDone()
+    {
+        if (!fn_)
+            return;
+        std::lock_guard lock(mutex_);
+        fn_(snapshot(++done_));
+    }
+
+  private:
+    RunProgress
+    snapshot(std::size_t done) const
+    {
+        RunProgress p;
+        p.tasksDone = done;
+        p.tasksTotal = total_;
+        p.elapsedSec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        p.etaSec = done ? p.elapsedSec / done * (total_ - done) : 0;
+        return p;
+    }
+
+    const ProgressFn &fn_;
+    const std::size_t total_;
+    const std::chrono::steady_clock::time_point start_;
+    std::mutex mutex_;
+    std::size_t done_ = 0;
+};
+
 } // namespace
+
+ProgressFn
+stderrProgress(std::string label)
+{
+    return [label = std::move(label)](const RunProgress &p) {
+        std::fprintf(stderr,
+                     "\r%s: %zu/%zu (%3.0f%%) elapsed %.1fs "
+                     "eta %.1fs ",
+                     label.c_str(), p.tasksDone, p.tasksTotal,
+                     100.0 * p.fraction(), p.elapsedSec, p.etaSec);
+        if (p.tasksDone == p.tasksTotal)
+            std::fputc('\n', stderr);
+        std::fflush(stderr);
+    };
+}
 
 std::vector<ExperimentResult>
 ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
@@ -112,15 +221,20 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
     // One outcome slot per (spec, shard); tasks only touch their
     // own slot, so no synchronisation is needed beyond the pool's.
     std::vector<std::vector<ShardOutcome>> outcomes(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i)
-        outcomes[i].resize(specs[i].shards ? specs[i].shards : 1);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        outcomes[i].resize(effectiveShards(specs[i]));
+        total += outcomes[i].size();
+    }
 
     {
+        ProgressMeter meter(opts_.progress, total);
         ThreadPool pool(opts_.jobs);
         for (std::size_t i = 0; i < specs.size(); ++i) {
             for (unsigned s = 0; s < outcomes[i].size(); ++s) {
-                pool.submit([&specs, &outcomes, i, s] {
+                pool.submit([&specs, &outcomes, &meter, i, s] {
                     outcomes[i][s] = runShard(specs[i], s);
+                    meter.taskDone();
                 });
             }
         }

@@ -11,6 +11,8 @@
 #define WLCRC_RUNNER_RUNNER_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -20,11 +22,46 @@
 namespace wlcrc::runner
 {
 
+/** Snapshot of a run's completion state, for progress reporting. */
+struct RunProgress
+{
+    std::size_t tasksDone = 0;  //!< (spec, shard) tasks finished
+    std::size_t tasksTotal = 0; //!< tasks in the whole run
+    double elapsedSec = 0;      //!< wall time since run() started
+    double etaSec = 0;          //!< remaining-time estimate
+
+    double
+    fraction() const
+    {
+        return tasksTotal
+                   ? static_cast<double>(tasksDone) / tasksTotal
+                   : 1.0;
+    }
+};
+
+/**
+ * Invoked after every completed shard task (and once with
+ * tasksDone == 0 before the first). Calls are serialised by the
+ * runner, but arrive from worker threads — keep the callback cheap
+ * and never write to a run's own report stream (stderr is the
+ * conventional sink, so stdout stays byte-comparable).
+ */
+using ProgressFn = std::function<void(const RunProgress &)>;
+
 /** Execution knobs, orthogonal to what is being run. */
 struct RunnerOptions
 {
     unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
+    ProgressFn progress; //!< optional completion/ETA callback
 };
+
+/**
+ * Stock progress sink: a single self-overwriting stderr line
+ * "label: 12/40 (30%) elapsed 1.2s eta 2.8s", newline-terminated
+ * when the run completes. Used by every bench binary for the long
+ * paper-fidelity sweeps (WLCRC_BENCH_PROGRESS=0 silences it).
+ */
+ProgressFn stderrProgress(std::string label);
 
 /** Parallel executor for experiment grids. */
 class ExperimentRunner

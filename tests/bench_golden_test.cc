@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Golden-output regression harness for the figure bench suite.
+ *
+ * Every bench binary is executed at a small fixed scale
+ * (WLCRC_BENCH_LINES=120, WLCRC_BENCH_RANDOM_LINES=240, 2 replay
+ * shards) and its stdout is compared byte-for-byte against a
+ * checked-in golden CSV under tests/golden/ — so any codec, model
+ * or harness change that drifts a figure's numbers fails ctest
+ * instead of silently corrupting the artifact evaluation. Each
+ * binary additionally runs with WLCRC_BENCH_JOBS=1 and =4 and the
+ * two outputs must be identical, extending the runner's
+ * parallelism-independence guarantee to the whole figure suite.
+ *
+ * The throughput bench reports wall-clock columns; those cells are
+ * masked ('*') before comparison, pinning its deterministic
+ * behaviour (kernel set, line counts, checksums) only.
+ *
+ * Refreshing goldens after an intended change:
+ *     WLCRC_UPDATE_GOLDEN=1 ctest -R bench_golden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "subprocess.hh"
+
+namespace
+{
+
+/** One bench binary under golden test. */
+struct BenchCase
+{
+    const char *name;     //!< bench/<name>.cc, binary bench_<name>
+    bool maskTiming;      //!< mask wall-clock columns before diffing
+};
+
+const BenchCase kBenches[] = {
+    {"fig01_granularity_motivation", false},
+    {"fig02_cosets_random", false},
+    {"fig03_cosets_biased", false},
+    {"fig04_compression_coverage", false},
+    {"fig05_restricted_cosets", false},
+    {"fig08_write_energy", false},
+    {"fig09_endurance", false},
+    {"fig10_disturbance", false},
+    {"fig11_granularity_energy", false},
+    {"fig12_granularity_endurance", false},
+    {"fig13_granularity_disturbance", false},
+    {"fig14_energy_sensitivity", false},
+    {"ablation_wlcrc", false},
+    {"multi_objective", false},
+    {"hw_overhead", false},
+    {"codec_throughput", true},
+};
+
+/** Columns that are wall-clock measurements, never compared. */
+const std::set<std::string> kVolatileColumns = {"ns_per_op",
+                                                "ops_per_s"};
+
+/** Capture a command's stdout; stderr is discarded. */
+std::string
+capture(const std::string &cmd, int &exit_code)
+{
+    return wlcrc::test::captureStdout(cmd + " 2>/dev/null",
+                                      exit_code);
+}
+
+/** Naive comma split — bench CSV cells never contain commas. */
+std::vector<std::string>
+splitCells(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    for (const char c : line) {
+        if (c == ',') {
+            cells.push_back(cell);
+            cell.clear();
+        } else {
+            cell += c;
+        }
+    }
+    cells.push_back(cell);
+    return cells;
+}
+
+/**
+ * Replace every cell of a volatile column with '*'. Comment lines
+ * and tables without volatile columns pass through untouched, so
+ * this is the identity for the deterministic benches.
+ */
+std::string
+maskVolatileColumns(const std::string &text)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    std::set<std::size_t> volatile_idx;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') {
+            volatile_idx.clear(); // next table re-parses its header
+            out << line << '\n';
+            continue;
+        }
+        auto cells = splitCells(line);
+        bool is_header = false;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (kVolatileColumns.count(cells[i])) {
+                if (!is_header)
+                    volatile_idx.clear();
+                is_header = true;
+                volatile_idx.insert(i);
+            }
+        }
+        if (!is_header) {
+            for (const std::size_t i : volatile_idx)
+                if (i < cells.size())
+                    cells[i] = "*";
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            out << (i ? "," : "") << cells[i];
+        out << '\n';
+    }
+    return out.str();
+}
+
+std::string
+benchCommand(const std::string &name, unsigned jobs)
+{
+    std::ostringstream cmd;
+    cmd << "WLCRC_BENCH_LINES=120 WLCRC_BENCH_RANDOM_LINES=240"
+        << " WLCRC_BENCH_SHARDS=2 WLCRC_BENCH_PROGRESS=0"
+        << " WLCRC_BENCH_JOBS=" << jobs << " " << WLCRC_BENCH_DIR
+        << "/bench_" << name;
+    return cmd.str();
+}
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(WLCRC_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+class bench_golden : public ::testing::TestWithParam<BenchCase>
+{
+};
+
+TEST_P(bench_golden, OutputMatchesGoldenAndIsJobCountInvariant)
+{
+    const BenchCase &bench = GetParam();
+
+    int exit1 = -1, exit4 = -1;
+    std::string out1 = capture(benchCommand(bench.name, 1), exit1);
+    std::string out4 = capture(benchCommand(bench.name, 4), exit4);
+    ASSERT_EQ(exit1, 0) << "bench_" << bench.name
+                        << " (jobs=1) failed:\n"
+                        << out1;
+    ASSERT_EQ(exit4, 0) << "bench_" << bench.name
+                        << " (jobs=4) failed:\n"
+                        << out4;
+    ASSERT_FALSE(out1.empty());
+
+    if (bench.maskTiming) {
+        out1 = maskVolatileColumns(out1);
+        out4 = maskVolatileColumns(out4);
+    }
+
+    // Parallelism independence: the report is a function of the
+    // spec grid, never of the worker count.
+    EXPECT_EQ(out1, out4)
+        << "bench_" << bench.name
+        << " output depends on WLCRC_BENCH_JOBS";
+
+    const std::string path = goldenPath(bench.name);
+    if (std::getenv("WLCRC_UPDATE_GOLDEN")) {
+        std::ofstream golden(path, std::ios::binary);
+        ASSERT_TRUE(golden.is_open())
+            << "cannot write golden file " << path;
+        golden << out1;
+        return;
+    }
+
+    std::ifstream golden(path, std::ios::binary);
+    ASSERT_TRUE(golden.is_open())
+        << "missing golden file " << path
+        << " — regenerate with: WLCRC_UPDATE_GOLDEN=1 ctest -R "
+           "bench_golden";
+    std::stringstream expected;
+    expected << golden.rdbuf();
+    EXPECT_EQ(out1, expected.str())
+        << "bench_" << bench.name
+        << " drifted from its golden CSV. If the change is "
+           "intended, refresh with: WLCRC_UPDATE_GOLDEN=1 ctest -R "
+           "bench_golden";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figures, bench_golden, ::testing::ValuesIn(kBenches),
+    [](const ::testing::TestParamInfo<BenchCase> &info) {
+        return std::string(info.param.name);
+    });
+
+} // namespace

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/csv.hh"
 #include "common/env.hh"
@@ -236,12 +237,50 @@ TEST(Env, ParsesAndFallsBack)
     ::setenv("WLCRC_TEST_ENV_U64", "123", 1);
     EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_U64", 7), 123u);
     EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_MISSING", 7), 7u);
-    ::setenv("WLCRC_TEST_ENV_BAD", "12x", 1);
-    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_BAD", 7), 7u);
+    ::setenv("WLCRC_TEST_ENV_HEX", "0x20", 1);
+    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_HEX", 7), 32u);
     ::setenv("WLCRC_TEST_ENV_D", "0.25", 1);
     EXPECT_DOUBLE_EQ(wlcrc::envDouble("WLCRC_TEST_ENV_D", 1.0), 0.25);
+    ::setenv("WLCRC_TEST_ENV_EXP", "1.5e2", 1);
+    EXPECT_DOUBLE_EQ(wlcrc::envDouble("WLCRC_TEST_ENV_EXP", 1.0),
+                     150.0);
     EXPECT_EQ(wlcrc::envString("WLCRC_TEST_ENV_MISSING", "dflt"),
               "dflt");
+    // Empty is treated as unset, not as malformed.
+    ::setenv("WLCRC_TEST_ENV_EMPTY", "", 1);
+    EXPECT_EQ(wlcrc::envU64("WLCRC_TEST_ENV_EMPTY", 7), 7u);
+    EXPECT_DOUBLE_EQ(wlcrc::envDouble("WLCRC_TEST_ENV_EMPTY", 1.5),
+                     1.5);
+}
+
+TEST(Env, RejectsMalformedValuesLoudly)
+{
+    // A typo'd knob (e.g. WLCRC_BENCH_LINES=300O) must not silently
+    // run with the default.
+    for (const char *bad :
+         {"12x", "300O", "1 2", "-5", "--3", " -7", "x",
+          "99999999999999999999999"}) {
+        ::setenv("WLCRC_TEST_ENV_BAD", bad, 1);
+        EXPECT_THROW(wlcrc::envU64("WLCRC_TEST_ENV_BAD", 7),
+                     std::invalid_argument)
+            << "value: " << bad;
+    }
+    for (const char *bad : {"0.5x", "1.2.3", "zero", "1e999999"}) {
+        ::setenv("WLCRC_TEST_ENV_BAD", bad, 1);
+        EXPECT_THROW(wlcrc::envDouble("WLCRC_TEST_ENV_BAD", 1.0),
+                     std::invalid_argument)
+            << "value: " << bad;
+    }
+    // envDouble accepts signs — only envU64 rejects them.
+    ::setenv("WLCRC_TEST_ENV_NEG", "-0.5", 1);
+    EXPECT_DOUBLE_EQ(wlcrc::envDouble("WLCRC_TEST_ENV_NEG", 1.0),
+                     -0.5);
+    // Subnormals underflow (strtod sets ERANGE) but are still valid
+    // parses, not malformed input.
+    ::setenv("WLCRC_TEST_ENV_SUBNORMAL", "1e-310", 1);
+    EXPECT_NEAR(
+        wlcrc::envDouble("WLCRC_TEST_ENV_SUBNORMAL", 1.0) * 1e300,
+        1e-10, 1e-12);
 }
 
 } // namespace

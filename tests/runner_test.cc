@@ -33,7 +33,17 @@ using runner::ExperimentRunner;
 using runner::ExperimentSpec;
 using runner::JsonReporter;
 using runner::RunnerOptions;
+using runner::RunProgress;
+using runner::SchemeDef;
 using runner::ThreadPool;
+
+RunnerOptions
+jobs(unsigned n)
+{
+    RunnerOptions opts;
+    opts.jobs = n;
+    return opts;
+}
 
 // ------------------------------------------------------- ThreadPool
 
@@ -133,6 +143,72 @@ TEST(ExperimentGrid, RandomSourceMarksSpecs)
     EXPECT_EQ(specs[0].sourceName(), "random");
 }
 
+TEST(ExperimentGrid, EmptyAxisThrows)
+{
+    EXPECT_THROW(ExperimentGrid()
+                     .randomSource()
+                     .schemes({})
+                     .expand(),
+                 std::invalid_argument);
+    EXPECT_THROW(ExperimentGrid()
+                     .randomSource()
+                     .lineCounts({})
+                     .expand(),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        ExperimentGrid().randomSource().seeds({}).expand(),
+        std::invalid_argument);
+    EXPECT_THROW(ExperimentGrid()
+                     .randomSource()
+                     .deviceConfigs({})
+                     .expand(),
+                 std::invalid_argument);
+}
+
+TEST(ExperimentGrid, SinglePointGridIsOneFullyDefaultedSpec)
+{
+    const auto specs = ExperimentGrid()
+                           .workloads({"lesl"})
+                           .expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].scheme, "WLCRC-16");
+    EXPECT_EQ(specs[0].workload, "lesl");
+    EXPECT_EQ(specs[0].shards, 1u);
+    EXPECT_FALSE(specs[0].codecFactory);
+    EXPECT_FALSE(specs[0].customReplay);
+}
+
+TEST(ExperimentGrid, DuplicateSchemeNamesThrow)
+{
+    EXPECT_THROW(ExperimentGrid()
+                     .randomSource()
+                     .schemes({"Baseline", "FNW", "Baseline"})
+                     .expand(),
+                 std::invalid_argument);
+    // Same rule for the factory-carrying axis: the name is the row
+    // identity.
+    auto factory = [](const pcm::EnergyModel &energy) {
+        return core::makeCodec("WLCRC-16", energy);
+    };
+    EXPECT_THROW(ExperimentGrid()
+                     .randomSource()
+                     .schemeDefs({{"X", factory}, {"X", factory}})
+                     .expand(),
+                 std::invalid_argument);
+}
+
+TEST(ChildSeed, NoCollisionsAcross10kShardIds)
+{
+    std::set<uint64_t> seen;
+    for (uint64_t shard = 0; shard < 10000; ++shard)
+        seen.insert(childSeed(1234, shard));
+    EXPECT_EQ(seen.size(), 10000u);
+    // Different parents must not alias onto the same child streams.
+    for (uint64_t shard = 0; shard < 10000; ++shard)
+        seen.insert(childSeed(1235, shard));
+    EXPECT_EQ(seen.size(), 20000u);
+}
+
 // ------------------------------------------------ ExperimentRunner
 
 TEST(ExperimentRunner, SingleShardMatchesLegacySerialReplay)
@@ -147,7 +223,7 @@ TEST(ExperimentRunner, SingleShardMatchesLegacySerialReplay)
     spec.workload = "lesl";
     spec.lines = lines;
     spec.seed = seed;
-    const auto results = ExperimentRunner({2}).run({spec});
+    const auto results = ExperimentRunner(jobs(2)).run({spec});
     ASSERT_EQ(results.size(), 1u);
     ASSERT_TRUE(results[0].ok) << results[0].error;
 
@@ -176,7 +252,7 @@ TEST(ExperimentRunner, ShardedRunReplaysEveryTransaction)
     spec.workload = "milc";
     spec.lines = 500;
     spec.shards = 4;
-    const auto results = ExperimentRunner({4}).run({spec});
+    const auto results = ExperimentRunner(jobs(4)).run({spec});
     ASSERT_TRUE(results[0].ok) << results[0].error;
     EXPECT_EQ(results[0].replay.writes, 500u);
     EXPECT_EQ(results[0].replay.energyPj.count(), 500u);
@@ -191,7 +267,7 @@ TEST(ExperimentRunner, ErrorsAreCapturedPerSpec)
     ExperimentSpec good;
     good.workload = "lesl";
     good.lines = 10;
-    const auto results = ExperimentRunner({2}).run({bad, good});
+    const auto results = ExperimentRunner(jobs(2)).run({bad, good});
     ASSERT_EQ(results.size(), 2u);
     EXPECT_FALSE(results[0].ok);
     EXPECT_NE(results[0].error.find("no-such-scheme"),
@@ -209,8 +285,8 @@ TEST(ExperimentRunner, WearIsMergedAcrossShards)
     auto sharded = spec;
     sharded.shards = 4;
 
-    const auto serial = ExperimentRunner({1}).run({spec});
-    const auto parallel = ExperimentRunner({4}).run({sharded});
+    const auto serial = ExperimentRunner(jobs(1)).run({spec});
+    const auto parallel = ExperimentRunner(jobs(4)).run({sharded});
     ASSERT_TRUE(serial[0].ok && parallel[0].ok);
     // Wear counts updated cells, whose totals depend only on the
     // stream and stored state (not on the per-shard disturbance
@@ -228,6 +304,114 @@ TEST(ExperimentRunner, WearIsMergedAcrossShards)
     EXPECT_GT(parallel[0].projectedLifetime, 0u);
 }
 
+TEST(ExperimentRunner, CodecFactoryOverridesSchemeLookup)
+{
+    // A factory-built codec must replay identically to the same
+    // codec reached through its factory name; the scheme string is
+    // then only a label (and may be factory-unknown).
+    ExperimentSpec by_name;
+    by_name.scheme = "WLCRC-16";
+    by_name.workload = "lesl";
+    by_name.lines = 200;
+
+    ExperimentSpec by_factory = by_name;
+    by_factory.scheme = "not-a-factory-name";
+    by_factory.codecFactory = [](const pcm::EnergyModel &energy) {
+        return core::makeCodec("WLCRC-16", energy);
+    };
+
+    const auto results =
+        ExperimentRunner(jobs(2)).run({by_name, by_factory});
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    ASSERT_TRUE(results[1].ok) << results[1].error;
+    EXPECT_DOUBLE_EQ(results[0].replay.energyPj.mean(),
+                     results[1].replay.energyPj.mean());
+    EXPECT_EQ(results[0].replay.compressedWrites,
+              results[1].replay.compressedWrites);
+}
+
+TEST(ExperimentRunner, CustomReplayGetsFullStreamInOrder)
+{
+    ExperimentSpec spec;
+    spec.workload = "milc";
+    spec.lines = 150;
+    spec.seed = 5;
+    spec.shards = 4; // forced to a single pass for custom replays
+
+    std::atomic<int> calls{0};
+    std::vector<uint64_t> addrs;
+    spec.customReplay =
+        [&](const ExperimentSpec &s,
+            const std::vector<trace::WriteTransaction> &txns) {
+            ++calls;
+            for (const auto &t : txns)
+                addrs.push_back(t.lineAddr);
+            trace::ReplayResult out;
+            out.writes = txns.size();
+            (void)s;
+            return out;
+        };
+    const auto results = ExperimentRunner(jobs(4)).run({spec});
+    ASSERT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(results[0].replay.writes, 150u);
+
+    // The hook sees the exact synthesized stream, in stream order.
+    trace::TraceSynthesizer synth(
+        trace::WorkloadProfile::byName("milc"), 5);
+    ASSERT_EQ(addrs.size(), 150u);
+    for (unsigned i = 0; i < 150; ++i)
+        EXPECT_EQ(addrs[i], synth.next().lineAddr);
+}
+
+TEST(ExperimentRunner, CustomReplayErrorsAreCaptured)
+{
+    ExperimentSpec spec;
+    spec.workload = "lesl";
+    spec.lines = 10;
+    spec.customReplay =
+        [](const ExperimentSpec &,
+           const std::vector<trace::WriteTransaction> &)
+        -> trace::ReplayResult {
+        throw std::runtime_error("hook exploded");
+    };
+    const auto results = ExperimentRunner(jobs(2)).run({spec});
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_NE(results[0].error.find("hook exploded"),
+              std::string::npos);
+}
+
+TEST(ExperimentRunner, ProgressReportsEveryTaskWithEta)
+{
+    const auto grid = ExperimentGrid()
+                          .workloads({"lesl", "milc"})
+                          .schemes({"Baseline", "FNW"})
+                          .lines(50)
+                          .shards(3);
+
+    std::vector<RunProgress> seen;
+    RunnerOptions opts;
+    opts.jobs = 4;
+    opts.progress = [&seen](const RunProgress &p) {
+        seen.push_back(p); // serialised by the runner
+    };
+    const auto results = ExperimentRunner(opts).run(grid);
+    ASSERT_EQ(results.size(), 4u);
+
+    // Initial 0/total snapshot plus one call per (spec, shard).
+    ASSERT_EQ(seen.size(), 1u + 4 * 3);
+    EXPECT_EQ(seen.front().tasksDone, 0u);
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i].tasksDone, i);
+        EXPECT_EQ(seen[i].tasksTotal, 12u);
+        EXPECT_GE(seen[i].elapsedSec, 0.0);
+        EXPECT_GE(seen[i].etaSec, 0.0);
+    }
+    EXPECT_EQ(seen.back().tasksDone, seen.back().tasksTotal);
+    EXPECT_DOUBLE_EQ(seen.back().etaSec, 0.0);
+    EXPECT_DOUBLE_EQ(seen.back().fraction(), 1.0);
+}
+
 // The acceptance-criteria property: a sharded multi-scheme sweep
 // reported to CSV is byte-identical on 1 thread and on 4 threads.
 TEST(ExperimentRunner, ShardedSweepCsvIsIdenticalAcrossJobCounts)
@@ -241,10 +425,10 @@ TEST(ExperimentRunner, ShardedSweepCsvIsIdenticalAcrossJobCounts)
                           .shards(4);
 
     std::string csv[2], json[2];
-    const unsigned jobs[2] = {1, 4};
+    const unsigned job_counts[2] = {1, 4};
     for (int i = 0; i < 2; ++i) {
         const auto results =
-            ExperimentRunner({jobs[i]}).run(grid);
+            ExperimentRunner(jobs(job_counts[i])).run(grid);
         for (const auto &r : results)
             ASSERT_TRUE(r.ok) << r.error;
         std::ostringstream c, j;

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared test helper: run a shell command and capture its stdout.
+ * Used by the golden-output bench harness and the wlcrc_sim --json
+ * round-trip test.
+ */
+
+#ifndef WLCRC_TESTS_SUBPROCESS_HH
+#define WLCRC_TESTS_SUBPROCESS_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace wlcrc::test
+{
+
+/**
+ * Run @p cmd via /bin/sh and return its stdout. @p exit_code gets
+ * the raw pclose() status. Redirect stderr in the command string if
+ * it should be discarded.
+ */
+inline std::string
+captureStdout(const std::string &cmd, int &exit_code)
+{
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    if (!pipe)
+        throw std::runtime_error("popen failed: " + cmd);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    exit_code = ::pclose(pipe);
+    return out;
+}
+
+} // namespace wlcrc::test
+
+#endif // WLCRC_TESTS_SUBPROCESS_HH

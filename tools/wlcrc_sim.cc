@@ -23,6 +23,7 @@
  *   --wear <endurance>     track per-cell wear and project lifetime
  *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
  *   --json                 report JSON instead of CSV
+ *   --progress             stderr progress/ETA line while running
  *
  * Output: one row/object per scheme with the paper's three metrics.
  */
@@ -55,6 +56,7 @@ struct Options
     bool random = false;
     bool vnr = false;
     bool json = false;
+    bool progress = false;
     uint64_t lines = 10000;
     uint64_t seed = 1;
     uint64_t wearEndurance = 0;
@@ -72,7 +74,7 @@ usage(const char *argv0)
         "          [--trace-out F] [--lines N] [--seed S] "
         "[--jobs N] [--shards N]\n"
         "          [--vnr] [--wear ENDURANCE] [--s3 pJ] [--s4 pJ] "
-        "[--json]\n",
+        "[--json] [--progress]\n",
         argv0);
 }
 
@@ -103,6 +105,8 @@ parse(int argc, char **argv)
             o.vnr = true;
         } else if (a == "--json") {
             o.json = true;
+        } else if (a == "--progress") {
+            o.progress = true;
         } else if (a == "--lines") {
             if (const char *v = next())
                 o.lines = std::strtoull(v, nullptr, 0);
@@ -204,7 +208,11 @@ main(int argc, char **argv)
         if (!opts->traceOut.empty())
             persistTrace(*opts);
 
-        const runner::ExperimentRunner engine({opts->jobs});
+        runner::RunnerOptions ropts;
+        ropts.jobs = opts->jobs;
+        if (opts->progress)
+            ropts.progress = runner::stderrProgress("wlcrc_sim");
+        const runner::ExperimentRunner engine(ropts);
         const auto results = engine.run(grid);
 
         for (const auto &r : results) {
