@@ -1,12 +1,17 @@
 /**
  * @file
- * trace_pipeline: the full trace-driven flow on files, mirroring how
- * externally collected (gem5/Pin/Simics) traces would be used.
+ * trace_pipeline: the out-of-core trace flow end to end, mirroring
+ * how externally collected (gem5/Pin/Simics) traces are used at
+ * scale — the API twin of `wlcrc_trace generate/info` piped into
+ * `wlcrc_sim --trace-in`.
  *
- *   1. synthesize a workload trace and write it in the binary
- *      format (trace/trace_io.hh);
- *   2. read it back and replay it through two schemes;
- *   3. report the per-scheme metrics.
+ *   1. synthesize a workload and persist it as an indexed WLCTRC02
+ *      container (tracefile/writer.hh);
+ *   2. inspect it through the mmap-backed reader: record count,
+ *      block index, address range, checksum audit;
+ *   3. replay it through two schemes on the experiment runner,
+ *      streaming block-by-block via a TransactionSource — the trace
+ *      is never materialised in memory.
  *
  *   ./build/examples/trace_pipeline [workload] [lines] [/path.trc]
  */
@@ -14,13 +19,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <vector>
+#include <iostream>
 
-#include "pcm/disturbance.hh"
-#include "trace/replay.hh"
-#include "trace/trace_io.hh"
+#include "runner/grid.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+#include "tracefile/mapped_trace.hh"
+#include "tracefile/source.hh"
+#include "tracefile/writer.hh"
 #include "trace/workload.hh"
-#include "wlcrc/factory.hh"
 
 int
 main(int argc, char **argv)
@@ -36,36 +43,64 @@ main(int argc, char **argv)
                     "wlcrc_pipeline.trc")
                        .string();
 
-    // Step 1: synthesize and persist the trace.
     try {
-        const auto &profile =
-            trace::WorkloadProfile::byName(workload);
+        // Step 1: synthesize and persist as a WLCTRC02 container.
+        // Small blocks keep the example's streaming bound visible;
+        // production traces use the (much larger) default.
         {
-            trace::TraceSynthesizer synth(profile, 7);
-            trace::TraceWriter writer(path);
+            trace::TraceSynthesizer synth(
+                trace::WorkloadProfile::byName(workload), 7);
+            tracefile::TraceFileWriter writer(path, 512);
             for (uint64_t i = 0; i < lines; ++i)
                 writer.write(synth.next());
-        } // close the file before reading it back
-        std::printf("wrote %llu transactions to %s\n",
-                    static_cast<unsigned long long>(lines),
-                    path.c_str());
-
-        // Step 2: replay the file through two schemes.
-        const pcm::EnergyModel energy;
-        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
-        for (const char *scheme : {"Baseline", "WLCRC-16"}) {
-            const auto codec = core::makeCodec(scheme, energy);
-            trace::Replayer rep(*codec, unit);
-            trace::TraceReader reader(path);
-            while (const auto txn = reader.read())
-                rep.step(*txn);
-            const auto &r = rep.result();
-            std::printf(
-                "%-10s energy %8.1f pJ/write   updated %5.1f "
-                "cells   disturb %4.2f errors\n",
-                scheme, r.energyPj.mean(), r.updatedCells.mean(),
-                r.disturbErrors.mean());
+            writer.close();
         }
+
+        // Step 2: inspect through the mmap reader and audit it.
+        {
+            const tracefile::MappedTrace trace(path);
+            std::printf(
+                "%s: %llu records in %llu blocks of %u "
+                "(addrs [%llu, %llu])\n",
+                path.c_str(),
+                static_cast<unsigned long long>(trace.records()),
+                static_cast<unsigned long long>(trace.blockCount()),
+                trace.recordsPerBlock(),
+                static_cast<unsigned long long>(trace.minAddr()),
+                static_cast<unsigned long long>(trace.maxAddr()));
+            trace.verifyAll();
+            std::printf("checksums ok; random access: record 0 -> "
+                        "line %llu, record %llu -> line %llu\n",
+                        static_cast<unsigned long long>(
+                            trace.record(0).lineAddr),
+                        static_cast<unsigned long long>(
+                            trace.records() - 1),
+                        static_cast<unsigned long long>(
+                            trace.record(trace.records() - 1)
+                                .lineAddr));
+        }
+
+        // Step 3: streamed sharded replay through two schemes. The
+        // runner's shards each open a block-pruned cursor over the
+        // mapping; peak trace memory is one block per shard, however
+        // long the trace is.
+        const auto source = tracefile::openTraceSource(path);
+        std::printf("replaying %s\n", source->describe().c_str());
+        runner::ExperimentGrid grid;
+        grid.schemes({"Baseline", "WLCRC-16"})
+            .sources({source})
+            .shards(4);
+        const auto results =
+            runner::ExperimentRunner().run(grid);
+        for (const auto &r : results) {
+            if (!r.ok) {
+                std::fprintf(stderr, "error: %s: %s\n",
+                             r.spec.label().c_str(),
+                             r.error.c_str());
+                return 1;
+            }
+        }
+        runner::CsvReporter().write(std::cout, results);
     } catch (const std::exception &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;

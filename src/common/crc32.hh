@@ -1,0 +1,27 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * buffers. Used by the WLCTRC02 trace container to checksum record
+ * blocks and the footer index, so corruption is detected at read
+ * time instead of silently skewing replay metrics.
+ */
+
+#ifndef WLCRC_COMMON_CRC32_HH
+#define WLCRC_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wlcrc
+{
+
+/**
+ * @return the CRC-32 of @p data[0..len), optionally continuing from
+ * a previous buffer's checksum @p seed (pass the prior return value
+ * to checksum a stream in pieces; the default starts a new message).
+ */
+uint32_t crc32(const void *data, std::size_t len, uint32_t seed = 0);
+
+} // namespace wlcrc
+
+#endif // WLCRC_COMMON_CRC32_HH

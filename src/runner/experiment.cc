@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "tracefile/source.hh"
+
 namespace wlcrc::runner
 {
 
@@ -20,8 +22,8 @@ DeviceConfig::label() const
 std::string
 ExperimentSpec::sourceName() const
 {
-    if (txns)
-        return "trace";
+    if (source)
+        return source->label();
     if (random)
         return "random";
     return workload;

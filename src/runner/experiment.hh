@@ -29,6 +29,11 @@
 #include "trace/replay.hh"
 #include "trace/transaction.hh"
 
+namespace wlcrc::tracefile
+{
+class TransactionSource;
+}
+
 namespace wlcrc::runner
 {
 
@@ -50,7 +55,7 @@ using CodecFactory =
  * transaction stream with something other than the stock
  * codec-through-device replay (e.g. Figure 4 counts compressibility,
  * the throughput bench times raw encode calls). The runner still
- * derives the stream from the spec (workload / random / txns) and
+ * derives the stream from the spec (workload / random / source) and
  * hands it over in stream order. The returned ReplayResult is what
  * the stock reporters/merge path see — populate the fields that map
  * onto it (typically at least `writes`); metrics with no
@@ -94,12 +99,15 @@ struct ExperimentSpec
     /** Use the uniform-random workload (Figures 1a/2). */
     bool random = false;
     /**
-     * Pre-gathered transaction stream (e.g. a loaded trace file),
-     * shared read-only across specs and shards. Overrides
-     * workload/random when set.
+     * External transaction stream (a trace file or an in-memory
+     * vector), shared read-only across specs and shards; each shard
+     * opens its own streaming cursor over its address partition, so
+     * an on-disk trace replays without ever being materialised.
+     * Overrides workload/random when set.
      */
-    std::shared_ptr<const std::vector<trace::WriteTransaction>> txns;
-    uint64_t lines = 10000; //!< writes to synthesize (ignored w/ txns)
+    std::shared_ptr<const tracefile::TransactionSource> source;
+    uint64_t lines = 10000; //!< writes to synthesize (ignored w/
+                            //!< source)
     uint64_t seed = 1;      //!< synthesis + device master seed
     unsigned shards = 1;    //!< parallel shards (fixed, not #threads)
     DeviceConfig device;
@@ -108,7 +116,7 @@ struct ExperimentSpec
     /** Replaces the stock replay entirely (single-sharded). */
     CustomReplayFn customReplay;
 
-    /** "workload", "random" or "trace" — the stream's origin. */
+    /** Workload name, "random", or the source's label ("trace"). */
     std::string sourceName() const;
     /** Human-readable point label for reports and logs. */
     std::string label() const;

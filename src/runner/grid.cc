@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tracefile/source.hh"
+
 namespace wlcrc::runner
 {
 
@@ -39,10 +41,20 @@ ExperimentGrid::randomSource()
 }
 
 ExperimentGrid &
+ExperimentGrid::sources(
+    std::vector<std::shared_ptr<const tracefile::TransactionSource>>
+        v)
+{
+    sources_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
 ExperimentGrid::transactions(
     std::shared_ptr<const std::vector<trace::WriteTransaction>> txns)
 {
-    txns_ = std::move(txns);
+    sources_ = {std::make_shared<const tracefile::VectorSource>(
+        std::move(txns))};
     return *this;
 }
 
@@ -98,19 +110,22 @@ ExperimentGrid::customReplay(CustomReplayFn fn)
 std::size_t
 ExperimentGrid::size() const
 {
-    const std::size_t sources =
-        workloads_.empty() ? 1 : workloads_.size();
-    return sources * schemes_.size() * lineCounts_.size() *
+    const std::size_t streams =
+        !workloads_.empty() ? workloads_.size()
+        : random_           ? 1
+        : sources_.empty()  ? 1
+                            : sources_.size();
+    return streams * schemes_.size() * lineCounts_.size() *
            seeds_.size() * configs_.size();
 }
 
 std::vector<ExperimentSpec>
 ExperimentGrid::expand() const
 {
-    if (workloads_.empty() && !random_ && !txns_) {
+    if (workloads_.empty() && !random_ && sources_.empty()) {
         throw std::invalid_argument(
             "ExperimentGrid: no transaction source configured "
-            "(workloads / randomSource / transactions)");
+            "(workloads / randomSource / sources / transactions)");
     }
     if (schemes_.empty() || lineCounts_.empty() || seeds_.empty() ||
         configs_.empty()) {
@@ -127,15 +142,42 @@ ExperimentGrid::expand() const
         }
     }
 
-    // A single pseudo-workload entry keeps the loop nest uniform
-    // when the source is random data or a shared stream.
-    const std::vector<std::string> sources =
-        workloads_.empty() ? std::vector<std::string>{""}
-                           : workloads_;
+    // One stream entry per outer-loop row group: named workloads,
+    // the single random pseudo-workload, or the trace-source axis
+    // (workload-major order is preserved for all three).
+    struct Stream
+    {
+        std::string workload;
+        std::shared_ptr<const tracefile::TransactionSource> source;
+    };
+    std::vector<Stream> streams;
+    if (!workloads_.empty()) {
+        for (const auto &w : workloads_)
+            streams.push_back({w, nullptr});
+    } else if (random_) {
+        streams.push_back({"", nullptr});
+    } else {
+        std::set<std::string> labels;
+        for (const auto &src : sources_) {
+            if (!src) {
+                throw std::invalid_argument(
+                    "ExperimentGrid: null trace source");
+            }
+            if (sources_.size() > 1 &&
+                !labels.insert(src->label()).second) {
+                throw std::invalid_argument(
+                    "ExperimentGrid: duplicate source label '" +
+                    src->label() +
+                    "' (report rows would be indistinguishable; "
+                    "setLabel() each source)");
+            }
+            streams.push_back({"", src});
+        }
+    }
 
     std::vector<ExperimentSpec> specs;
     specs.reserve(size());
-    for (const auto &workload : sources) {
+    for (const auto &stream : streams) {
         for (const auto &scheme : schemes_) {
             for (const uint64_t lines : lineCounts_) {
                 for (const uint64_t seed : seeds_) {
@@ -144,11 +186,10 @@ ExperimentGrid::expand() const
                         s.scheme = scheme.name;
                         s.codecFactory = scheme.factory;
                         s.customReplay = customReplay_;
-                        s.workload = workload;
-                        s.random = workload.empty() && random_;
-                        s.txns =
-                            workload.empty() && !random_ ? txns_
-                                                         : nullptr;
+                        s.workload = stream.workload;
+                        s.random =
+                            stream.workload.empty() && random_;
+                        s.source = stream.source;
                         s.lines = lines;
                         s.seed = seed;
                         s.shards = shards_;

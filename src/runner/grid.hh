@@ -38,7 +38,18 @@ class ExperimentGrid
     ExperimentGrid &workloads(std::vector<std::string> v);
     /** Use the uniform-random workload as the (single) source. */
     ExperimentGrid &randomSource();
-    /** Use a pre-gathered stream as the (single) source. */
+    /**
+     * Trace-source axis: one spec row group per source, cartesian
+     * with every other axis (mirrors workloads(), for streams that
+     * come from files instead of profile names). Give each source a
+     * distinct label() when the grid has more than one, or report
+     * rows become indistinguishable (expand() throws on duplicates).
+     */
+    ExperimentGrid &sources(
+        std::vector<
+            std::shared_ptr<const tracefile::TransactionSource>>
+            v);
+    /** Single-source convenience: wrap one pre-gathered stream. */
     ExperimentGrid &transactions(
         std::shared_ptr<const std::vector<trace::WriteTransaction>>
             txns);
@@ -67,8 +78,8 @@ class ExperimentGrid
     std::vector<SchemeDef> schemes_ = {{"WLCRC-16", nullptr}};
     std::vector<std::string> workloads_;
     bool random_ = false;
-    std::shared_ptr<const std::vector<trace::WriteTransaction>>
-        txns_;
+    std::vector<std::shared_ptr<const tracefile::TransactionSource>>
+        sources_;
     std::vector<uint64_t> lineCounts_ = {10000};
     std::vector<uint64_t> seeds_ = {1};
     std::vector<DeviceConfig> configs_ = {DeviceConfig{}};

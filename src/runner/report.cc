@@ -62,7 +62,7 @@ CsvReporter::write(std::ostream &os,
         table.add(r.spec.sourceName());
         // `lines` is ignored for pre-gathered streams; the real
         // count is the writes column.
-        if (r.spec.txns)
+        if (r.spec.source)
             table.add("-");
         else
             table.add(r.spec.lines);
@@ -97,7 +97,7 @@ JsonReporter::write(std::ostream &os,
         os << "  {\"scheme\":\"" << jsonEscape(r.spec.scheme)
            << "\",\"source\":\"" << jsonEscape(r.spec.sourceName())
            << "\"";
-        if (!r.spec.txns)
+        if (!r.spec.source)
             os << ",\"lines\":" << r.spec.lines;
         os << ",\"seed\":" << r.spec.seed
            << ",\"shards\":" << r.spec.shards << ",\"ok\":"

@@ -11,6 +11,7 @@
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
 #include "runner/thread_pool.hh"
+#include "tracefile/source.hh"
 #include "trace/workload.hh"
 #include "wlcrc/factory.hh"
 
@@ -40,14 +41,17 @@ effectiveShards(const ExperimentSpec &spec)
 }
 
 /**
- * Materialise a synthesized spec's full transaction stream, for
- * hooks that want it as a vector rather than a pull loop. Specs
- * with a pre-gathered stream pass *spec.txns directly instead —
- * never copy a shared trace per grid point.
+ * Materialise a spec's full transaction stream, for hooks that want
+ * it as a vector rather than a pull loop: synthesized specs
+ * re-derive it from the seed, sourced specs gather their (possibly
+ * on-disk) stream. Only custom replays pay this — the stock replay
+ * path always streams.
  */
 std::vector<trace::WriteTransaction>
-synthesizeStream(const ExperimentSpec &spec)
+materialiseStream(const ExperimentSpec &spec)
 {
+    if (spec.source)
+        return tracefile::gather(*spec.source);
     std::vector<trace::WriteTransaction> txns;
     txns.reserve(spec.lines);
     if (spec.random) {
@@ -64,11 +68,13 @@ synthesizeStream(const ExperimentSpec &spec)
 }
 
 /**
- * Replay shard @p shard of @p spec. The full transaction stream is
- * re-derived (or re-read from the shared vector) and filtered down
- * to this shard's addresses; synthesis is cheap relative to replay
- * and keeping shards source-independent avoids any cross-thread
- * coordination.
+ * Replay shard @p shard of @p spec. Synthesized streams are
+ * re-derived per shard and filtered down to the shard's addresses
+ * (synthesis is cheap relative to replay, and source-independent
+ * shards need no cross-thread coordination); sourced streams open a
+ * per-shard cursor that filters — and, for indexed containers,
+ * block-prunes — on the source side, so a trace larger than RAM
+ * replays without ever being materialised.
  */
 ShardOutcome
 runShard(const ExperimentSpec &spec, unsigned shard)
@@ -76,10 +82,15 @@ runShard(const ExperimentSpec &spec, unsigned shard)
     ShardOutcome out;
     try {
         if (spec.customReplay) {
-            out.replay = spec.txns
-                             ? spec.customReplay(spec, *spec.txns)
-                             : spec.customReplay(
-                                   spec, synthesizeStream(spec));
+            // An in-memory source is borrowed, never copied per
+            // grid point; anything else is gathered once.
+            const auto *vec =
+                dynamic_cast<const tracefile::VectorSource *>(
+                    spec.source.get());
+            out.replay =
+                vec ? spec.customReplay(spec, vec->transactions())
+                    : spec.customReplay(spec,
+                                        materialiseStream(spec));
             return out;
         }
         const auto energy = pcm::EnergyModel::withHighStateEnergies(
@@ -100,9 +111,13 @@ runShard(const ExperimentSpec &spec, unsigned shard)
             if (shardOf(t.lineAddr, spec.shards) == shard)
                 rep.step(t);
         };
-        if (spec.txns) {
-            for (const auto &t : *spec.txns)
-                replayIfMine(t);
+        if (spec.source) {
+            // The cursor filters (and block-prunes) source-side;
+            // records arrive already restricted to this shard.
+            auto cursor = spec.source->open(
+                {spec.shards > 1 ? spec.shards : 1, shard});
+            while (auto t = cursor->next())
+                rep.step(*t);
         } else if (spec.random) {
             trace::RandomWorkload random(spec.seed);
             for (uint64_t i = 0; i < spec.lines; ++i)

@@ -21,16 +21,13 @@ putU64(std::ostream &os, uint64_t v)
     os.write(buf.data(), 8);
 }
 
-bool
-getU64(std::istream &is, uint64_t &v)
+uint64_t
+decodeU64(const char *buf)
 {
-    std::array<char, 8> buf;
-    if (!is.read(buf.data(), 8))
-        return false;
-    v = 0;
+    uint64_t v = 0;
     for (unsigned i = 0; i < 8; ++i)
         v |= uint64_t(static_cast<uint8_t>(buf[i])) << (8 * i);
-    return true;
+    return v;
 }
 
 void
@@ -40,22 +37,13 @@ putLine(std::ostream &os, const Line512 &line)
         putU64(os, line.word(w));
 }
 
-bool
-getLine(std::istream &is, Line512 &line)
-{
-    for (unsigned w = 0; w < lineWords; ++w) {
-        uint64_t v;
-        if (!getU64(is, v))
-            return false;
-        line.setWord(w, v);
-    }
-    return true;
-}
+/** Serialized bytes per record: u64 addr + old line + new line. */
+constexpr std::size_t recordSize = 8 + 2 * (lineBits / 8);
 
 } // namespace
 
 TraceWriter::TraceWriter(const std::string &path)
-    : out_(path, std::ios::binary)
+    : out_(path, std::ios::binary), path_(path)
 {
     if (!out_)
         throw std::runtime_error("TraceWriter: cannot open " + path);
@@ -71,8 +59,20 @@ TraceWriter::write(const WriteTransaction &txn)
     ++count_;
 }
 
+void
+TraceWriter::close()
+{
+    if (!out_.is_open())
+        return;
+    out_.close();
+    if (!out_)
+        throw std::runtime_error("TraceWriter: write to " + path_ +
+                                 " failed");
+}
+
 TraceReader::TraceReader(const std::string &path)
-    : in_(path, std::ios::binary)
+    : in_(path, std::ios::binary), path_(path),
+      offset_(sizeof(magic))
 {
     if (!in_)
         throw std::runtime_error("TraceReader: cannot open " + path);
@@ -84,11 +84,30 @@ TraceReader::TraceReader(const std::string &path)
 std::optional<WriteTransaction>
 TraceReader::read()
 {
-    WriteTransaction txn;
-    if (!getU64(in_, txn.lineAddr))
+    // Pull the whole record in one read so a file ending mid-record
+    // is distinguishable from a clean EOF: a partial read is data
+    // loss (an interrupted collection run, a bad copy) and must not
+    // silently pass for a shorter trace.
+    std::array<char, recordSize> buf;
+    in_.read(buf.data(), buf.size());
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (got == 0)
         return std::nullopt;
-    if (!getLine(in_, txn.oldData) || !getLine(in_, txn.newData))
-        throw std::runtime_error("TraceReader: truncated record");
+    if (got < buf.size()) {
+        throw std::runtime_error(
+            "TraceReader: truncated record at byte offset " +
+            std::to_string(offset_) + " in " + path_ + " (got " +
+            std::to_string(got) + " of " +
+            std::to_string(buf.size()) + " record bytes)");
+    }
+    WriteTransaction txn;
+    txn.lineAddr = decodeU64(buf.data());
+    for (unsigned w = 0; w < lineWords; ++w)
+        txn.oldData.setWord(w, decodeU64(buf.data() + 8 + 8 * w));
+    for (unsigned w = 0; w < lineWords; ++w)
+        txn.newData.setWord(
+            w, decodeU64(buf.data() + 8 + 8 * (lineWords + w)));
+    offset_ += buf.size();
     return txn;
 }
 

@@ -30,10 +30,18 @@ class TraceWriter
 
     void write(const WriteTransaction &txn);
 
+    /**
+     * Flush and close the file. Idempotent.
+     * @throws std::runtime_error if any write failed (a full disk
+     * must not pass for a successfully persisted trace).
+     */
+    void close();
+
     uint64_t written() const { return count_; }
 
   private:
     std::ofstream out_;
+    std::string path_;
     uint64_t count_ = 0;
 };
 
@@ -44,11 +52,18 @@ class TraceReader
     /** @throws std::runtime_error on open failure or bad magic. */
     explicit TraceReader(const std::string &path);
 
-    /** @return the next transaction, or nullopt at end of file. */
+    /**
+     * @return the next transaction, or nullopt at clean end of file.
+     * @throws std::runtime_error if the file ends mid-record (a
+     * truncated dump must not silently pass for a shorter trace);
+     * the message names the offending byte offset.
+     */
     std::optional<WriteTransaction> read();
 
   private:
     std::ifstream in_;
+    std::string path_;
+    uint64_t offset_; //!< byte offset of the next unread record
 };
 
 } // namespace wlcrc::trace

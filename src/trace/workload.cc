@@ -148,6 +148,45 @@ TraceSynthesizer::next()
     return txn;
 }
 
+MixedSynthesizer::MixedSynthesizer(
+    const std::vector<Program> &programs, uint64_t seed)
+    : rng_(seed)
+{
+    if (programs.empty())
+        throw std::invalid_argument(
+            "MixedSynthesizer: needs at least one program");
+    double total = 0;
+    uint64_t base = 0;
+    synths_.reserve(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        if (programs[i].weight <= 0)
+            throw std::invalid_argument(
+                "MixedSynthesizer: weight of " +
+                programs[i].profile + " must be positive");
+        const auto &profile =
+            WorkloadProfile::byName(programs[i].profile);
+        synths_.emplace_back(profile, childSeed(seed, i));
+        bases_.push_back(base);
+        base += profile.footprintLines;
+        total += programs[i].weight;
+        cumWeight_.push_back(total);
+    }
+    for (double &w : cumWeight_)
+        w /= total;
+}
+
+WriteTransaction
+MixedSynthesizer::next()
+{
+    const double p = rng_.nextDouble();
+    std::size_t i = 0;
+    while (i + 1 < cumWeight_.size() && p >= cumWeight_[i])
+        ++i;
+    WriteTransaction txn = synths_[i].next();
+    txn.lineAddr += bases_[i]; // rebase into the program's window
+    return txn;
+}
+
 WriteTransaction
 RandomWorkload::next()
 {

@@ -90,6 +90,50 @@ class RandomWorkload
     uint64_t nextAddr_ = 0;
 };
 
+/**
+ * Multi-programmed workload blend: several benchmark profiles
+ * time-share one memory, the way a rank under a multi-core write
+ * stream would see them. Each write picks a program with probability
+ * proportional to its weight (≈ relative memory intensity), then
+ * draws the transaction from that program's own synthesizer.
+ * Programs live in disjoint address windows (program i is offset by
+ * the summed footprints before it), so per-line write histories stay
+ * coherent and the stream is address-clustered per program — which
+ * is exactly what the WLCTRC02 block index prunes on.
+ * Deterministic for a given (programs, weights, seed); program i's
+ * synthesizer is seeded with childSeed(seed, i).
+ */
+class MixedSynthesizer
+{
+  public:
+    /** One program of the blend. */
+    struct Program
+    {
+        std::string profile; //!< WorkloadProfile name
+        double weight = 1.0; //!< relative share of the write stream
+    };
+
+    /**
+     * @throws std::invalid_argument if @p programs is empty, a
+     * profile name is unknown, or a weight is not positive.
+     */
+    MixedSynthesizer(const std::vector<Program> &programs,
+                     uint64_t seed);
+
+    /** Generate the next write of the blended stream. */
+    WriteTransaction next();
+
+    /** Address window base of program @p i. */
+    uint64_t baseOf(std::size_t i) const { return bases_[i]; }
+    std::size_t programCount() const { return synths_.size(); }
+
+  private:
+    Rng rng_; //!< program-selection stream (separate from programs')
+    std::vector<TraceSynthesizer> synths_;
+    std::vector<double> cumWeight_; //!< normalised, cumulative
+    std::vector<uint64_t> bases_;
+};
+
 } // namespace wlcrc::trace
 
 #endif // WLCRC_TRACE_WORKLOAD_HH

@@ -1,0 +1,109 @@
+#include "format.hh"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace wlcrc::tracefile
+{
+
+void
+putLe32(uint8_t *dst, uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        dst[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+void
+putLe64(uint8_t *dst, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        dst[i] = static_cast<uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+uint32_t
+getLe32(const uint8_t *src)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= uint32_t{src[i]} << (8 * i);
+    return v;
+}
+
+uint64_t
+getLe64(const uint8_t *src)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= uint64_t{src[i]} << (8 * i);
+    return v;
+}
+
+void
+encodeRecord(uint8_t *dst, const trace::WriteTransaction &txn)
+{
+    putLe64(dst, txn.lineAddr);
+    for (unsigned w = 0; w < lineWords; ++w)
+        putLe64(dst + 8 + 8 * w, txn.oldData.word(w));
+    for (unsigned w = 0; w < lineWords; ++w)
+        putLe64(dst + 8 + 8 * (lineWords + w), txn.newData.word(w));
+}
+
+trace::WriteTransaction
+decodeRecord(const uint8_t *src)
+{
+    trace::WriteTransaction txn;
+    txn.lineAddr = getLe64(src);
+    for (unsigned w = 0; w < lineWords; ++w)
+        txn.oldData.setWord(w, getLe64(src + 8 + 8 * w));
+    for (unsigned w = 0; w < lineWords; ++w)
+        txn.newData.setWord(w,
+                            getLe64(src + 8 + 8 * (lineWords + w)));
+    return txn;
+}
+
+bool
+rangeHasResidue(uint64_t minAddr, uint64_t maxAddr, unsigned mod,
+                unsigned residue)
+{
+    if (mod <= 1)
+        return true;
+    // A range spanning >= mod consecutive addresses hits every
+    // residue class.
+    if (maxAddr - minAddr >= mod - 1)
+        return true;
+    // Otherwise the residues covered form the cyclic interval
+    // [minAddr % mod, maxAddr % mod].
+    const unsigned lo = static_cast<unsigned>(minAddr % mod);
+    const unsigned hi = static_cast<unsigned>(maxAddr % mod);
+    if (lo <= hi)
+        return lo <= residue && residue <= hi;
+    return residue >= lo || residue <= hi; // wrapped interval
+}
+
+const char *
+formatName(TraceFormat f)
+{
+    return f == TraceFormat::v1 ? "v1" : "v2";
+}
+
+TraceFormat
+detectFormat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("trace: cannot open " + path);
+    char got[8];
+    if (!in.read(got, sizeof(got)))
+        throw std::runtime_error(
+            "trace: " + path + " is too short to hold a trace magic");
+    if (std::memcmp(got, magicV1, sizeof(magicV1)) == 0)
+        return TraceFormat::v1;
+    if (std::memcmp(got, magicV2, sizeof(magicV2)) == 0)
+        return TraceFormat::v2;
+    throw std::runtime_error(
+        "trace: " + path +
+        " starts with neither WLCTRC01 nor WLCTRC02 magic");
+}
+
+} // namespace wlcrc::tracefile

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * On-disk layout of the WLCTRC02 indexed trace container.
+ *
+ * The legacy WLCTRC01 format (trace/trace_io.hh) is a bare record
+ * dump: fine for piping, useless for out-of-core replay — finding
+ * anything means scanning everything. WLCTRC02 adds blocking and a
+ * footer index so readers can seek, prune and audit:
+ *
+ *   header   16 B   magic "WLCTRC02", u32 recordsPerBlock, u32 0
+ *   blocks   fixed-size runs of recordBytes-sized records; every
+ *            block holds exactly recordsPerBlock records except the
+ *            last, which holds the remainder (no padding)
+ *   index    one 24 B entry per block:
+ *            u32 count, u32 crc32(block bytes), u64 minAddr,
+ *            u64 maxAddr  (min/max over the block's line addresses)
+ *   trailer  40 B   u64 indexOffset, u64 blockCount,
+ *            u64 totalRecords, u32 crc32(index bytes), u32 0,
+ *            magic "WLCIDX02"
+ *
+ * Records are the same 136 bytes as WLCTRC01 (u64 lineAddr, 64 B old
+ * data, 64 B new data, little-endian), so v1 <-> v2 conversion is
+ * re-framing, never re-encoding. The trailer sits at EOF, so a
+ * reader finds the index with one seek; the per-block min/max
+ * addresses let a sharded replay skip whole blocks whose address
+ * range cannot intersect its partition.
+ */
+
+#ifndef WLCRC_TRACEFILE_FORMAT_HH
+#define WLCRC_TRACEFILE_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/transaction.hh"
+
+namespace wlcrc::tracefile
+{
+
+/** Magic of the legacy sequential format (trace/trace_io). */
+inline constexpr char magicV1[8] = {'W', 'L', 'C', 'T',
+                                    'R', 'C', '0', '1'};
+/** Magic opening a WLCTRC02 container. */
+inline constexpr char magicV2[8] = {'W', 'L', 'C', 'T',
+                                    'R', 'C', '0', '2'};
+/** Magic closing the trailer (read backwards from EOF). */
+inline constexpr char magicIndex[8] = {'W', 'L', 'C', 'I',
+                                       'D', 'X', '0', '2'};
+
+/** Serialized size of one record: u64 addr + old + new line. */
+inline constexpr uint32_t recordBytes = 8 + 2 * (lineBits / 8);
+/** Serialized size of the file header. */
+inline constexpr uint32_t headerBytes = 16;
+/** Serialized size of one footer-index entry. */
+inline constexpr uint32_t indexEntryBytes = 24;
+/** Serialized size of the trailer. */
+inline constexpr uint32_t trailerBytes = 40;
+/** Default block capacity: 4096 records ≈ 544 KiB per block. */
+inline constexpr uint32_t defaultRecordsPerBlock = 4096;
+
+/** Decoded footer-index entry of one block. */
+struct BlockInfo
+{
+    uint32_t count = 0;   //!< records stored in the block
+    uint32_t crc = 0;     //!< crc32 of the block's serialized bytes
+    uint64_t minAddr = 0; //!< smallest line address in the block
+    uint64_t maxAddr = 0; //!< largest line address in the block
+};
+
+// Little-endian scalar accessors on raw buffers. The container is
+// byte-order-pinned like WLCTRC01, so files are portable.
+void putLe32(uint8_t *dst, uint32_t v);
+void putLe64(uint8_t *dst, uint64_t v);
+uint32_t getLe32(const uint8_t *src);
+uint64_t getLe64(const uint8_t *src);
+
+/** Serialize @p txn into @p dst (recordBytes bytes). */
+void encodeRecord(uint8_t *dst, const trace::WriteTransaction &txn);
+/** Decode a record serialized by encodeRecord(). */
+trace::WriteTransaction decodeRecord(const uint8_t *src);
+
+/**
+ * @return true if [minAddr, maxAddr] contains an address congruent
+ * to @p residue mod @p mod — the block-pruning predicate: a block
+ * whose address range has no such address holds nothing for the
+ * shard replaying that residue class.
+ */
+bool rangeHasResidue(uint64_t minAddr, uint64_t maxAddr,
+                     unsigned mod, unsigned residue);
+
+/** Trace container generations. */
+enum class TraceFormat
+{
+    v1, //!< WLCTRC01 sequential dump
+    v2, //!< WLCTRC02 blocked + indexed container
+};
+
+/** @return "v1" or "v2". */
+const char *formatName(TraceFormat f);
+
+/**
+ * Sniff the leading magic of @p path.
+ * @throws std::runtime_error if the file cannot be opened or starts
+ * with neither trace magic.
+ */
+TraceFormat detectFormat(const std::string &path);
+
+} // namespace wlcrc::tracefile
+
+#endif // WLCRC_TRACEFILE_FORMAT_HH

@@ -1,0 +1,169 @@
+#include "mapped_trace.hh"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.hh"
+
+namespace wlcrc::tracefile
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error("MappedTrace: " + path + ": " + what);
+}
+
+} // namespace
+
+MappedTrace::MappedTrace(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(path, "cannot open");
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(path, "cannot stat");
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ < headerBytes + trailerBytes) {
+        ::close(fd);
+        fail(path, "too short to be a WLCTRC02 container");
+    }
+    void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        fail(path, "mmap failed");
+    base_ = static_cast<const uint8_t *>(map);
+
+    try {
+        if (std::memcmp(base_, magicV2, sizeof(magicV2)) != 0)
+            fail(path, "bad WLCTRC02 magic");
+        recordsPerBlock_ = getLe32(base_ + 8);
+        if (recordsPerBlock_ == 0)
+            fail(path, "recordsPerBlock is 0");
+
+        const uint8_t *trailer = base_ + size_ - trailerBytes;
+        if (std::memcmp(trailer + 32, magicIndex,
+                        sizeof(magicIndex)) != 0)
+            fail(path, "bad trailer magic (file truncated?)");
+        const uint64_t indexOffset = getLe64(trailer);
+        const uint64_t blockCount = getLe64(trailer + 8);
+        records_ = getLe64(trailer + 16);
+        const uint32_t indexCrc = getLe32(trailer + 24);
+
+        // Bound every trailer field against the mapped size before
+        // any pointer arithmetic: all products below stay < size_,
+        // so crafted values can't wrap the checks and walk the crc
+        // off the mapping.
+        if (indexOffset < headerBytes ||
+            indexOffset > size_ - trailerBytes)
+            fail(path, "trailer index offset outside the file");
+        const uint64_t indexArea = size_ - trailerBytes - indexOffset;
+        if (blockCount > indexArea / indexEntryBytes ||
+            blockCount * indexEntryBytes != indexArea)
+            fail(path, "trailer offsets inconsistent with file size");
+        const uint64_t recordArea = indexOffset - headerBytes;
+        if (records_ > recordArea / recordBytes ||
+            records_ * uint64_t{recordBytes} != recordArea)
+            fail(path, "record area size disagrees with totalRecords");
+        const uint64_t indexBytes = indexArea;
+
+        const uint8_t *footer = base_ + indexOffset;
+        if (crc32(footer, indexBytes) != indexCrc)
+            fail(path, "footer index checksum mismatch");
+
+        index_.reserve(blockCount);
+        uint64_t counted = 0;
+        for (uint64_t b = 0; b < blockCount; ++b) {
+            const uint8_t *e = footer + b * indexEntryBytes;
+            BlockInfo info;
+            info.count = getLe32(e);
+            info.crc = getLe32(e + 4);
+            info.minAddr = getLe64(e + 8);
+            info.maxAddr = getLe64(e + 16);
+            if (info.count == 0 || info.count > recordsPerBlock_)
+                fail(path, "block " + std::to_string(b) +
+                               " has impossible record count");
+            if (b + 1 < blockCount &&
+                info.count != recordsPerBlock_)
+                fail(path, "non-final block " + std::to_string(b) +
+                               " is not full");
+            if (info.minAddr > info.maxAddr)
+                fail(path, "block " + std::to_string(b) +
+                               " has inverted address range");
+            counted += info.count;
+            if (b == 0 || info.minAddr < minAddr_)
+                minAddr_ = info.minAddr;
+            if (b == 0 || info.maxAddr > maxAddr_)
+                maxAddr_ = info.maxAddr;
+            index_.push_back(info);
+        }
+        if (counted != records_)
+            fail(path, "index record counts disagree with trailer");
+    } catch (...) {
+        ::munmap(const_cast<uint8_t *>(base_), size_);
+        throw;
+    }
+}
+
+MappedTrace::~MappedTrace()
+{
+    if (base_)
+        ::munmap(const_cast<uint8_t *>(base_), size_);
+}
+
+const uint8_t *
+MappedTrace::blockData(uint64_t b) const
+{
+    return base_ + headerBytes +
+           b * uint64_t{recordsPerBlock_} * recordBytes;
+}
+
+trace::WriteTransaction
+MappedTrace::recordInBlock(uint64_t b, uint32_t i) const
+{
+    return decodeRecord(blockData(b) +
+                        std::size_t{i} * recordBytes);
+}
+
+trace::WriteTransaction
+MappedTrace::record(uint64_t i) const
+{
+    if (i >= records_)
+        fail(path_, "record index " + std::to_string(i) +
+                        " out of range");
+    // All blocks but the last are full, so the block is a division.
+    return recordInBlock(i / recordsPerBlock_,
+                         static_cast<uint32_t>(i % recordsPerBlock_));
+}
+
+void
+MappedTrace::verifyBlock(uint64_t b) const
+{
+    const auto &info = index_[b];
+    if (crc32(blockData(b),
+              std::size_t{info.count} * recordBytes) != info.crc)
+        fail(path_, "block " + std::to_string(b) +
+                        " checksum mismatch (corrupt trace)");
+}
+
+uint64_t
+MappedTrace::verifyAll() const
+{
+    for (uint64_t b = 0; b < index_.size(); ++b)
+        verifyBlock(b);
+    return records_;
+}
+
+} // namespace wlcrc::tracefile

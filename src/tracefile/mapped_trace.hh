@@ -1,0 +1,96 @@
+/**
+ * @file
+ * MappedTrace: mmap-backed random-access reader of a WLCTRC02
+ * container.
+ *
+ * The whole file is mapped read-only, so "loading" a multi-gigabyte
+ * trace costs one mmap plus decoding the footer index — record bytes
+ * are paged in lazily by the OS as blocks are actually touched, and
+ * evicted under memory pressure. A forward scan therefore keeps at
+ * most one block resident per cursor; nothing is ever slurped into a
+ * std::vector.
+ *
+ * Corruption handling: structural problems (bad magic, impossible
+ * offsets, index CRC mismatch) throw at construction; payload
+ * corruption throws when — and only when — the affected block is
+ * checksummed, either by verifyBlock()/verifyAll() or by a cursor
+ * entering the block (tracefile/source.hh).
+ */
+
+#ifndef WLCRC_TRACEFILE_MAPPED_TRACE_HH
+#define WLCRC_TRACEFILE_MAPPED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tracefile/format.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::tracefile
+{
+
+/** Read-only memory-mapped WLCTRC02 trace. */
+class MappedTrace
+{
+  public:
+    /**
+     * Map @p path and decode header, index and trailer.
+     * @throws std::runtime_error on open/map failure or any
+     *         structural inconsistency.
+     */
+    explicit MappedTrace(const std::string &path);
+
+    ~MappedTrace();
+
+    MappedTrace(const MappedTrace &) = delete;
+    MappedTrace &operator=(const MappedTrace &) = delete;
+
+    const std::string &path() const { return path_; }
+    /** Total records in the trace. */
+    uint64_t records() const { return records_; }
+    /** Number of record blocks. */
+    uint64_t blockCount() const { return index_.size(); }
+    /** Block capacity the file was written with. */
+    uint32_t recordsPerBlock() const { return recordsPerBlock_; }
+    /** Index entry of block @p b. */
+    const BlockInfo &blockInfo(uint64_t b) const { return index_[b]; }
+    /** Smallest line address in the trace (0 if empty). */
+    uint64_t minAddr() const { return minAddr_; }
+    /** Largest line address in the trace (0 if empty). */
+    uint64_t maxAddr() const { return maxAddr_; }
+
+    /** Raw serialized bytes of block @p b (count × recordBytes). */
+    const uint8_t *blockData(uint64_t b) const;
+
+    /** Decode record @p i of block @p b (no checksum pass). */
+    trace::WriteTransaction recordInBlock(uint64_t b,
+                                          uint32_t i) const;
+
+    /** Decode record @p i of the whole trace (random access). */
+    trace::WriteTransaction record(uint64_t i) const;
+
+    /**
+     * Recompute block @p b's checksum.
+     * @throws std::runtime_error naming the block and file on
+     *         mismatch.
+     */
+    void verifyBlock(uint64_t b) const;
+
+    /** verifyBlock() every block. @return records audited. */
+    uint64_t verifyAll() const;
+
+  private:
+    std::string path_;
+    const uint8_t *base_ = nullptr; //!< mapping base (nullptr: empty)
+    std::size_t size_ = 0;          //!< file/mapping length
+    uint32_t recordsPerBlock_ = 0;
+    uint64_t records_ = 0;
+    uint64_t minAddr_ = 0;
+    uint64_t maxAddr_ = 0;
+    std::vector<BlockInfo> index_;
+};
+
+} // namespace wlcrc::tracefile
+
+#endif // WLCRC_TRACEFILE_MAPPED_TRACE_HH

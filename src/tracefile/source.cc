@@ -1,0 +1,240 @@
+#include "source.hh"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "tracefile/format.hh"
+
+namespace wlcrc::tracefile
+{
+
+namespace
+{
+
+/** Cursor over a shared in-memory vector. */
+class VectorCursor : public TraceCursor
+{
+  public:
+    VectorCursor(
+        std::shared_ptr<const std::vector<trace::WriteTransaction>>
+            txns,
+        ShardFilter filter)
+        : txns_(std::move(txns)), filter_(filter)
+    {}
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        while (pos_ < txns_->size()) {
+            const auto &t = (*txns_)[pos_++];
+            if (filter_.accepts(t.lineAddr))
+                return t;
+        }
+        return std::nullopt;
+    }
+
+    std::size_t bufferBytes() const override { return 0; }
+
+  private:
+    std::shared_ptr<const std::vector<trace::WriteTransaction>>
+        txns_;
+    ShardFilter filter_;
+    std::size_t pos_ = 0;
+};
+
+/** Record-at-a-time scan of a WLCTRC01 file. */
+class V1Cursor : public TraceCursor
+{
+  public:
+    V1Cursor(const std::string &path, ShardFilter filter)
+        : reader_(path), filter_(filter)
+    {}
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        while (auto t = reader_.read()) {
+            if (filter_.accepts(t->lineAddr))
+                return t;
+        }
+        return std::nullopt;
+    }
+
+    std::size_t bufferBytes() const override { return recordBytes; }
+
+  private:
+    trace::TraceReader reader_;
+    ShardFilter filter_;
+};
+
+/** Block-wise walk of a WLCTRC02 mapping with index pruning. */
+class MappedCursor : public TraceCursor
+{
+  public:
+    MappedCursor(std::shared_ptr<const MappedTrace> mt,
+                 ShardFilter filter)
+        : trace_(std::move(mt)), filter_(filter)
+    {}
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        while (true) {
+            if (inBlock_ && rec_ < trace_->blockInfo(block_).count) {
+                const auto t = trace_->recordInBlock(block_, rec_++);
+                if (filter_.accepts(t.lineAddr))
+                    return t;
+                continue;
+            }
+            if (inBlock_) {
+                ++block_; // finished the current block
+                inBlock_ = false;
+            }
+            // Advance to the next block the filter can intersect.
+            while (block_ < trace_->blockCount()) {
+                const auto &info = trace_->blockInfo(block_);
+                if (filter_.all() ||
+                    rangeHasResidue(info.minAddr, info.maxAddr,
+                                    filter_.shards, filter_.shard))
+                    break;
+                ++block_; // pruned: address range misses the shard
+            }
+            if (block_ >= trace_->blockCount())
+                return std::nullopt;
+            trace_->verifyBlock(block_); // audit on first entry
+            ++visited_;
+            inBlock_ = true;
+            rec_ = 0;
+        }
+    }
+
+    std::size_t
+    bufferBytes() const override
+    {
+        return std::size_t{trace_->recordsPerBlock()} * recordBytes;
+    }
+
+    uint64_t blocksVisited() const override { return visited_; }
+
+  private:
+    std::shared_ptr<const MappedTrace> trace_;
+    ShardFilter filter_;
+    uint64_t block_ = 0;
+    uint32_t rec_ = 0;
+    bool inBlock_ = false;
+    uint64_t visited_ = 0;
+};
+
+} // namespace
+
+// ------------------------------------------------------ VectorSource
+
+VectorSource::VectorSource(
+    std::shared_ptr<const std::vector<trace::WriteTransaction>> txns)
+    : txns_(std::move(txns))
+{
+    if (!txns_)
+        throw std::invalid_argument(
+            "VectorSource: null transaction vector");
+}
+
+std::unique_ptr<TraceCursor>
+VectorSource::open(const ShardFilter &filter) const
+{
+    return std::make_unique<VectorCursor>(txns_, filter);
+}
+
+std::string
+VectorSource::describe() const
+{
+    std::ostringstream os;
+    os << "memory (" << txns_->size() << " records)";
+    return os.str();
+}
+
+// ------------------------------------------------------ V1FileSource
+
+V1FileSource::V1FileSource(std::string path) : path_(std::move(path))
+{
+    // Constructing a reader validates existence and magic up front;
+    // the byte count then pins the record count without a scan. A
+    // trailing partial record surfaces when a cursor reaches it.
+    trace::TraceReader probe(path_);
+    const auto bytes = std::filesystem::file_size(path_);
+    records_ = (bytes - sizeof(magicV1)) / recordBytes;
+}
+
+std::unique_ptr<TraceCursor>
+V1FileSource::open(const ShardFilter &filter) const
+{
+    return std::make_unique<V1Cursor>(path_, filter);
+}
+
+std::string
+V1FileSource::describe() const
+{
+    std::ostringstream os;
+    os << "wlctrc01:" << path_ << " (" << records_
+       << " records, streamed)";
+    return os.str();
+}
+
+// ------------------------------------------------- MappedTraceSource
+
+MappedTraceSource::MappedTraceSource(const std::string &path)
+    : trace_(std::make_shared<const MappedTrace>(path))
+{}
+
+MappedTraceSource::MappedTraceSource(
+    std::shared_ptr<const MappedTrace> mt)
+    : trace_(std::move(mt))
+{
+    if (!trace_)
+        throw std::invalid_argument(
+            "MappedTraceSource: null mapping");
+}
+
+std::unique_ptr<TraceCursor>
+MappedTraceSource::open(const ShardFilter &filter) const
+{
+    return std::make_unique<MappedCursor>(trace_, filter);
+}
+
+std::string
+MappedTraceSource::describe() const
+{
+    std::ostringstream os;
+    os << "wlctrc02:" << trace_->path() << " ("
+       << trace_->records() << " records, "
+       << trace_->blockCount() << " blocks of "
+       << trace_->recordsPerBlock() << ", mmap)";
+    return os.str();
+}
+
+// -------------------------------------------------------------- free
+
+std::shared_ptr<TransactionSource>
+openTraceSource(const std::string &path)
+{
+    switch (detectFormat(path)) {
+    case TraceFormat::v1:
+        return std::make_shared<V1FileSource>(path);
+    case TraceFormat::v2:
+        return std::make_shared<MappedTraceSource>(path);
+    }
+    throw std::logic_error("openTraceSource: unreachable");
+}
+
+std::vector<trace::WriteTransaction>
+gather(const TransactionSource &source)
+{
+    std::vector<trace::WriteTransaction> txns;
+    txns.reserve(source.records());
+    auto cursor = source.open({});
+    while (auto t = cursor->next())
+        txns.push_back(*t);
+    return txns;
+}
+
+} // namespace wlcrc::tracefile

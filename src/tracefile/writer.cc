@@ -1,0 +1,116 @@
+#include "writer.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crc32.hh"
+
+namespace wlcrc::tracefile
+{
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 uint32_t recordsPerBlock)
+    : out_(path, std::ios::binary), path_(path),
+      recordsPerBlock_(recordsPerBlock)
+{
+    if (!out_)
+        throw std::runtime_error("TraceFileWriter: cannot open " +
+                                 path);
+    if (recordsPerBlock == 0)
+        throw std::invalid_argument(
+            "TraceFileWriter: recordsPerBlock must be > 0");
+    block_.resize(std::size_t{recordsPerBlock_} * recordBytes);
+
+    uint8_t header[headerBytes] = {};
+    std::memcpy(header, magicV2, sizeof(magicV2));
+    putLe32(header + 8, recordsPerBlock_);
+    out_.write(reinterpret_cast<const char *>(header),
+               sizeof(header));
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (...) {
+        // Destructors must not throw; a failed close surfaces when
+        // the file is next opened (bad trailer / index).
+    }
+}
+
+void
+TraceFileWriter::write(const trace::WriteTransaction &txn)
+{
+    if (!open_)
+        throw std::runtime_error(
+            "TraceFileWriter: write after close on " + path_);
+    encodeRecord(block_.data() +
+                     std::size_t{pending_} * recordBytes,
+                 txn);
+    if (pending_ == 0) {
+        pendingMin_ = txn.lineAddr;
+        pendingMax_ = txn.lineAddr;
+    } else {
+        pendingMin_ = std::min(pendingMin_, txn.lineAddr);
+        pendingMax_ = std::max(pendingMax_, txn.lineAddr);
+    }
+    ++pending_;
+    ++total_;
+    if (pending_ == recordsPerBlock_)
+        flushBlock();
+}
+
+void
+TraceFileWriter::flushBlock()
+{
+    const std::size_t bytes = std::size_t{pending_} * recordBytes;
+    BlockInfo info;
+    info.count = pending_;
+    info.crc = crc32(block_.data(), bytes);
+    info.minAddr = pendingMin_;
+    info.maxAddr = pendingMax_;
+    out_.write(reinterpret_cast<const char *>(block_.data()),
+               static_cast<std::streamsize>(bytes));
+    index_.push_back(info);
+    pending_ = 0;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    if (pending_ > 0)
+        flushBlock();
+
+    std::vector<uint8_t> footer(index_.size() * indexEntryBytes);
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        uint8_t *e = footer.data() + i * indexEntryBytes;
+        putLe32(e, index_[i].count);
+        putLe32(e + 4, index_[i].crc);
+        putLe64(e + 8, index_[i].minAddr);
+        putLe64(e + 16, index_[i].maxAddr);
+    }
+    const uint64_t indexOffset =
+        headerBytes + total_ * uint64_t{recordBytes};
+    out_.write(reinterpret_cast<const char *>(footer.data()),
+               static_cast<std::streamsize>(footer.size()));
+
+    uint8_t trailer[trailerBytes] = {};
+    putLe64(trailer, indexOffset);
+    putLe64(trailer + 8, index_.size());
+    putLe64(trailer + 16, total_);
+    putLe32(trailer + 24, crc32(footer.data(), footer.size()));
+    std::memcpy(trailer + 32, magicIndex, sizeof(magicIndex));
+    out_.write(reinterpret_cast<const char *>(trailer),
+               sizeof(trailer));
+
+    out_.close();
+    if (!out_)
+        throw std::runtime_error("TraceFileWriter: write to " +
+                                 path_ + " failed");
+}
+
+} // namespace wlcrc::tracefile

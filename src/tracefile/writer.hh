@@ -1,0 +1,79 @@
+/**
+ * @file
+ * TraceFileWriter: streaming writer of the WLCTRC02 container.
+ *
+ * Records are serialized into a single in-memory block buffer
+ * (recordsPerBlock × 136 B); a full buffer is checksummed, appended
+ * to the file and its index entry (count, crc32, min/max address)
+ * queued for the footer. close() flushes the final partial block and
+ * writes the index + trailer. Memory use is one block, regardless of
+ * trace length.
+ */
+
+#ifndef WLCRC_TRACEFILE_WRITER_HH
+#define WLCRC_TRACEFILE_WRITER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tracefile/format.hh"
+#include "trace/transaction.hh"
+
+namespace wlcrc::tracefile
+{
+
+/** Blocked, indexed trace writer (WLCTRC02). */
+class TraceFileWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header.
+     * @param recordsPerBlock block capacity; smaller blocks mean a
+     *        tighter streaming-memory bound and finer-grained shard
+     *        pruning, at the cost of a larger footer index.
+     * @throws std::runtime_error on open failure,
+     *         std::invalid_argument if recordsPerBlock is 0.
+     */
+    explicit TraceFileWriter(
+        const std::string &path,
+        uint32_t recordsPerBlock = defaultRecordsPerBlock);
+
+    /** Flushes and finalizes via close() if still open. */
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. @throws std::runtime_error after close. */
+    void write(const trace::WriteTransaction &txn);
+
+    /**
+     * Flush the pending partial block, write the footer index and
+     * trailer, and close the file. Idempotent.
+     * @throws std::runtime_error if the underlying stream failed.
+     */
+    void close();
+
+    /** Records accepted so far. */
+    uint64_t written() const { return total_; }
+
+  private:
+    void flushBlock();
+
+    std::ofstream out_;
+    std::string path_;
+    uint32_t recordsPerBlock_;
+    std::vector<uint8_t> block_; //!< serialized pending records
+    uint32_t pending_ = 0;       //!< records in block_
+    uint64_t pendingMin_ = 0;
+    uint64_t pendingMax_ = 0;
+    std::vector<BlockInfo> index_;
+    uint64_t total_ = 0;
+    bool open_ = true;
+};
+
+} // namespace wlcrc::tracefile
+
+#endif // WLCRC_TRACEFILE_WRITER_HH

@@ -7,8 +7,15 @@
  * Modes:
  *   --workload <name>      synthesize the named benchmark workload
  *   --random               random-data workload (Figures 1a/2)
- *   --trace-in <file>      replay an existing binary trace
+ *   --trace-in <file>      replay an existing binary trace; the
+ *                          format (WLCTRC01 / WLCTRC02) is
+ *                          auto-detected and the file is streamed —
+ *                          never loaded whole — so traces larger
+ *                          than RAM replay fine
  *   --trace-out <file>     also persist the synthesized trace
+ *   --trace-format v1|v2   container written by --trace-out
+ *                          (default v1; `wlcrc_trace convert`
+ *                          re-frames either way)
  *
  * Options:
  *   --scheme <name>        encoding scheme (default WLCRC-16);
@@ -39,6 +46,8 @@
 #include "runner/grid.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
+#include "tracefile/source.hh"
+#include "tracefile/writer.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
 
@@ -53,6 +62,7 @@ struct Options
     std::string workload;
     std::string traceIn;
     std::string traceOut;
+    std::string traceFormat = "v1";
     bool random = false;
     bool vnr = false;
     bool json = false;
@@ -71,8 +81,8 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--scheme S]... (--workload W | --random | "
         "--trace-in F)\n"
-        "          [--trace-out F] [--lines N] [--seed S] "
-        "[--jobs N] [--shards N]\n"
+        "          [--trace-out F] [--trace-format v1|v2] "
+        "[--lines N] [--seed S] [--jobs N] [--shards N]\n"
         "          [--vnr] [--wear ENDURANCE] [--s3 pJ] [--s4 pJ] "
         "[--json] [--progress]\n",
         argv0);
@@ -99,6 +109,9 @@ parse(int argc, char **argv)
         } else if (a == "--trace-out") {
             if (const char *v = next())
                 o.traceOut = v;
+        } else if (a == "--trace-format") {
+            if (const char *v = next())
+                o.traceFormat = v;
         } else if (a == "--random") {
             o.random = true;
         } else if (a == "--vnr") {
@@ -137,43 +150,55 @@ parse(int argc, char **argv)
         o.schemes.push_back("WLCRC-16");
     const int sources = !o.workload.empty() + o.random +
                         !o.traceIn.empty();
-    if (sources != 1) {
+    if (sources != 1 ||
+        (o.traceFormat != "v1" && o.traceFormat != "v2")) {
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (!o.traceIn.empty() && !o.traceOut.empty()) {
+        std::fprintf(stderr,
+                     "--trace-out only persists a synthesized "
+                     "stream; to re-frame an existing trace use "
+                     "`wlcrc_trace convert`\n");
         usage(argv[0]);
         return std::nullopt;
     }
     return o;
 }
 
-/** Load a trace file into a shareable stream for the runner. */
-std::shared_ptr<const std::vector<trace::WriteTransaction>>
-loadTrace(const std::string &path)
-{
-    auto txns =
-        std::make_shared<std::vector<trace::WriteTransaction>>();
-    trace::TraceReader reader(path);
-    while (const auto t = reader.read())
-        txns->push_back(*t);
-    return txns;
-}
-
 /**
- * Persist the synthesized stream for --trace-out. This only writes
+ * Persist the synthesized stream for --trace-out, as a legacy
+ * WLCTRC01 dump or an indexed WLCTRC02 container. This only writes
  * the file; the runner's shards re-synthesize the identical stream
  * from the seed, so the reported source stays the workload name.
  */
 void
 persistTrace(const Options &o)
 {
-    trace::TraceWriter writer(o.traceOut);
-    if (o.random) {
-        trace::RandomWorkload random(o.seed);
-        for (uint64_t i = 0; i < o.lines; ++i)
-            writer.write(random.next());
+    auto emit = [&](auto &&write) {
+        if (o.random) {
+            trace::RandomWorkload random(o.seed);
+            for (uint64_t i = 0; i < o.lines; ++i)
+                write(random.next());
+        } else {
+            trace::TraceSynthesizer synth(
+                trace::WorkloadProfile::byName(o.workload), o.seed);
+            for (uint64_t i = 0; i < o.lines; ++i)
+                write(synth.next());
+        }
+    };
+    if (o.traceFormat == "v2") {
+        tracefile::TraceFileWriter writer(o.traceOut);
+        emit([&](const trace::WriteTransaction &t) {
+            writer.write(t);
+        });
+        writer.close();
     } else {
-        trace::TraceSynthesizer synth(
-            trace::WorkloadProfile::byName(o.workload), o.seed);
-        for (uint64_t i = 0; i < o.lines; ++i)
-            writer.write(synth.next());
+        trace::TraceWriter writer(o.traceOut);
+        emit([&](const trace::WriteTransaction &t) {
+            writer.write(t);
+        });
+        writer.close();
     }
 }
 
@@ -200,7 +225,7 @@ main(int argc, char **argv)
             .shards(opts->shards)
             .deviceConfigs({device});
         if (!opts->traceIn.empty())
-            grid.transactions(loadTrace(opts->traceIn));
+            grid.sources({tracefile::openTraceSource(opts->traceIn)});
         else if (opts->random)
             grid.randomSource();
         else
