@@ -78,13 +78,19 @@ main()
                     const auto codec = core::makeCodec(name, energy);
                     std::vector<pcm::State> stored(
                         codec->cellCount(), pcm::State::S1);
+                    coset::EncodeScratch scratch;
+                    pcm::TargetLine target;
                     return timeKernel(txns, [&](const auto &t) {
-                        auto target = codec->encode(t.newData, stored);
+                        codec->encodeInto(
+                            t.newData,
+                            {stored.data(), stored.size()}, scratch,
+                            target);
                         uint64_t updated = 0;
                         for (std::size_t i = 0; i < stored.size();
-                             ++i)
-                            updated += target.cells[i] != stored[i];
-                        stored = std::move(target.cells);
+                             ++i) {
+                            updated += target[i] != stored[i];
+                            stored[i] = target[i];
+                        }
                         return updated;
                     });
                 });
@@ -96,7 +102,7 @@ main()
                     if (!txns.empty())
                         stored = codec->encode(txns[0].newData,
                                                stored)
-                                     .cells;
+                                     .toVector();
                     return timeKernel(txns, [&](const auto &) {
                         return codec->decode(stored).word(0);
                     });

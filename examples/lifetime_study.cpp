@@ -85,10 +85,8 @@ main(int argc, char **argv)
         std::printf("\n=== Verify-n-Restore convergence ===\n");
         std::vector<pcm::State> cells(256, pcm::State::S1);
         pcm::TargetLine target(256);
-        for (unsigned i = 0; i < 256; ++i) {
-            target.cells[i] =
-                (i % 2) ? pcm::State::S4 : pcm::State::S1;
-        }
+        for (unsigned i = 0; i < 256; ++i)
+            target[i] = (i % 2) ? pcm::State::S4 : pcm::State::S1;
         Rng rng(3);
         const auto st = unit.program(cells, target, rng, true);
         std::printf("alternating S1/S4 line: %u first-pass "

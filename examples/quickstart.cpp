@@ -46,8 +46,8 @@ main()
     std::vector<pcm::State> cells_b(baseline.cellCount(),
                                     pcm::State::S1);
     Rng rng(1);
-    cells_w = wlcrc.encode(line, cells_w).cells;
-    cells_b = baseline.encode(line, cells_b).cells;
+    cells_w = wlcrc.encode(line, cells_w).toVector();
+    cells_b = baseline.encode(line, cells_b).toVector();
 
     Line512 updated = line;
     updated.setWord(0, 0x00000000000002a1ull); // counter++

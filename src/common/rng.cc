@@ -17,12 +17,6 @@ splitMix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(uint64_t seed)
@@ -35,20 +29,6 @@ Rng::Rng(uint64_t seed)
 }
 
 uint64_t
-Rng::next()
-{
-    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-uint64_t
 Rng::nextBelow(uint64_t bound)
 {
     // Rejection sampling to remove modulo bias.
@@ -58,12 +38,6 @@ Rng::nextBelow(uint64_t bound)
         if (r >= threshold)
             return r % bound;
     }
-}
-
-double
-Rng::nextDouble()
-{
-    return (next() >> 11) * 0x1.0p-53;
 }
 
 uint64_t

@@ -26,14 +26,27 @@ class Rng
     /** Seed via SplitMix64 expansion of @p seed. */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-    /** @return next uniform 64-bit value. */
-    uint64_t next();
+    /** @return next uniform 64-bit value. Inline: the disturbance
+     *  sampler draws per exposure on the replay hot path. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** @return uniform value in [0, bound). @p bound must be > 0. */
     uint64_t nextBelow(uint64_t bound);
 
     /** @return uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
 
     /** @return true with probability @p p. */
     bool chance(double p) { return nextDouble() < p; }
@@ -46,6 +59,12 @@ class Rng
     }
 
   private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     uint64_t s_[4];
 };
 

@@ -72,15 +72,26 @@ void
 packBitsToStates(const std::vector<uint8_t> &bits,
                  std::vector<State> &cells, bool pair_friendly)
 {
+    cells.resize((bits.size() + 1) / 2);
+    packBitsToStates(bits.data(),
+                     static_cast<unsigned>(bits.size()),
+                     cells.data(), pair_friendly);
+}
+
+unsigned
+packBitsToStates(const uint8_t *bits, unsigned count, State *cells,
+                 bool pair_friendly)
+{
     const Mapping &map =
         pair_friendly ? pairFriendlyMapping() : defaultMapping();
-    cells.clear();
-    for (size_t i = 0; i < bits.size(); i += 2) {
+    unsigned out = 0;
+    for (unsigned i = 0; i < count; i += 2) {
         unsigned sym = bits[i] & 1;
-        if (i + 1 < bits.size())
+        if (i + 1 < count)
             sym |= (bits[i + 1] & 1) << 1;
-        cells.push_back(map.encode(sym));
+        cells[out++] = map.encode(sym);
     }
+    return out;
 }
 
 std::vector<uint8_t>

@@ -52,6 +52,15 @@ void packBitsToStates(const std::vector<uint8_t> &bits,
                       std::vector<pcm::State> &cells,
                       bool pair_friendly = false);
 
+/**
+ * Allocation-free variant for the encode hot path: packs @p count
+ * bits from @p bits into ceil(count/2) states at @p cells.
+ * @return the number of states written.
+ */
+unsigned packBitsToStates(const uint8_t *bits, unsigned count,
+                          pcm::State *cells,
+                          bool pair_friendly = false);
+
 /** Inverse of packBitsToStates; returns @p count bits. */
 std::vector<uint8_t> unpackBitsFromStates(
     const std::vector<pcm::State> &cells, unsigned count,

@@ -3,16 +3,24 @@
 namespace wlcrc::coset
 {
 
-pcm::TargetLine
-BaselineCodec::encode(const Line512 &data,
-                      const std::vector<pcm::State> &stored) const
+void
+BaselineCodec::encodeInto(const Line512 &data,
+                          std::span<const pcm::State> stored,
+                          EncodeScratch &scratch,
+                          pcm::TargetLine &target) const
 {
-    (void)stored; // No candidate selection: nothing to optimise.
-    pcm::TargetLine target(lineSymbols);
+    (void)stored;  // No candidate selection: nothing to optimise.
+    (void)scratch;
+    target.reset(lineSymbols);
     const Mapping &map = defaultMapping();
-    for (unsigned s = 0; s < lineSymbols; ++s)
-        target.cells[s] = map.encode(data.symbol(s));
-    return target;
+    for (unsigned w = 0; w < lineWords; ++w) {
+        uint64_t word = data.word(w);
+        for (unsigned k = 0; k < 32; ++k) {
+            target[w * 32 + k] =
+                map.encode(static_cast<unsigned>(word & 3));
+            word >>= 2;
+        }
+    }
 }
 
 Line512

@@ -1,0 +1,63 @@
+#include "codec.hh"
+
+#include <atomic>
+
+namespace wlcrc::coset
+{
+
+LineCodec::LineCodec(const pcm::EnergyModel &energy) : energy_(energy)
+{
+    for (unsigned s = 0; s < pcm::numStates; ++s) {
+        for (unsigned t = 0; t < pcm::numStates; ++t) {
+            costs_[s][t] =
+                energy_.writeEnergy(pcm::stateFromIndex(s),
+                                    pcm::stateFromIndex(t));
+        }
+    }
+}
+
+void
+LineCodec::setScalarScoringForTest(bool on)
+{
+    detail::scalarScoringFlag.store(on, std::memory_order_relaxed);
+}
+
+const double *
+LineCodec::scalarRow(pcm::State stored) const
+{
+    // Ring of four rows: callers may keep a small number of rows
+    // live simultaneously (a data row and an aux row, at most).
+    thread_local std::array<std::array<double, pcm::numStates>, 4>
+        ring;
+    thread_local unsigned slot = 0;
+    auto &row = ring[slot];
+    slot = (slot + 1) % ring.size();
+    for (unsigned t = 0; t < pcm::numStates; ++t) {
+        row[t] =
+            energy_.writeEnergy(stored, pcm::stateFromIndex(t));
+    }
+    return row.data();
+}
+
+void
+LineCodec::encodeBatch(const EncodeJob *jobs, std::size_t count,
+                       EncodeScratch &scratch) const
+{
+    const unsigned cells = cellCount();
+    for (std::size_t i = 0; i < count; ++i) {
+        encodeInto(*jobs[i].data, {jobs[i].stored, cells}, scratch,
+                   *jobs[i].target);
+    }
+}
+
+pcm::TargetLine
+LineCodec::encode(const Line512 &data,
+                  const std::vector<pcm::State> &stored) const
+{
+    EncodeScratch scratch;
+    pcm::TargetLine target;
+    encodeInto(data, {stored.data(), stored.size()}, scratch, target);
+    return target;
+}
+
+} // namespace wlcrc::coset

@@ -1,5 +1,6 @@
 #include "din_codec.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wlcrc::coset
@@ -67,48 +68,54 @@ DinCodec::DinCodec(const pcm::EnergyModel &energy)
     assert(expandedBits + bchParityBits == lineBits);
 }
 
-pcm::TargetLine
-DinCodec::encode(const Line512 &data,
-                 const std::vector<State> &stored) const
+void
+DinCodec::encodeInto(const Line512 &data,
+                     std::span<const State> stored,
+                     EncodeScratch &scratch,
+                     pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
     (void)stored;
     const Mapping &map = defaultMapping();
-    pcm::TargetLine target(cellCount());
-    target.auxMask[lineSymbols] = true;
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
 
+    // The FPC+BDI bank and the BCH encoder stage through their own
+    // growable buffers; DIN is the one scheme whose steady-state
+    // write still allocates (bounded, see the allocation guard in
+    // tests/encode_equivalence_test.cc).
     const auto stream = compressor_.compress(data);
     if (!stream || stream->size() > maxCompressedBits) {
         // Raw format: flag = S2 (second-lowest energy state).
         for (unsigned s = 0; s < lineSymbols; ++s)
-            target.cells[s] = map.encode(data.symbol(s));
-        target.cells[lineSymbols] = State::S2;
-        return target;
+            target[s] = map.encode(data.symbol(s));
+        target[lineSymbols] = State::S2;
+        return;
     }
 
     // Pad the compressed stream to 369 bits, expand 3 -> 4, add BCH.
-    std::vector<uint8_t> bits(maxCompressedBits, 0);
+    uint8_t *bits = scratch.bitsA.data();
+    std::fill_n(bits, maxCompressedBits, uint8_t{0});
     for (unsigned i = 0; i < stream->size(); ++i)
         bits[i] = static_cast<uint8_t>(stream->read(i, 1));
 
-    std::vector<uint8_t> expanded(expandedBits, 0);
+    scratch.bytes.assign(expandedBits, 0);
     for (unsigned g = 0; g < dataGroups; ++g) {
         const unsigned v = bits[g * 3] | (bits[g * 3 + 1] << 1) |
                            (bits[g * 3 + 2] << 2);
         const unsigned cw = expand3to4(v);
         for (unsigned b = 0; b < 4; ++b)
-            expanded[g * 4 + b] = (cw >> b) & 1;
+            scratch.bytes[g * 4 + b] = (cw >> b) & 1;
     }
-    const std::vector<uint8_t> codeword = bch_.encode(expanded);
+    const std::vector<uint8_t> codeword = bch_.encode(scratch.bytes);
     assert(codeword.size() == lineBits);
 
     Line512 encoded;
     for (unsigned i = 0; i < lineBits; ++i)
         encoded.setBit(i, codeword[i]);
     for (unsigned s = 0; s < lineSymbols; ++s)
-        target.cells[s] = map.encode(encoded.symbol(s));
-    target.cells[lineSymbols] = State::S1; // flag: encoded
-    return target;
+        target[s] = map.encode(encoded.symbol(s));
+    target[lineSymbols] = State::S1; // flag: encoded
 }
 
 Line512

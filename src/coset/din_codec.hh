@@ -33,9 +33,10 @@ class DinCodec : public LineCodec
     /** 256 data cells + 1 compression flag cell. */
     unsigned cellCount() const override { return lineSymbols + 1; }
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;

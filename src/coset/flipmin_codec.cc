@@ -17,52 +17,54 @@ FlipMinCodec::FlipMinCodec(const pcm::EnergyModel &energy,
 {
 }
 
-pcm::TargetLine
-FlipMinCodec::encode(const Line512 &data,
-                     const std::vector<State> &stored) const
+void
+FlipMinCodec::encodeInto(const Line512 &data,
+                         std::span<const State> stored,
+                         EncodeScratch &scratch,
+                         pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
+    (void)scratch;
     const Mapping &map = defaultMapping();
+
+    // Candidate index cells under the default bit packing: the low
+    // two index bits share the first aux cell, the high two the
+    // second (same symbols packBitsToStates produces).
+    auto aux_state = [&map](unsigned index_bits) {
+        return map.encode(index_bits & 3);
+    };
 
     double best_cost = std::numeric_limits<double>::infinity();
     unsigned best = 0;
     for (unsigned c = 0; c < numCandidates; ++c) {
         const Line512 cand = data ^ masks_[c];
         double cost = 0.0;
-        for (unsigned s = 0; s < lineSymbols; ++s)
-            cost += cellCost(stored[s], map.encode(cand.symbol(s)));
+        for (unsigned w = 0; w < lineWords; ++w) {
+            uint64_t word = cand.word(w);
+            for (unsigned k = 0; k < 32; ++k) {
+                const State t = map.encode(
+                    static_cast<unsigned>(word & 3));
+                cost += costRow(stored[w * 32 + k])
+                            [pcm::stateIndex(t)];
+                word >>= 2;
+            }
+        }
         // Include the cost of updating the two index cells.
-        const std::vector<uint8_t> bits{
-            static_cast<uint8_t>(c & 1),
-            static_cast<uint8_t>((c >> 1) & 1),
-            static_cast<uint8_t>((c >> 2) & 1),
-            static_cast<uint8_t>((c >> 3) & 1)};
-        std::vector<State> aux;
-        packBitsToStates(bits, aux);
-        cost += cellCost(stored[lineSymbols], aux[0]);
-        cost += cellCost(stored[lineSymbols + 1], aux[1]);
+        cost += cellCost(stored[lineSymbols], aux_state(c));
+        cost += cellCost(stored[lineSymbols + 1], aux_state(c >> 2));
         if (cost < best_cost) {
             best_cost = cost;
             best = c;
         }
     }
 
-    pcm::TargetLine target(cellCount());
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
     const Line512 cand = data ^ masks_[best];
     for (unsigned s = 0; s < lineSymbols; ++s)
-        target.cells[s] = map.encode(cand.symbol(s));
-    const std::vector<uint8_t> bits{
-        static_cast<uint8_t>(best & 1),
-        static_cast<uint8_t>((best >> 1) & 1),
-        static_cast<uint8_t>((best >> 2) & 1),
-        static_cast<uint8_t>((best >> 3) & 1)};
-    std::vector<State> aux;
-    packBitsToStates(bits, aux);
-    target.cells[lineSymbols] = aux[0];
-    target.cells[lineSymbols + 1] = aux[1];
-    target.auxMask[lineSymbols] = true;
-    target.auxMask[lineSymbols + 1] = true;
-    return target;
+        target[s] = map.encode(cand.symbol(s));
+    target[lineSymbols] = aux_state(best);
+    target[lineSymbols + 1] = aux_state(best >> 2);
 }
 
 Line512

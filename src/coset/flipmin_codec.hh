@@ -32,9 +32,10 @@ class FlipMinCodec : public LineCodec
     std::string name() const override { return "FlipMin"; }
     unsigned cellCount() const override { return lineSymbols + 2; }
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;

@@ -25,40 +25,41 @@ FnwCodec::cellCount() const
     return lineSymbols + (blockCount() + 1) / 2;
 }
 
-pcm::TargetLine
-FnwCodec::encode(const Line512 &data,
-                 const std::vector<State> &stored) const
+void
+FnwCodec::encodeInto(const Line512 &data,
+                     std::span<const State> stored,
+                     EncodeScratch &scratch,
+                     pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
     const Mapping &map = defaultMapping();
     const unsigned symbols_per_block = blockBits_ / 2;
     const unsigned nblocks = blockCount();
 
-    pcm::TargetLine target(cellCount());
-    std::vector<uint8_t> flips(nblocks, 0);
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
+    uint8_t *flips = scratch.bitsA.data();
     for (unsigned b = 0; b < nblocks; ++b) {
         double cost_plain = 0.0, cost_flip = 0.0;
         for (unsigned s = 0; s < symbols_per_block; ++s) {
             const unsigned idx = b * symbols_per_block + s;
             const unsigned sym = data.symbol(idx);
-            cost_plain += cellCost(stored[idx], map.encode(sym));
-            cost_flip += cellCost(stored[idx], map.encode(sym ^ 3));
+            const double *row = costRow(stored[idx]);
+            cost_plain += row[pcm::stateIndex(map.encode(sym))];
+            cost_flip += row[pcm::stateIndex(map.encode(sym ^ 3))];
         }
         flips[b] = cost_flip < cost_plain ? 1 : 0;
         for (unsigned s = 0; s < symbols_per_block; ++s) {
             const unsigned idx = b * symbols_per_block + s;
             const unsigned sym = data.symbol(idx) ^ (flips[b] ? 3 : 0);
-            target.cells[idx] = map.encode(sym);
+            target[idx] = map.encode(sym);
         }
     }
 
-    std::vector<State> aux;
-    packBitsToStates(flips, aux);
-    for (unsigned i = 0; i < aux.size(); ++i) {
-        target.cells[lineSymbols + i] = aux[i];
-        target.auxMask[lineSymbols + i] = true;
-    }
-    return target;
+    State *aux = scratch.states.data();
+    const unsigned aux_cells = packBitsToStates(flips, nblocks, aux);
+    for (unsigned i = 0; i < aux_cells; ++i)
+        target[lineSymbols + i] = aux[i];
 }
 
 Line512

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
 namespace wlcrc::coset
 {
@@ -62,17 +63,17 @@ tableICandidate(unsigned k)
     return candidates[k - 1];
 }
 
-std::vector<const Mapping *>
+std::span<const Mapping *const>
 tableICandidates(unsigned n)
 {
     assert(n >= 1 && n <= 4);
-    std::vector<const Mapping *> out;
-    for (unsigned k = 1; k <= n; ++k)
-        out.push_back(&tableICandidate(k));
-    return out;
+    static const std::array<const Mapping *, 4> all = {
+        &tableICandidate(1), &tableICandidate(2), &tableICandidate(3),
+        &tableICandidate(4)};
+    return {all.data(), n};
 }
 
-std::vector<const Mapping *>
+std::span<const Mapping *const>
 sixCosetCandidates()
 {
     // For each unordered symbol pair placed on the low-energy states
@@ -120,11 +121,14 @@ sixCosetCandidates()
         assert(built.size() == 6);
         return built;
     }();
+    static const std::array<const Mapping *, 6> views = [] {
+        std::array<const Mapping *, 6> out{};
+        for (unsigned i = 0; i < 6; ++i)
+            out[i] = &storage[i];
+        return out;
+    }();
 
-    std::vector<const Mapping *> out;
-    for (const auto &m : storage)
-        out.push_back(&m);
-    return out;
+    return {views.data(), views.size()};
 }
 
 } // namespace wlcrc::coset

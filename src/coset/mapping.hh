@@ -14,8 +14,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "pcm/cell.hh"
 
@@ -75,15 +75,19 @@ const Mapping &defaultMapping();
  */
 const Mapping &tableICandidate(unsigned k);
 
-/** Candidates C1..Cn in Table I order (n = 3 or 4). */
-std::vector<const Mapping *> tableICandidates(unsigned n);
+/**
+ * Candidates C1..Cn in Table I order (n = 1..4). Returns a view of a
+ * cached static array — candidate lookup is free in inner loops.
+ */
+std::span<const Mapping *const> tableICandidates(unsigned n);
 
 /**
  * The six candidates of Wang et al. (ICCD'11): for each unordered
  * pair of symbols, a mapping that places that pair on {S1, S2} while
- * staying as close to the default mapping as possible.
+ * staying as close to the default mapping as possible. Cached; the
+ * returned view is valid for the program's lifetime.
  */
-std::vector<const Mapping *> sixCosetCandidates();
+std::span<const Mapping *const> sixCosetCandidates();
 
 } // namespace wlcrc::coset
 

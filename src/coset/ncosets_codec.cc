@@ -1,5 +1,6 @@
 #include "ncosets_codec.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -9,22 +10,25 @@ namespace wlcrc::coset
 using pcm::State;
 
 NCosetsCodec::NCosetsCodec(const pcm::EnergyModel &energy,
-                           std::vector<const Mapping *> candidates,
+                           std::span<const Mapping *const> candidates,
                            unsigned granularity_bits)
-    : LineCodec(energy), candidates_(std::move(candidates)),
+    : LineCodec(energy),
+      numCandidates_(static_cast<unsigned>(candidates.size())),
       granularity_(granularity_bits),
       pairs_(cheapStatePairs(energy))
 {
-    assert(candidates_.size() >= 2 && candidates_.size() <= 6);
+    assert(numCandidates_ >= 2 && numCandidates_ <= maxCandidates);
     assert(granularity_ >= 2 && granularity_ % 2 == 0);
     assert(lineBits % granularity_ == 0);
-    auxPerBlock_ = candidates_.size() <= 4 ? 1 : 2;
+    std::copy(candidates.begin(), candidates.end(),
+              candidates_.begin());
+    auxPerBlock_ = numCandidates_ <= 4 ? 1 : 2;
 }
 
 std::string
 NCosetsCodec::name() const
 {
-    return std::to_string(candidates_.size()) + "cosets-" +
+    return std::to_string(numCandidates_) + "cosets-" +
            std::to_string(granularity_);
 }
 
@@ -51,7 +55,7 @@ NCosetsCodec::candidateFromAux(State a0, State a1) const
 {
     if (auxPerBlock_ == 1)
         return auxIndexFromState(a0);
-    for (unsigned c = 0; c < candidates_.size(); ++c)
+    for (unsigned c = 0; c < numCandidates_; ++c)
         if (pairs_[c].first == a0 && pairs_[c].second == a1)
             return c;
     // Unreachable for states produced by encode(); treat as C1 so
@@ -59,12 +63,16 @@ NCosetsCodec::candidateFromAux(State a0, State a1) const
     return 0;
 }
 
-pcm::TargetLine
-NCosetsCodec::encode(const Line512 &data,
-                     const std::vector<State> &stored) const
+void
+NCosetsCodec::encodeInto(const Line512 &data,
+                         std::span<const State> stored,
+                         EncodeScratch &scratch,
+                         pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
-    pcm::TargetLine target(cellCount());
+    (void)scratch;
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
     const unsigned symbols_per_block = granularity_ / 2;
     const unsigned nblocks = blockCount();
 
@@ -72,41 +80,43 @@ NCosetsCodec::encode(const Line512 &data,
         const unsigned sym0 = b * symbols_per_block;
         const unsigned aux0 = lineSymbols + b * auxPerBlock_;
 
+        // One pass over the block's cells, all candidates scored per
+        // cell from its cost row (per-candidate accumulation order is
+        // still cell order, so sums are bit-identical to the scalar
+        // double loop).
+        std::array<double, maxCandidates> cost{};
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned sym = data.symbol(sym0 + s);
+            const double *row = costRow(stored[sym0 + s]);
+            for (unsigned c = 0; c < numCandidates_; ++c) {
+                cost[c] += row[pcm::stateIndex(
+                    candidates_[c]->encode(sym))];
+            }
+        }
+
         double best_cost = std::numeric_limits<double>::infinity();
         unsigned best = 0;
-        for (unsigned c = 0; c < candidates_.size(); ++c) {
-            const Mapping &map = *candidates_[c];
-            double cost = 0.0;
-            for (unsigned s = 0; s < symbols_per_block; ++s) {
-                cost += cellCost(stored[sym0 + s],
-                                 map.encode(data.symbol(sym0 + s)));
-            }
+        for (unsigned c = 0; c < numCandidates_; ++c) {
             State a0, a1;
             auxStatesFor(c, a0, a1);
-            cost += cellCost(stored[aux0], a0);
+            double total = cost[c] + cellCost(stored[aux0], a0);
             if (auxPerBlock_ == 2)
-                cost += cellCost(stored[aux0 + 1], a1);
-            if (cost < best_cost) {
-                best_cost = cost;
+                total += cellCost(stored[aux0 + 1], a1);
+            if (total < best_cost) {
+                best_cost = total;
                 best = c;
             }
         }
 
         const Mapping &map = *candidates_[best];
-        for (unsigned s = 0; s < symbols_per_block; ++s) {
-            target.cells[sym0 + s] =
-                map.encode(data.symbol(sym0 + s));
-        }
+        for (unsigned s = 0; s < symbols_per_block; ++s)
+            target[sym0 + s] = map.encode(data.symbol(sym0 + s));
         State a0, a1;
         auxStatesFor(best, a0, a1);
-        target.cells[aux0] = a0;
-        target.auxMask[aux0] = true;
-        if (auxPerBlock_ == 2) {
-            target.cells[aux0 + 1] = a1;
-            target.auxMask[aux0 + 1] = true;
-        }
+        target[aux0] = a0;
+        if (auxPerBlock_ == 2)
+            target[aux0 + 1] = a1;
     }
-    return target;
 }
 
 Line512
@@ -123,7 +133,7 @@ NCosetsCodec::decode(const std::vector<State> &stored) const
             stored[aux0],
             auxPerBlock_ == 2 ? stored[aux0 + 1] : State::S1);
         const Mapping &map =
-            *candidates_[c < candidates_.size() ? c : 0];
+            *candidates_[c < numCandidates_ ? c : 0];
         for (unsigned s = 0; s < symbols_per_block; ++s)
             data.setSymbol(sym0 + s, map.decode(stored[sym0 + s]));
     }

@@ -17,6 +17,7 @@
 #define WLCRC_COSET_NCOSETS_CODEC_HH
 
 #include <array>
+#include <span>
 #include <utility>
 
 #include "coset/aux_coding.hh"
@@ -30,22 +31,27 @@ namespace wlcrc::coset
 class NCosetsCodec : public LineCodec
 {
   public:
+    /** Largest supported candidate set. */
+    static constexpr unsigned maxCandidates = 6;
+
     /**
      * @param energy            write-energy model.
-     * @param candidates        candidate mappings (2..6 entries).
+     * @param candidates        candidate mappings (2..6 entries);
+     *                          copied into inline storage.
      * @param granularity_bits  block size; must divide 512 and be a
      *                          multiple of 2.
      */
     NCosetsCodec(const pcm::EnergyModel &energy,
-                 std::vector<const Mapping *> candidates,
+                 std::span<const Mapping *const> candidates,
                  unsigned granularity_bits);
 
     std::string name() const override;
     unsigned cellCount() const override;
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;
@@ -61,7 +67,8 @@ class NCosetsCodec : public LineCodec
     /** Candidate index stored in a block's aux cells. */
     unsigned candidateFromAux(pcm::State a0, pcm::State a1) const;
 
-    std::vector<const Mapping *> candidates_;
+    std::array<const Mapping *, maxCandidates> candidates_{};
+    unsigned numCandidates_;
     unsigned granularity_;
     unsigned auxPerBlock_;
     std::array<std::pair<pcm::State, pcm::State>, 6> pairs_;

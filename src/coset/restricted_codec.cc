@@ -29,9 +29,11 @@ RestrictedCosetsCodec::cellCount() const
     return lineSymbols + auxCells();
 }
 
-pcm::TargetLine
-RestrictedCosetsCodec::encode(const Line512 &data,
-                              const std::vector<State> &stored) const
+void
+RestrictedCosetsCodec::encodeInto(const Line512 &data,
+                                  std::span<const State> stored,
+                                  EncodeScratch &scratch,
+                                  pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
     const unsigned symbols_per_block = granularity_ / 2;
@@ -41,17 +43,18 @@ RestrictedCosetsCodec::encode(const Line512 &data,
     // Evaluate both groups: {C1, C2} and {C1, C3}. For each group,
     // each block independently picks the cheaper member.
     double group_cost[2] = {0.0, 0.0};
-    std::vector<uint8_t> choice[2]; // per-block: 0 = C1, 1 = other
+    uint8_t *choice[2] = {scratch.pick0.data(),
+                          scratch.pick1.data()};
     for (unsigned g = 0; g < 2; ++g) {
-        choice[g].resize(nblocks);
         const Mapping &alt = tableICandidate(g == 0 ? 2 : 3);
         for (unsigned b = 0; b < nblocks; ++b) {
             double cost_c1 = 0.0, cost_alt = 0.0;
             for (unsigned s = 0; s < symbols_per_block; ++s) {
                 const unsigned idx = b * symbols_per_block + s;
                 const unsigned sym = data.symbol(idx);
-                cost_c1 += cellCost(stored[idx], c1.encode(sym));
-                cost_alt += cellCost(stored[idx], alt.encode(sym));
+                const double *row = costRow(stored[idx]);
+                cost_c1 += row[pcm::stateIndex(c1.encode(sym))];
+                cost_alt += row[pcm::stateIndex(alt.encode(sym))];
             }
             if (cost_alt < cost_c1) {
                 choice[g][b] = 1;
@@ -65,27 +68,26 @@ RestrictedCosetsCodec::encode(const Line512 &data,
     const unsigned g = group_cost[1] < group_cost[0] ? 1 : 0;
     const Mapping &alt = tableICandidate(g == 0 ? 2 : 3);
 
-    pcm::TargetLine target(cellCount());
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
     for (unsigned b = 0; b < nblocks; ++b) {
         const Mapping &map = choice[g][b] ? alt : c1;
         for (unsigned s = 0; s < symbols_per_block; ++s) {
             const unsigned idx = b * symbols_per_block + s;
-            target.cells[idx] = map.encode(data.symbol(idx));
+            target[idx] = map.encode(data.symbol(idx));
         }
     }
 
     // Aux bits: [group bit, block 0 choice, block 1 choice, ...].
-    std::vector<uint8_t> bits(auxBits());
+    uint8_t *bits = scratch.bitsA.data();
     bits[0] = static_cast<uint8_t>(g);
     for (unsigned b = 0; b < nblocks; ++b)
         bits[1 + b] = choice[g][b];
-    std::vector<State> aux;
-    packBitsToStates(bits, aux, /*pair_friendly=*/true);
-    for (unsigned i = 0; i < aux.size(); ++i) {
-        target.cells[lineSymbols + i] = aux[i];
-        target.auxMask[lineSymbols + i] = true;
-    }
-    return target;
+    State *aux = scratch.states.data();
+    const unsigned aux_cells = packBitsToStates(
+        bits, auxBits(), aux, /*pair_friendly=*/true);
+    for (unsigned i = 0; i < aux_cells; ++i)
+        target[lineSymbols + i] = aux[i];
 }
 
 Line512

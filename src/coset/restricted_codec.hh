@@ -37,9 +37,10 @@ class RestrictedCosetsCodec : public LineCodec
     std::string name() const override;
     unsigned cellCount() const override;
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;

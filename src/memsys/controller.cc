@@ -68,7 +68,7 @@ MemoryController::serviceBank(unsigned bank)
         // and program through the write unit (Figure 7).
         if (!device_.hasLine(it->lineAddr)) {
             auto &stored = device_.line(it->lineAddr);
-            stored = codec_.encode(it->oldData, stored).cells;
+            stored = codec_.encode(it->oldData, stored).toVector();
         }
         const auto &stored = device_.line(it->lineAddr);
         device_.write(it->lineAddr,

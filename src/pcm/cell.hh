@@ -40,6 +40,56 @@ stateFromIndex(unsigned i)
 /** Printable name ("S1".."S4"). */
 const char *stateName(State s);
 
+/**
+ * Upper bound on stored cells per line across every codec layout:
+ * 256 data cells plus up to two auxiliary cells per two-cell data
+ * block (6cosets at the smallest legal granularity). Fixed-capacity
+ * per-line buffers (TargetLine, CellMask) are sized by this so the
+ * write hot path never touches the heap.
+ */
+inline constexpr unsigned maxLineCells = 768;
+
+/**
+ * Fixed-capacity per-cell flag set (one bit per cell of a stored
+ * line). Replaces the std::vector<bool> masks of the write hot path:
+ * resetting, testing and setting are all allocation-free.
+ */
+class CellMask
+{
+  public:
+    CellMask() = default;
+
+    /** Clear to @p n zero bits. */
+    void
+    reset(unsigned n)
+    {
+        size_ = n;
+        bits_.fill(0);
+    }
+
+    unsigned size() const { return size_; }
+
+    bool
+    test(unsigned i) const
+    {
+        return (bits_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(unsigned i)
+    {
+        bits_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+
+    /** Raw 64-bit chunk @p w, for word-at-a-time scans. */
+    uint64_t word(unsigned w) const { return bits_[w]; }
+    unsigned words() const { return (size_ + 63) / 64; }
+
+  private:
+    std::array<uint64_t, maxLineCells / 64> bits_{};
+    uint32_t size_ = 0;
+};
+
 } // namespace wlcrc::pcm
 
 #endif // WLCRC_PCM_CELL_HH

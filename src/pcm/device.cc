@@ -24,6 +24,13 @@ Device::line(uint64_t addr)
     return it->second;
 }
 
+std::vector<State> *
+Device::tryLine(uint64_t addr)
+{
+    auto it = lines_.find(addr);
+    return it == lines_.end() ? nullptr : &it->second;
+}
+
 bool
 Device::hasLine(uint64_t addr) const
 {
@@ -34,12 +41,21 @@ WriteStats
 Device::write(uint64_t addr, const TargetLine &target,
               bool verify_n_restore)
 {
-    assert(target.cells.size() == cellsPerLine_);
-    auto &stored = line(addr);
+    return writeLine(addr, line(addr), target, verify_n_restore);
+}
+
+WriteStats
+Device::writeLine(uint64_t addr, std::vector<State> &stored,
+                  const TargetLine &target, bool verify_n_restore)
+{
+    assert(target.size() == cellsPerLine_);
+    assert(&stored == &line(addr));
     if (wear_) {
-        std::vector<bool> updated(cellsPerLine_);
+        CellMask updated;
+        updated.reset(cellsPerLine_);
         for (unsigned c = 0; c < cellsPerLine_; ++c)
-            updated[c] = stored[c] != target.cells[c];
+            if (stored[c] != target[c])
+                updated.set(c);
         wear_->recordLine(addr, updated);
     }
     const WriteStats st =

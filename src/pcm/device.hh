@@ -44,6 +44,10 @@ class Device
      *  address, i.e. byte address >> 6). */
     std::vector<State> &line(uint64_t addr);
 
+    /** @return the stored line, or nullptr if never written — one
+     *  hash lookup where hasLine() + line() would take two. */
+    std::vector<State> *tryLine(uint64_t addr);
+
     /** @return true if the line has been written before. */
     bool hasLine(uint64_t addr) const;
 
@@ -53,6 +57,16 @@ class Device
      */
     WriteStats write(uint64_t addr, const TargetLine &target,
                      bool verify_n_restore = false);
+
+    /**
+     * As write(), but @p stored is the reference line(addr) already
+     * returned for this address — skips the per-write hash lookup
+     * (the replay hot path holds the line across prime + encode +
+     * program).
+     */
+    WriteStats writeLine(uint64_t addr, std::vector<State> &stored,
+                         const TargetLine &target,
+                         bool verify_n_restore = false);
 
     /** Lifetime totals across all writes. */
     const WriteStats &totals() const { return totals_; }

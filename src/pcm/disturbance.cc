@@ -1,5 +1,6 @@
 #include "disturbance.hh"
 
+#include <bit>
 #include <cstddef>
 
 #include <cassert>
@@ -12,17 +13,77 @@ namespace
 
 /** Number of programmed (RESETting) linear neighbours of cell i. */
 unsigned
-resetNeighbours(const std::vector<bool> &updated, std::size_t i)
+resetNeighbours(const CellMask &updated, std::size_t i)
 {
     unsigned n = 0;
-    if (i > 0 && updated[i - 1])
+    if (i > 0 && updated.test(static_cast<unsigned>(i - 1)))
         ++n;
-    if (i + 1 < updated.size() && updated[i + 1])
+    if (i + 1 < updated.size() &&
+        updated.test(static_cast<unsigned>(i + 1)))
         ++n;
     return n;
 }
 
+CellMask
+maskFromVector(const std::vector<bool> &v)
+{
+    assert(v.size() <= maxLineCells);
+    CellMask m;
+    m.reset(static_cast<unsigned>(v.size()));
+    for (std::size_t i = 0; i < v.size(); ++i)
+        if (v[i])
+            m.set(static_cast<unsigned>(i));
+    return m;
+}
+
 } // namespace
+
+unsigned
+DisturbanceModel::sample(const State *cells, std::size_t n,
+                         const CellMask &updated, Rng &rng,
+                         CellMask *disturbed) const
+{
+    assert(n == updated.size());
+    if (disturbed)
+        disturbed->reset(static_cast<unsigned>(n));
+    unsigned errors = 0;
+    // Only idle cells with at least one programmed neighbour can be
+    // disturbed; compute that candidate set word-at-a-time instead
+    // of scanning every cell. Candidates are visited in ascending
+    // cell order, so the rng draw sequence matches a linear scan.
+    const unsigned nw = updated.words();
+    for (unsigned w = 0; w < nw; ++w) {
+        const uint64_t u = updated.word(w);
+        const uint64_t lo = w ? updated.word(w - 1) : 0;
+        const uint64_t hi = w + 1 < nw ? updated.word(w + 1) : 0;
+        uint64_t cand =
+            ((u << 1) | (u >> 1) | (lo >> 63) | (hi << 63)) & ~u;
+        if (static_cast<std::size_t>(w + 1) * 64 > n) {
+            // Trim neighbour bits past the end of the line.
+            cand &= ~uint64_t{0} >>
+                    (static_cast<std::size_t>(w + 1) * 64 - n);
+        }
+        while (cand) {
+            const unsigned i =
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(cand));
+            cand &= cand - 1;
+            const double p = der_[stateIndex(cells[i])];
+            if (p <= 0.0)
+                continue;
+            const unsigned exposures = resetNeighbours(updated, i);
+            bool hit = false;
+            for (unsigned e = 0; e < exposures; ++e)
+                hit |= rng.chance(p);
+            if (hit) {
+                ++errors;
+                if (disturbed)
+                    disturbed->set(i);
+            }
+        }
+    }
+    return errors;
+}
 
 unsigned
 DisturbanceModel::sample(const std::vector<State> &cells,
@@ -30,36 +91,28 @@ DisturbanceModel::sample(const std::vector<State> &cells,
                          std::vector<bool> *disturbed) const
 {
     assert(cells.size() == updated.size());
-    if (disturbed)
+    const CellMask mask = maskFromVector(updated);
+    CellMask out;
+    const unsigned errors =
+        sample(cells.data(), cells.size(), mask, rng,
+               disturbed ? &out : nullptr);
+    if (disturbed) {
         disturbed->assign(cells.size(), false);
-    unsigned errors = 0;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (updated[i])
-            continue; // Programmed cells are rewritten, not disturbed.
-        const double p = der_[stateIndex(cells[i])];
-        if (p <= 0.0)
-            continue;
-        const unsigned exposures = resetNeighbours(updated, i);
-        bool hit = false;
-        for (unsigned e = 0; e < exposures; ++e)
-            hit |= rng.chance(p);
-        if (hit) {
-            ++errors;
-            if (disturbed)
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (out.test(static_cast<unsigned>(i)))
                 (*disturbed)[i] = true;
-        }
     }
     return errors;
 }
 
 double
-DisturbanceModel::expected(const std::vector<State> &cells,
-                           const std::vector<bool> &updated) const
+DisturbanceModel::expected(const State *cells, std::size_t n,
+                           const CellMask &updated) const
 {
-    assert(cells.size() == updated.size());
+    assert(n == updated.size());
     double expected = 0.0;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (updated[i])
+    for (std::size_t i = 0; i < n; ++i) {
+        if (updated.test(static_cast<unsigned>(i)))
             continue;
         const double p = der_[stateIndex(cells[i])];
         if (p <= 0.0)
@@ -72,6 +125,15 @@ DisturbanceModel::expected(const std::vector<State> &cells,
         expected += 1.0 - survive;
     }
     return expected;
+}
+
+double
+DisturbanceModel::expected(const std::vector<State> &cells,
+                           const std::vector<bool> &updated) const
+{
+    assert(cells.size() == updated.size());
+    return expected(cells.data(), cells.size(),
+                    maskFromVector(updated));
 }
 
 } // namespace wlcrc::pcm

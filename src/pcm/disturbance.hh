@@ -14,6 +14,7 @@
 #define WLCRC_PCM_DISTURBANCE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -42,8 +43,8 @@ class DisturbanceModel
     /**
      * Sample the number of disturbed idle cells for one line write.
      *
-     * @param cells    stored states after the write.
-     * @param updated  updated[i] true iff cell i was programmed.
+     * @param cells    stored states after the write (@p n cells).
+     * @param updated  updated.test(i) true iff cell i was programmed.
      * @param rng      randomness source.
      * @param disturbed  out (optional): per-cell disturbed flags.
      * @return number of disturbance errors in this write pass.
@@ -51,8 +52,14 @@ class DisturbanceModel
      * Each programmed cell exposes its linear neighbours (i-1, i+1);
      * an idle neighbour flanked by two programmed cells gets two
      * independent chances to be disturbed, matching the physical
-     * model of per-RESET heat pulses.
+     * model of per-RESET heat pulses. Allocation-free: this is the
+     * write hot path's sampler.
      */
+    unsigned sample(const State *cells, std::size_t n,
+                    const CellMask &updated, Rng &rng,
+                    CellMask *disturbed = nullptr) const;
+
+    /** Convenience adapter for vector-based callers (tests). */
     unsigned sample(const std::vector<State> &cells,
                     const std::vector<bool> &updated, Rng &rng,
                     std::vector<bool> *disturbed = nullptr) const;
@@ -61,6 +68,10 @@ class DisturbanceModel
      * Expected number of disturbance errors for one write pass
      * (deterministic; used by tests and fast analytic sweeps).
      */
+    double expected(const State *cells, std::size_t n,
+                    const CellMask &updated) const;
+
+    /** Convenience adapter for vector-based callers (tests). */
     double expected(const std::vector<State> &cells,
                     const std::vector<bool> &updated) const;
 

@@ -39,6 +39,16 @@ WearTracker::recordLine(uint64_t addr,
 }
 
 void
+WearTracker::recordLine(uint64_t addr, const CellMask &updated)
+{
+    assert(updated.size() == cellsPerLine_);
+    for (unsigned c = 0; c < cellsPerLine_; ++c) {
+        if (updated.test(c))
+            recordProgram(addr, c);
+    }
+}
+
+void
 WearTracker::merge(const WearTracker &o)
 {
     assert(o.cellsPerLine_ == cellsPerLine_);

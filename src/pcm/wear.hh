@@ -46,6 +46,9 @@ class WearTracker
     /** Record a whole-line update mask. */
     void recordLine(uint64_t addr, const std::vector<bool> &updated);
 
+    /** Allocation-free variant used by the device's write path. */
+    void recordLine(uint64_t addr, const CellMask &updated);
+
     /**
      * Fold another tracker's per-cell counts into this one. Used to
      * combine the per-shard trackers of a sharded replay (shards

@@ -1,6 +1,8 @@
 #include "write_unit.hh"
 
+#include <bit>
 #include <cstddef>
+#include <cstring>
 
 #include <cassert>
 
@@ -27,24 +29,39 @@ namespace
 void
 applyDifferential(std::vector<State> &stored, const TargetLine &target,
                   const EnergyModel &energy, WriteStats &st,
-                  std::vector<bool> &updated)
+                  CellMask &updated)
 {
-    assert(stored.size() == target.cells.size());
-    assert(stored.size() == target.auxMask.size());
-    updated.assign(stored.size(), false);
-    for (std::size_t i = 0; i < stored.size(); ++i) {
-        if (stored[i] == target.cells[i])
-            continue;
-        updated[i] = true;
-        const double e = energy.programEnergy(target.cells[i]);
-        if (target.auxMask[i]) {
-            st.auxEnergyPj += e;
-            ++st.auxUpdated;
-        } else {
-            st.dataEnergyPj += e;
-            ++st.dataUpdated;
+    assert(stored.size() == target.size());
+    const unsigned n = static_cast<unsigned>(stored.size());
+    updated.reset(n);
+    // Scan eight cells at a time: differential writes touch a small
+    // fraction of the line, so most 8-byte chunks compare equal and
+    // the per-cell work runs only for genuinely differing cells.
+    State *cur = stored.data();
+    const State *tgt = target.states();
+    for (unsigned base = 0; base < n; base += 8) {
+        const unsigned chunk = n - base < 8 ? n - base : 8;
+        uint64_t a = 0, b = 0;
+        std::memcpy(&a, cur + base, chunk);
+        std::memcpy(&b, tgt + base, chunk);
+        uint64_t diff = a ^ b;
+        while (diff) {
+            const unsigned i =
+                base +
+                static_cast<unsigned>(std::countr_zero(diff)) / 8;
+            diff &= ~(uint64_t{0xff}
+                      << (std::countr_zero(diff) & ~7u));
+            updated.set(i);
+            const double e = energy.programEnergy(tgt[i]);
+            if (target.aux(i)) {
+                st.auxEnergyPj += e;
+                ++st.auxUpdated;
+            } else {
+                st.dataEnergyPj += e;
+                ++st.dataUpdated;
+            }
+            cur[i] = tgt[i];
         }
-        stored[i] = target.cells[i];
     }
 }
 
@@ -55,19 +72,25 @@ WriteUnit::program(std::vector<State> &stored, const TargetLine &target,
                    Rng &rng, bool verify_n_restore) const
 {
     WriteStats st;
-    std::vector<bool> updated;
+    CellMask updated;
     applyDifferential(stored, target, energy_, st, updated);
 
     // First-pass disturbance: this is what the paper's figures count.
-    std::vector<bool> disturbed;
-    unsigned errors = disturb_.sample(stored, updated, rng, &disturbed);
-    for (std::size_t i = 0; i < disturbed.size(); ++i) {
-        if (!disturbed[i])
-            continue;
-        if (target.auxMask[i])
-            ++st.auxDisturbed;
-        else
-            ++st.dataDisturbed;
+    CellMask disturbed;
+    unsigned errors = disturb_.sample(stored.data(), stored.size(),
+                                      updated, rng, &disturbed);
+    for (unsigned w = 0; w < disturbed.words(); ++w) {
+        uint64_t bits = disturbed.word(w);
+        while (bits) {
+            const unsigned i =
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (target.aux(i))
+                ++st.auxDisturbed;
+            else
+                ++st.dataDisturbed;
+        }
     }
     st.vnrIterations = errors ? 1 : 0;
 
@@ -83,8 +106,9 @@ WriteUnit::program(std::vector<State> &stored, const TargetLine &target,
     // this converging in 3-5 iterations.
     while (errors) {
         ++st.vnrIterations;
-        std::vector<bool> repairing = disturbed;
-        errors = disturb_.sample(stored, repairing, rng, &disturbed);
+        const CellMask repairing = disturbed;
+        errors = disturb_.sample(stored.data(), stored.size(),
+                                 repairing, rng, &disturbed);
     }
     return st;
 }
@@ -94,14 +118,15 @@ WriteUnit::programExpected(std::vector<State> &stored,
                            const TargetLine &target) const
 {
     WriteStats st;
-    std::vector<bool> updated;
+    CellMask updated;
     applyDifferential(stored, target, energy_, st, updated);
     // Expectation is reported as a rounded count on the (unsplit)
     // data side; callers needing the exact value use the model
     // directly. Keep full precision available via the return value's
     // dataDisturbed only when integral; tests use
     // DisturbanceModel::expected() for exact checks.
-    const double expected = disturb_.expected(stored, updated);
+    const double expected =
+        disturb_.expected(stored.data(), stored.size(), updated);
     st.dataDisturbed = static_cast<unsigned>(expected + 0.5);
     return st;
 }

@@ -14,8 +14,11 @@
 #ifndef WLCRC_PCM_WRITE_UNIT_HH
 #define WLCRC_PCM_WRITE_UNIT_HH
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "common/rng.hh"
@@ -26,18 +29,85 @@
 namespace wlcrc::pcm
 {
 
-/** Desired post-write cell states plus an aux-region mask. */
-struct TargetLine
+/**
+ * Desired post-write cell states plus the aux-region description.
+ *
+ * Storage is fixed-capacity and inline (maxLineCells), so building a
+ * target allocates nothing — the encode hot path reuses one instance
+ * per replayer. The aux region is described two ways, matching how
+ * codecs lay lines out:
+ *  - auxStart(): every cell at or past this boundary is auxiliary
+ *    (the dedicated trailing aux cells of FNW/FlipMin/nCosets/
+ *    restricted codecs and the per-line flag cell);
+ *  - markAux(): individual cells inside the data region that carry
+ *    auxiliary bits (the WLC-reclaimed selector cells of the
+ *    WLC/WLCRC/COC formats).
+ */
+class TargetLine
 {
-    /** Target state for each cell (data region first, then aux). */
-    std::vector<State> cells;
-    /** auxMask[i] true iff cell i carries auxiliary encoding bits. */
-    std::vector<bool> auxMask;
+  public:
+    static constexpr unsigned maxCells = maxLineCells;
 
     TargetLine() = default;
-    explicit TargetLine(std::size_t n_cells)
-        : cells(n_cells, State::S1), auxMask(n_cells, false)
-    {}
+    explicit TargetLine(unsigned n_cells) { reset(n_cells); }
+
+    /** Resize to @p n cells, all S1, with an empty aux region. */
+    void
+    reset(unsigned n)
+    {
+        size_ = n;
+        auxStart_ = n;
+        std::fill_n(cells_.data(), n, State::S1);
+        std::fill_n(auxBits_.data(), (n + 63) / 64, uint64_t{0});
+    }
+
+    unsigned size() const { return size_; }
+
+    State operator[](unsigned i) const { return cells_[i]; }
+    State &operator[](unsigned i) { return cells_[i]; }
+
+    /** First cell of the trailing dedicated-aux region. */
+    unsigned auxStart() const { return auxStart_; }
+    void setAuxStart(unsigned c) { auxStart_ = c; }
+
+    /** Tag an embedded aux cell inside the data region. */
+    void
+    markAux(unsigned i)
+    {
+        auxBits_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+
+    /** True iff cell @p i carries auxiliary encoding bits. */
+    bool
+    aux(unsigned i) const
+    {
+        return i >= auxStart_ ||
+               ((auxBits_[i >> 6] >> (i & 63)) & 1);
+    }
+
+    const State *states() const { return cells_.data(); }
+
+    /** Copy out the states (tests and cold paths). */
+    std::vector<State>
+    toVector() const
+    {
+        return {cells_.data(), cells_.data() + size_};
+    }
+
+    /** Set the first @p n cells (tests and cold paths). */
+    void
+    assign(std::initializer_list<State> states)
+    {
+        unsigned i = 0;
+        for (const State s : states)
+            cells_[i++] = s;
+    }
+
+  private:
+    std::array<State, maxCells> cells_{};
+    std::array<uint64_t, maxCells / 64> auxBits_{};
+    uint32_t size_ = 0;
+    uint32_t auxStart_ = 0;
 };
 
 /** Metrics of one line write (paper Figures 8-13 report these). */

@@ -107,27 +107,56 @@ runShard(const ExperimentSpec &spec, unsigned shard)
             rep.device().attachWearTracker(&*out.wear);
         }
 
-        auto replayIfMine = [&](const trace::WriteTransaction &t) {
-            if (shardOf(t.lineAddr, spec.shards) == shard)
-                rep.step(t);
-        };
+        // Every path streams through Replayer::runBatch: the shard's
+        // transactions are gathered into fixed blocks and encoded
+        // via LineCodec::encodeBatch, amortising dispatch without
+        // changing any result (batched == stepped, by construction).
         if (spec.source) {
             // The cursor filters (and block-prunes) source-side;
             // records arrive already restricted to this shard.
             auto cursor = spec.source->open(
                 {spec.shards > 1 ? spec.shards : 1, shard});
-            while (auto t = cursor->next())
-                rep.step(*t);
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                auto t = cursor->next();
+                if (!t)
+                    return false;
+                slot = *t;
+                return true;
+            });
         } else if (spec.random) {
+            // Synthesized streams are re-derived per shard and
+            // filtered down to the shard's addresses (synthesis is
+            // cheap relative to replay, and source-independent
+            // shards need no cross-thread coordination).
             trace::RandomWorkload random(spec.seed);
-            for (uint64_t i = 0; i < spec.lines; ++i)
-                replayIfMine(random.next());
+            uint64_t consumed = 0;
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                while (consumed < spec.lines) {
+                    const trace::WriteTransaction &t = random.next();
+                    ++consumed;
+                    if (shardOf(t.lineAddr, spec.shards) == shard) {
+                        slot = t;
+                        return true;
+                    }
+                }
+                return false;
+            });
         } else {
             trace::TraceSynthesizer synth(
                 trace::WorkloadProfile::byName(spec.workload),
                 spec.seed);
-            for (uint64_t i = 0; i < spec.lines; ++i)
-                replayIfMine(synth.next());
+            uint64_t consumed = 0;
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                while (consumed < spec.lines) {
+                    const trace::WriteTransaction &t = synth.next();
+                    ++consumed;
+                    if (shardOf(t.lineAddr, spec.shards) == shard) {
+                        slot = t;
+                        return true;
+                    }
+                }
+                return false;
+            });
         }
         out.replay = rep.result();
     } catch (const std::exception &err) {

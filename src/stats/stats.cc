@@ -7,17 +7,6 @@ namespace wlcrc::stats
 {
 
 void
-RunningStat::add(double x)
-{
-    ++n_;
-    const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-}
-
-void
 RunningStat::merge(const RunningStat &o)
 {
     if (!o.n_)

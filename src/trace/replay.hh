@@ -6,13 +6,23 @@
  * For the first write to a line, the replayer primes the device with
  * the transaction's old contents (unmeasured) so the measured write
  * always differentiates against realistically encoded prior state.
+ *
+ * The replayer owns one EncodeScratch and one TargetLine, so a
+ * steady-state write performs no heap allocation. runBatch() is the
+ * streaming entry the sharded runner uses: it gathers transactions
+ * into fixed-size blocks and encodes each block's independent
+ * (distinct-line) prefix through LineCodec::encodeBatch — one virtual
+ * dispatch per block instead of per write, with identical results to
+ * step()-ing every transaction in order.
  */
 
 #ifndef WLCRC_TRACE_REPLAY_HH
 #define WLCRC_TRACE_REPLAY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "coset/codec.hh"
 #include "pcm/device.hh"
@@ -50,6 +60,9 @@ struct ReplayResult
 class Replayer
 {
   public:
+    /** Transactions gathered per runBatch() block. */
+    static constexpr std::size_t batchLines = 32;
+
     /**
      * @param codec  encoding scheme under test.
      * @param unit   energy/disturbance model.
@@ -67,18 +80,63 @@ class Replayer
     void
     run(Source &source, uint64_t count)
     {
-        for (uint64_t i = 0; i < count; ++i)
-            step(source.next());
+        for (uint64_t i = 0; i < count; ++i) {
+            const WriteTransaction &txn = source.next();
+            step(txn);
+        }
+    }
+
+    /**
+     * Streaming batched replay. @p fill is called with a slot to
+     * write the next transaction into and returns false when the
+     * stream is exhausted. Results are identical to step()-ing the
+     * same stream in order.
+     *
+     * @return number of transactions replayed.
+     */
+    template <typename FillFn>
+    uint64_t
+    runBatch(FillFn &&fill)
+    {
+        uint64_t total = 0;
+        for (;;) {
+            std::size_t n = 0;
+            while (n < batchLines && fill(batch_[n]))
+                ++n;
+            if (n == 0)
+                break;
+            replayBlock(batch_.data(), n);
+            total += n;
+            if (n < batchLines)
+                break;
+        }
+        return total;
     }
 
     const ReplayResult &result() const { return result_; }
     pcm::Device &device() { return device_; }
 
   private:
+    /** Replay a block sequentially-equivalently (see .cc). */
+    void replayBlock(const WriteTransaction *txns, std::size_t n);
+    /** Encode-and-write @p count distinct-line transactions. */
+    void replayIndependent(const WriteTransaction *txns,
+                           std::size_t count);
+    /** Prime the line on first touch; @return its stored states. */
+    std::vector<pcm::State> &primedLine(const WriteTransaction &txn);
+    /** Program @p target and fold the write into the result. */
+    pcm::WriteStats applyWrite(const WriteTransaction &txn,
+                               const pcm::TargetLine &target,
+                               std::vector<pcm::State> &stored);
+
     const coset::LineCodec &codec_;
     pcm::Device device_;
     ReplayResult result_;
     bool vnr_;
+    coset::EncodeScratch scratch_;
+    pcm::TargetLine staging_;
+    std::vector<WriteTransaction> batch_;
+    std::vector<pcm::TargetLine> targets_;
 };
 
 } // namespace wlcrc::trace

@@ -117,13 +117,13 @@ TraceSynthesizer::lineAt(uint64_t addr)
     return it->second;
 }
 
-WriteTransaction
+const WriteTransaction &
 TraceSynthesizer::next()
 {
     const uint64_t addr = pickAddress();
     LineState &line = lineAt(addr);
 
-    WriteTransaction txn;
+    WriteTransaction &txn = current_;
     txn.lineAddr = addr;
     txn.oldData = line.data;
 
@@ -175,22 +175,22 @@ MixedSynthesizer::MixedSynthesizer(
         w /= total;
 }
 
-WriteTransaction
+const WriteTransaction &
 MixedSynthesizer::next()
 {
     const double p = rng_.nextDouble();
     std::size_t i = 0;
     while (i + 1 < cumWeight_.size() && p >= cumWeight_[i])
         ++i;
-    WriteTransaction txn = synths_[i].next();
-    txn.lineAddr += bases_[i]; // rebase into the program's window
-    return txn;
+    current_ = synths_[i].next();
+    current_.lineAddr += bases_[i]; // rebase into the window
+    return current_;
 }
 
-WriteTransaction
+const WriteTransaction &
 RandomWorkload::next()
 {
-    WriteTransaction txn;
+    WriteTransaction &txn = current_;
     txn.lineAddr = nextAddr_++;
     for (unsigned w = 0; w < lineWords; ++w) {
         txn.oldData.setWord(w, rng_.next());

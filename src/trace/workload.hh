@@ -53,8 +53,12 @@ class TraceSynthesizer
   public:
     TraceSynthesizer(const WorkloadProfile &profile, uint64_t seed);
 
-    /** Generate the next write transaction. */
-    WriteTransaction next();
+    /**
+     * Generate the next write transaction. Returns a reference to an
+     * internal slot (no 136-byte copy per write); valid until the
+     * following next() call.
+     */
+    const WriteTransaction &next();
 
     const WorkloadProfile &profile() const { return profile_; }
 
@@ -72,6 +76,7 @@ class TraceSynthesizer
     WorkloadProfile profile_;
     Rng rng_;
     std::unordered_map<uint64_t, LineState> image_;
+    WriteTransaction current_;
 };
 
 /**
@@ -83,11 +88,13 @@ class RandomWorkload
   public:
     explicit RandomWorkload(uint64_t seed) : rng_(seed) {}
 
-    WriteTransaction next();
+    /** Next transaction; reference valid until the next call. */
+    const WriteTransaction &next();
 
   private:
     Rng rng_;
     uint64_t nextAddr_ = 0;
+    WriteTransaction current_;
 };
 
 /**
@@ -120,8 +127,8 @@ class MixedSynthesizer
     MixedSynthesizer(const std::vector<Program> &programs,
                      uint64_t seed);
 
-    /** Generate the next write of the blended stream. */
-    WriteTransaction next();
+    /** Next write of the blend; reference valid until the next call. */
+    const WriteTransaction &next();
 
     /** Address window base of program @p i. */
     uint64_t baseOf(std::size_t i) const { return bases_[i]; }
@@ -132,6 +139,7 @@ class MixedSynthesizer
     std::vector<TraceSynthesizer> synths_;
     std::vector<double> cumWeight_; //!< normalised, cumulative
     std::vector<uint64_t> bases_;
+    WriteTransaction current_;
 };
 
 } // namespace wlcrc::trace

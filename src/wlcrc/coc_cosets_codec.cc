@@ -21,7 +21,7 @@ void
 CocCosetsCodec::encodePayload(const Line512 &packed,
                               unsigned payload_bits,
                               unsigned granularity,
-                              const std::vector<State> &stored,
+                              std::span<const State> stored,
                               pcm::TargetLine &target) const
 {
     // Payload cells first, then one aux cell per block, then filler.
@@ -32,34 +32,41 @@ CocCosetsCodec::encodePayload(const Line512 &packed,
     for (unsigned b = 0; b < nblocks; ++b) {
         const unsigned sym0 = b * symbols_per_block;
         const unsigned aux_cell = payload_cells + b;
+
+        // Single pass over the block, all four candidates scored per
+        // cell off its cost row (per-candidate sum order unchanged).
+        std::array<double, 4> cost{};
+        for (unsigned s = 0; s < symbols_per_block; ++s) {
+            const unsigned sym = packed.symbol(sym0 + s);
+            const double *row = costRow(stored[sym0 + s]);
+            for (unsigned m = 0; m < 4; ++m) {
+                cost[m] += row[pcm::stateIndex(
+                    tableICandidate(m + 1).encode(sym))];
+            }
+        }
         double best_cost = std::numeric_limits<double>::infinity();
         unsigned best = 0;
         for (unsigned m = 0; m < 4; ++m) {
-            const Mapping &map = tableICandidate(m + 1);
-            double cost = 0.0;
-            for (unsigned s = 0; s < symbols_per_block; ++s) {
-                cost += cellCost(stored[sym0 + s],
-                                 map.encode(packed.symbol(sym0 + s)));
-            }
-            cost += cellCost(stored[aux_cell],
-                             coset::auxIndexState(m));
-            if (cost < best_cost) {
-                best_cost = cost;
+            const double total =
+                cost[m] +
+                cellCost(stored[aux_cell], coset::auxIndexState(m));
+            if (total < best_cost) {
+                best_cost = total;
                 best = m;
             }
         }
         const Mapping &map = tableICandidate(best + 1);
         for (unsigned s = 0; s < symbols_per_block; ++s) {
-            target.cells[sym0 + s] =
+            target[sym0 + s] =
                 map.encode(packed.symbol(sym0 + s));
         }
-        target.cells[aux_cell] = coset::auxIndexState(best);
-        target.auxMask[aux_cell] = true;
+        target[aux_cell] = coset::auxIndexState(best);
+        target.markAux(aux_cell);
     }
     // Filler cells beyond payload + aux idle at S1.
     for (unsigned c = payload_cells + nblocks; c < lineSymbols; ++c) {
-        target.cells[c] = State::S1;
-        target.auxMask[c] = true;
+        target[c] = State::S1;
+        target.markAux(c);
     }
 }
 
@@ -83,32 +90,37 @@ CocCosetsCodec::decodePayload(const std::vector<State> &stored,
     return packed;
 }
 
-pcm::TargetLine
-CocCosetsCodec::encode(const Line512 &data,
-                       const std::vector<State> &stored) const
+void
+CocCosetsCodec::encodeInto(const Line512 &data,
+                           std::span<const State> stored,
+                           coset::EncodeScratch &scratch,
+                           pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
-    pcm::TargetLine target(cellCount());
-    target.auxMask[lineSymbols] = true;
+    (void)scratch;
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
 
+    // The COC bank stages its candidate streams in growable buffers;
+    // like DIN, this scheme's steady-state write still allocates a
+    // bounded amount (see tests/encode_equivalence_test.cc).
     const auto stream = coc_.compress(data);
     if (stream && stream->size() <= budget16) {
         encodePayload(stream->toLine(), budget16, 16, stored, target);
-        target.cells[lineSymbols] = State::S1;
-        return target;
+        target[lineSymbols] = State::S1;
+        return;
     }
     if (stream && stream->size() <= budget32) {
         encodePayload(stream->toLine(), budget32, 32, stored, target);
-        target.cells[lineSymbols] = State::S3;
-        return target;
+        target[lineSymbols] = State::S3;
+        return;
     }
     // Raw. Flag S2: with >90 % of lines compressing, the common
     // (compressed, 16-bit) format keeps the lowest-energy state.
     const Mapping &c1 = tableICandidate(1);
     for (unsigned s = 0; s < lineSymbols; ++s)
-        target.cells[s] = c1.encode(data.symbol(s));
-    target.cells[lineSymbols] = State::S2;
-    return target;
+        target[s] = c1.encode(data.symbol(s));
+    target[lineSymbols] = State::S2;
 }
 
 Line512

@@ -30,9 +30,10 @@ class CocCosetsCodec : public coset::LineCodec
     std::string name() const override { return "COC+4cosets"; }
     unsigned cellCount() const override { return lineSymbols + 1; }
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    coset::EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;
@@ -45,7 +46,7 @@ class CocCosetsCodec : public coset::LineCodec
     /** Coset-encode @p payload_bits of @p packed at @p granularity. */
     void encodePayload(const Line512 &packed, unsigned payload_bits,
                        unsigned granularity,
-                       const std::vector<pcm::State> &stored,
+                       std::span<const pcm::State> stored,
                        pcm::TargetLine &target) const;
 
     Line512 decodePayload(const std::vector<pcm::State> &stored,

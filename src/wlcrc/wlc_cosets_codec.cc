@@ -46,22 +46,25 @@ WlcCosetsCodec::compressible(const Line512 &data) const
     return compress::Wlc::lineCompressible(data, compressionK());
 }
 
-pcm::TargetLine
-WlcCosetsCodec::encode(const Line512 &data,
-                       const std::vector<State> &stored) const
+void
+WlcCosetsCodec::encodeInto(const Line512 &data,
+                           std::span<const State> stored,
+                           coset::EncodeScratch &scratch,
+                           pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
-    pcm::TargetLine target(cellCount());
-    target.auxMask[lineSymbols] = true;
+    (void)scratch;
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols);
 
     const Mapping &c1 = tableICandidate(1);
     if (!compressible(data)) {
         for (unsigned s = 0; s < lineSymbols; ++s)
-            target.cells[s] = c1.encode(data.symbol(s));
-        target.cells[lineSymbols] = State::S2; // flag: raw
-        return target;
+            target[s] = c1.encode(data.symbol(s));
+        target[lineSymbols] = State::S2; // flag: raw
+        return;
     }
-    target.cells[lineSymbols] = State::S1; // flag: compressed
+    target[lineSymbols] = State::S1; // flag: compressed
 
     const unsigned aux_cells = reclaimed_ / 2;
     const unsigned aux_start = 32 - aux_cells;
@@ -78,22 +81,28 @@ WlcCosetsCodec::encode(const Line512 &data,
                 2;
             const unsigned aux_cell = aux_start + b;
 
+            // One pass over the block's cells, every candidate scored
+            // off the cell's cost row (per-candidate accumulation
+            // order is unchanged: cell order, then the aux cell).
+            std::array<double, 4> cost{};
+            for (unsigned c = lo_cell; c <= hi_cell; ++c) {
+                const unsigned sym = static_cast<unsigned>(
+                    (word >> (c * 2)) & 3);
+                const double *row = costRow(stored[cell0 + c]);
+                for (unsigned m = 0; m < candidates_; ++m) {
+                    cost[m] += row[pcm::stateIndex(
+                        tableICandidate(m + 1).encode(sym))];
+                }
+            }
             double best_cost =
                 std::numeric_limits<double>::infinity();
             unsigned best = 0;
             for (unsigned m = 0; m < candidates_; ++m) {
-                const Mapping &map = tableICandidate(m + 1);
-                double cost = 0.0;
-                for (unsigned c = lo_cell; c <= hi_cell; ++c) {
-                    const unsigned sym = static_cast<unsigned>(
-                        (word >> (c * 2)) & 3);
-                    cost += cellCost(stored[cell0 + c],
-                                     map.encode(sym));
-                }
-                cost += cellCost(stored[cell0 + aux_cell],
-                                 coset::auxIndexState(m));
-                if (cost < best_cost) {
-                    best_cost = cost;
+                const double total =
+                    cost[m] + cellCost(stored[cell0 + aux_cell],
+                                       coset::auxIndexState(m));
+                if (total < best_cost) {
+                    best_cost = total;
                     best = m;
                 }
             }
@@ -101,20 +110,18 @@ WlcCosetsCodec::encode(const Line512 &data,
             for (unsigned c = lo_cell; c <= hi_cell; ++c) {
                 const unsigned sym = static_cast<unsigned>(
                     (word >> (c * 2)) & 3);
-                target.cells[cell0 + c] = map.encode(sym);
+                target[cell0 + c] = map.encode(sym);
             }
-            target.cells[cell0 + aux_cell] =
-                coset::auxIndexState(best);
-            target.auxMask[cell0 + aux_cell] = true;
+            target[cell0 + aux_cell] = coset::auxIndexState(best);
+            target.markAux(cell0 + aux_cell);
         }
         // Reserved-but-unused aux cells (8-bit granularity) idle at
         // the cheapest state.
         for (unsigned b = blocks_; b < aux_cells; ++b) {
-            target.cells[cell0 + aux_start + b] = State::S1;
-            target.auxMask[cell0 + aux_start + b] = true;
+            target[cell0 + aux_start + b] = State::S1;
+            target.markAux(cell0 + aux_start + b);
         }
     }
-    return target;
 }
 
 Line512

@@ -37,9 +37,10 @@ class WlcCosetsCodec : public coset::LineCodec
     std::string name() const override;
     unsigned cellCount() const override { return lineSymbols + 1; }
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    coset::EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "compress/wlc.hh"
 #include "coset/aux_coding.hh"
@@ -81,6 +82,34 @@ better(const Cost &a, const Cost &b, double threshold)
     return a.energy < b.energy;
 }
 
+/** Candidate cost type: full Cost under multi-objective mode,
+ *  plain energy otherwise (the tie-break never fires at T = 0, so
+ *  tracking updated-cell counts would be dead work). */
+template <bool Mo>
+using CostOf = std::conditional_t<Mo, Cost, double>;
+
+template <bool Mo>
+inline CostOf<Mo>
+makeCost(double energy, unsigned updated)
+{
+    if constexpr (Mo) {
+        return Cost{energy, updated};
+    } else {
+        (void)updated;
+        return energy;
+    }
+}
+
+template <bool Mo>
+inline bool
+betterT(const CostOf<Mo> &a, const CostOf<Mo> &b, double threshold)
+{
+    if constexpr (Mo)
+        return better(a, b, threshold);
+    else
+        return a < b;
+}
+
 } // namespace
 
 WlcrcCodec::WlcrcCodec(
@@ -95,6 +124,100 @@ WlcrcCodec::WlcrcCodec(
         throw std::invalid_argument(
             "WlcrcCodec: granularity must be 8/16/32/64");
     }
+    if (granularity_ != 64)
+        layout_ = &WordLayout::restricted(granularity_);
+    for (unsigned s = 0; s < pcm::numStates; ++s) {
+        for (unsigned t = 0; t < pcm::numStates; ++t) {
+            selectTable_[s][t] =
+                s == t ? 0.0
+                       : energy.writeEnergy(pcm::stateFromIndex(s),
+                                            pcm::stateFromIndex(t)) +
+                             penalty_[t];
+        }
+    }
+
+    // Per-cell contribution of each (stored, symbol) pair to the
+    // three candidate costs; lane 3 stays zero (vector padding).
+    for (unsigned s = 0; s < pcm::numStates; ++s) {
+        for (unsigned sym = 0; sym < 4; ++sym) {
+            for (unsigned m = 0; m < 3; ++m) {
+                const pcm::State t =
+                    tableICandidate(m + 1).encode(sym);
+                triE_[s][sym][m] =
+                    selectTable_[s][pcm::stateIndex(t)];
+                triU_[s][sym][m] =
+                    t != pcm::stateFromIndex(s) ? 1 : 0;
+            }
+        }
+    }
+
+    if (layout_) {
+        // Flatten the layout's selector-bit ownership searches into
+        // plans so the per-word loops run over plain arrays.
+        const WordLayout &l = *layout_;
+        const unsigned nblocks =
+            static_cast<unsigned>(l.blocks.size());
+        auto owner = [&](unsigned pos) -> int8_t {
+            if (pos == l.groupBitPos)
+                return -1; // the group bit
+            for (unsigned b = 0; b < nblocks; ++b)
+                if (l.blockBitPos[b] == pos)
+                    return static_cast<int8_t>(b);
+            return -2; // unused (never happens for 8/16/32)
+        };
+        numAux_ = static_cast<unsigned>(l.auxOnlyCells.size());
+        assert(numAux_ <= auxPlan_.size());
+        for (unsigned i = 0; i < numAux_; ++i) {
+            const unsigned cell = l.auxOnlyCells[i];
+            auxPlan_[i] = {static_cast<uint8_t>(cell),
+                           owner(cell * 2 + 1), owner(cell * 2)};
+        }
+        for (const unsigned b : l.decodeOrder) {
+            const unsigned pos = l.blockBitPos[b];
+            const unsigned cell = pos / 2;
+            bool in_aux = false;
+            for (const unsigned a : l.auxOnlyCells)
+                in_aux |= a == cell;
+            if (in_aux)
+                continue;
+            bool found_host = false;
+            unsigned host = 0;
+            for (unsigned hb = 0; hb < nblocks; ++hb) {
+                if (cell >= l.blocks[hb].loCell &&
+                    cell <= l.blocks[hb].hiCell && hb != b) {
+                    found_host = true;
+                    host = hb;
+                    break;
+                }
+            }
+            assert(found_host && pos % 2 == 1 &&
+                   "selector must be the high bit of a data cell");
+            (void)found_host;
+            assert(numShared_ < sharedPlan_.size());
+            sharedPlan_[numShared_++] = {static_cast<uint8_t>(b),
+                                         static_cast<uint8_t>(host),
+                                         static_cast<uint8_t>(pos)};
+        }
+    }
+}
+
+const double *
+WlcrcCodec::scalarSelectRow(State old_state) const
+{
+    // Scalar test hook: recompute from the EnergyModel per fetch.
+    thread_local std::array<std::array<double, pcm::numStates>, 4>
+        ring;
+    thread_local unsigned slot = 0;
+    auto &row = ring[slot];
+    slot = (slot + 1) % ring.size();
+    for (unsigned t = 0; t < pcm::numStates; ++t) {
+        const State ts = pcm::stateFromIndex(t);
+        row[t] = old_state == ts
+                     ? 0.0
+                     : energyModel().writeEnergy(old_state, ts) +
+                           penalty_[t];
+    }
+    return row.data();
 }
 
 WlcrcCodec
@@ -142,93 +265,113 @@ WlcrcCodec::compressible(const Line512 &data) const
     return compress::Wlc::lineCompressible(data, compressionK());
 }
 
+template <bool Mo>
 void
 WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
-                                 const std::vector<State> &stored,
+                                 const State *stored,
                                  pcm::TargetLine &target) const
 {
-    const WordLayout &layout = WordLayout::restricted(granularity_);
+    using CostT = CostOf<Mo>;
+    const WordLayout &layout = *layout_;
     const unsigned cell0 = w * 32;
-    const unsigned nblocks = layout.blocks.size();
+    const unsigned nblocks =
+        static_cast<unsigned>(layout.blocks.size());
+    assert(nblocks <= maxBlocksPerWord);
     const Mapping *maps[3] = {&tableICandidate(1), &tableICandidate(2),
                               &tableICandidate(3)};
 
     // Per-block cost of each candidate over the fully-known cells
-    // (Algorithm 1 line 4, evaluated in parallel in hardware).
-    std::vector<std::array<Cost, 3>> cost(nblocks);
-    for (unsigned b = 0; b < nblocks; ++b) {
-        const BlockLayout &blk = layout.blocks[b];
-        for (unsigned c = blk.loCostCell; c <= blk.hiCostCell; ++c) {
-            const unsigned sym =
-                static_cast<unsigned>((word >> (c * 2)) & 3);
-            for (unsigned m = 0; m < 3; ++m) {
-                const State t = maps[m]->encode(sym);
-                cost[b][m].energy +=
-                    selectCost(stored[cell0 + c], t);
-                if (t != stored[cell0 + c])
-                    ++cost[b][m].updated;
+    // (Algorithm 1 line 4, evaluated in parallel in hardware). The
+    // fast path accumulates all three candidates as one padded
+    // 4-lane add per cell from the precomputed (stored, symbol)
+    // contribution rows — the same doubles in the same order as the
+    // scalar-hook path below, so selections are identical.
+    std::array<std::array<CostT, 3>, maxBlocksPerWord> cost{};
+    if (!scalarScoringForTest()) [[likely]] {
+        for (unsigned b = 0; b < nblocks; ++b) {
+            const BlockLayout &blk = layout.blocks[b];
+            std::array<double, 4> e{};
+            std::array<uint32_t, 4> u{};
+            for (unsigned c = blk.loCostCell; c <= blk.hiCostCell;
+                 ++c) {
+                const unsigned sym =
+                    static_cast<unsigned>((word >> (c * 2)) & 3);
+                const unsigned s =
+                    pcm::stateIndex(stored[cell0 + c]);
+                const double *ce = triE_[s][sym].data();
+                for (unsigned m = 0; m < 4; ++m)
+                    e[m] += ce[m];
+                if constexpr (Mo) {
+                    const uint8_t *cu = triU_[s][sym].data();
+                    for (unsigned m = 0; m < 4; ++m)
+                        u[m] += cu[m];
+                }
+            }
+            for (unsigned m = 0; m < 3; ++m)
+                cost[b][m] = makeCost<Mo>(e[m], u[m]);
+        }
+    } else {
+        for (unsigned b = 0; b < nblocks; ++b) {
+            const BlockLayout &blk = layout.blocks[b];
+            for (unsigned c = blk.loCostCell; c <= blk.hiCostCell;
+                 ++c) {
+                const unsigned sym =
+                    static_cast<unsigned>((word >> (c * 2)) & 3);
+                const State old_state = stored[cell0 + c];
+                const double *row = selectRow(old_state);
+                for (unsigned m = 0; m < 3; ++m) {
+                    const State t = maps[m]->encode(sym);
+                    cost[b][m] += makeCost<Mo>(
+                        row[pcm::stateIndex(t)],
+                        t != old_state ? 1u : 0u);
+                }
             }
         }
     }
 
-    // Selector-bit holder for each block: the aux-only cell (or the
-    // data cell it shares with a block) whose rewrite cost the
-    // choice of that selector bit controls. Writing an auxiliary
-    // cell is a real differential write, so the selection must
-    // charge for it — exactly as the unrestricted codecs do.
-    auto aux_map = [&](unsigned cell) -> const Mapping & {
-        return cell == layout.groupBitPos / 2 ? auxGroupMapping()
-                                              : auxPairMapping();
-    };
-    auto aux_cell_cost = [&](unsigned cell,
-                             unsigned sym) -> Cost {
-        const State t = aux_map(cell).encode(sym);
-        Cost k;
-        k.energy = selectCost(stored[cell0 + cell], t);
-        k.updated = t != stored[cell0 + cell] ? 1 : 0;
-        return k;
-    };
-
     // Evaluate both groups; within each, decide every selector bit
-    // together with the aux cell it lands in.
-    Cost group_cost[2];
-    std::vector<uint8_t> pick[2];
+    // together with the aux cell it lands in. Selector-bit hosting
+    // (which aux cell / shared data cell holds which bit) was
+    // resolved into auxPlan_/sharedPlan_ at construction.
+    CostT group_cost[2] = {};
+    std::array<std::array<uint8_t, maxBlocksPerWord>, 2> pick{};
     for (unsigned g = 0; g < 2; ++g) {
-        pick[g].assign(nblocks, 0);
         const unsigned alt = g + 1; // candidate index into maps[]
-        Cost total;
+        CostT total{};
 
         // Pass 1: blocks whose selector bit sits in an aux-only
         // cell. Bits sharing one cell are decided jointly (their
-        // states are coupled through the 2-bit symbol).
-        for (unsigned cell : layout.auxOnlyCells) {
-            const unsigned hi_bit = cell * 2 + 1;
-            const unsigned lo_bit = cell * 2;
-            // Identify what each bit of this cell is.
-            auto bit_owner = [&](unsigned pos) -> int {
-                if (pos == layout.groupBitPos)
-                    return -1; // the group bit, fixed to g
-                for (unsigned b = 0; b < nblocks; ++b)
-                    if (layout.blockBitPos[b] == pos)
-                        return static_cast<int>(b);
-                return -2; // unused (never happens for 8/16/32)
-            };
-            const int hi = bit_owner(hi_bit);
-            const int lo = bit_owner(lo_bit);
-            Cost best;
+        // states are coupled through the 2-bit symbol). Writing an
+        // auxiliary cell is a real differential write, so the
+        // selection charges for it — exactly as the unrestricted
+        // codecs do.
+        for (unsigned a = 0; a < numAux_; ++a) {
+            const AuxCellPlan &ap = auxPlan_[a];
+            const unsigned cell = ap.cell;
+            const Mapping &am = cell == layout.groupBitPos / 2
+                                    ? auxGroupMapping()
+                                    : auxPairMapping();
+            const State old_state = stored[cell0 + cell];
+            const double *arow = selectRow(old_state);
+            const int hi = ap.hi;
+            const int lo = ap.lo;
+            CostT best{};
             unsigned best_hi = 0, best_lo = 0;
             bool first = true;
             for (unsigned x = 0; x < (hi >= 0 ? 2u : 1u); ++x) {
                 for (unsigned y = 0; y < (lo >= 0 ? 2u : 1u); ++y) {
                     const unsigned hb = hi == -1 ? g : x;
                     const unsigned lb = lo == -1 ? g : y;
-                    Cost cand =
-                        aux_cell_cost(cell, (hb << 1) | lb);
+                    const State t = am.encode((hb << 1) | lb);
+                    CostT cand =
+                        makeCost<Mo>(arow[pcm::stateIndex(t)],
+                                     t != old_state ? 1u : 0u);
                     if (hi >= 0)
                         cand += cost[hi][x ? alt : 0];
                     if (lo >= 0)
                         cand += cost[lo][y ? alt : 0];
-                    if (first || better(cand, best, threshold_)) {
+                    if (first ||
+                        betterT<Mo>(cand, best, threshold_)) {
                         best = cand;
                         best_hi = x;
                         best_lo = y;
@@ -247,47 +390,29 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
         // another block (decode order guarantees the host block is
         // already decided). The shared cell is mapped by the host
         // block's candidate.
-        for (unsigned b : layout.decodeOrder) {
-            const unsigned pos = layout.blockBitPos[b];
-            const unsigned cell = pos / 2;
-            bool in_aux = false;
-            for (unsigned a : layout.auxOnlyCells)
-                in_aux |= a == cell;
-            if (in_aux)
-                continue;
-            // Find the host block owning this cell.
-            bool found_host = false;
-            unsigned host_idx = 0;
-            for (unsigned hb = 0; hb < nblocks; ++hb) {
-                if (cell >= layout.blocks[hb].loCell &&
-                    cell <= layout.blocks[hb].hiCell && hb != b) {
-                    found_host = true;
-                    host_idx = hb;
-                    break;
-                }
-            }
-            assert(found_host && pos % 2 == 1 &&
-                   "selector must be the high bit of a data cell");
-            (void)found_host;
+        for (unsigned sp = 0; sp < numShared_; ++sp) {
+            const SharedSelPlan &plan = sharedPlan_[sp];
+            const unsigned cell = plan.pos / 2;
             const Mapping &host_map =
-                pick[g][host_idx] ? *maps[alt] : *maps[0];
+                pick[g][plan.host] ? *maps[alt] : *maps[0];
             const unsigned data_bit = static_cast<unsigned>(
-                (word >> (pos - 1)) & 1);
-            Cost best;
+                (word >> (plan.pos - 1)) & 1);
+            const State old_state = stored[cell0 + cell];
+            const double *srow = selectRow(old_state);
+            CostT best{};
             unsigned best_x = 0;
             for (unsigned x = 0; x < 2; ++x) {
                 const State t = host_map.encode((x << 1) | data_bit);
-                Cost cand;
-                cand.energy = selectCost(stored[cell0 + cell], t);
-                cand.updated =
-                    t != stored[cell0 + cell] ? 1 : 0;
-                cand += cost[b][x ? alt : 0];
-                if (x == 0 || better(cand, best, threshold_)) {
+                CostT cand =
+                    makeCost<Mo>(srow[pcm::stateIndex(t)],
+                                 t != old_state ? 1u : 0u);
+                cand += cost[plan.block][x ? alt : 0];
+                if (x == 0 || betterT<Mo>(cand, best, threshold_)) {
                     best = cand;
                     best_x = x;
                 }
             }
-            pick[g][b] = static_cast<uint8_t>(best_x);
+            pick[g][plan.block] = static_cast<uint8_t>(best_x);
             total += best;
         }
         group_cost[g] = total;
@@ -295,7 +420,8 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
 
     // Algorithm 1 line 5, with ties resolved toward group 0.
     const unsigned group =
-        better(group_cost[1], group_cost[0], threshold_) ? 1 : 0;
+        betterT<Mo>(group_cost[1], group_cost[0], threshold_) ? 1
+                                                              : 0;
 
     // Assemble the final bit pattern: data bits + aux bits in the
     // reclaimed region.
@@ -317,7 +443,7 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
         for (unsigned c = blk.loCell; c <= blk.hiCell; ++c) {
             const unsigned sym =
                 static_cast<unsigned>((out >> (c * 2)) & 3);
-            target.cells[cell0 + c] = m.encode(sym);
+            target[cell0 + c] = m.encode(sym);
         }
     }
     for (unsigned c : layout.auxOnlyCells) {
@@ -326,75 +452,119 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
         const Mapping &am = c == layout.groupBitPos / 2
                                 ? auxGroupMapping()
                                 : auxPairMapping();
-        target.cells[cell0 + c] = am.encode(sym);
-        target.auxMask[cell0 + c] = true;
+        target[cell0 + c] = am.encode(sym);
+        target.markAux(cell0 + c);
     }
 }
 
+template <bool Mo>
 void
 WlcrcCodec::encodeWord64(unsigned w, uint64_t word,
-                         const std::vector<State> &stored,
+                         const State *stored,
                          pcm::TargetLine &target) const
 {
+    using CostT = CostOf<Mo>;
     // WLCRC-64 == unrestricted 3cosets on bits 61..0; the candidate
     // index is held in cell 31 directly as a state (C1->S1 etc.).
     const unsigned cell0 = w * 32;
     const Mapping *maps[3] = {&tableICandidate(1), &tableICandidate(2),
                               &tableICandidate(3)};
-    Cost cost[3];
-    for (unsigned m = 0; m < 3; ++m) {
+    CostT cost[3] = {};
+    if (!scalarScoringForTest()) [[likely]] {
+        std::array<double, 4> e{};
+        std::array<uint32_t, 4> u{};
         for (unsigned c = 0; c < 31; ++c) {
             const unsigned sym =
                 static_cast<unsigned>((word >> (c * 2)) & 3);
-            const State t = maps[m]->encode(sym);
-            cost[m].energy += selectCost(stored[cell0 + c], t);
-            if (t != stored[cell0 + c])
-                ++cost[m].updated;
+            const unsigned s = pcm::stateIndex(stored[cell0 + c]);
+            const double *ce = triE_[s][sym].data();
+            for (unsigned m = 0; m < 4; ++m)
+                e[m] += ce[m];
+            if constexpr (Mo) {
+                const uint8_t *cu = triU_[s][sym].data();
+                for (unsigned m = 0; m < 4; ++m)
+                    u[m] += cu[m];
+            }
         }
+        for (unsigned m = 0; m < 3; ++m)
+            cost[m] = makeCost<Mo>(e[m], u[m]);
+    } else {
+        for (unsigned c = 0; c < 31; ++c) {
+            const unsigned sym =
+                static_cast<unsigned>((word >> (c * 2)) & 3);
+            const State old_state = stored[cell0 + c];
+            const double *row = selectRow(old_state);
+            for (unsigned m = 0; m < 3; ++m) {
+                const State t = maps[m]->encode(sym);
+                cost[m] += makeCost<Mo>(row[pcm::stateIndex(t)],
+                                        t != old_state ? 1u : 0u);
+            }
+        }
+    }
+    for (unsigned m = 0; m < 3; ++m) {
         const State aux = coset::auxIndexState(m);
-        cost[m].energy += selectCost(stored[cell0 + 31], aux);
-        if (aux != stored[cell0 + 31])
-            ++cost[m].updated;
+        cost[m] += makeCost<Mo>(selectCost(stored[cell0 + 31], aux),
+                                aux != stored[cell0 + 31] ? 1u : 0u);
     }
     unsigned best = 0;
     for (unsigned m = 1; m < 3; ++m)
-        if (better(cost[m], cost[best], threshold_))
+        if (betterT<Mo>(cost[m], cost[best], threshold_))
             best = m;
 
     for (unsigned c = 0; c < 31; ++c) {
         const unsigned sym =
             static_cast<unsigned>((word >> (c * 2)) & 3);
-        target.cells[cell0 + c] = maps[best]->encode(sym);
+        target[cell0 + c] = maps[best]->encode(sym);
     }
-    target.cells[cell0 + 31] = coset::auxIndexState(best);
-    target.auxMask[cell0 + 31] = true;
+    target[cell0 + 31] = coset::auxIndexState(best);
+    target.markAux(cell0 + 31);
 }
 
-pcm::TargetLine
-WlcrcCodec::encode(const Line512 &data,
-                   const std::vector<State> &stored) const
+void
+WlcrcCodec::encodeInto(const Line512 &data,
+                       std::span<const State> stored,
+                       coset::EncodeScratch &scratch,
+                       pcm::TargetLine &target) const
 {
     assert(stored.size() == cellCount());
-    pcm::TargetLine target(cellCount());
-    target.auxMask[lineSymbols] = true;
+    (void)scratch;
+    target.reset(cellCount());
+    target.setAuxStart(lineSymbols); // the flag cell
 
     if (!compressible(data)) {
         // Raw format: flag = S2, plain default-mapping write.
         const Mapping &c1 = tableICandidate(1);
-        for (unsigned s = 0; s < lineSymbols; ++s)
-            target.cells[s] = c1.encode(data.symbol(s));
-        target.cells[lineSymbols] = State::S2;
-        return target;
+        for (unsigned w = 0; w < lineWords; ++w) {
+            uint64_t word = data.word(w);
+            for (unsigned k = 0; k < 32; ++k) {
+                target[w * 32 + k] =
+                    c1.encode(static_cast<unsigned>(word & 3));
+                word >>= 2;
+            }
+        }
+        target[lineSymbols] = State::S2;
+        return;
     }
 
-    target.cells[lineSymbols] = State::S1; // flag: compressed
-    for (unsigned w = 0; w < lineWords; ++w) {
-        if (granularity_ == 64)
-            encodeWord64(w, data.word(w), stored, target);
-        else
-            encodeWordRestricted(w, data.word(w), stored, target);
+    target[lineSymbols] = State::S1; // flag: compressed
+    const State *cells = stored.data();
+    if (threshold_ > 0.0) {
+        for (unsigned w = 0; w < lineWords; ++w) {
+            if (granularity_ == 64)
+                encodeWord64<true>(w, data.word(w), cells, target);
+            else
+                encodeWordRestricted<true>(w, data.word(w), cells,
+                                           target);
+        }
+    } else {
+        for (unsigned w = 0; w < lineWords; ++w) {
+            if (granularity_ == 64)
+                encodeWord64<false>(w, data.word(w), cells, target);
+            else
+                encodeWordRestricted<false>(w, data.word(w), cells,
+                                            target);
+        }
     }
-    return target;
 }
 
 uint64_t

@@ -76,9 +76,10 @@ class WlcrcCodec : public coset::LineCodec
     /** 256 data cells + 1 compressed/raw flag cell. */
     unsigned cellCount() const override { return lineSymbols + 1; }
 
-    pcm::TargetLine encode(
-        const Line512 &data,
-        const std::vector<pcm::State> &stored) const override;
+    void encodeInto(const Line512 &data,
+                    std::span<const pcm::State> stored,
+                    coset::EncodeScratch &scratch,
+                    pcm::TargetLine &target) const override;
 
     Line512 decode(
         const std::vector<pcm::State> &stored) const override;
@@ -92,14 +93,24 @@ class WlcrcCodec : public coset::LineCodec
     bool compressible(const Line512 &data) const;
 
   private:
-    /** Encode one compressible word (restricted cosets, g<=32). */
-    void encodeWordRestricted(
-        unsigned w, uint64_t word,
-        const std::vector<pcm::State> &stored,
-        pcm::TargetLine &target) const;
+    /** Upper bound on restricted blocks per 64-bit word (g = 8). */
+    static constexpr unsigned maxBlocksPerWord = 8;
+
+    /**
+     * Encode one compressible word (restricted cosets, g<=32).
+     * @tparam Mo  multi-objective mode: track updated-cell counts
+     *         for the endurance tie-break. The default (Mo = false,
+     *         threshold 0) never consults them, so that path
+     *         accumulates energies only — selections are identical.
+     */
+    template <bool Mo>
+    void encodeWordRestricted(unsigned w, uint64_t word,
+                              const pcm::State *stored,
+                              pcm::TargetLine &target) const;
     /** Encode one compressible word (3cosets, g=64). */
+    template <bool Mo>
     void encodeWord64(unsigned w, uint64_t word,
-                      const std::vector<pcm::State> &stored,
+                      const pcm::State *stored,
                       pcm::TargetLine &target) const;
 
     uint64_t decodeWordRestricted(
@@ -107,19 +118,71 @@ class WlcrcCodec : public coset::LineCodec
     uint64_t decodeWord64(
         unsigned w, const std::vector<pcm::State> &stored) const;
 
+    /**
+     * Selection-cost row of a cell storing @p old_state:
+     * row[stateIndex(t)] = 0 if t == old_state, else
+     * writeEnergy + state penalty. Cached per codec; recomputed
+     * per fetch under the scalar test hook.
+     */
+    const double *
+    selectRow(pcm::State old_state) const
+    {
+        if (scalarScoringForTest()) [[unlikely]]
+            return scalarSelectRow(old_state);
+        return selectTable_[pcm::stateIndex(old_state)].data();
+    }
+
+    const double *scalarSelectRow(pcm::State old_state) const;
+
     /** Selection-time cost of programming @p target over @p old. */
     double
     selectCost(pcm::State old_state, pcm::State target) const
     {
-        if (old_state == target)
-            return 0.0;
-        return cellCost(old_state, target) +
-               penalty_[pcm::stateIndex(target)];
+        return selectRow(old_state)[pcm::stateIndex(target)];
     }
 
     unsigned granularity_;
     double threshold_;
     std::array<double, pcm::numStates> penalty_{};
+    /** Cached restricted word layout (nullptr for g = 64). */
+    const WordLayout *layout_ = nullptr;
+    std::array<std::array<double, pcm::numStates>, pcm::numStates>
+        selectTable_{};
+
+    /**
+     * Per-(stored state, symbol) select-cost contribution of one
+     * cell to candidates C1/C2/C3, padded to four lanes so the
+     * per-block scan is one vector add per cell. triU_ is the
+     * matching updated-cell contribution.
+     */
+    std::array<std::array<std::array<double, 4>, 4>, pcm::numStates>
+        triE_{};
+    std::array<std::array<std::array<uint8_t, 4>, 4>,
+               pcm::numStates>
+        triU_{};
+
+    /** Aux-only cell of the restricted layout, with the selector
+     *  bits it hosts resolved at construction (-1 = the group bit,
+     *  -2 = unused, else block index). */
+    struct AuxCellPlan
+    {
+        uint8_t cell;
+        int8_t hi;
+        int8_t lo;
+    };
+    std::array<AuxCellPlan, 4> auxPlan_{};
+    unsigned numAux_ = 0;
+
+    /** Block whose selector bit shares a data cell with a host
+     *  block, in decode order. */
+    struct SharedSelPlan
+    {
+        uint8_t block;
+        uint8_t host;
+        uint8_t pos;
+    };
+    std::array<SharedSelPlan, 4> sharedPlan_{};
+    unsigned numShared_ = 0;
 };
 
 } // namespace wlcrc::core

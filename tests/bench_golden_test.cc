@@ -58,11 +58,12 @@ const BenchCase kBenches[] = {
     {"multi_objective", false},
     {"hw_overhead", false},
     {"codec_throughput", true},
+    {"encode_hot_path", true},
 };
 
 /** Columns that are wall-clock measurements, never compared. */
-const std::set<std::string> kVolatileColumns = {"ns_per_op",
-                                                "ops_per_s"};
+const std::set<std::string> kVolatileColumns = {
+    "ns_per_op", "ops_per_s", "writes_per_sec", "speedup"};
 
 /** Capture a command's stdout; stderr is discarded. */
 std::string

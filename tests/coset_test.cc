@@ -56,8 +56,8 @@ targetEnergy(const pcm::TargetLine &t, const std::vector<State> &old,
              const EnergyModel &e)
 {
     double total = 0;
-    for (size_t i = 0; i < t.cells.size(); ++i)
-        total += e.writeEnergy(old[i], t.cells[i]);
+    for (size_t i = 0; i < t.size(); ++i)
+        total += e.writeEnergy(old[i], t[i]);
     return total;
 }
 
@@ -207,9 +207,8 @@ checkRoundTrip(const LineCodec &codec, uint64_t seed, int iters = 200)
                               rng.nextBelow(trace::numLineTypes)),
                           rng);
         const pcm::TargetLine target = codec.encode(data, stored);
-        ASSERT_EQ(target.cells.size(), codec.cellCount());
-        ASSERT_EQ(target.auxMask.size(), codec.cellCount());
-        stored = target.cells;
+        ASSERT_EQ(target.size(), codec.cellCount());
+        stored = target.toVector();
         ASSERT_EQ(codec.decode(stored), data)
             << codec.name() << " iteration " << i;
     }
@@ -269,7 +268,7 @@ TEST_P(NCosetsParam, NeverWorseThanForcingTheFirstCandidate)
         const double aux_bound =
             aux_cells * e.programEnergy(State::S2);
         EXPECT_LE(enc, forced_data + aux_bound + 1e-9);
-        stored = target.cells;
+        stored = target.toVector();
     }
 }
 
@@ -342,9 +341,9 @@ TEST(FnwCodec, FlipsWhenComplementIsCheaper)
     const auto target = codec.encode(zeros, stored);
     unsigned changed_data = 0;
     for (unsigned s = 0; s < lineSymbols; ++s)
-        changed_data += target.cells[s] != stored[s];
+        changed_data += target[s] != stored[s];
     EXPECT_EQ(changed_data, 0u);
-    EXPECT_EQ(codec.decode(target.cells), zeros);
+    EXPECT_EQ(codec.decode(target.toVector()), zeros);
 }
 
 TEST(FlipMinCodec, RoundTrip)
@@ -373,10 +372,10 @@ TEST(FlipMinCodec, IdentityCandidateBoundsCost)
         const double enc = targetEnergy(target, stored, e);
         double raw = 0;
         for (unsigned s = 0; s < lineSymbols; ++s)
-            raw += e.writeEnergy(stored[s], base_target.cells[s]);
+            raw += e.writeEnergy(stored[s], base_target[s]);
         // identity + worst-case aux rewrite of two cells
         EXPECT_LE(enc, raw + 2 * e.programEnergy(State::S4) + 1e-9);
-        stored = target.cells;
+        stored = target.toVector();
     }
 }
 
@@ -410,19 +409,19 @@ TEST(DinCodec, CompressedFormatSurvivesTwoFlippedCells)
     const Line512 data =
         ValueModel::generateLine(LineType::Zeroish, rng);
     auto target = codec.encode(data, stored);
-    ASSERT_EQ(target.cells[lineSymbols], State::S1)
+    ASSERT_EQ(target[lineSymbols], State::S1)
         << "zeroish line must be FPC+BDI compressible";
     // Flip two random data cells' low bit (S1<->S2 keeps the decoded
     // bit the same only for some mappings; flip the decoded *bits*
     // instead by swapping to the complementary-symbol state).
     auto flip_bit = [&](unsigned cell, unsigned bit_in_cell) {
         const auto &map = coset::defaultMapping();
-        const unsigned sym = map.decode(target.cells[cell]);
-        target.cells[cell] = map.encode(sym ^ (1u << bit_in_cell));
+        const unsigned sym = map.decode(target[cell]);
+        target[cell] = map.encode(sym ^ (1u << bit_in_cell));
     };
     flip_bit(17, 0);
     flip_bit(203, 1);
-    EXPECT_EQ(codec.decode(target.cells), data);
+    EXPECT_EQ(codec.decode(target.toVector()), data);
 }
 
 } // namespace

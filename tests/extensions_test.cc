@@ -83,10 +83,10 @@ TEST(WearTracker, DeviceIntegration)
     dev.attachWearTracker(&wear);
 
     pcm::TargetLine t(4);
-    t.cells = {State::S2, State::S1, State::S1, State::S1};
+    t.assign({State::S2, State::S1, State::S1, State::S1});
     dev.write(0, t); // cell 0 changes (fresh lines start at S1)
     dev.write(0, t); // nothing changes
-    t.cells[1] = State::S3;
+    t[1] = State::S3;
     dev.write(0, t); // cell 1 changes
     EXPECT_EQ(wear.cellWrites(0, 0), 1u);
     EXPECT_EQ(wear.cellWrites(0, 1), 1u);
@@ -136,7 +136,7 @@ TEST(DisturbanceAware, RoundTripStillExact)
             rng.nextBelow(trace::numLineTypes));
         const Line512 data =
             trace::ValueModel::generateLine(type, rng);
-        stored = da.encode(data, stored).cells;
+        stored = da.encode(data, stored).toVector();
         ASSERT_EQ(da.decode(stored), data);
     }
 }
@@ -179,8 +179,8 @@ TEST(DisturbanceAware, ZeroLambdaMatchesPlain)
             static_cast<trace::LineType>(
                 rng.nextBelow(trace::numLineTypes)),
             rng);
-        sa = da.encode(data, sa).cells;
-        sp = plain.encode(data, sp).cells;
+        sa = da.encode(data, sa).toVector();
+        sp = plain.encode(data, sp).toVector();
         ASSERT_EQ(sa, sp);
     }
 }

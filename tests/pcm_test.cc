@@ -120,7 +120,7 @@ TEST(WriteUnit, ProgramsOnlyDifferingCells)
     const WriteUnit unit{EnergyModel(), DisturbanceModel()};
     std::vector<State> stored = {State::S1, State::S2, State::S3};
     TargetLine target(3);
-    target.cells = {State::S1, State::S4, State::S3};
+    target.assign({State::S1, State::S4, State::S3});
     Rng rng(1);
     const auto st = unit.program(stored, target, rng);
     EXPECT_EQ(st.dataUpdated, 1u);
@@ -133,8 +133,8 @@ TEST(WriteUnit, SplitsAuxAndData)
     const WriteUnit unit{EnergyModel(), DisturbanceModel()};
     std::vector<State> stored(4, State::S1);
     TargetLine target(4);
-    target.cells = {State::S2, State::S2, State::S2, State::S2};
-    target.auxMask = {false, false, true, true};
+    target.assign({State::S2, State::S2, State::S2, State::S2});
+    target.setAuxStart(2);
     Rng rng(1);
     const auto st = unit.program(stored, target, rng);
     EXPECT_EQ(st.dataUpdated, 2u);
@@ -148,7 +148,8 @@ TEST(WriteUnit, IdenticalTargetIsFree)
     const WriteUnit unit{EnergyModel(), DisturbanceModel()};
     std::vector<State> stored(16, State::S3);
     TargetLine target(16);
-    target.cells = stored;
+    for (unsigned i = 0; i < 16; ++i)
+        target[i] = stored[i];
     Rng rng(1);
     const auto st = unit.program(stored, target, rng);
     EXPECT_EQ(st.totalUpdated(), 0u);
@@ -163,7 +164,7 @@ TEST(WriteUnit, VnrConverges)
     std::vector<State> stored(64, State::S1);
     TargetLine target(64);
     for (unsigned i = 0; i < 64; ++i)
-        target.cells[i] = (i % 2) ? State::S4 : State::S1;
+        target[i] = (i % 2) ? State::S4 : State::S1;
     Rng rng(5);
     const auto st = unit.program(stored, target, rng, true);
     // Paper: VnR removes all disturbances within 3-5 iterations.
@@ -200,7 +201,7 @@ TEST(Device, AccumulatesTotals)
     const WriteUnit unit{EnergyModel(), DisturbanceModel()};
     pcm::Device dev(4, unit);
     TargetLine target(4);
-    target.cells = {State::S2, State::S2, State::S1, State::S1};
+    target.assign({State::S2, State::S2, State::S1, State::S1});
     dev.write(0, target);
     dev.write(1, target);
     EXPECT_EQ(dev.writeCount(), 2u);

@@ -153,8 +153,8 @@ TEST_P(WlcrcParam, RoundTripCompressibleLines)
             compressibleLine(codec.compressionK(), rng);
         ASSERT_TRUE(codec.compressible(data));
         const auto target = codec.encode(data, stored);
-        EXPECT_EQ(target.cells[lineSymbols], State::S1);
-        stored = target.cells;
+        EXPECT_EQ(target[lineSymbols], State::S1);
+        stored = target.toVector();
         ASSERT_EQ(codec.decode(stored), data) << "iter " << i;
     }
 }
@@ -172,10 +172,10 @@ TEST_P(WlcrcParam, RoundTripIncompressibleLines)
             data.setWord(w, rng.next());
         const auto target = codec.encode(data, stored);
         if (!codec.compressible(data)) {
-            EXPECT_EQ(target.cells[lineSymbols], State::S2);
+            EXPECT_EQ(target[lineSymbols], State::S2);
             ++raw_seen;
         }
-        stored = target.cells;
+        stored = target.toVector();
         ASSERT_EQ(codec.decode(stored), data);
     }
     EXPECT_GT(raw_seen, 150); // random lines are rarely compressible
@@ -191,7 +191,7 @@ TEST_P(WlcrcParam, RoundTripRealisticWorkloadData)
         const auto type = static_cast<LineType>(
             rng.nextBelow(trace::numLineTypes));
         const Line512 data = ValueModel::generateLine(type, rng);
-        stored = codec.encode(data, stored).cells;
+        stored = codec.encode(data, stored).toVector();
         ASSERT_EQ(codec.decode(stored), data)
             << lineTypeName(type) << " iter " << i;
     }
@@ -236,10 +236,10 @@ TEST(Wlcrc, AuxCellsUseDefaultMappingLowStates)
     std::vector<State> stored(codec.cellCount(), State::S1);
     const auto target = codec.encode(Line512(), stored);
     for (unsigned w = 0; w < lineWords; ++w) {
-        EXPECT_EQ(target.cells[w * 32 + 30], State::S1);
-        EXPECT_EQ(target.cells[w * 32 + 31], State::S1);
-        EXPECT_TRUE(target.auxMask[w * 32 + 30]);
-        EXPECT_TRUE(target.auxMask[w * 32 + 31]);
+        EXPECT_EQ(target[w * 32 + 30], State::S1);
+        EXPECT_EQ(target[w * 32 + 31], State::S1);
+        EXPECT_TRUE(target.aux(w * 32 + 30));
+        EXPECT_TRUE(target.aux(w * 32 + 31));
     }
 }
 
@@ -266,14 +266,14 @@ TEST(Wlcrc, EncodingNeverCostsMoreThanAllC1)
                 for (unsigned c = blk.loCostCell;
                      c <= blk.hiCostCell; ++c) {
                     enc += e.writeEnergy(stored[w * 32 + c],
-                                         target.cells[w * 32 + c]);
+                                         target[w * 32 + c]);
                     c1 += e.writeEnergy(stored[w * 32 + c],
-                                        raw.cells[w * 32 + c]);
+                                        raw[w * 32 + c]);
                 }
             }
         }
         EXPECT_LE(enc, c1 + 1e-9);
-        stored = target.cells;
+        stored = target.toVector();
     }
 }
 
@@ -299,13 +299,13 @@ TEST(WlcrcMultiObjective, ReducesUpdatedCellsAtSmallEnergyCost)
         const auto tp = plain.encode(data, sp);
         const auto tm = mo.encode(data, sm);
         for (unsigned c = 0; c < plain.cellCount(); ++c) {
-            plain_energy += e.writeEnergy(sp[c], tp.cells[c]);
-            plain_updated += sp[c] != tp.cells[c];
-            mo_energy += e.writeEnergy(sm[c], tm.cells[c]);
-            mo_updated += sm[c] != tm.cells[c];
+            plain_energy += e.writeEnergy(sp[c], tp[c]);
+            plain_updated += sp[c] != tp[c];
+            mo_energy += e.writeEnergy(sm[c], tm[c]);
+            mo_updated += sm[c] != tm[c];
         }
-        sp = tp.cells;
-        sm = tm.cells;
+        sp = tp.toVector();
+        sm = tm.toVector();
         ASSERT_EQ(mo.decode(sm), data);
     }
     // Section VIII-D: fewer updated cells, energy within ~2 %.
@@ -341,7 +341,7 @@ TEST_P(WlcCosetsParam, RoundTrip)
                                static_cast<LineType>(rng.nextBelow(
                                    trace::numLineTypes)),
                                rng);
-        stored = codec.encode(data, stored).cells;
+        stored = codec.encode(data, stored).toVector();
         ASSERT_EQ(codec.decode(stored), data) << codec.name();
     }
 }
@@ -394,8 +394,8 @@ TEST(CocCosets, RoundTripAllFormats)
             rng.nextBelow(trace::numLineTypes));
         const Line512 data = ValueModel::generateLine(type, rng);
         const auto target = codec.encode(data, stored);
-        flags_seen.insert(target.cells[lineSymbols]);
-        stored = target.cells;
+        flags_seen.insert(target[lineSymbols]);
+        stored = target.toVector();
         ASSERT_EQ(codec.decode(stored), data)
             << lineTypeName(type) << " iter " << i;
     }
@@ -440,7 +440,7 @@ TEST(Factory, AllSchemesRoundTripTogether)
             rng.nextBelow(trace::numLineTypes));
         const Line512 data = ValueModel::generateLine(type, rng);
         for (size_t c = 0; c < codecs.size(); ++c) {
-            stores[c] = codecs[c]->encode(data, stores[c]).cells;
+            stores[c] = codecs[c]->encode(data, stores[c]).toVector();
             ASSERT_EQ(codecs[c]->decode(stores[c]), data)
                 << codecs[c]->name();
         }
