@@ -72,6 +72,7 @@ main()
                 .run(runner::ExperimentGrid()
                          .workloads(wb::allWorkloadNames())
                          .schemeDefs(defs)
+                         .cacheSalt("ablation")
                          .lines(wb::linesPerWorkload())
                          .seed(1234)
                          .shards(wb::benchShards()));

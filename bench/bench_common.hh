@@ -15,7 +15,12 @@
  * WLCRC_BENCH_JOBS (worker threads; 0 = all cores),
  * WLCRC_BENCH_SHARDS (replay shards per grid point; results depend
  * on this, not on jobs), WLCRC_BENCH_PROGRESS (stderr ETA line;
- * default on).
+ * default on), WLCRC_BENCH_BACKEND (thread | serial | process;
+ * process also needs WLCRC_WORKER_BIN pointing at wlcrc_sim) and
+ * WLCRC_BENCH_CACHE_DIR (result-cache directory; a re-run of an
+ * unchanged sweep replays nothing — docs/caching.md). Backends and
+ * caching never change stdout; benchMain() prints the cache
+ * hit/replay summary to stderr.
  */
 
 #ifndef WLCRC_BENCH_BENCH_COMMON_HH
@@ -33,6 +38,7 @@
 #include "coset/codec.hh"
 #include "coset/mapping.hh"
 #include "coset/ncosets_codec.hh"
+#include "runner/backend.hh"
 #include "runner/runner.hh"
 #include "trace/workload.hh"
 
@@ -65,6 +71,24 @@ inline unsigned
 benchShards()
 {
     return static_cast<unsigned>(envU64("WLCRC_BENCH_SHARDS", 1));
+}
+
+/** Result-cache directory ("" = caching off). */
+inline std::string
+benchCacheDir()
+{
+    return envString("WLCRC_BENCH_CACHE_DIR", "");
+}
+
+/**
+ * Cache accounting shared by every grid a bench runs (most benches
+ * run several); benchMain() prints the accumulated summary.
+ */
+inline runner::RunStats &
+benchRunStats()
+{
+    static runner::RunStats stats;
+    return stats;
 }
 
 /** All 13 benchmark workload names, paper order. */
@@ -161,6 +185,19 @@ makeRunner(const std::string &label,
     opts.jobs = jobs_override ? *jobs_override : benchJobs();
     if (envU64("WLCRC_BENCH_PROGRESS", 1))
         opts.progress = runner::stderrProgress(label);
+    // Backends relocate work without changing results; "process"
+    // fans grid points out to WLCRC_WORKER_BIN child processes
+    // (factory/custom-replay specs transparently stay in-process).
+    const std::string backend =
+        envString("WLCRC_BENCH_BACKEND", "thread");
+    if (backend != "thread")
+        opts.backend = runner::makeBackend(
+            backend, envString("WLCRC_WORKER_BIN", ""));
+    const std::string cacheDir = benchCacheDir();
+    if (!cacheDir.empty()) {
+        opts.cacheDir = cacheDir;
+        opts.stats = &benchRunStats();
+    }
     return runner::ExperimentRunner(opts);
 }
 
@@ -183,7 +220,13 @@ inline int
 benchMain(const std::function<int()> &body)
 {
     try {
-        return body();
+        const int rc = body();
+        const std::string cacheDir = benchCacheDir();
+        if (rc == 0 && !cacheDir.empty())
+            std::fprintf(stderr, "bench cache %s: %s\n",
+                         cacheDir.c_str(),
+                         benchRunStats().summary().c_str());
+        return rc;
     } catch (const std::exception &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
         return 1;

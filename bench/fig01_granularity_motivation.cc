@@ -44,6 +44,7 @@ main()
         auto specs = runner::ExperimentGrid()
                          .randomSource()
                          .schemeDefs(defs)
+                         .cacheSalt("fig01")
                          .lines(wb::randomLines())
                          .seed(4321)
                          .shards(wb::benchShards())
@@ -51,6 +52,7 @@ main()
         const auto biased = runner::ExperimentGrid()
                                 .workloads(wb::allWorkloadNames())
                                 .schemeDefs(defs)
+                         .cacheSalt("fig01")
                                 .lines(wb::linesPerWorkload())
                                 .seed(1234)
                                 .shards(wb::benchShards())

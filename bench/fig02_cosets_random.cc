@@ -29,6 +29,7 @@ main()
                 .run(runner::ExperimentGrid()
                          .randomSource()
                          .schemeDefs(defs)
+                         .cacheSalt("fig02")
                          .lines(wb::randomLines())
                          .seed(4321)
                          .shards(wb::benchShards()));

@@ -31,6 +31,7 @@ main()
                 .run(runner::ExperimentGrid()
                          .workloads(wb::allWorkloadNames())
                          .schemeDefs(defs)
+                         .cacheSalt("fig03")
                          .lines(wb::linesPerWorkload())
                          .seed(1234)
                          .shards(wb::benchShards()));

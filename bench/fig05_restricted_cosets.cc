@@ -56,6 +56,7 @@ main()
                 .run(runner::ExperimentGrid()
                          .workloads(wb::allWorkloadNames())
                          .schemeDefs(defs)
+                         .cacheSalt("fig05")
                          .lines(wb::linesPerWorkload())
                          .seed(1234)
                          .shards(wb::benchShards()));

@@ -80,6 +80,10 @@ granularitySweep(const std::string &label)
         makeRunner(label).run(runner::ExperimentGrid()
                                   .workloads(allWorkloadNames())
                                   .schemeDefs(defs)
+                                  // One shared axis serves figures
+                                  // 11-13; per-figure metrics read
+                                  // the same cached replays.
+                                  .cacheSalt("granularity")
                                   .lines(linesPerWorkload())
                                   .seed(1234)
                                   .shards(benchShards()));

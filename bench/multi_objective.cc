@@ -45,6 +45,7 @@ main()
                 .run(runner::ExperimentGrid()
                          .workloads(workloads)
                          .schemeDefs(defs)
+                         .cacheSalt("multi_objective")
                          .lines(wb::linesPerWorkload())
                          .seed(1234)
                          .shards(wb::benchShards()));

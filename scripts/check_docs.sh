@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Docs health check, run by CI (docs job) and ctest (docs_check):
+#
+#   1. every intra-repo markdown link in README.md and docs/*.md
+#      resolves to an existing file;
+#   2. every --flag printed by `wlcrc_sim --help` and
+#      `wlcrc_trace --help` is documented in docs/cli.md.
+#
+# Usage: scripts/check_docs.sh [BUILD_DIR]   (default: build)
+set -u
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+status=0
+
+# ------------------------------------------------- 1. link check
+for f in README.md docs/*.md; do
+  [ -f "$f" ] || { echo "MISSING DOC: $f"; status=1; continue; }
+  dir=$(dirname "$f")
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue # same-page anchor
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $f -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+# ------------------------------------- 2. CLI flag coverage
+for tool in wlcrc_sim wlcrc_trace; do
+  bin="$BUILD_DIR/$tool"
+  if [ ! -x "$bin" ]; then
+    echo "MISSING BINARY: $bin (build the tools first)"
+    status=1
+    continue
+  fi
+  while IFS= read -r flag; do
+    if ! grep -q -- "$flag" docs/cli.md; then
+      echo "UNDOCUMENTED FLAG: $tool $flag (in --help but not docs/cli.md)"
+      status=1
+    fi
+  done < <("$bin" --help | grep -oE '(^|[^a-z0-9-])--[a-z0-9-]+' \
+             | grep -oE -- '--[a-z0-9-]+' | sort -u)
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs check: all links resolve, all CLI flags documented"
+fi
+exit "$status"

@@ -1,0 +1,452 @@
+#include "backend.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+#include "runner/json_mini.hh"
+#include "runner/report.hh"
+#include "runner/runner.hh"
+#include "runner/spec_codec.hh"
+#include "runner/thread_pool.hh"
+#include "tracefile/source.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace wlcrc::runner
+{
+
+namespace
+{
+
+/** Everything one shard task produces. */
+struct ShardOutcome
+{
+    trace::ReplayResult replay;
+    std::optional<pcm::WearTracker> wear;
+    std::string error; // empty = success
+};
+
+/**
+ * Materialise a spec's full transaction stream, for hooks that want
+ * it as a vector rather than a pull loop: synthesized specs
+ * re-derive it from the seed, sourced specs gather their (possibly
+ * on-disk) stream. Only custom replays pay this — the stock replay
+ * path always streams.
+ */
+std::vector<trace::WriteTransaction>
+materialiseStream(const ExperimentSpec &spec)
+{
+    if (spec.source)
+        return tracefile::gather(*spec.source);
+    std::vector<trace::WriteTransaction> txns;
+    txns.reserve(spec.lines);
+    if (spec.random) {
+        trace::RandomWorkload random(spec.seed);
+        for (uint64_t i = 0; i < spec.lines; ++i)
+            txns.push_back(random.next());
+    } else {
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName(spec.workload), spec.seed);
+        for (uint64_t i = 0; i < spec.lines; ++i)
+            txns.push_back(synth.next());
+    }
+    return txns;
+}
+
+/**
+ * Replay shard @p shard of @p spec. Synthesized streams are
+ * re-derived per shard and filtered down to the shard's addresses
+ * (synthesis is cheap relative to replay, and source-independent
+ * shards need no cross-thread coordination); sourced streams open a
+ * per-shard cursor that filters — and, for indexed containers,
+ * block-prunes — on the source side, so a trace larger than RAM
+ * replays without ever being materialised.
+ */
+ShardOutcome
+runShard(const ExperimentSpec &spec, unsigned shard)
+{
+    ShardOutcome out;
+    try {
+        if (spec.customReplay) {
+            // An in-memory source is borrowed, never copied per
+            // grid point; anything else is gathered once.
+            const auto *vec =
+                dynamic_cast<const tracefile::VectorSource *>(
+                    spec.source.get());
+            out.replay =
+                vec ? spec.customReplay(spec, vec->transactions())
+                    : spec.customReplay(spec,
+                                        materialiseStream(spec));
+            return out;
+        }
+        const auto energy = pcm::EnergyModel::withHighStateEnergies(
+            spec.device.s3, spec.device.s4);
+        const auto codec = spec.codecFactory
+                               ? spec.codecFactory(energy)
+                               : core::makeCodec(spec.scheme, energy);
+        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+        trace::Replayer rep(*codec, unit,
+                            shardSeed(spec.seed, shard, spec.shards),
+                            spec.device.vnr);
+        if (spec.device.wearEndurance) {
+            out.wear.emplace(codec->cellCount());
+            rep.device().attachWearTracker(&*out.wear);
+        }
+
+        // Every path streams through Replayer::runBatch: the shard's
+        // transactions are gathered into fixed blocks and encoded
+        // via LineCodec::encodeBatch, amortising dispatch without
+        // changing any result (batched == stepped, by construction).
+        if (spec.source) {
+            // The cursor filters (and block-prunes) source-side;
+            // records arrive already restricted to this shard.
+            auto cursor = spec.source->open(
+                {spec.shards > 1 ? spec.shards : 1, shard});
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                auto t = cursor->next();
+                if (!t)
+                    return false;
+                slot = *t;
+                return true;
+            });
+        } else if (spec.random) {
+            // Synthesized streams are re-derived per shard and
+            // filtered down to the shard's addresses (synthesis is
+            // cheap relative to replay, and source-independent
+            // shards need no cross-thread coordination).
+            trace::RandomWorkload random(spec.seed);
+            uint64_t consumed = 0;
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                while (consumed < spec.lines) {
+                    const trace::WriteTransaction &t = random.next();
+                    ++consumed;
+                    if (shardOf(t.lineAddr, spec.shards) == shard) {
+                        slot = t;
+                        return true;
+                    }
+                }
+                return false;
+            });
+        } else {
+            trace::TraceSynthesizer synth(
+                trace::WorkloadProfile::byName(spec.workload),
+                spec.seed);
+            uint64_t consumed = 0;
+            rep.runBatch([&](trace::WriteTransaction &slot) {
+                while (consumed < spec.lines) {
+                    const trace::WriteTransaction &t = synth.next();
+                    ++consumed;
+                    if (shardOf(t.lineAddr, spec.shards) == shard) {
+                        slot = t;
+                        return true;
+                    }
+                }
+                return false;
+            });
+        }
+        out.replay = rep.result();
+    } catch (const std::exception &err) {
+        out.error = err.what();
+    }
+    return out;
+}
+
+/** Merge per-shard outcomes (in shard order) into one result. */
+ExperimentResult
+mergeShards(const ExperimentSpec &spec,
+            std::vector<ShardOutcome> &outcomes)
+{
+    ExperimentResult res;
+    res.spec = spec;
+    std::optional<pcm::WearTracker> wear;
+    for (auto &o : outcomes) {
+        if (!o.error.empty()) {
+            res.error = o.error;
+            return res;
+        }
+        res.replay.merge(o.replay);
+        if (o.wear) {
+            if (!wear)
+                wear = std::move(o.wear);
+            else
+                wear->merge(*o.wear);
+        }
+    }
+    if (wear) {
+        res.wear = wear->summary();
+        res.projectedLifetime = wear->projectedLifetime(
+            spec.device.wearEndurance, res.replay.writes);
+    }
+    res.ok = true;
+    return res;
+}
+
+/** Single-quote @p s for /bin/sh (popen command lines). */
+std::string
+shellQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (const char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+void
+notify(const std::function<void()> &taskDone)
+{
+    if (taskDone)
+        taskDone();
+}
+
+} // namespace
+
+unsigned
+effectiveShards(const ExperimentSpec &spec)
+{
+    // Custom replays consume the whole stream in one pass: the hook
+    // owns its own state, which the runner cannot merge shard-wise.
+    if (spec.customReplay)
+        return 1;
+    return spec.shards ? spec.shards : 1;
+}
+
+ExperimentResult
+runSpecSerial(const ExperimentSpec &spec)
+{
+    std::vector<ShardOutcome> outcomes(effectiveShards(spec));
+    for (unsigned s = 0; s < outcomes.size(); ++s)
+        outcomes[s] = runShard(spec, s);
+    return mergeShards(spec, outcomes);
+}
+
+std::size_t
+ExecutionBackend::taskCount(
+    const std::vector<ExperimentSpec> &specs) const
+{
+    std::size_t total = 0;
+    for (const auto &s : specs)
+        total += effectiveShards(s);
+    return total;
+}
+
+// ------------------------------------------------------------ serial
+
+std::vector<ExperimentResult>
+SerialBackend::run(const std::vector<ExperimentSpec> &specs,
+                   unsigned /*jobs*/,
+                   const std::function<void()> &taskDone) const
+{
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    for (const auto &spec : specs) {
+        std::vector<ShardOutcome> outcomes(effectiveShards(spec));
+        for (unsigned s = 0; s < outcomes.size(); ++s) {
+            outcomes[s] = runShard(spec, s);
+            notify(taskDone);
+        }
+        results.push_back(mergeShards(spec, outcomes));
+    }
+    return results;
+}
+
+// ------------------------------------------------------------ thread
+
+std::vector<ExperimentResult>
+ThreadBackend::run(const std::vector<ExperimentSpec> &specs,
+                   unsigned jobs,
+                   const std::function<void()> &taskDone) const
+{
+    // One outcome slot per (spec, shard); tasks only touch their
+    // own slot, so no synchronisation is needed beyond the pool's.
+    std::vector<std::vector<ShardOutcome>> outcomes(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        outcomes[i].resize(effectiveShards(specs[i]));
+
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            for (unsigned s = 0; s < outcomes[i].size(); ++s) {
+                pool.submit([&specs, &outcomes, &taskDone, i, s] {
+                    outcomes[i][s] = runShard(specs[i], s);
+                    notify(taskDone);
+                });
+            }
+        }
+        pool.wait();
+    }
+
+    std::vector<ExperimentResult> results;
+    results.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        results.push_back(mergeShards(specs[i], outcomes[i]));
+    return results;
+}
+
+// ----------------------------------------------------------- process
+
+ProcessBackend::ProcessBackend(std::string workerBinary)
+    : worker_(std::move(workerBinary))
+{
+    if (worker_.empty())
+        throw std::invalid_argument(
+            "ProcessBackend: worker binary path is empty");
+}
+
+std::size_t
+ProcessBackend::taskCount(
+    const std::vector<ExperimentSpec> &specs) const
+{
+    return specs.size();
+}
+
+ExperimentResult
+ProcessBackend::runWorker(const ExperimentSpec &spec) const
+{
+    namespace fs = std::filesystem;
+
+    ExperimentResult res;
+    res.spec = spec;
+
+    // Unique per (pid, run-lifetime counter): concurrent runs and
+    // concurrent tasks never collide.
+    static std::atomic<uint64_t> counter{0};
+    std::ostringstream name;
+    name << "wlcrc-worker-" << ::getpid() << '-'
+         << counter.fetch_add(1);
+    const fs::path specPath =
+        fs::temp_directory_path() / (name.str() + ".spec");
+    const fs::path errPath =
+        fs::temp_directory_path() / (name.str() + ".stderr");
+
+    try {
+        {
+            std::ofstream out(specPath, std::ios::binary);
+            out << canonicalSpec(spec);
+            // A truncated spec file must fail here, not replay the
+            // wrong point in the child (parseSpec also rejects
+            // missing fields as a second line of defence).
+            if (!out.flush())
+                throw std::runtime_error(
+                    "cannot write worker spec file " +
+                    specPath.string());
+        }
+
+        // The child's JSON report (stdout) is the whole protocol;
+        // replay failures come back in-band as ok=false objects.
+        // Its stderr goes to a side file so a protocol-level death
+        // (unreadable spec, bad binary) keeps its root cause.
+        const std::string cmd = shellQuote(worker_) + " --worker " +
+                                shellQuote(specPath.string()) +
+                                " 2>" +
+                                shellQuote(errPath.string());
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        if (!pipe)
+            throw std::runtime_error("popen failed for worker " +
+                                     worker_);
+        std::string out;
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+            out.append(buf, n);
+        const int status = ::pclose(pipe);
+        if (status != 0) {
+            std::ostringstream what;
+            if (WIFEXITED(status))
+                what << "worker exited with status "
+                     << WEXITSTATUS(status);
+            else if (WIFSIGNALED(status))
+                what << "worker killed by signal "
+                     << WTERMSIG(status);
+            else
+                what << "worker failed (wait status " << status
+                     << ")";
+            std::ifstream errIn(errPath, std::ios::binary);
+            std::stringstream childErr;
+            childErr << errIn.rdbuf();
+            if (!childErr.str().empty())
+                what << "; stderr: " << childErr.str();
+            what << " (cmd: " << cmd << ")";
+            throw std::runtime_error(what.str());
+        }
+
+        const JsonValue doc = parseJson(out);
+        if (doc.type != JsonValue::Type::Array ||
+            doc.array.size() != 1)
+            throw std::runtime_error(
+                "worker report is not a 1-element JSON array");
+        res = readResultObject(doc.array[0], spec);
+    } catch (const std::exception &err) {
+        res = ExperimentResult{};
+        res.spec = spec;
+        res.error = std::string("process backend: ") + err.what();
+    }
+
+    std::error_code ec;
+    fs::remove(specPath, ec); // best effort
+    fs::remove(errPath, ec);
+    return res;
+}
+
+std::vector<ExperimentResult>
+ProcessBackend::run(const std::vector<ExperimentSpec> &specs,
+                    unsigned jobs,
+                    const std::function<void()> &taskDone) const
+{
+    std::vector<ExperimentResult> results(specs.size());
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        pool.submit([this, &specs, &results, &taskDone, i] {
+            // Closure hooks and in-memory streams cannot cross the
+            // process boundary; they run inline so a mixed grid
+            // still completes (the fallback is equivalent — every
+            // backend computes identical results).
+            if (processSerializable(specs[i]))
+                results[i] = runWorker(specs[i]);
+            else
+                results[i] = runSpecSerial(specs[i]);
+            notify(taskDone);
+        });
+    }
+    pool.wait();
+    return results;
+}
+
+// -------------------------------------------------------------- free
+
+std::shared_ptr<const ExecutionBackend>
+makeBackend(const std::string &name,
+            const std::string &workerBinary)
+{
+    if (name == "serial")
+        return std::make_shared<SerialBackend>();
+    if (name == "thread")
+        return std::make_shared<ThreadBackend>();
+    if (name == "process") {
+        if (workerBinary.empty())
+            throw std::invalid_argument(
+                "backend 'process' needs a worker binary "
+                "(wlcrc_sim passes itself; benches read "
+                "WLCRC_WORKER_BIN)");
+        return std::make_shared<ProcessBackend>(workerBinary);
+    }
+    throw std::invalid_argument(
+        "unknown backend '" + name +
+        "' (expected serial, thread or process)");
+}
+
+} // namespace wlcrc::runner

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Execution backends for the experiment runner — where a grid's
+ * replay work actually happens. The runner (runner.hh) owns
+ * ordering, caching and progress; a backend owns nothing but
+ * execution, so every backend produces byte-identical results for
+ * the same spec list:
+ *
+ *  - SerialBackend   runs every (spec, shard) inline on the calling
+ *                    thread — the reference implementation;
+ *  - ThreadBackend   one thread-pool task per (spec, shard), the
+ *                    historical (and default) in-process engine;
+ *  - ProcessBackend  one child worker process per grid point
+ *                    (`wlcrc_sim --worker`): the spec crosses as a
+ *                    canonicalSpec() temp file, the result comes
+ *                    back as the JSON report on the child's stdout.
+ *                    Grids too big for one address space — or whose
+ *                    points might crash — run unchanged; a dying
+ *                    worker fails its own point only. Specs that
+ *                    cannot cross a process boundary (closure hooks,
+ *                    in-memory sources) transparently run inline.
+ *
+ * Determinism: a backend only ever changes *where* shards execute.
+ * Shard seeds come from the spec (shardSeed), shard merges happen
+ * in fixed shard order, and results come back in spec order, so
+ * serial, thread and process execution of the same grid are
+ * byte-identical — tests/backend_test.cc and the golden bench suite
+ * enforce it.
+ */
+
+#ifndef WLCRC_RUNNER_BACKEND_HH
+#define WLCRC_RUNNER_BACKEND_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hh"
+
+namespace wlcrc::runner
+{
+
+/** Executes spec lists; stateless apart from configuration. */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend() = default;
+
+    /** Stable identifier: "serial", "thread" or "process". */
+    virtual const char *name() const = 0;
+
+    /**
+     * Progress units run() will report — one taskDone() call each.
+     * Defaults to the total shard count (in-process backends).
+     */
+    virtual std::size_t
+    taskCount(const std::vector<ExperimentSpec> &specs) const;
+
+    /**
+     * Execute every spec; one result per spec, in spec order. A
+     * failing spec yields ok = false with the error — never an
+     * exception. @p taskDone (may be null) is invoked once per
+     * progress unit, possibly from worker threads.
+     */
+    virtual std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+        const std::function<void()> &taskDone) const = 0;
+};
+
+/** Inline execution on the calling thread. */
+class SerialBackend final : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "serial"; }
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+        const std::function<void()> &taskDone) const override;
+};
+
+/** Thread-pooled execution, one task per (spec, shard). */
+class ThreadBackend final : public ExecutionBackend
+{
+  public:
+    const char *name() const override { return "thread"; }
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+        const std::function<void()> &taskDone) const override;
+};
+
+/** Child-process fan-out via the `--worker` protocol. */
+class ProcessBackend final : public ExecutionBackend
+{
+  public:
+    /**
+     * @param workerBinary executable implementing `--worker FILE`
+     *        (normally wlcrc_sim; it passes its own argv[0]).
+     */
+    explicit ProcessBackend(std::string workerBinary);
+
+    const char *name() const override { return "process"; }
+    /** One progress unit per grid point (child = whole spec). */
+    std::size_t
+    taskCount(const std::vector<ExperimentSpec> &specs) const
+        override;
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs, unsigned jobs,
+        const std::function<void()> &taskDone) const override;
+
+    const std::string &workerBinary() const { return worker_; }
+
+  private:
+    ExperimentResult runWorker(const ExperimentSpec &spec) const;
+
+    std::string worker_;
+};
+
+/**
+ * Execute one spec on the calling thread: shards in shard order,
+ * merged into one result. The unit every backend is built from —
+ * also the body of `wlcrc_sim --worker`.
+ */
+ExperimentResult runSpecSerial(const ExperimentSpec &spec);
+
+/** Shard count @p spec actually executes with (custom replay = 1). */
+unsigned effectiveShards(const ExperimentSpec &spec);
+
+/**
+ * Backend by CLI/env name: "serial", "thread" or "process" (the
+ * latter requires @p workerBinary).
+ * @throws std::invalid_argument on unknown names or a process
+ *         backend without a worker binary.
+ */
+std::shared_ptr<const ExecutionBackend>
+makeBackend(const std::string &name,
+            const std::string &workerBinary = {});
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_BACKEND_HH

@@ -115,6 +115,15 @@ struct ExperimentSpec
     CodecFactory codecFactory;
     /** Replaces the stock replay entirely (single-sharded). */
     CustomReplayFn customReplay;
+    /**
+     * Extra token folded into specHash(). A codecFactory is an
+     * opaque closure the hash cannot see, so factory-built specs are
+     * cacheable only when the owner salts them with a string that
+     * pins the factory's identity and parameters (the benches use
+     * their harness name; see docs/caching.md). Ignored — and
+     * unnecessary — for factory-named schemes.
+     */
+    std::string cacheSalt;
 
     /** Workload name, "random", or the source's label ("trace"). */
     std::string sourceName() const;

@@ -107,6 +107,13 @@ ExperimentGrid::customReplay(CustomReplayFn fn)
     return *this;
 }
 
+ExperimentGrid &
+ExperimentGrid::cacheSalt(std::string salt)
+{
+    cacheSalt_ = std::move(salt);
+    return *this;
+}
+
 std::size_t
 ExperimentGrid::size() const
 {
@@ -186,6 +193,11 @@ ExperimentGrid::expand() const
                         s.scheme = scheme.name;
                         s.codecFactory = scheme.factory;
                         s.customReplay = customReplay_;
+                        // Scheme-qualified so sibling defs in one
+                        // salted grid get distinct cache keys.
+                        if (!cacheSalt_.empty())
+                            s.cacheSalt =
+                                cacheSalt_ + ":" + scheme.name;
                         s.workload = stream.workload;
                         s.random =
                             stream.workload.empty() && random_;

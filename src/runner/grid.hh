@@ -61,6 +61,14 @@ class ExperimentGrid
     ExperimentGrid &shards(unsigned n);
     /** Stamp every expanded spec with a custom replay hook. */
     ExperimentGrid &customReplay(CustomReplayFn fn);
+    /**
+     * Stamp every expanded spec with a cache salt — required for
+     * result-caching grids whose schemes are factory closures the
+     * spec hash cannot see (see ExperimentSpec::cacheSalt). The
+     * scheme display name is appended per point, so two defs in one
+     * grid never share a key.
+     */
+    ExperimentGrid &cacheSalt(std::string salt);
 
     /** Number of specs expand() will produce. */
     std::size_t size() const;
@@ -85,6 +93,7 @@ class ExperimentGrid
     std::vector<DeviceConfig> configs_ = {DeviceConfig{}};
     unsigned shards_ = 1;
     CustomReplayFn customReplay_;
+    std::string cacheSalt_;
 };
 
 } // namespace wlcrc::runner

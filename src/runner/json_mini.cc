@@ -1,0 +1,277 @@
+#include "json_mini.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wlcrc::runner
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consume(const char *word)
+    {
+        skipWs();
+        const std::size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        JsonValue v;
+        switch (peek()) {
+        case '{': {
+            v.type = JsonValue::Type::Object;
+            expect('{');
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                const std::string key = string();
+                expect(':');
+                v.object.emplace(key, value());
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        case '[': {
+            v.type = JsonValue::Type::Array;
+            expect('[');
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            for (;;) {
+                v.array.push_back(value());
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        case '"':
+            v.type = JsonValue::Type::String;
+            v.text = string();
+            return v;
+        default:
+            if (consume("true")) {
+                v.type = JsonValue::Type::Bool;
+                v.boolean = true;
+                return v;
+            }
+            if (consume("false")) {
+                v.type = JsonValue::Type::Bool;
+                return v;
+            }
+            if (consume("null"))
+                return v;
+            return number();
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("dangling escape");
+            c = text_[pos_++];
+            switch (c) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += static_cast<char>(code);
+                break;
+            }
+            default: fail("unknown escape");
+            }
+        }
+        if (pos_ >= text_.size())
+            fail("unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) ||
+                c == '-' || c == '+' || c == '.' || c == 'e' ||
+                c == 'E')
+                ++pos_;
+            else
+                break;
+        }
+        if (start == pos_)
+            fail("expected a value");
+        JsonValue v;
+        v.type = JsonValue::Type::Number;
+        v.text = text_.substr(start, pos_ - start);
+        // Validate eagerly so asDouble() can't fail later.
+        errno = 0;
+        char *end = nullptr;
+        std::strtod(v.text.c_str(), &end);
+        if (errno != 0 || end != v.text.c_str() + v.text.size())
+            fail("malformed number '" + v.text + "'");
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (type != Type::Object)
+        throw std::runtime_error("JSON: not an object");
+    const auto it = object.find(key);
+    if (it == object.end())
+        throw std::runtime_error("JSON: missing key '" + key + "'");
+    return it->second;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (type != Type::String)
+        throw std::runtime_error("JSON: expected a string");
+    return text;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (type != Type::Bool)
+        throw std::runtime_error("JSON: expected a boolean");
+    return boolean;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (type != Type::Number)
+        throw std::runtime_error("JSON: expected a number");
+    return std::strtod(text.c_str(), nullptr);
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (type != Type::Number)
+        throw std::runtime_error("JSON: expected a number");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        throw std::runtime_error("JSON: '" + text +
+                                 "' is not an unsigned integer");
+    return v;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace wlcrc::runner

@@ -1,8 +1,11 @@
 #include "report.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/csv.hh"
+#include "runner/json_mini.hh"
+#include "runner/spec_codec.hh"
 
 namespace wlcrc::runner
 {
@@ -24,7 +27,8 @@ vnrPerWrite(const trace::ReplayResult &r)
            static_cast<double>(std::max<uint64_t>(1, r.writes));
 }
 
-/** Minimal JSON string escaping (quotes, backslashes, control). */
+} // namespace
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -44,8 +48,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-} // namespace
 
 void
 CsvReporter::write(std::ostream &os,
@@ -93,35 +95,104 @@ JsonReporter::write(std::ostream &os,
 {
     os << "[\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        os << "  {\"scheme\":\"" << jsonEscape(r.spec.scheme)
-           << "\",\"source\":\"" << jsonEscape(r.spec.sourceName())
-           << "\"";
-        if (!r.spec.source)
-            os << ",\"lines\":" << r.spec.lines;
-        os << ",\"seed\":" << r.spec.seed
-           << ",\"shards\":" << r.spec.shards << ",\"ok\":"
-           << (r.ok ? "true" : "false");
-        if (!r.ok) {
-            os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
-        } else {
-            os << ",\"writes\":" << r.replay.writes
-               << ",\"energy_pj\":" << r.replay.energyPj.mean()
-               << ",\"updated_cells\":"
-               << r.replay.updatedCells.mean()
-               << ",\"disturb_errors\":"
-               << r.replay.disturbErrors.mean()
-               << ",\"compressed_pct\":" << compressedPct(r.replay)
-               << ",\"vnr_per_write\":" << vnrPerWrite(r.replay);
-            if (r.spec.device.wearEndurance) {
-                os << ",\"max_cell_wear\":" << r.wear.maxCellWrites
-                   << ",\"projected_lifetime\":"
-                   << r.projectedLifetime;
-            }
-        }
-        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        os << "  ";
+        writeResultObject(os, results[i]);
+        os << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "]\n";
+}
+
+void
+writeResultObject(std::ostream &os, const ExperimentResult &r)
+{
+    os << "{\"report_version\":" << kReportVersion
+       << ",\"scheme\":\"" << jsonEscape(r.spec.scheme)
+       << "\",\"source\":\"" << jsonEscape(r.spec.sourceName())
+       << "\"";
+    if (!r.spec.source)
+        os << ",\"lines\":" << r.spec.lines;
+    os << ",\"seed\":" << r.spec.seed
+       << ",\"shards\":" << r.spec.shards << ",\"ok\":"
+       << (r.ok ? "true" : "false");
+    if (!r.ok) {
+        os << ",\"error\":\"" << jsonEscape(r.error) << "\"}";
+        return;
+    }
+    const auto field = [&](const char *name, double v) {
+        os << ",\"" << name << "\":" << formatDouble(v);
+    };
+    os << ",\"writes\":" << r.replay.writes
+       << ",\"compressed_writes\":" << r.replay.compressedWrites
+       << ",\"vnr_iterations\":" << r.replay.vnrIterations;
+    field("energy_pj", r.replay.energyPj.mean());
+    field("data_energy_pj", r.replay.dataEnergyPj.mean());
+    field("aux_energy_pj", r.replay.auxEnergyPj.mean());
+    field("updated_cells", r.replay.updatedCells.mean());
+    field("data_updated", r.replay.dataUpdated.mean());
+    field("aux_updated", r.replay.auxUpdated.mean());
+    field("disturb_errors", r.replay.disturbErrors.mean());
+    field("data_disturbed", r.replay.dataDisturbed.mean());
+    field("aux_disturbed", r.replay.auxDisturbed.mean());
+    field("compressed_pct", compressedPct(r.replay));
+    field("vnr_per_write", vnrPerWrite(r.replay));
+    if (r.spec.device.wearEndurance) {
+        os << ",\"max_cell_wear\":" << r.wear.maxCellWrites
+           << ",\"avg_cell_wear\":"
+           << formatDouble(r.wear.avgCellWrites)
+           << ",\"touched_cells\":" << r.wear.touchedCells
+           << ",\"total_cell_writes\":" << r.wear.totalWrites
+           << ",\"projected_lifetime\":" << r.projectedLifetime;
+    }
+    os << "}";
+}
+
+ExperimentResult
+readResultObject(const JsonValue &obj, ExperimentSpec spec)
+{
+    if (obj.at("report_version").asU64() !=
+        static_cast<uint64_t>(kReportVersion)) {
+        throw std::runtime_error(
+            "result object has report_version " +
+            obj.at("report_version").text + ", this binary writes " +
+            std::to_string(kReportVersion));
+    }
+    ExperimentResult res;
+    res.spec = std::move(spec);
+    res.ok = obj.at("ok").asBool();
+    if (!res.ok) {
+        res.error = obj.at("error").asString();
+        return res;
+    }
+    res.replay.writes = obj.at("writes").asU64();
+    res.replay.compressedWrites =
+        obj.at("compressed_writes").asU64();
+    res.replay.vnrIterations = obj.at("vnr_iterations").asU64();
+    // A one-sample stat reproduces the stored mean exactly — and
+    // mean() is the only moment the reporters (and benches) read
+    // from a merged result.
+    const auto stat = [&](stats::RunningStat &s, const char *name) {
+        s.add(obj.at(name).asDouble());
+    };
+    stat(res.replay.energyPj, "energy_pj");
+    stat(res.replay.dataEnergyPj, "data_energy_pj");
+    stat(res.replay.auxEnergyPj, "aux_energy_pj");
+    stat(res.replay.updatedCells, "updated_cells");
+    stat(res.replay.dataUpdated, "data_updated");
+    stat(res.replay.auxUpdated, "aux_updated");
+    stat(res.replay.disturbErrors, "disturb_errors");
+    stat(res.replay.dataDisturbed, "data_disturbed");
+    stat(res.replay.auxDisturbed, "aux_disturbed");
+    if (res.spec.device.wearEndurance) {
+        res.wear.maxCellWrites = obj.at("max_cell_wear").asU64();
+        res.wear.avgCellWrites =
+            obj.at("avg_cell_wear").asDouble();
+        res.wear.touchedCells = obj.at("touched_cells").asU64();
+        res.wear.totalWrites =
+            obj.at("total_cell_writes").asU64();
+        res.projectedLifetime =
+            obj.at("projected_lifetime").asU64();
+    }
+    return res;
 }
 
 } // namespace wlcrc::runner

@@ -1,0 +1,97 @@
+#include "result_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "runner/json_mini.hh"
+#include "runner/report.hh"
+#include "runner/spec_codec.hh"
+
+namespace wlcrc::runner
+{
+
+namespace fs = std::filesystem;
+
+/** Entry format version, independent of kReportVersion. */
+static constexpr int kCacheVersion = 1;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        throw std::runtime_error("ResultCache: empty directory");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw std::runtime_error("ResultCache: cannot create " +
+                                 dir_ + ": " + ec.message());
+}
+
+std::string
+ResultCache::entryPath(const ExperimentSpec &spec) const
+{
+    return dir_ + "/" + specHashHex(spec) + ".json";
+}
+
+std::optional<ExperimentResult>
+ResultCache::lookup(const ExperimentSpec &spec) const
+{
+    try {
+        std::ifstream in(entryPath(spec), std::ios::binary);
+        if (!in)
+            return std::nullopt; // no entry: plain miss
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        const JsonValue doc = parseJson(buf.str());
+        if (doc.at("cache_version").asU64() !=
+            static_cast<uint64_t>(kCacheVersion))
+            return std::nullopt;
+        // The stored key text is the collision guard: equal hashes
+        // with different keys degrade to a miss, never to a foreign
+        // result. It also re-checks report_version (last key line).
+        if (doc.at("spec").asString() != specKeyText(spec))
+            return std::nullopt;
+        ExperimentResult res =
+            readResultObject(doc.at("result"), spec);
+        if (!res.ok)
+            return std::nullopt; // failures are never served
+        return res;
+    } catch (const std::exception &) {
+        return std::nullopt; // corrupt entry: replay instead
+    }
+}
+
+void
+ResultCache::store(const ExperimentResult &result) const
+{
+    if (!result.ok)
+        throw std::logic_error(
+            "ResultCache::store: refusing to cache a failed result");
+
+    const std::string path = entryPath(result.spec);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            throw std::runtime_error(
+                "ResultCache: cannot write " + tmp);
+        out << "{\"cache_version\":" << kCacheVersion
+            << ",\n \"spec_hash\":\"" << specHashHex(result.spec)
+            << "\",\n \"spec\":\""
+            << jsonEscape(specKeyText(result.spec))
+            << "\",\n \"result\":";
+        writeResultObject(out, result);
+        out << "}\n";
+        if (!out.flush())
+            throw std::runtime_error(
+                "ResultCache: short write to " + tmp);
+    }
+    fs::rename(tmp, path); // atomic publish on POSIX
+}
+
+} // namespace wlcrc::runner

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ResultCache: a directory of completed grid-point results keyed by
+ * specHash(), so re-running a sweep only replays points whose spec
+ * — or whose trace content — actually changed. One entry is one
+ * JSON file `<dir>/<hash16>.json` holding the full cache key text
+ * (collision guard) and the result object (docs/caching.md has the
+ * byte-level story).
+ *
+ * Robustness contract: lookup() NEVER throws for a bad entry — a
+ * missing, truncated, corrupt, colliding or version-mismatched file
+ * is a miss, and the point replays. store() writes via a temp file
+ * + rename, so a crashed run leaves no half-written entries behind.
+ */
+
+#ifndef WLCRC_RUNNER_RESULT_CACHE_HH
+#define WLCRC_RUNNER_RESULT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "runner/experiment.hh"
+
+namespace wlcrc::runner
+{
+
+/** Directory-backed result store keyed on ExperimentSpec hash. */
+class ResultCache
+{
+  public:
+    /**
+     * Open (creating recursively if needed) the cache at @p dir.
+     * @throws std::runtime_error if the directory cannot be
+     *         created — a mistyped --cache-dir must fail loudly.
+     */
+    explicit ResultCache(std::string dir);
+
+    /**
+     * @return the cached result of @p spec, or nullopt on any kind
+     * of miss. The returned result carries @p spec (with its live
+     * source pointer), not the serialized coordinates.
+     */
+    std::optional<ExperimentResult>
+    lookup(const ExperimentSpec &spec) const;
+
+    /**
+     * Persist @p result (which must be ok) under its spec's hash,
+     * atomically. Callers gate on cacheableSpec().
+     */
+    void store(const ExperimentResult &result) const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Entry file a spec maps to (exists or not). */
+    std::string entryPath(const ExperimentSpec &spec) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace wlcrc::runner
+
+#endif // WLCRC_RUNNER_RESULT_CACHE_HH

@@ -2,198 +2,19 @@
 
 #include <chrono>
 #include <cstdio>
-#include <exception>
-#include <memory>
 #include <mutex>
 #include <optional>
-#include <stdexcept>
+#include <sstream>
 
-#include "pcm/disturbance.hh"
-#include "pcm/energy_model.hh"
-#include "runner/thread_pool.hh"
-#include "tracefile/source.hh"
-#include "trace/workload.hh"
-#include "wlcrc/factory.hh"
+#include "runner/backend.hh"
+#include "runner/result_cache.hh"
+#include "runner/spec_codec.hh"
 
 namespace wlcrc::runner
 {
 
 namespace
 {
-
-/** Everything one shard task produces. */
-struct ShardOutcome
-{
-    trace::ReplayResult replay;
-    std::optional<pcm::WearTracker> wear;
-    std::string error; // empty = success
-};
-
-/** Shard count a spec actually executes with. */
-unsigned
-effectiveShards(const ExperimentSpec &spec)
-{
-    // Custom replays consume the whole stream in one pass: the hook
-    // owns its own state, which the runner cannot merge shard-wise.
-    if (spec.customReplay)
-        return 1;
-    return spec.shards ? spec.shards : 1;
-}
-
-/**
- * Materialise a spec's full transaction stream, for hooks that want
- * it as a vector rather than a pull loop: synthesized specs
- * re-derive it from the seed, sourced specs gather their (possibly
- * on-disk) stream. Only custom replays pay this — the stock replay
- * path always streams.
- */
-std::vector<trace::WriteTransaction>
-materialiseStream(const ExperimentSpec &spec)
-{
-    if (spec.source)
-        return tracefile::gather(*spec.source);
-    std::vector<trace::WriteTransaction> txns;
-    txns.reserve(spec.lines);
-    if (spec.random) {
-        trace::RandomWorkload random(spec.seed);
-        for (uint64_t i = 0; i < spec.lines; ++i)
-            txns.push_back(random.next());
-    } else {
-        trace::TraceSynthesizer synth(
-            trace::WorkloadProfile::byName(spec.workload), spec.seed);
-        for (uint64_t i = 0; i < spec.lines; ++i)
-            txns.push_back(synth.next());
-    }
-    return txns;
-}
-
-/**
- * Replay shard @p shard of @p spec. Synthesized streams are
- * re-derived per shard and filtered down to the shard's addresses
- * (synthesis is cheap relative to replay, and source-independent
- * shards need no cross-thread coordination); sourced streams open a
- * per-shard cursor that filters — and, for indexed containers,
- * block-prunes — on the source side, so a trace larger than RAM
- * replays without ever being materialised.
- */
-ShardOutcome
-runShard(const ExperimentSpec &spec, unsigned shard)
-{
-    ShardOutcome out;
-    try {
-        if (spec.customReplay) {
-            // An in-memory source is borrowed, never copied per
-            // grid point; anything else is gathered once.
-            const auto *vec =
-                dynamic_cast<const tracefile::VectorSource *>(
-                    spec.source.get());
-            out.replay =
-                vec ? spec.customReplay(spec, vec->transactions())
-                    : spec.customReplay(spec,
-                                        materialiseStream(spec));
-            return out;
-        }
-        const auto energy = pcm::EnergyModel::withHighStateEnergies(
-            spec.device.s3, spec.device.s4);
-        const auto codec = spec.codecFactory
-                               ? spec.codecFactory(energy)
-                               : core::makeCodec(spec.scheme, energy);
-        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
-        trace::Replayer rep(*codec, unit,
-                            shardSeed(spec.seed, shard, spec.shards),
-                            spec.device.vnr);
-        if (spec.device.wearEndurance) {
-            out.wear.emplace(codec->cellCount());
-            rep.device().attachWearTracker(&*out.wear);
-        }
-
-        // Every path streams through Replayer::runBatch: the shard's
-        // transactions are gathered into fixed blocks and encoded
-        // via LineCodec::encodeBatch, amortising dispatch without
-        // changing any result (batched == stepped, by construction).
-        if (spec.source) {
-            // The cursor filters (and block-prunes) source-side;
-            // records arrive already restricted to this shard.
-            auto cursor = spec.source->open(
-                {spec.shards > 1 ? spec.shards : 1, shard});
-            rep.runBatch([&](trace::WriteTransaction &slot) {
-                auto t = cursor->next();
-                if (!t)
-                    return false;
-                slot = *t;
-                return true;
-            });
-        } else if (spec.random) {
-            // Synthesized streams are re-derived per shard and
-            // filtered down to the shard's addresses (synthesis is
-            // cheap relative to replay, and source-independent
-            // shards need no cross-thread coordination).
-            trace::RandomWorkload random(spec.seed);
-            uint64_t consumed = 0;
-            rep.runBatch([&](trace::WriteTransaction &slot) {
-                while (consumed < spec.lines) {
-                    const trace::WriteTransaction &t = random.next();
-                    ++consumed;
-                    if (shardOf(t.lineAddr, spec.shards) == shard) {
-                        slot = t;
-                        return true;
-                    }
-                }
-                return false;
-            });
-        } else {
-            trace::TraceSynthesizer synth(
-                trace::WorkloadProfile::byName(spec.workload),
-                spec.seed);
-            uint64_t consumed = 0;
-            rep.runBatch([&](trace::WriteTransaction &slot) {
-                while (consumed < spec.lines) {
-                    const trace::WriteTransaction &t = synth.next();
-                    ++consumed;
-                    if (shardOf(t.lineAddr, spec.shards) == shard) {
-                        slot = t;
-                        return true;
-                    }
-                }
-                return false;
-            });
-        }
-        out.replay = rep.result();
-    } catch (const std::exception &err) {
-        out.error = err.what();
-    }
-    return out;
-}
-
-/** Merge per-shard outcomes (in shard order) into one result. */
-ExperimentResult
-mergeShards(const ExperimentSpec &spec,
-            std::vector<ShardOutcome> &outcomes)
-{
-    ExperimentResult res;
-    res.spec = spec;
-    std::optional<pcm::WearTracker> wear;
-    for (auto &o : outcomes) {
-        if (!o.error.empty()) {
-            res.error = o.error;
-            return res;
-        }
-        res.replay.merge(o.replay);
-        if (o.wear) {
-            if (!wear)
-                wear = std::move(o.wear);
-            else
-                wear->merge(*o.wear);
-        }
-    }
-    if (wear) {
-        res.wear = wear->summary();
-        res.projectedLifetime = wear->projectedLifetime(
-            spec.device.wearEndurance, res.replay.writes);
-    }
-    res.ok = true;
-    return res;
-}
 
 /**
  * Serialises progress callbacks and derives the elapsed/ETA figures
@@ -244,6 +65,20 @@ class ProgressMeter
 
 } // namespace
 
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << points << " point" << (points == 1 ? "" : "s") << ": "
+       << cacheHits << " hit" << (cacheHits == 1 ? "" : "s") << ", "
+       << replayed << " replayed, " << stored << " stored";
+    if (uncacheable)
+        os << " (" << uncacheable << " uncacheable)";
+    if (storeFailures)
+        os << " [" << storeFailures << " store failures]";
+    return os.str();
+}
+
 ProgressFn
 stderrProgress(std::string label)
 {
@@ -262,33 +97,71 @@ stderrProgress(std::string label)
 std::vector<ExperimentResult>
 ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
 {
-    // One outcome slot per (spec, shard); tasks only touch their
-    // own slot, so no synchronisation is needed beyond the pool's.
-    std::vector<std::vector<ShardOutcome>> outcomes(specs.size());
-    std::size_t total = 0;
+    static const ThreadBackend defaultBackend;
+    const ExecutionBackend &backend =
+        opts_.backend ? *opts_.backend : defaultBackend;
+
+    std::optional<ResultCache> cache;
+    if (!opts_.cacheDir.empty())
+        cache.emplace(opts_.cacheDir);
+
+    RunStats stats;
+    stats.points = specs.size();
+
+    // Consult the cache point-wise; anything not served becomes the
+    // miss list the backend executes (in original relative order,
+    // so backend results map straight back onto their slots).
+    std::vector<std::optional<ExperimentResult>> served(specs.size());
+    std::vector<std::size_t> missSlot;
+    std::vector<ExperimentSpec> misses;
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        outcomes[i].resize(effectiveShards(specs[i]));
-        total += outcomes[i].size();
+        if (cache && cacheableSpec(specs[i])) {
+            if (auto hit = cache->lookup(specs[i])) {
+                served[i] = std::move(*hit);
+                ++stats.cacheHits;
+                continue;
+            }
+        } else if (cache) {
+            ++stats.uncacheable;
+        }
+        missSlot.push_back(i);
+        misses.push_back(specs[i]);
+    }
+    stats.replayed = misses.size();
+
+    std::vector<ExperimentResult> fresh;
+    {
+        ProgressMeter meter(opts_.progress,
+                            backend.taskCount(misses));
+        fresh = backend.run(misses, opts_.jobs,
+                            [&meter] { meter.taskDone(); });
     }
 
-    {
-        ProgressMeter meter(opts_.progress, total);
-        ThreadPool pool(opts_.jobs);
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            for (unsigned s = 0; s < outcomes[i].size(); ++s) {
-                pool.submit([&specs, &outcomes, &meter, i, s] {
-                    outcomes[i][s] = runShard(specs[i], s);
-                    meter.taskDone();
-                });
+    if (cache) {
+        for (const auto &r : fresh) {
+            if (r.ok && cacheableSpec(r.spec)) {
+                // Storing is an optimization: a full disk or a
+                // vanished cache dir must cost the entry, never
+                // the sweep's computed results.
+                try {
+                    cache->store(r);
+                    ++stats.stored;
+                } catch (const std::exception &) {
+                    ++stats.storeFailures;
+                }
             }
         }
-        pool.wait();
     }
 
-    std::vector<ExperimentResult> results;
-    results.reserve(specs.size());
+    std::vector<ExperimentResult> results(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i)
-        results.push_back(mergeShards(specs[i], outcomes[i]));
+        if (served[i])
+            results[i] = std::move(*served[i]);
+    for (std::size_t k = 0; k < missSlot.size(); ++k)
+        results[missSlot[k]] = std::move(fresh[k]);
+
+    if (opts_.stats)
+        *opts_.stats += stats;
     return results;
 }
 

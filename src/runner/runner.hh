@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@
 
 namespace wlcrc::runner
 {
+
+class ExecutionBackend;
 
 /** Snapshot of a run's completion state, for progress reporting. */
 struct RunProgress
@@ -48,11 +51,57 @@ struct RunProgress
  */
 using ProgressFn = std::function<void(const RunProgress &)>;
 
+/**
+ * Cache/replay accounting of one run (accumulated with += across
+ * runs when several grids share one RunStats, as the benches do).
+ * `hits + replayed == points`; a cacheable missed point that
+ * completes ok also counts in `stored`.
+ */
+struct RunStats
+{
+    std::size_t points = 0;      //!< grid points requested
+    std::size_t cacheHits = 0;   //!< served from the cache
+    std::size_t replayed = 0;    //!< actually executed
+    std::size_t stored = 0;      //!< fresh results written back
+    std::size_t uncacheable = 0; //!< hook-bearing, never cached
+    /** Entries that failed to persist (results are unaffected). */
+    std::size_t storeFailures = 0;
+
+    RunStats &
+    operator+=(const RunStats &o)
+    {
+        points += o.points;
+        cacheHits += o.cacheHits;
+        replayed += o.replayed;
+        stored += o.stored;
+        uncacheable += o.uncacheable;
+        storeFailures += o.storeFailures;
+        return *this;
+    }
+
+    /** One-line summary, e.g. "12 points: 10 hits, 2 replayed". */
+    std::string summary() const;
+};
+
 /** Execution knobs, orthogonal to what is being run. */
 struct RunnerOptions
 {
     unsigned jobs = 0; //!< worker threads; 0 = hardware concurrency
     ProgressFn progress; //!< optional completion/ETA callback
+    /**
+     * Where replay work executes (backend.hh); null = the stock
+     * in-process ThreadBackend. Backends never change results,
+     * only where they are computed.
+     */
+    std::shared_ptr<const ExecutionBackend> backend;
+    /**
+     * Result-cache directory (result_cache.hh); empty = caching
+     * off. Cacheable points are looked up before execution and
+     * stored after, so an unchanged sweep re-run replays nothing.
+     */
+    std::string cacheDir;
+    /** When set, each run() accumulates its RunStats here (+=). */
+    RunStats *stats = nullptr;
 };
 
 /**
@@ -74,7 +123,9 @@ class ExperimentRunner
      * Run every spec; one result per spec, in spec order. A spec
      * that fails (unknown scheme/workload, unreadable source)
      * yields a result with ok = false and the error message —
-     * other grid points still run.
+     * other grid points still run. With a cacheDir, cached points
+     * are served without executing and fresh ok results are stored
+     * back; the result vector is identical either way.
      */
     std::vector<ExperimentResult>
     run(const std::vector<ExperimentSpec> &specs) const;

@@ -60,7 +60,8 @@ MappedTrace::MappedTrace(const std::string &path) : path_(path)
         const uint64_t indexOffset = getLe64(trailer);
         const uint64_t blockCount = getLe64(trailer + 8);
         records_ = getLe64(trailer + 16);
-        const uint32_t indexCrc = getLe32(trailer + 24);
+        indexCrc_ = getLe32(trailer + 24);
+        const uint32_t indexCrc = indexCrc_;
 
         // Bound every trailer field against the mapped size before
         // any pointer arithmetic: all products below stay < size_,

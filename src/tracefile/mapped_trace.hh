@@ -59,6 +59,13 @@ class MappedTrace
     uint64_t minAddr() const { return minAddr_; }
     /** Largest line address in the trace (0 if empty). */
     uint64_t maxAddr() const { return maxAddr_; }
+    /**
+     * CRC32 of the footer index, as stored in the trailer. The
+     * index embeds every block's CRC, so this single word pins the
+     * container's entire record content — the result cache uses it
+     * as the trace content digest (docs/caching.md).
+     */
+    uint32_t indexCrc() const { return indexCrc_; }
 
     /** Raw serialized bytes of block @p b (count × recordBytes). */
     const uint8_t *blockData(uint64_t b) const;
@@ -88,6 +95,7 @@ class MappedTrace
     uint64_t records_ = 0;
     uint64_t minAddr_ = 0;
     uint64_t maxAddr_ = 0;
+    uint32_t indexCrc_ = 0;
     std::vector<BlockInfo> index_;
 };
 

@@ -1,9 +1,11 @@
 #include "source.hh"
 
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/crc32.hh"
 #include "tracefile/format.hh"
 
 namespace wlcrc::tracefile
@@ -153,6 +155,22 @@ VectorSource::describe() const
     return os.str();
 }
 
+uint64_t
+VectorSource::contentDigest() const
+{
+    std::lock_guard lock(digestMutex_);
+    if (!digest_) {
+        uint32_t crc = 0;
+        uint8_t buf[recordBytes];
+        for (const auto &t : *txns_) {
+            encodeRecord(buf, t);
+            crc = crc32(buf, sizeof buf, crc);
+        }
+        digest_ = (uint64_t{crc} << 32) ^ txns_->size();
+    }
+    return *digest_;
+}
+
 // ------------------------------------------------------ V1FileSource
 
 V1FileSource::V1FileSource(std::string path) : path_(std::move(path))
@@ -180,6 +198,32 @@ V1FileSource::describe() const
     return os.str();
 }
 
+uint64_t
+V1FileSource::contentDigest() const
+{
+    std::lock_guard lock(digestMutex_);
+    if (!digest_) {
+        // A v1 dump has no stored checksums, so the digest is a
+        // full-file CRC (one streaming read, first call only).
+        std::ifstream in(path_, std::ios::binary);
+        if (!in)
+            throw std::runtime_error(
+                "V1FileSource: cannot reopen " + path_);
+        uint32_t crc = 0;
+        uint64_t bytes = 0;
+        char buf[1 << 16];
+        while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+            crc = crc32(buf, static_cast<std::size_t>(in.gcount()),
+                        crc);
+            bytes += static_cast<uint64_t>(in.gcount());
+            if (in.eof())
+                break;
+        }
+        digest_ = (uint64_t{crc} << 32) ^ bytes;
+    }
+    return *digest_;
+}
+
 // ------------------------------------------------- MappedTraceSource
 
 MappedTraceSource::MappedTraceSource(const std::string &path)
@@ -199,6 +243,14 @@ std::unique_ptr<TraceCursor>
 MappedTraceSource::open(const ShardFilter &filter) const
 {
     return std::make_unique<MappedCursor>(trace_, filter);
+}
+
+uint64_t
+MappedTraceSource::contentDigest() const
+{
+    // The footer index CRC covers every block's CRC, which cover
+    // every record byte — one word pins the whole container.
+    return (uint64_t{trace_->indexCrc()} << 32) ^ trace_->records();
 }
 
 std::string

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -98,6 +99,26 @@ class TransactionSource
     virtual std::string describe() const = 0;
 
     /**
+     * 64-bit digest of the stream's record content, independent of
+     * the label. Two sources with equal digests replay the same
+     * records in the same container framing; the result cache folds
+     * it into specHash() so editing a trace file in place
+     * invalidates cached results (docs/caching.md). A WLCTRC02
+     * source reads it straight off the footer (free); v1 files and
+     * in-memory vectors checksum their records on the first call
+     * (cached thereafter, thread-safe).
+     */
+    virtual uint64_t contentDigest() const = 0;
+
+    /**
+     * On-disk path backing this source, or "" for in-memory
+     * streams. A spec is process-serializable (ProcessBackend,
+     * wlcrc_sim --worker) only if its source has a path a child
+     * process can re-open.
+     */
+    virtual std::string filePath() const { return {}; }
+
+    /**
      * Short tag used as the report "source" column. Defaults to
      * "trace" for every implementation so replaying one stream via
      * vector, v1 or v2 yields byte-identical reports; set it when a
@@ -122,6 +143,7 @@ class VectorSource : public TransactionSource
     open(const ShardFilter &filter) const override;
     uint64_t records() const override { return txns_->size(); }
     std::string describe() const override;
+    uint64_t contentDigest() const override;
 
     /** The backing stream — lets consumers that genuinely need a
      *  vector (custom replay hooks) borrow it instead of copying. */
@@ -134,6 +156,8 @@ class VectorSource : public TransactionSource
   private:
     std::shared_ptr<const std::vector<trace::WriteTransaction>>
         txns_;
+    mutable std::mutex digestMutex_;
+    mutable std::optional<uint64_t> digest_;
 };
 
 /** Streaming WLCTRC01 file scan; each cursor re-opens the file. */
@@ -147,11 +171,15 @@ class V1FileSource : public TransactionSource
     open(const ShardFilter &filter) const override;
     uint64_t records() const override { return records_; }
     std::string describe() const override;
+    uint64_t contentDigest() const override;
+    std::string filePath() const override { return path_; }
     const std::string &path() const { return path_; }
 
   private:
     std::string path_;
     uint64_t records_;
+    mutable std::mutex digestMutex_;
+    mutable std::optional<uint64_t> digest_;
 };
 
 /** Block-pruned streaming over a shared WLCTRC02 mapping. */
@@ -167,6 +195,8 @@ class MappedTraceSource : public TransactionSource
     open(const ShardFilter &filter) const override;
     uint64_t records() const override { return trace_->records(); }
     std::string describe() const override;
+    uint64_t contentDigest() const override;
+    std::string filePath() const override { return trace_->path(); }
 
     const MappedTrace &trace() const { return *trace_; }
 

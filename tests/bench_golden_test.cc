@@ -16,6 +16,12 @@
  * masked ('*') before comparison, pinning its deterministic
  * behaviour (kernel set, line counts, checksums) only.
  *
+ * Execution backends and result caching extend the same guarantee:
+ * every bench must match its golden under WLCRC_BENCH_BACKEND=serial
+ * too, the process backend (child wlcrc_sim workers) is pinned to
+ * the golden for a representative scheme sweep, and a cached re-run
+ * must be byte-identical while replaying zero points.
+ *
  * Refreshing goldens after an intended change:
  *     WLCRC_UPDATE_GOLDEN=1 ctest -R bench_golden
  */
@@ -132,13 +138,16 @@ maskVolatileColumns(const std::string &text)
 }
 
 std::string
-benchCommand(const std::string &name, unsigned jobs)
+benchCommand(const std::string &name, unsigned jobs,
+             const std::string &extraEnv = {})
 {
     std::ostringstream cmd;
     cmd << "WLCRC_BENCH_LINES=120 WLCRC_BENCH_RANDOM_LINES=240"
         << " WLCRC_BENCH_SHARDS=2 WLCRC_BENCH_PROGRESS=0"
-        << " WLCRC_BENCH_JOBS=" << jobs << " " << WLCRC_BENCH_DIR
-        << "/bench_" << name;
+        << " WLCRC_BENCH_JOBS=" << jobs;
+    if (!extraEnv.empty())
+        cmd << " " << extraEnv;
+    cmd << " " << WLCRC_BENCH_DIR << "/bench_" << name;
     return cmd.str();
 }
 
@@ -146,6 +155,16 @@ std::string
 goldenPath(const std::string &name)
 {
     return std::string(WLCRC_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+/** Golden file contents ("" when absent). */
+std::string
+readGolden(const std::string &name)
+{
+    std::ifstream golden(goldenPath(name), std::ios::binary);
+    std::stringstream buf;
+    buf << golden.rdbuf();
+    return buf.str();
 }
 
 class bench_golden : public ::testing::TestWithParam<BenchCase>
@@ -201,10 +220,88 @@ TEST_P(bench_golden, OutputMatchesGoldenAndIsJobCountInvariant)
            "bench_golden";
 }
 
+// Backends relocate replay work without changing stdout: every
+// bench must reproduce its golden CSV under the serial backend too
+// (the thread-backend comparison is the golden test above).
+TEST_P(bench_golden, SerialBackendMatchesGolden)
+{
+    if (std::getenv("WLCRC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "goldens being refreshed";
+    const BenchCase &bench = GetParam();
+    const std::string expected = readGolden(bench.name);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << goldenPath(bench.name);
+
+    int exit_code = -1;
+    std::string out = capture(
+        benchCommand(bench.name, 1, "WLCRC_BENCH_BACKEND=serial"),
+        exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    if (bench.maskTiming)
+        out = maskVolatileColumns(out);
+    EXPECT_EQ(out, expected)
+        << "bench_" << bench.name
+        << " output depends on the execution backend";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Figures, bench_golden, ::testing::ValuesIn(kBenches),
     [](const ::testing::TestParamInfo<BenchCase> &info) {
         return std::string(info.param.name);
     });
+
+// The process backend forks real wlcrc_sim workers; pin a full
+// scheme×workload sweep to the same golden bytes. One
+// representative bench keeps suite runtime sane — backend_test
+// covers the protocol itself at unit scale.
+TEST(bench_backends, Fig08ProcessBackendMatchesGolden)
+{
+    if (std::getenv("WLCRC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "goldens being refreshed";
+    const std::string expected = readGolden("fig08_write_energy");
+    ASSERT_FALSE(expected.empty());
+
+    int exit_code = -1;
+    const std::string out = capture(
+        benchCommand("fig08_write_energy", 4,
+                     "WLCRC_BENCH_BACKEND=process "
+                     "WLCRC_WORKER_BIN=" WLCRC_SIM_BIN),
+        exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    EXPECT_EQ(out, expected);
+}
+
+// A cached re-run must serve every point (0 replayed) and still be
+// byte-identical — the acceptance property of the result cache.
+TEST(bench_backends, Fig08CachedRerunIsByteIdenticalAndAllHits)
+{
+    if (std::getenv("WLCRC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "goldens being refreshed";
+    const std::string dir =
+        ::testing::TempDir() + "wlcrc_bench_cache";
+    std::system(("rm -rf '" + dir + "'").c_str());
+    const std::string env =
+        "WLCRC_BENCH_CACHE_DIR='" + dir + "'";
+
+    int exit1 = -1, exit2 = -1, exit3 = -1;
+    const std::string cold =
+        capture(benchCommand("fig08_write_energy", 4, env), exit1);
+    const std::string warm =
+        capture(benchCommand("fig08_write_energy", 4, env), exit2);
+    ASSERT_EQ(exit1, 0);
+    ASSERT_EQ(exit2, 0);
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(cold, readGolden("fig08_write_energy"));
+
+    // Third (fully cached, cheap) run with stderr captured: the
+    // summary must report zero replayed points.
+    const std::string summary = wlcrc::test::captureStdout(
+        benchCommand("fig08_write_energy", 4, env) +
+            " 2>&1 1>/dev/null",
+        exit3);
+    ASSERT_EQ(exit3, 0) << summary;
+    EXPECT_NE(summary.find(" 0 replayed"), std::string::npos)
+        << summary;
+}
 
 } // namespace

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Result-cache correctness: the spec hash moves on every semantic
+ * spec field (and only then), cacheability and process-
+ * serializability rules hold, canonical specs round-trip through
+ * the worker parser, and the ResultCache itself serves byte-exact
+ * results, treats corrupt or version-mismatched entries as misses,
+ * and invalidates when a trace file's content changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "runner/backend.hh"
+#include "runner/grid.hh"
+#include "runner/json_mini.hh"
+#include "runner/report.hh"
+#include "runner/result_cache.hh"
+#include "runner/runner.hh"
+#include "runner/spec_codec.hh"
+#include "tracefile/source.hh"
+#include "tracefile/writer.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using runner::cacheableSpec;
+using runner::canonicalSpec;
+using runner::ExperimentResult;
+using runner::ExperimentRunner;
+using runner::ExperimentSpec;
+using runner::parseSpec;
+using runner::processSerializable;
+using runner::ResultCache;
+using runner::RunnerOptions;
+using runner::RunStats;
+using runner::specHash;
+
+namespace fs = std::filesystem;
+
+/** Fresh per-test directory under the gtest temp root. */
+std::string
+tempDir(const std::string &name)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("wlcrc_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+ExperimentSpec
+baseSpec()
+{
+    ExperimentSpec spec;
+    spec.scheme = "Baseline";
+    spec.workload = "lesl";
+    spec.lines = 60;
+    spec.seed = 7;
+    spec.shards = 2;
+    return spec;
+}
+
+std::string
+csvOf(const std::vector<ExperimentResult> &results)
+{
+    std::ostringstream os;
+    runner::CsvReporter().write(os, results);
+    return os.str();
+}
+
+// ---------------------------------------------------------- hashing
+
+TEST(SpecHash, StableForEqualSpecs)
+{
+    EXPECT_EQ(specHash(baseSpec()), specHash(baseSpec()));
+}
+
+TEST(SpecHash, MovesOnEverySemanticField)
+{
+    const uint64_t base = specHash(baseSpec());
+    const auto differs = [&](auto mutate, const char *what) {
+        ExperimentSpec s = baseSpec();
+        mutate(s);
+        EXPECT_NE(specHash(s), base) << "hash ignored " << what;
+    };
+    differs([](auto &s) { s.scheme = "WLCRC-16"; }, "scheme");
+    differs([](auto &s) { s.workload = "gcc"; }, "workload");
+    differs([](auto &s) { s.workload.clear(); s.random = true; },
+            "stream kind");
+    differs([](auto &s) { s.lines = 61; }, "lines");
+    differs([](auto &s) { s.seed = 8; }, "seed");
+    differs([](auto &s) { s.shards = 3; }, "shards");
+    differs([](auto &s) { s.device.s3 = 300.5; }, "device s3");
+    differs([](auto &s) { s.device.s4 = 500.25; }, "device s4");
+    differs([](auto &s) { s.device.vnr = true; }, "device vnr");
+    differs([](auto &s) { s.device.wearEndurance = 1000; },
+            "device wear");
+    differs([](auto &s) { s.cacheSalt = "x"; }, "cache salt");
+}
+
+TEST(SpecHash, TraceContentDigestInvalidates)
+{
+    const std::string dir = tempDir("digest");
+    const std::string path = dir + "/t.trc";
+    const auto writeTrace = [&](uint64_t seed) {
+        tracefile::TraceFileWriter w(path, 16);
+        trace::WriteTransaction t{};
+        for (uint64_t i = 0; i < 40; ++i) {
+            t.lineAddr = (i * seed) % 17;
+            t.newData.setWord(0, i + seed);
+            w.write(t);
+        }
+        w.close();
+    };
+
+    writeTrace(3);
+    ExperimentSpec spec = baseSpec();
+    spec.workload.clear();
+    auto src = tracefile::openTraceSource(path);
+    spec.source = src;
+    const uint64_t before = specHash(spec);
+
+    // Relabeling is presentation-only: served results carry the
+    // caller's spec, so the label must NOT move the hash.
+    src->setLabel("renamed");
+    EXPECT_EQ(specHash(spec), before);
+
+    // Same path, different bytes: the footer CRC digest must move
+    // the hash even though every spec field is unchanged.
+    writeTrace(4);
+    spec.source = tracefile::openTraceSource(path);
+    EXPECT_NE(specHash(spec), before);
+}
+
+// --------------------------------------------------- eligibility
+
+TEST(SpecCodec, CacheabilityRules)
+{
+    EXPECT_TRUE(cacheableSpec(baseSpec()));
+
+    ExperimentSpec custom = baseSpec();
+    custom.customReplay = [](const ExperimentSpec &,
+                             const auto &) {
+        return trace::ReplayResult{};
+    };
+    EXPECT_FALSE(cacheableSpec(custom));
+
+    ExperimentSpec factory = baseSpec();
+    factory.codecFactory = [](const pcm::EnergyModel &e) {
+        return core::makeCodec("Baseline", e);
+    };
+    EXPECT_FALSE(cacheableSpec(factory)) << "unsalted factory";
+    factory.cacheSalt = "test:Baseline";
+    EXPECT_TRUE(cacheableSpec(factory)) << "salted factory";
+}
+
+TEST(SpecCodec, ProcessSerializabilityRules)
+{
+    std::string why;
+    EXPECT_TRUE(processSerializable(baseSpec(), &why)) << why;
+
+    ExperimentSpec factory = baseSpec();
+    factory.codecFactory = [](const pcm::EnergyModel &e) {
+        return core::makeCodec("Baseline", e);
+    };
+    EXPECT_FALSE(processSerializable(factory, &why));
+    EXPECT_FALSE(why.empty());
+
+    ExperimentSpec memory = baseSpec();
+    memory.workload.clear();
+    memory.source = std::make_shared<tracefile::VectorSource>(
+        std::make_shared<std::vector<trace::WriteTransaction>>(
+            4, trace::WriteTransaction{}));
+    EXPECT_FALSE(processSerializable(memory, &why));
+}
+
+TEST(SpecCodec, CanonicalSpecRoundTripsThroughParse)
+{
+    ExperimentSpec spec = baseSpec();
+    spec.device.vnr = true;
+    spec.device.wearEndurance = 123;
+    spec.device.s3 = 301.75;
+    const ExperimentSpec back = parseSpec(canonicalSpec(spec));
+    EXPECT_EQ(canonicalSpec(back), canonicalSpec(spec));
+}
+
+TEST(SpecCodec, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseSpec("not-a-spec\n"), std::runtime_error);
+    EXPECT_THROW(parseSpec(std::string(runner::specMagic) +
+                           "\nscheme=X\nstream=workload:w\n"
+                           "bogus_key=1\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseSpec(std::string(runner::specMagic) +
+                           "\nscheme=X\nstream=workload:w\n"
+                           "factory=1\n"),
+                 std::runtime_error);
+}
+
+// ------------------------------------------------------ ResultCache
+
+TEST(ResultCacheTest, StoreThenLookupIsExact)
+{
+    ResultCache cache(tempDir("roundtrip"));
+
+    ExperimentResult res;
+    res.spec = baseSpec();
+    res.ok = true;
+    res.replay.writes = 60;
+    res.replay.compressedWrites = 13;
+    res.replay.vnrIterations = 5;
+    res.replay.energyPj.add(1234.56789);
+    res.replay.energyPj.add(41.0 / 3.0);
+    res.replay.updatedCells.add(17.25);
+    cache.store(res);
+
+    const auto hit = cache.lookup(res.spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_TRUE(hit->ok);
+    EXPECT_EQ(hit->replay.writes, 60u);
+    EXPECT_EQ(hit->replay.compressedWrites, 13u);
+    EXPECT_EQ(hit->replay.vnrIterations, 5u);
+    // Bit-exact mean round trip is what keeps cached CSV rows
+    // byte-identical to replayed ones.
+    EXPECT_EQ(hit->replay.energyPj.mean(),
+              res.replay.energyPj.mean());
+    EXPECT_EQ(hit->replay.updatedCells.mean(), 17.25);
+
+    ExperimentSpec other = baseSpec();
+    other.seed += 1;
+    EXPECT_FALSE(cache.lookup(other).has_value());
+}
+
+TEST(ResultCacheTest, CorruptEntryIsAMiss)
+{
+    ResultCache cache(tempDir("corrupt"));
+    ExperimentResult res;
+    res.spec = baseSpec();
+    res.ok = true;
+    res.replay.writes = 1;
+    cache.store(res);
+    ASSERT_TRUE(cache.lookup(res.spec).has_value());
+
+    std::ofstream(cache.entryPath(res.spec), std::ios::binary)
+        << "{\"cache_version\":1, truncated garbage";
+    EXPECT_FALSE(cache.lookup(res.spec).has_value());
+}
+
+TEST(ResultCacheTest, ReportVersionMismatchIsRejected)
+{
+    // readResultObject() is the gate every cached/worker result
+    // passes through; a version bump must throw, not merge.
+    std::ostringstream os;
+    ExperimentResult res;
+    res.spec = baseSpec();
+    res.ok = true;
+    runner::writeResultObject(os, res);
+    std::string text = os.str();
+    const std::string tag =
+        "\"report_version\":" +
+        std::to_string(runner::kReportVersion);
+    const auto pos = text.find(tag);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, tag.size(), "\"report_version\":9999");
+    EXPECT_THROW(runner::readResultObject(runner::parseJson(text),
+                                          baseSpec()),
+                 std::runtime_error);
+}
+
+// --------------------------------------- runner integration
+
+TEST(CachedRunner, RerunServesEveryPointByteIdentically)
+{
+    const std::string dir = tempDir("rerun");
+    const auto grid = runner::ExperimentGrid()
+                          .schemes({"Baseline", "WLCRC-16"})
+                          .workloads({"lesl", "gcc"})
+                          .lines(60)
+                          .seed(3)
+                          .shards(2);
+
+    RunStats first, second;
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir;
+    opts.stats = &first;
+    const auto r1 = ExperimentRunner(opts).run(grid);
+    opts.stats = &second;
+    const auto r2 = ExperimentRunner(opts).run(grid);
+
+    EXPECT_EQ(first.points, 4u);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(first.replayed, 4u);
+    EXPECT_EQ(first.stored, 4u);
+    EXPECT_EQ(second.cacheHits, 4u);
+    EXPECT_EQ(second.replayed, 0u);
+    EXPECT_EQ(second.stored, 0u);
+    EXPECT_EQ(csvOf(r1), csvOf(r2));
+
+    // An uncached engine agrees too: the cache changes where
+    // results come from, never what they are.
+    RunnerOptions plain;
+    plain.jobs = 2;
+    EXPECT_EQ(csvOf(ExperimentRunner(plain).run(grid)), csvOf(r1));
+}
+
+TEST(CachedRunner, EachSpecFieldMutationMisses)
+{
+    const std::string dir = tempDir("mutations");
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = dir;
+
+    RunStats prime;
+    opts.stats = &prime;
+    ExperimentRunner(opts).run({baseSpec()});
+    ASSERT_EQ(prime.stored, 1u);
+
+    const auto replaysAfter = [&](auto mutate) {
+        ExperimentSpec s = baseSpec();
+        mutate(s);
+        RunStats stats;
+        opts.stats = &stats;
+        ExperimentRunner(opts).run({s});
+        return stats.replayed == 1 && stats.cacheHits == 0;
+    };
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.scheme = "FNW"; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.workload = "gcc"; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.lines = 61; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.seed = 8; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.shards = 1; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) { s.device.vnr = true; }));
+
+    // And the unmutated spec still hits.
+    RunStats again;
+    opts.stats = &again;
+    ExperimentRunner(opts).run({baseSpec()});
+    EXPECT_EQ(again.cacheHits, 1u);
+}
+
+TEST(CachedRunner, CorruptEntryFallsBackToReplay)
+{
+    const std::string dir = tempDir("fallback");
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = dir;
+
+    RunStats prime;
+    opts.stats = &prime;
+    const auto r1 = ExperimentRunner(opts).run({baseSpec()});
+    ASSERT_EQ(prime.stored, 1u);
+
+    ResultCache cache(dir);
+    std::ofstream(cache.entryPath(baseSpec()), std::ios::binary)
+        << "** not json **";
+
+    RunStats stats;
+    opts.stats = &stats;
+    const auto r2 = ExperimentRunner(opts).run({baseSpec()});
+    EXPECT_EQ(stats.cacheHits, 0u);
+    EXPECT_EQ(stats.replayed, 1u);
+    EXPECT_EQ(stats.stored, 1u) << "entry must be repaired";
+    EXPECT_EQ(csvOf(r1), csvOf(r2));
+
+    RunStats healed;
+    opts.stats = &healed;
+    ExperimentRunner(opts).run({baseSpec()});
+    EXPECT_EQ(healed.cacheHits, 1u);
+}
+
+TEST(CachedRunner, FailedPointsAreNeverCached)
+{
+    const std::string dir = tempDir("failures");
+    ExperimentSpec bad = baseSpec();
+    bad.scheme = "no-such-scheme";
+
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = dir;
+    RunStats s1, s2;
+    opts.stats = &s1;
+    const auto r1 = ExperimentRunner(opts).run({bad});
+    ASSERT_FALSE(r1[0].ok);
+    EXPECT_EQ(s1.stored, 0u);
+
+    opts.stats = &s2;
+    ExperimentRunner(opts).run({bad});
+    EXPECT_EQ(s2.cacheHits, 0u) << "failures must re-run";
+    EXPECT_EQ(s2.replayed, 1u);
+}
+
+} // namespace

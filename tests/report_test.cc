@@ -2,8 +2,9 @@
  * @file
  * Reporter coverage: CSV quoting of metacharacters in grid
  * coordinates, JSON string escaping, and a full round-trip parse of
- * `wlcrc_sim --json` output through a minimal in-test JSON parser
- * (the repo deliberately has no JSON dependency).
+ * `wlcrc_sim --json` output through runner::parseJson — the same
+ * parser the result cache and the worker protocol rely on, so the
+ * round trip exercises the production decode path.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "runner/experiment.hh"
+#include "runner/json_mini.hh"
 #include "runner/report.hh"
 #include "subprocess.hh"
 
@@ -61,228 +63,6 @@ parseCsvLine(const std::string &line)
     cells.push_back(cell);
     return cells;
 }
-
-// ------------------------------------------------ tiny JSON parser
-
-struct JsonValue
-{
-    enum class Type
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-
-    const JsonValue &
-    at(const std::string &key) const
-    {
-        const auto it = object.find(key);
-        if (it == object.end())
-            throw std::runtime_error("missing key: " + key);
-        return it->second;
-    }
-    bool has(const std::string &key) const
-    {
-        return object.count(key) > 0;
-    }
-};
-
-/** Strict recursive-descent JSON parser (throws on any garbage). */
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
-
-    JsonValue
-    parse()
-    {
-        const JsonValue v = value();
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing garbage");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what) const
-    {
-        throw std::runtime_error("JSON error at offset " +
-                                 std::to_string(pos_) + ": " + what);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            fail("unexpected end");
-        return text_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool
-    consume(const std::string &word)
-    {
-        skipWs();
-        if (text_.compare(pos_, word.size(), word) != 0)
-            return false;
-        pos_ += word.size();
-        return true;
-    }
-
-    JsonValue
-    value()
-    {
-        JsonValue v;
-        switch (peek()) {
-        case '{': {
-            v.type = JsonValue::Type::Object;
-            expect('{');
-            if (peek() == '}') {
-                ++pos_;
-                return v;
-            }
-            for (;;) {
-                expect('"');
-                --pos_; // string() re-reads the quote
-                const std::string key = string();
-                expect(':');
-                v.object.emplace(key, value());
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect('}');
-                return v;
-            }
-        }
-        case '[': {
-            v.type = JsonValue::Type::Array;
-            expect('[');
-            if (peek() == ']') {
-                ++pos_;
-                return v;
-            }
-            for (;;) {
-                v.array.push_back(value());
-                if (peek() == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect(']');
-                return v;
-            }
-        }
-        case '"':
-            v.type = JsonValue::Type::String;
-            v.string = string();
-            return v;
-        default:
-            if (consume("true")) {
-                v.type = JsonValue::Type::Bool;
-                v.boolean = true;
-                return v;
-            }
-            if (consume("false")) {
-                v.type = JsonValue::Type::Bool;
-                v.boolean = false;
-                return v;
-            }
-            if (consume("null"))
-                return v;
-            return numberValue();
-        }
-    }
-
-    std::string
-    string()
-    {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            char c = text_[pos_++];
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                fail("dangling escape");
-            c = text_[pos_++];
-            switch (c) {
-            case '"': out += '"'; break;
-            case '\\': out += '\\'; break;
-            case '/': out += '/'; break;
-            case 'n': out += '\n'; break;
-            case 't': out += '\t'; break;
-            case 'r': out += '\r'; break;
-            case 'b': out += '\b'; break;
-            case 'f': out += '\f'; break;
-            case 'u': {
-                if (pos_ + 4 > text_.size())
-                    fail("short \\u escape");
-                const unsigned code = std::stoul(
-                    text_.substr(pos_, 4), nullptr, 16);
-                pos_ += 4;
-                if (code > 0x7f)
-                    fail("non-ASCII \\u escape unsupported");
-                out += static_cast<char>(code);
-                break;
-            }
-            default: fail("unknown escape");
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    JsonValue
-    numberValue()
-    {
-        skipWs();
-        const std::size_t start = pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(
-                    static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '-' || text_[pos_] == '+' ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E'))
-            ++pos_;
-        if (start == pos_)
-            fail("expected a value");
-        JsonValue v;
-        v.type = JsonValue::Type::Number;
-        v.number = std::stod(text_.substr(start, pos_ - start));
-        return v;
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
 
 // ------------------------------------------------------- CSV tests
 
@@ -354,13 +134,13 @@ TEST(JsonReporter, EscapesQuotesBackslashesAndControlChars)
     std::ostringstream os;
     JsonReporter().write(os, {r});
 
-    const auto doc = JsonParser(os.str()).parse();
-    ASSERT_EQ(doc.type, JsonValue::Type::Array);
+    const auto doc = runner::parseJson(os.str());
+    ASSERT_EQ(doc.type, runner::JsonValue::Type::Array);
     ASSERT_EQ(doc.array.size(), 1u);
     const auto &obj = doc.array[0];
-    EXPECT_EQ(obj.at("scheme").string, "sch\"eme\\x");
-    EXPECT_FALSE(obj.at("ok").boolean);
-    EXPECT_EQ(obj.at("error").string, "line1\nline2\ttabbed");
+    EXPECT_EQ(obj.at("scheme").asString(), "sch\"eme\\x");
+    EXPECT_FALSE(obj.at("ok").asBool());
+    EXPECT_EQ(obj.at("error").asString(), "line1\nline2\ttabbed");
 }
 
 TEST(JsonReporter, RoundTripsMetricsThroughAParser)
@@ -374,16 +154,19 @@ TEST(JsonReporter, RoundTripsMetricsThroughAParser)
 
     std::ostringstream os;
     JsonReporter().write(os, {r});
-    const auto doc = JsonParser(os.str()).parse();
+    const auto doc = runner::parseJson(os.str());
     const auto &obj = doc.array.at(0);
-    EXPECT_EQ(obj.at("scheme").string, "WLCRC-16");
-    EXPECT_EQ(obj.at("source").string, "lesl");
-    EXPECT_EQ(obj.at("lines").number, 4.0);
-    EXPECT_EQ(obj.at("seed").number, 9.0);
-    EXPECT_EQ(obj.at("shards").number, 2.0);
-    EXPECT_TRUE(obj.at("ok").boolean);
-    EXPECT_EQ(obj.at("writes").number, 4.0);
-    EXPECT_EQ(obj.at("compressed_pct").number, 50.0);
+    EXPECT_EQ(obj.at("report_version").asDouble(),
+              static_cast<double>(runner::kReportVersion));
+    EXPECT_EQ(obj.at("scheme").asString(), "WLCRC-16");
+    EXPECT_EQ(obj.at("source").asString(), "lesl");
+    EXPECT_EQ(obj.at("lines").asDouble(), 4.0);
+    EXPECT_EQ(obj.at("seed").asDouble(), 9.0);
+    EXPECT_EQ(obj.at("shards").asDouble(), 2.0);
+    EXPECT_TRUE(obj.at("ok").asBool());
+    EXPECT_EQ(obj.at("writes").asDouble(), 4.0);
+    EXPECT_EQ(obj.at("compressed_writes").asDouble(), 2.0);
+    EXPECT_EQ(obj.at("compressed_pct").asDouble(), 50.0);
 }
 
 // -------------------------------------- wlcrc_sim --json round trip
@@ -398,20 +181,22 @@ TEST(JsonReporter, WlcrcSimJsonOutputParses)
         exit_code);
     ASSERT_EQ(exit_code, 0) << out;
 
-    const auto doc = JsonParser(out).parse();
-    ASSERT_EQ(doc.type, JsonValue::Type::Array);
+    const auto doc = runner::parseJson(out);
+    ASSERT_EQ(doc.type, runner::JsonValue::Type::Array);
     ASSERT_EQ(doc.array.size(), 2u);
-    EXPECT_EQ(doc.array[0].at("scheme").string, "WLCRC-16");
-    EXPECT_EQ(doc.array[1].at("scheme").string, "Baseline");
+    EXPECT_EQ(doc.array[0].at("scheme").asString(), "WLCRC-16");
+    EXPECT_EQ(doc.array[1].at("scheme").asString(), "Baseline");
     for (const auto &obj : doc.array) {
-        EXPECT_EQ(obj.at("source").string, "lesl");
-        EXPECT_EQ(obj.at("lines").number, 120.0);
-        EXPECT_EQ(obj.at("seed").number, 3.0);
-        EXPECT_EQ(obj.at("shards").number, 2.0);
-        EXPECT_TRUE(obj.at("ok").boolean);
-        EXPECT_EQ(obj.at("writes").number, 120.0);
-        EXPECT_GT(obj.at("energy_pj").number, 0.0);
-        EXPECT_GE(obj.at("updated_cells").number, 0.0);
+        EXPECT_EQ(obj.at("report_version").asDouble(),
+                  static_cast<double>(runner::kReportVersion));
+        EXPECT_EQ(obj.at("source").asString(), "lesl");
+        EXPECT_EQ(obj.at("lines").asDouble(), 120.0);
+        EXPECT_EQ(obj.at("seed").asDouble(), 3.0);
+        EXPECT_EQ(obj.at("shards").asDouble(), 2.0);
+        EXPECT_TRUE(obj.at("ok").asBool());
+        EXPECT_EQ(obj.at("writes").asDouble(), 120.0);
+        EXPECT_GT(obj.at("energy_pj").asDouble(), 0.0);
+        EXPECT_GE(obj.at("updated_cells").asDouble(), 0.0);
         EXPECT_FALSE(obj.has("error"));
     }
 }

@@ -26,26 +26,44 @@
  *   --shards <N>           shards per scheme run (default 1);
  *                          results depend on the shard count but
  *                          never on --jobs
+ *   --backend <name>       execution backend: thread (default),
+ *                          serial, or process (child wlcrc_sim
+ *                          workers; results identical for all)
+ *   --cache-dir <dir>      result cache directory (also via
+ *                          $WLCRC_CACHE_DIR); unchanged points are
+ *                          served without replaying
+ *   --no-cache             ignore $WLCRC_CACHE_DIR for this run
  *   --vnr                  run Verify-n-Restore after each write
  *   --wear <endurance>     track per-cell wear and project lifetime
  *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
  *   --json                 report JSON instead of CSV
  *   --progress             stderr progress/ETA line while running
+ *   --worker <specfile>    internal: run one serialized spec and
+ *                          print its JSON report (ProcessBackend's
+ *                          child protocol — see docs/cli.md)
+ *   --help                 print usage and exit 0
  *
  * Output: one row/object per scheme with the paper's three metrics.
+ * With a cache, a summary line "wlcrc_sim: cache <dir>: N points:
+ * H hits, R replayed, S stored" goes to stderr.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "runner/backend.hh"
 #include "runner/grid.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
+#include "runner/spec_codec.hh"
 #include "tracefile/source.hh"
 #include "tracefile/writer.hh"
 #include "trace/trace_io.hh"
@@ -63,10 +81,15 @@ struct Options
     std::string traceIn;
     std::string traceOut;
     std::string traceFormat = "v1";
+    std::string backend = "thread";
+    std::string cacheDir; // resolved from flag/env in main()
+    std::string workerSpec;
+    bool noCache = false;
     bool random = false;
     bool vnr = false;
     bool json = false;
     bool progress = false;
+    bool help = false;
     uint64_t lines = 10000;
     uint64_t seed = 1;
     uint64_t wearEndurance = 0;
@@ -83,8 +106,11 @@ usage(const char *argv0)
         "--trace-in F)\n"
         "          [--trace-out F] [--trace-format v1|v2] "
         "[--lines N] [--seed S] [--jobs N] [--shards N]\n"
+        "          [--backend thread|serial|process] "
+        "[--cache-dir D] [--no-cache]\n"
         "          [--vnr] [--wear ENDURANCE] [--s3 pJ] [--s4 pJ] "
-        "[--json] [--progress]\n",
+        "[--json] [--progress]\n"
+        "          [--worker SPECFILE] [--help]\n",
         argv0);
 }
 
@@ -112,6 +138,19 @@ parse(int argc, char **argv)
         } else if (a == "--trace-format") {
             if (const char *v = next())
                 o.traceFormat = v;
+        } else if (a == "--backend") {
+            if (const char *v = next())
+                o.backend = v;
+        } else if (a == "--cache-dir") {
+            if (const char *v = next())
+                o.cacheDir = v;
+        } else if (a == "--no-cache") {
+            o.noCache = true;
+        } else if (a == "--worker") {
+            if (const char *v = next())
+                o.workerSpec = v;
+        } else if (a == "--help") {
+            o.help = true;
         } else if (a == "--random") {
             o.random = true;
         } else if (a == "--vnr") {
@@ -146,12 +185,16 @@ parse(int argc, char **argv)
             return std::nullopt;
         }
     }
+    if (o.help || !o.workerSpec.empty())
+        return o; // no stream/scheme validation applies
     if (o.schemes.empty())
         o.schemes.push_back("WLCRC-16");
     const int sources = !o.workload.empty() + o.random +
                         !o.traceIn.empty();
     if (sources != 1 ||
-        (o.traceFormat != "v1" && o.traceFormat != "v2")) {
+        (o.traceFormat != "v1" && o.traceFormat != "v2") ||
+        (o.backend != "thread" && o.backend != "serial" &&
+         o.backend != "process")) {
         usage(argv[0]);
         return std::nullopt;
     }
@@ -202,6 +245,33 @@ persistTrace(const Options &o)
     }
 }
 
+/**
+ * Child side of the ProcessBackend protocol: run the serialized
+ * spec on this process (serially — the parent owns parallelism
+ * across points) and print the standard one-element JSON report.
+ * Replay failures travel in-band as ok=false objects with exit 0;
+ * a non-zero exit means the protocol itself broke (unreadable or
+ * malformed spec file).
+ */
+int
+workerMain(const std::string &specFile)
+{
+    std::ifstream in(specFile, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read spec file %s\n",
+                     specFile.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const runner::ExperimentSpec spec =
+        runner::parseSpec(text.str());
+    const runner::ExperimentResult res =
+        runner::runSpecSerial(spec);
+    runner::JsonReporter().write(std::cout, {res});
+    return 0;
+}
+
 } // namespace
 
 int
@@ -210,8 +280,14 @@ main(int argc, char **argv)
     const auto opts = parse(argc, argv);
     if (!opts)
         return 2;
+    if (opts->help) {
+        usage(argv[0]);
+        return 0;
+    }
 
     try {
+        if (!opts->workerSpec.empty())
+            return workerMain(opts->workerSpec);
         runner::DeviceConfig device;
         device.s3 = opts->s3;
         device.s4 = opts->s4;
@@ -237,8 +313,30 @@ main(int argc, char **argv)
         ropts.jobs = opts->jobs;
         if (opts->progress)
             ropts.progress = runner::stderrProgress("wlcrc_sim");
+        if (opts->backend != "thread")
+            ropts.backend =
+                runner::makeBackend(opts->backend, argv[0]);
+
+        // --cache-dir wins over $WLCRC_CACHE_DIR; --no-cache
+        // disables both (the env var lets CI and wrapper scripts
+        // turn caching on without touching every command line).
+        std::string cacheDir = opts->cacheDir;
+        if (cacheDir.empty())
+            cacheDir = envString("WLCRC_CACHE_DIR", "");
+        if (opts->noCache)
+            cacheDir.clear();
+        runner::RunStats stats;
+        if (!cacheDir.empty()) {
+            ropts.cacheDir = cacheDir;
+            ropts.stats = &stats;
+        }
+
         const runner::ExperimentRunner engine(ropts);
         const auto results = engine.run(grid);
+        if (!cacheDir.empty())
+            std::fprintf(stderr, "wlcrc_sim: cache %s: %s\n",
+                         cacheDir.c_str(),
+                         stats.summary().c_str());
 
         for (const auto &r : results) {
             if (!r.ok) {

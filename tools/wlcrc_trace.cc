@@ -48,18 +48,25 @@ namespace
 
 using namespace wlcrc;
 
-int
-usage()
+void
+usageText(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: wlcrc_trace <subcommand> [options]\n"
         "  generate (--workload W | --random | --mix \"A:w,B:w\")\n"
         "           --out FILE [--lines N] [--seed S]\n"
         "           [--format v1|v2] [--block-records N]\n"
         "  convert  IN OUT [--format v1|v2] [--block-records N]\n"
         "  info     FILE [--blocks]\n"
-        "  verify   FILE\n");
+        "  verify   FILE\n"
+        "  --help   print this usage and exit 0\n");
+}
+
+int
+usage()
+{
+    usageText(stderr);
     return 2;
 }
 
@@ -338,6 +345,10 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "help") {
+        usageText(stdout);
+        return 0;
+    }
     try {
         const Args args = parseArgs(argc, argv, 2);
         if (cmd == "generate")
