@@ -1,6 +1,8 @@
 #include "wear.hh"
 
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 namespace wlcrc::pcm
 {
@@ -51,7 +53,15 @@ WearTracker::recordLine(uint64_t addr, const CellMask &updated)
 void
 WearTracker::merge(const WearTracker &o)
 {
-    assert(o.cellsPerLine_ == cellsPerLine_);
+    if (&o == this)
+        throw std::invalid_argument(
+            "WearTracker::merge: merging a tracker into itself "
+            "would double every count");
+    if (o.cellsPerLine_ != cellsPerLine_)
+        throw std::invalid_argument(
+            "WearTracker::merge: cellsPerLine mismatch (" +
+            std::to_string(cellsPerLine_) + " vs " +
+            std::to_string(o.cellsPerLine_) + ")");
     for (const auto &[addr, cells] : o.wear_) {
         auto it = wear_.find(addr);
         if (it == wear_.end()) {
@@ -70,16 +80,25 @@ WearTracker::cellWrites(uint64_t addr, unsigned cell) const
     return it == wear_.end() ? 0 : it->second[cell];
 }
 
+const std::vector<uint32_t> *
+WearTracker::lineWear(uint64_t addr) const
+{
+    const auto it = wear_.find(addr);
+    return it == wear_.end() ? nullptr : &it->second;
+}
+
 WearSummary
 WearTracker::summary() const
 {
     WearSummary s;
+    double sumSquares = 0.0;
     for (const auto &[addr, cells] : wear_) {
         for (const uint32_t w : cells) {
             if (!w)
                 continue;
             ++s.touchedCells;
             s.totalWrites += w;
+            sumSquares += static_cast<double>(w) * w;
             s.maxCellWrites =
                 std::max<uint64_t>(s.maxCellWrites, w);
         }
@@ -87,8 +106,26 @@ WearTracker::summary() const
     if (s.touchedCells) {
         s.avgCellWrites = static_cast<double>(s.totalWrites) /
                           static_cast<double>(s.touchedCells);
+        const double meanSq =
+            sumSquares / static_cast<double>(s.touchedCells);
+        const double variance =
+            std::max(0.0, meanSq - s.avgCellWrites * s.avgCellWrites);
+        s.covCellWrites = std::sqrt(variance) / s.avgCellWrites;
     }
     return s;
+}
+
+std::map<uint32_t, uint64_t>
+WearTracker::histogram() const
+{
+    std::map<uint32_t, uint64_t> hist;
+    for (const auto &[addr, cells] : wear_) {
+        for (const uint32_t w : cells) {
+            if (w)
+                ++hist[w];
+        }
+    }
+    return hist;
 }
 
 uint64_t

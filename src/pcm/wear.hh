@@ -13,6 +13,7 @@
 #define WLCRC_PCM_WEAR_HH
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +29,9 @@ struct WearSummary
     double avgCellWrites = 0.0;   //!< mean over touched cells
     uint64_t touchedCells = 0;    //!< cells written at least once
     uint64_t totalWrites = 0;     //!< total cell programs
+    /** Coefficient of variation (stddev/mean) over touched cells:
+     *  0.0 = perfectly even wear across every written cell. */
+    double covCellWrites = 0.0;
     /** Ratio max/avg: 1.0 = perfectly even wear. */
     double imbalance() const;
 };
@@ -52,15 +56,34 @@ class WearTracker
     /**
      * Fold another tracker's per-cell counts into this one. Used to
      * combine the per-shard trackers of a sharded replay (shards
-     * partition the address space, so maps are typically disjoint).
+     * partition the address space, so maps are typically disjoint;
+     * overlapping lines add cell-wise, so merged totals equal a
+     * single-shard replay of the concatenated streams).
+     *
+     * @throws std::invalid_argument if the trackers' cellsPerLine
+     *         differ, or if @p o is this tracker itself (a
+     *         self-merge would silently double every count).
      */
     void merge(const WearTracker &o);
 
     /** Write count of one cell (0 if untouched). */
     uint64_t cellWrites(uint64_t addr, unsigned cell) const;
 
+    /** Per-cell counts of one line, or nullptr if never written. */
+    const std::vector<uint32_t> *lineWear(uint64_t addr) const;
+
     /** Aggregate wear statistics. */
     WearSummary summary() const;
+
+    /**
+     * Wear histogram: for each observed per-cell write count, the
+     * number of touched cells with exactly that count. Ordered by
+     * write count, so iterating it is deterministic (CSV export).
+     */
+    std::map<uint32_t, uint64_t> histogram() const;
+
+    /** Number of distinct lines with at least one tracked write. */
+    std::size_t trackedLines() const { return wear_.size(); }
 
     /**
      * Projected writes-to-first-cell-failure for a per-cell

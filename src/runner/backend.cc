@@ -14,6 +14,7 @@
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
 #include "runner/json_mini.hh"
+#include "wearlevel/lifetime.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
 #include "runner/spec_codec.hh"
@@ -33,6 +34,7 @@ struct ShardOutcome
 {
     trace::ReplayResult replay;
     std::optional<pcm::WearTracker> wear;
+    wearlevel::LifetimeResult lifetime; //!< leveled/lifetime specs
     std::string error; // empty = success
 };
 
@@ -95,10 +97,32 @@ runShard(const ExperimentSpec &spec, unsigned shard)
                                ? spec.codecFactory(energy)
                                : core::makeCodec(spec.scheme, energy);
         const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+        if (spec.lifetime || spec.leveler.active()) {
+            // Leveled and lifetime replays need one globally
+            // consistent line mapping, so they always run as a
+            // single shard (effectiveShards() == 1) with the spec's
+            // own seed, and the LifetimeEngine drives the device.
+            if (spec.lifetime && !spec.endurance.active())
+                throw std::runtime_error(
+                    "lifetime replay requires an endurance config "
+                    "(mean per-cell budget > 0)");
+            wearlevel::LifetimeEngine::Options lopts;
+            lopts.leveler = spec.leveler;
+            lopts.endurance = spec.endurance;
+            lopts.seed = spec.seed;
+            lopts.vnr = spec.device.vnr;
+            wearlevel::LifetimeEngine engine(*codec, unit, lopts);
+            out.lifetime =
+                engine.run(materialiseStream(spec), spec.lifetime);
+            out.replay = engine.replayResult();
+            if (spec.device.wearEndurance || spec.keepWearTracker)
+                out.wear.emplace(engine.wearTracker());
+            return out;
+        }
         trace::Replayer rep(*codec, unit,
                             shardSeed(spec.seed, shard, spec.shards),
                             spec.device.vnr);
-        if (spec.device.wearEndurance) {
+        if (spec.device.wearEndurance || spec.keepWearTracker) {
             out.wear.emplace(codec->cellCount());
             rep.device().attachWearTracker(&*out.wear);
         }
@@ -182,10 +206,16 @@ mergeShards(const ExperimentSpec &spec,
                 wear->merge(*o.wear);
         }
     }
+    if (spec.lifetime || spec.leveler.active())
+        res.lifetime = std::move(outcomes.front().lifetime);
     if (wear) {
         res.wear = wear->summary();
         res.projectedLifetime = wear->projectedLifetime(
             spec.device.wearEndurance, res.replay.writes);
+        if (spec.keepWearTracker) {
+            res.wearTracker = std::make_shared<pcm::WearTracker>(
+                std::move(*wear));
+        }
     }
     res.ok = true;
     return res;
@@ -221,6 +251,11 @@ effectiveShards(const ExperimentSpec &spec)
     // Custom replays consume the whole stream in one pass: the hook
     // owns its own state, which the runner cannot merge shard-wise.
     if (spec.customReplay)
+        return 1;
+    // A leveler's logical-to-physical mapping (and the death point
+    // of a lifetime replay) spans the whole address space; shards
+    // would each level their own partition and diverge.
+    if (spec.lifetime || spec.leveler.active())
         return 1;
     return spec.shards ? spec.shards : 1;
 }

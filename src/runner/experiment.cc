@@ -35,6 +35,13 @@ ExperimentSpec::label() const
     std::ostringstream os;
     os << scheme << '/' << sourceName() << "/lines=" << lines
        << "/seed=" << seed << "/shards=" << shards;
+    if (leveler.active())
+        os << "/leveler=" << wearlevel::formatLeveler(leveler);
+    if (endurance.active())
+        os << "/endurance="
+           << wearlevel::formatEndurance(endurance);
+    if (lifetime)
+        os << "/lifetime";
     return os.str();
 }
 

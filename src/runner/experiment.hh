@@ -28,6 +28,8 @@
 #include "pcm/wear.hh"
 #include "trace/replay.hh"
 #include "trace/transaction.hh"
+#include "wearlevel/config.hh"
+#include "wearlevel/lifetime.hh"
 
 namespace wlcrc::tracefile
 {
@@ -111,6 +113,28 @@ struct ExperimentSpec
     uint64_t seed = 1;      //!< synthesis + device master seed
     unsigned shards = 1;    //!< parallel shards (fixed, not #threads)
     DeviceConfig device;
+    /**
+     * Wear-leveling scheme between replayer and device. The default
+     * ("none") replays byte-identically to a spec without the field;
+     * an active leveler needs a globally consistent line mapping, so
+     * such specs always execute as a single shard.
+     */
+    wearlevel::LevelerConfig leveler;
+    /** Per-cell endurance budgets + failure criteria (0 = off). */
+    wearlevel::EnduranceConfig endurance;
+    /**
+     * Loop the stream until the device dies (or the endurance write
+     * cap): the lifetime-to-failure experiment. Requires an active
+     * endurance config; runs single-sharded like any leveled spec.
+     */
+    bool lifetime = false;
+    /**
+     * Keep the merged per-cell WearTracker on the result (for
+     * wear-histogram export). In-process only: such specs are never
+     * cached and never cross a process boundary, because neither
+     * channel can carry the tracker. Not part of the canonical spec.
+     */
+    bool keepWearTracker = false;
     /** Non-factory codec for this point; scheme becomes a label. */
     CodecFactory codecFactory;
     /** Replaces the stock replay entirely (single-sharded). */
@@ -138,6 +162,12 @@ struct ExperimentResult
     trace::ReplayResult replay;    //!< merged across shards
     pcm::WearSummary wear;         //!< merged wear (if tracked)
     uint64_t projectedLifetime = 0;
+    /** Lifetime / leveling outcome (meaningful when the spec has an
+     *  active leveler or lifetime set). */
+    wearlevel::LifetimeResult lifetime;
+    /** Merged per-cell tracker; only set for keepWearTracker specs
+     *  executed in-process. */
+    std::shared_ptr<const pcm::WearTracker> wearTracker;
     bool ok = false;
     std::string error;             //!< failure reason when !ok
 };

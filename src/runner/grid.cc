@@ -94,6 +94,27 @@ ExperimentGrid::deviceConfigs(std::vector<DeviceConfig> v)
 }
 
 ExperimentGrid &
+ExperimentGrid::levelers(std::vector<wearlevel::LevelerConfig> v)
+{
+    levelers_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::endurances(std::vector<wearlevel::EnduranceConfig> v)
+{
+    endurances_ = std::move(v);
+    return *this;
+}
+
+ExperimentGrid &
+ExperimentGrid::lifetime(bool on)
+{
+    lifetime_ = on;
+    return *this;
+}
+
+ExperimentGrid &
 ExperimentGrid::shards(unsigned n)
 {
     shards_ = n ? n : 1;
@@ -123,7 +144,8 @@ ExperimentGrid::size() const
         : sources_.empty()  ? 1
                             : sources_.size();
     return streams * schemes_.size() * lineCounts_.size() *
-           seeds_.size() * configs_.size();
+           seeds_.size() * configs_.size() * levelers_.size() *
+           endurances_.size();
 }
 
 std::vector<ExperimentSpec>
@@ -135,7 +157,8 @@ ExperimentGrid::expand() const
             "(workloads / randomSource / sources / transactions)");
     }
     if (schemes_.empty() || lineCounts_.empty() || seeds_.empty() ||
-        configs_.empty()) {
+        configs_.empty() || levelers_.empty() ||
+        endurances_.empty()) {
         throw std::invalid_argument(
             "ExperimentGrid: an axis was set to an empty list; "
             "every configured axis needs at least one value");
@@ -189,24 +212,32 @@ ExperimentGrid::expand() const
             for (const uint64_t lines : lineCounts_) {
                 for (const uint64_t seed : seeds_) {
                     for (const auto &cfg : configs_) {
-                        ExperimentSpec s;
-                        s.scheme = scheme.name;
-                        s.codecFactory = scheme.factory;
-                        s.customReplay = customReplay_;
-                        // Scheme-qualified so sibling defs in one
-                        // salted grid get distinct cache keys.
-                        if (!cacheSalt_.empty())
-                            s.cacheSalt =
-                                cacheSalt_ + ":" + scheme.name;
-                        s.workload = stream.workload;
-                        s.random =
-                            stream.workload.empty() && random_;
-                        s.source = stream.source;
-                        s.lines = lines;
-                        s.seed = seed;
-                        s.shards = shards_;
-                        s.device = cfg;
-                        specs.push_back(std::move(s));
+                        for (const auto &lev : levelers_) {
+                            for (const auto &end : endurances_) {
+                                ExperimentSpec s;
+                                s.scheme = scheme.name;
+                                s.codecFactory = scheme.factory;
+                                s.customReplay = customReplay_;
+                                // Scheme-qualified so sibling defs
+                                // in one salted grid get distinct
+                                // cache keys.
+                                if (!cacheSalt_.empty())
+                                    s.cacheSalt = cacheSalt_ + ":" +
+                                                  scheme.name;
+                                s.workload = stream.workload;
+                                s.random = stream.workload.empty() &&
+                                           random_;
+                                s.source = stream.source;
+                                s.lines = lines;
+                                s.seed = seed;
+                                s.shards = shards_;
+                                s.device = cfg;
+                                s.leveler = lev;
+                                s.endurance = end;
+                                s.lifetime = lifetime_;
+                                specs.push_back(std::move(s));
+                            }
+                        }
                     }
                 }
             }

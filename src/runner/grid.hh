@@ -58,6 +58,17 @@ class ExperimentGrid
     ExperimentGrid &seeds(std::vector<uint64_t> v);
     ExperimentGrid &seed(uint64_t s);
     ExperimentGrid &deviceConfigs(std::vector<DeviceConfig> v);
+    /**
+     * Wear-leveling axis: one spec per leveler per point. Defaults
+     * to the single pass-through NullLeveler config, so grids that
+     * never call this expand exactly as before.
+     */
+    ExperimentGrid &levelers(std::vector<wearlevel::LevelerConfig> v);
+    /** Endurance-budget axis (defaults to the single "off" config). */
+    ExperimentGrid &
+    endurances(std::vector<wearlevel::EnduranceConfig> v);
+    /** Stamp every spec as a lifetime-to-failure replay. */
+    ExperimentGrid &lifetime(bool on = true);
     ExperimentGrid &shards(unsigned n);
     /** Stamp every expanded spec with a custom replay hook. */
     ExperimentGrid &customReplay(CustomReplayFn fn);
@@ -91,6 +102,11 @@ class ExperimentGrid
     std::vector<uint64_t> lineCounts_ = {10000};
     std::vector<uint64_t> seeds_ = {1};
     std::vector<DeviceConfig> configs_ = {DeviceConfig{}};
+    std::vector<wearlevel::LevelerConfig> levelers_ = {
+        wearlevel::LevelerConfig{}};
+    std::vector<wearlevel::EnduranceConfig> endurances_ = {
+        wearlevel::EnduranceConfig{}};
+    bool lifetime_ = false;
     unsigned shards_ = 1;
     CustomReplayFn customReplay_;
     std::string cacheSalt_;

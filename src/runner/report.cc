@@ -57,7 +57,8 @@ CsvReporter::write(std::ostream &os,
                     "status", "writes", "energy_pJ", "updated_cells",
                     "disturb_errors", "compressed_pct",
                     "vnr_per_write", "max_cell_wear",
-                    "projected_lifetime"});
+                    "projected_lifetime", "leveler",
+                    "writes_to_failure", "extra_writes"});
     for (const auto &r : results) {
         table.newRow();
         table.add(r.spec.scheme);
@@ -84,6 +85,15 @@ CsvReporter::write(std::ostream &os,
             table.add("-");
             table.add("-");
         }
+        table.add(wearlevel::formatLeveler(r.spec.leveler));
+        if (r.spec.lifetime && r.ok && r.lifetime.died)
+            table.add(r.lifetime.writesToFailure);
+        else
+            table.add("-");
+        if ((r.spec.lifetime || r.spec.leveler.active()) && r.ok)
+            table.add(r.lifetime.extraWrites);
+        else
+            table.add("-");
     }
     table.write(os);
 }
@@ -141,7 +151,34 @@ writeResultObject(std::ostream &os, const ExperimentResult &r)
            << formatDouble(r.wear.avgCellWrites)
            << ",\"touched_cells\":" << r.wear.touchedCells
            << ",\"total_cell_writes\":" << r.wear.totalWrites
+           << ",\"wear_cov\":" << formatDouble(r.wear.covCellWrites)
            << ",\"projected_lifetime\":" << r.projectedLifetime;
+    }
+    // Gated on the same spec fields readResultObject() checks, so a
+    // stale cache entry written before these fields existed fails to
+    // parse (= cache miss) instead of yielding a zeroed lifetime.
+    if (r.spec.lifetime || r.spec.leveler.active()) {
+        const auto &lt = r.lifetime;
+        os << ",\"leveler\":\""
+           << jsonEscape(wearlevel::formatLeveler(r.spec.leveler))
+           << "\",\"lifetime_died\":" << (lt.died ? "true" : "false")
+           << ",\"demand_writes\":" << lt.demandWrites
+           << ",\"writes_to_failure\":" << lt.writesToFailure
+           << ",\"extra_writes\":" << lt.extraWrites
+           << ",\"remap_events\":" << lt.remapEvents
+           << ",\"table_bytes\":" << lt.tableBytes
+           << ",\"failed_line\":" << lt.failedLine
+           << ",\"failed_cell\":" << lt.failedCell
+           << ",\"dead_cells\":" << lt.deadCells
+           << ",\"lifetime_max_cell_wear\":" << lt.maxCellWear
+           << ",\"final_wear_cov\":"
+           << formatDouble(lt.finalWearCov)
+           << ",\"cov_sample_every\":" << lt.covSampleEvery
+           << ",\"wear_cov_timeline\":[";
+        for (std::size_t i = 0; i < lt.wearCovTimeline.size(); ++i)
+            os << (i ? "," : "")
+               << formatDouble(lt.wearCovTimeline[i]);
+        os << "]";
     }
     os << "}";
 }
@@ -189,8 +226,33 @@ readResultObject(const JsonValue &obj, ExperimentSpec spec)
         res.wear.touchedCells = obj.at("touched_cells").asU64();
         res.wear.totalWrites =
             obj.at("total_cell_writes").asU64();
+        res.wear.covCellWrites = obj.at("wear_cov").asDouble();
         res.projectedLifetime =
             obj.at("projected_lifetime").asU64();
+    }
+    if (res.spec.lifetime || res.spec.leveler.active()) {
+        auto &lt = res.lifetime;
+        lt.died = obj.at("lifetime_died").asBool();
+        lt.demandWrites = obj.at("demand_writes").asU64();
+        lt.writesToFailure = obj.at("writes_to_failure").asU64();
+        lt.extraWrites = obj.at("extra_writes").asU64();
+        lt.remapEvents = obj.at("remap_events").asU64();
+        lt.tableBytes = obj.at("table_bytes").asU64();
+        lt.failedLine = obj.at("failed_line").asU64();
+        lt.failedCell = static_cast<unsigned>(
+            obj.at("failed_cell").asU64());
+        lt.deadCells = obj.at("dead_cells").asU64();
+        lt.maxCellWear =
+            obj.at("lifetime_max_cell_wear").asU64();
+        lt.finalWearCov = obj.at("final_wear_cov").asDouble();
+        lt.covSampleEvery = obj.at("cov_sample_every").asU64();
+        const JsonValue &tl = obj.at("wear_cov_timeline");
+        if (tl.type != JsonValue::Type::Array)
+            throw std::runtime_error(
+                "wear_cov_timeline is not an array");
+        lt.wearCovTimeline.clear();
+        for (const auto &v : tl.array)
+            lt.wearCovTimeline.push_back(v.asDouble());
     }
     return res;
 }

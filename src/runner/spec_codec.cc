@@ -109,6 +109,17 @@ canonicalSpec(const ExperimentSpec &spec)
     os << "s4=" << formatDouble(spec.device.s4) << '\n';
     os << "vnr=" << (spec.device.vnr ? 1 : 0) << '\n';
     os << "wear=" << spec.device.wearEndurance << '\n';
+    // Wear-leveling / lifetime keys are emitted only when active, so
+    // every pre-existing spec's canonical text — and therefore its
+    // cache hash — is unchanged by the subsystem's existence.
+    if (spec.leveler.active())
+        os << "leveler=" << wearlevel::formatLeveler(spec.leveler)
+           << '\n';
+    if (spec.endurance.active())
+        os << "endurance="
+           << wearlevel::formatEndurance(spec.endurance) << '\n';
+    if (spec.lifetime)
+        os << "lifetime=1\n";
     if (!spec.cacheSalt.empty())
         os << "salt=" << checkValue(spec.cacheSalt, "cache salt")
            << '\n';
@@ -177,6 +188,12 @@ parseSpec(const std::string &text)
             spec.device.vnr = parseU64(value, key) != 0;
         } else if (key == "wear") {
             spec.device.wearEndurance = parseU64(value, key);
+        } else if (key == "leveler") {
+            spec.leveler = wearlevel::parseLeveler(value);
+        } else if (key == "endurance") {
+            spec.endurance = wearlevel::parseEndurance(value);
+        } else if (key == "lifetime") {
+            spec.lifetime = parseU64(value, key) != 0;
         } else if (key == "salt") {
             spec.cacheSalt = value;
         } else if (key == "factory" || key == "custom") {
@@ -226,6 +243,9 @@ processSerializable(const ExperimentSpec &spec, std::string *why)
         return blocked("codec factory is a closure");
     if (spec.source && spec.source->filePath().empty())
         return blocked("in-memory source has no reopenable path");
+    if (spec.keepWearTracker)
+        return blocked(
+            "a worker result cannot carry the per-cell tracker");
     return true;
 }
 
@@ -238,6 +258,10 @@ cacheableSpec(const ExperimentSpec &spec)
     if (spec.customReplay)
         return false;
     if (spec.codecFactory && spec.cacheSalt.empty())
+        return false;
+    // A cache entry cannot carry the per-cell tracker the caller
+    // asked to keep, so a hit would lose it.
+    if (spec.keepWearTracker)
         return false;
     return true;
 }

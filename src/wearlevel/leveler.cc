@@ -1,0 +1,250 @@
+#include "leveler.hh"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace wlcrc::wearlevel
+{
+
+namespace
+{
+
+/** Identity mapping: byte-identical to running without a leveler. */
+class NullLeveler final : public WearLeveler
+{
+  public:
+    std::string name() const override { return "none"; }
+    uint64_t map(uint64_t logical) const override { return logical; }
+    void
+    onWrite(uint64_t, std::vector<LineMove> &) override
+    {
+    }
+    LevelerStats stats() const override { return {}; }
+};
+
+/**
+ * Start-Gap (Qureshi et al.): each region of N logical lines lives
+ * in N+1 physical slots; one slot — the gap — is always unmapped.
+ * Every `period` writes to a region, the line before the gap moves
+ * into it and the gap walks down one slot; when the gap wraps, the
+ * start register advances, so lines slowly rotate through every
+ * physical slot of their region.
+ *
+ * Mapping: slot = (offset + start) mod N, plus one if the slot is
+ * at or past the gap; physical line = region * (N + 1) + slot.
+ * Regions not yet written use start = 0, gap = N (identity over the
+ * first N slots), so map() needs no mutable state.
+ */
+class StartGapLeveler final : public WearLeveler
+{
+  public:
+    explicit StartGapLeveler(const LevelerConfig &config)
+        : period_(config.period), n_(config.regionLines)
+    {
+    }
+
+    std::string name() const override { return "start-gap"; }
+
+    uint64_t
+    map(uint64_t logical) const override
+    {
+        const uint64_t region = logical / n_;
+        const unsigned offset =
+            static_cast<unsigned>(logical % n_);
+        unsigned start = 0, gap = n_;
+        if (const auto it = regions_.find(region);
+            it != regions_.end()) {
+            start = it->second.start;
+            gap = it->second.gap;
+        }
+        unsigned slot = (offset + start) % n_;
+        if (slot >= gap)
+            ++slot;
+        return region * (n_ + 1) + slot;
+    }
+
+    void
+    onWrite(uint64_t logical, std::vector<LineMove> &moves) override
+    {
+        const uint64_t region = logical / n_;
+        auto &r =
+            regions_.try_emplace(region, Region{0, n_, 0})
+                .first->second;
+        if (++r.writes % period_ != 0)
+            return;
+        const uint64_t physBase = region * (n_ + 1);
+        const uint64_t logicalBase = region * n_;
+        if (r.gap > 0) {
+            // Slot gap-1 sits below the gap, so its occupant's
+            // offset solves (offset + start) mod N == gap-1.
+            const unsigned src = r.gap - 1;
+            const unsigned offset = (src + n_ - r.start) % n_;
+            moves.push_back({logicalBase + offset, physBase + src,
+                             physBase + r.gap});
+            --r.gap;
+        } else {
+            // Gap wrap: slot N's occupant ((N-1 - start) mod N,
+            // placed there by the rotation's first move) returns to
+            // slot 0, then the whole region is one rotation ahead.
+            const unsigned offset = (n_ - 1 + n_ - r.start) % n_;
+            moves.push_back({logicalBase + offset, physBase + n_,
+                             physBase + 0});
+            r.gap = n_;
+            r.start = (r.start + 1) % n_;
+        }
+        ++stats_.remapEvents;
+        ++stats_.movesRequested;
+    }
+
+    LevelerStats
+    stats() const override
+    {
+        LevelerStats s = stats_;
+        // Two line-index registers (start, gap) per active region.
+        s.tableBytes = regions_.size() * 8;
+        return s;
+    }
+
+  private:
+    struct Region
+    {
+        unsigned start;
+        unsigned gap;
+        uint64_t writes;
+    };
+
+    uint64_t period_;
+    unsigned n_;
+    std::map<uint64_t, Region> regions_;
+    LevelerStats stats_;
+};
+
+/**
+ * Histogram-driven page remapping (ENDURER-style): logical pages of
+ * `pageLines` lines map through a permutation table, identity until
+ * remapped. Every `period` demand writes, the logical page written
+ * most during the interval swaps physical frames with the occupant
+ * of the least-written physical frame — unless it already sits
+ * there, or its current frame is no more worn than the coldest
+ * (swapping would only add traffic). Both pages' lines are copied,
+ * which the stats and the caller account as remap overhead.
+ *
+ * Hot/cold selection iterates std::map (ascending page id), so ties
+ * deterministically pick the lowest page.
+ */
+class PageRemapLeveler final : public WearLeveler
+{
+  public:
+    explicit PageRemapLeveler(const LevelerConfig &config)
+        : period_(config.period), pageLines_(config.pageLines)
+    {
+    }
+
+    std::string name() const override { return "page-remap"; }
+
+    uint64_t
+    map(uint64_t logical) const override
+    {
+        const uint64_t page = logical / pageLines_;
+        const auto it = toPhys_.find(page);
+        const uint64_t phys = it == toPhys_.end() ? page : it->second;
+        return phys * pageLines_ + logical % pageLines_;
+    }
+
+    void
+    onWrite(uint64_t logical, std::vector<LineMove> &moves) override
+    {
+        const uint64_t page = logical / pageLines_;
+        const uint64_t phys =
+            toPhys_.try_emplace(page, page).first->second;
+        toLogical_.try_emplace(phys, page);
+        ++intervalWrites_[page];
+        ++physWrites_[phys];
+        if (++sinceSwap_ < period_)
+            return;
+        sinceSwap_ = 0;
+        maybeSwap(moves);
+        intervalWrites_.clear();
+    }
+
+    LevelerStats
+    stats() const override
+    {
+        LevelerStats s = stats_;
+        // One remap-table entry (logical id + physical id) per
+        // touched page.
+        s.tableBytes = toPhys_.size() * 16;
+        return s;
+    }
+
+  private:
+    void
+    maybeSwap(std::vector<LineMove> &moves)
+    {
+        if (intervalWrites_.empty())
+            return;
+        // Hottest logical page of the interval (ties: lowest id).
+        uint64_t hot = 0, hotCount = 0;
+        for (const auto &[page, count] : intervalWrites_) {
+            if (count > hotCount) {
+                hot = page;
+                hotCount = count;
+            }
+        }
+        // Coldest physical frame overall (ties: lowest id).
+        uint64_t cold = 0;
+        uint64_t coldCount = std::numeric_limits<uint64_t>::max();
+        for (const auto &[frame, count] : physWrites_) {
+            if (count < coldCount) {
+                cold = frame;
+                coldCount = count;
+            }
+        }
+        const uint64_t hotFrame = toPhys_[hot];
+        if (hotFrame == cold ||
+            physWrites_[hotFrame] <= coldCount)
+            return;
+        const uint64_t coldOccupant = toLogical_[cold];
+        for (unsigned i = 0; i < pageLines_; ++i) {
+            moves.push_back({hot * pageLines_ + i,
+                             hotFrame * pageLines_ + i,
+                             cold * pageLines_ + i});
+            moves.push_back({coldOccupant * pageLines_ + i,
+                             cold * pageLines_ + i,
+                             hotFrame * pageLines_ + i});
+        }
+        toPhys_[hot] = cold;
+        toPhys_[coldOccupant] = hotFrame;
+        toLogical_[cold] = hot;
+        toLogical_[hotFrame] = coldOccupant;
+        ++stats_.remapEvents;
+        stats_.movesRequested += 2ull * pageLines_;
+    }
+
+    uint64_t period_;
+    unsigned pageLines_;
+    std::map<uint64_t, uint64_t> toPhys_;    //!< logical -> frame
+    std::map<uint64_t, uint64_t> toLogical_; //!< frame -> logical
+    std::map<uint64_t, uint64_t> intervalWrites_;
+    std::map<uint64_t, uint64_t> physWrites_;
+    uint64_t sinceSwap_ = 0;
+    LevelerStats stats_;
+};
+
+} // namespace
+
+std::unique_ptr<WearLeveler>
+makeLeveler(const LevelerConfig &config)
+{
+    if (config.scheme == "none")
+        return std::make_unique<NullLeveler>();
+    if (config.scheme == "start-gap")
+        return std::make_unique<StartGapLeveler>(config);
+    if (config.scheme == "page-remap")
+        return std::make_unique<PageRemapLeveler>(config);
+    throw std::invalid_argument("unknown leveler scheme '" +
+                                config.scheme + "'");
+}
+
+} // namespace wlcrc::wearlevel

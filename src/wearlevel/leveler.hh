@@ -1,0 +1,91 @@
+/**
+ * @file
+ * WearLeveler: the remapping layer between the replayer (the
+ * controller side of a write) and the PCM device. A leveler owns a
+ * logical-to-physical line mapping and decides, per demand write,
+ * which physical lines must be copied to keep wear spread out.
+ *
+ * The leveler never touches the device itself — it returns the line
+ * copies it wants as LineMove records and the caller (LifetimeEngine)
+ * performs them, so the leveler stays a pure, deterministic mapping
+ * machine and the engine keeps demand-write statistics clean of
+ * remap traffic.
+ *
+ * Determinism: every scheme keeps its iterable state in std::map
+ * (never unordered containers), so tie-breaking in hot/cold
+ * selection is a pure function of the write stream.
+ */
+
+#ifndef WLCRC_WEARLEVEL_LEVELER_HH
+#define WLCRC_WEARLEVEL_LEVELER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wearlevel/config.hh"
+
+namespace wlcrc::wearlevel
+{
+
+/**
+ * One physical line copy a leveling action requires: the data of
+ * @p logical moves from physical line @p fromPhys to @p toPhys. The
+ * mapping already reflects the move when it is handed out; the
+ * caller replays the copy (a real device write, counted as remap
+ * overhead, never as a demand write).
+ */
+struct LineMove
+{
+    uint64_t logical = 0;
+    uint64_t fromPhys = 0;
+    uint64_t toPhys = 0;
+};
+
+/** Overhead accounting of a leveler. */
+struct LevelerStats
+{
+    uint64_t movesRequested = 0; //!< line copies handed to the caller
+    uint64_t remapEvents = 0;    //!< gap moves / page swaps performed
+    /**
+     * Bytes of mapping state the scheme would need in hardware:
+     * start-gap keeps two registers per active region, page-remap a
+     * remap-table entry (logical + physical page id) per touched
+     * page.
+     */
+    uint64_t tableBytes = 0;
+};
+
+/** Logical-to-physical line remapping scheme. */
+class WearLeveler
+{
+  public:
+    virtual ~WearLeveler() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Physical line currently backing logical line @p logical. */
+    virtual uint64_t map(uint64_t logical) const = 0;
+
+    /**
+     * Account one demand write to @p logical and perform any due
+     * leveling action, appending the physical copies it requires to
+     * @p moves. Called after the demand write was applied at
+     * map(logical).
+     */
+    virtual void onWrite(uint64_t logical,
+                         std::vector<LineMove> &moves) = 0;
+
+    virtual LevelerStats stats() const = 0;
+};
+
+/**
+ * Build the scheme @p config names.
+ * @throws std::invalid_argument on an unknown scheme.
+ */
+std::unique_ptr<WearLeveler> makeLeveler(const LevelerConfig &config);
+
+} // namespace wlcrc::wearlevel
+
+#endif // WLCRC_WEARLEVEL_LEVELER_HH

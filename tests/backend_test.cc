@@ -105,6 +105,34 @@ TEST(Backends, ProcessBackendReplaysTraceFilesByteIdentically)
         runWith(std::make_shared<ThreadBackend>(), grid));
 }
 
+TEST(Backends, LifetimeSweepIsBackendAndJobCountInvariant)
+{
+    // A lifetime sweep (leveler x endurance over a workload) runs
+    // single-sharded but must still be byte-identical wherever and
+    // however parallel it executes — including forked wlcrc_sim
+    // workers, whose JSON report carries the full lifetime block.
+    const auto grid =
+        ExperimentGrid()
+            .schemes({"Baseline", "WLCRC-16"})
+            .workloads({"gcc"})
+            .lines(150)
+            .seed(3)
+            .levelers({wearlevel::parseLeveler("none"),
+                       wearlevel::parseLeveler("start-gap:p8:r16")})
+            .endurances({wearlevel::parseEndurance("80:0.2")})
+            .lifetime();
+    const std::string thread =
+        runWith(std::make_shared<ThreadBackend>(), grid);
+    EXPECT_EQ(runWith(std::make_shared<SerialBackend>(), grid),
+              thread);
+    EXPECT_EQ(
+        runWith(std::make_shared<ProcessBackend>(WLCRC_SIM_BIN),
+                grid),
+        thread);
+    EXPECT_EQ(runWith(std::make_shared<ThreadBackend>(), grid, 1),
+              runWith(std::make_shared<ThreadBackend>(), grid, 4));
+}
+
 TEST(Backends, ProcessBackendPropagatesWorkerErrorsInBand)
 {
     ExperimentSpec good;

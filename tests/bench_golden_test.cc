@@ -63,6 +63,7 @@ const BenchCase kBenches[] = {
     {"ablation_wlcrc", false},
     {"multi_objective", false},
     {"hw_overhead", false},
+    {"lifetime_sweep", false},
     {"codec_throughput", true},
     {"encode_hot_path", true},
 };
@@ -269,6 +270,59 @@ TEST(bench_backends, Fig08ProcessBackendMatchesGolden)
         exit_code);
     ASSERT_EQ(exit_code, 0) << out;
     EXPECT_EQ(out, expected);
+}
+
+// Lifetime replays always execute single-sharded (a leveler's
+// mapping spans the whole address space), but they still cross the
+// process boundary like any other spec: the sweep must reproduce
+// its golden bytes under forked wlcrc_sim workers too.
+TEST(bench_backends, LifetimeSweepProcessBackendMatchesGolden)
+{
+    if (std::getenv("WLCRC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "goldens being refreshed";
+    const std::string expected = readGolden("lifetime_sweep");
+    ASSERT_FALSE(expected.empty());
+
+    int exit_code = -1;
+    const std::string out = capture(
+        benchCommand("lifetime_sweep", 4,
+                     "WLCRC_BENCH_BACKEND=process "
+                     "WLCRC_WORKER_BIN=" WLCRC_SIM_BIN),
+        exit_code);
+    ASSERT_EQ(exit_code, 0) << out;
+    EXPECT_EQ(out, expected);
+}
+
+// A cached lifetime sweep must re-run without replaying a single
+// point: death detection, remap accounting and the CoV timeline all
+// round-trip through the result cache.
+TEST(bench_backends, LifetimeSweepCachedRerunIsAllHits)
+{
+    if (std::getenv("WLCRC_UPDATE_GOLDEN"))
+        GTEST_SKIP() << "goldens being refreshed";
+    const std::string dir =
+        ::testing::TempDir() + "wlcrc_lifetime_cache";
+    std::system(("rm -rf '" + dir + "'").c_str());
+    const std::string env =
+        "WLCRC_BENCH_CACHE_DIR='" + dir + "'";
+
+    int exit1 = -1, exit2 = -1, exit3 = -1;
+    const std::string cold =
+        capture(benchCommand("lifetime_sweep", 4, env), exit1);
+    const std::string warm =
+        capture(benchCommand("lifetime_sweep", 4, env), exit2);
+    ASSERT_EQ(exit1, 0);
+    ASSERT_EQ(exit2, 0);
+    EXPECT_EQ(cold, warm);
+    EXPECT_EQ(cold, readGolden("lifetime_sweep"));
+
+    const std::string summary = wlcrc::test::captureStdout(
+        benchCommand("lifetime_sweep", 4, env) +
+            " 2>&1 1>/dev/null",
+        exit3);
+    ASSERT_EQ(exit3, 0) << summary;
+    EXPECT_NE(summary.find(" 0 replayed"), std::string::npos)
+        << summary;
 }
 
 // A cached re-run must serve every point (0 replayed) and still be

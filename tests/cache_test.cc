@@ -103,6 +103,46 @@ TEST(SpecHash, MovesOnEverySemanticField)
     differs([](auto &s) { s.device.wearEndurance = 1000; },
             "device wear");
     differs([](auto &s) { s.cacheSalt = "x"; }, "cache salt");
+    differs(
+        [](auto &s) {
+            s.leveler = wearlevel::parseLeveler("start-gap");
+        },
+        "leveler scheme");
+    differs(
+        [](auto &s) {
+            s.leveler =
+                wearlevel::parseLeveler("start-gap:p50:r32");
+        },
+        "leveler parameters");
+    differs(
+        [](auto &s) {
+            s.endurance = wearlevel::parseEndurance("100:0.2");
+        },
+        "endurance budgets");
+    differs(
+        [](auto &s) {
+            s.endurance = wearlevel::parseEndurance("100");
+            s.lifetime = true;
+        },
+        "lifetime mode");
+}
+
+TEST(SpecHash, LevelerParameterVariantsAllDiffer)
+{
+    // Same scheme, different knobs must never collide: each knob
+    // is part of the canonical leveler token.
+    const auto hashOf = [](const char *cfg) {
+        ExperimentSpec s = baseSpec();
+        s.leveler = wearlevel::parseLeveler(cfg);
+        return specHash(s);
+    };
+    EXPECT_NE(hashOf("start-gap:p100:r64"),
+              hashOf("start-gap:p100:r32"));
+    EXPECT_NE(hashOf("start-gap:p100:r64"),
+              hashOf("start-gap:p50:r64"));
+    EXPECT_NE(hashOf("page-remap:p100:g8"),
+              hashOf("page-remap:p100:g4"));
+    EXPECT_NE(hashOf("start-gap"), hashOf("page-remap"));
 }
 
 TEST(SpecHash, TraceContentDigestInvalidates)
@@ -159,6 +199,19 @@ TEST(SpecCodec, CacheabilityRules)
     EXPECT_FALSE(cacheableSpec(factory)) << "unsalted factory";
     factory.cacheSalt = "test:Baseline";
     EXPECT_TRUE(cacheableSpec(factory)) << "salted factory";
+
+    // A cache hit cannot carry the per-cell tracker the caller
+    // asked to keep, so such specs must always replay.
+    ExperimentSpec tracker = baseSpec();
+    tracker.keepWearTracker = true;
+    EXPECT_FALSE(cacheableSpec(tracker));
+
+    // Leveled / lifetime specs are plain data: cacheable as-is.
+    ExperimentSpec leveled = baseSpec();
+    leveled.leveler = wearlevel::parseLeveler("start-gap");
+    leveled.endurance = wearlevel::parseEndurance("100");
+    leveled.lifetime = true;
+    EXPECT_TRUE(cacheableSpec(leveled));
 }
 
 TEST(SpecCodec, ProcessSerializabilityRules)
@@ -179,6 +232,18 @@ TEST(SpecCodec, ProcessSerializabilityRules)
         std::make_shared<std::vector<trace::WriteTransaction>>(
             4, trace::WriteTransaction{}));
     EXPECT_FALSE(processSerializable(memory, &why));
+
+    // The worker's JSON report cannot carry a per-cell tracker.
+    ExperimentSpec tracker = baseSpec();
+    tracker.keepWearTracker = true;
+    EXPECT_FALSE(processSerializable(tracker, &why));
+
+    // Lifetime results are plain JSON fields: workers handle them.
+    ExperimentSpec leveled = baseSpec();
+    leveled.leveler = wearlevel::parseLeveler("start-gap");
+    leveled.endurance = wearlevel::parseEndurance("100");
+    leveled.lifetime = true;
+    EXPECT_TRUE(processSerializable(leveled, &why)) << why;
 }
 
 TEST(SpecCodec, CanonicalSpecRoundTripsThroughParse)
@@ -189,6 +254,29 @@ TEST(SpecCodec, CanonicalSpecRoundTripsThroughParse)
     spec.device.s3 = 301.75;
     const ExperimentSpec back = parseSpec(canonicalSpec(spec));
     EXPECT_EQ(canonicalSpec(back), canonicalSpec(spec));
+}
+
+TEST(SpecCodec, LifetimeSpecRoundTripsThroughParse)
+{
+    ExperimentSpec spec = baseSpec();
+    spec.leveler = wearlevel::parseLeveler("page-remap:p75:g4");
+    spec.endurance = wearlevel::parseEndurance("250:0.125:1:5000");
+    spec.lifetime = true;
+    const ExperimentSpec back = parseSpec(canonicalSpec(spec));
+    EXPECT_EQ(back.leveler, spec.leveler);
+    EXPECT_EQ(back.endurance, spec.endurance);
+    EXPECT_TRUE(back.lifetime);
+    EXPECT_EQ(canonicalSpec(back), canonicalSpec(spec));
+}
+
+TEST(SpecCodec, DefaultLevelerFieldsLeaveCanonicalSpecUnchanged)
+{
+    // The subsystem's existence must not move any pre-existing
+    // cache key: inactive leveler/endurance/lifetime emit nothing.
+    const std::string text = canonicalSpec(baseSpec());
+    EXPECT_EQ(text.find("leveler="), std::string::npos);
+    EXPECT_EQ(text.find("endurance="), std::string::npos);
+    EXPECT_EQ(text.find("lifetime="), std::string::npos);
 }
 
 TEST(SpecCodec, ParseRejectsGarbage)
@@ -337,6 +425,16 @@ TEST(CachedRunner, EachSpecFieldMutationMisses)
     EXPECT_TRUE(replaysAfter([](auto &s) { s.seed = 8; }));
     EXPECT_TRUE(replaysAfter([](auto &s) { s.shards = 1; }));
     EXPECT_TRUE(replaysAfter([](auto &s) { s.device.vnr = true; }));
+    EXPECT_TRUE(replaysAfter([](auto &s) {
+        s.leveler = wearlevel::parseLeveler("start-gap:p50:r32");
+    }));
+    EXPECT_TRUE(replaysAfter([](auto &s) {
+        s.endurance = wearlevel::parseEndurance("100:0.2");
+    }));
+    EXPECT_TRUE(replaysAfter([](auto &s) {
+        s.endurance = wearlevel::parseEndurance("100:0.2");
+        s.lifetime = true;
+    }));
 
     // And the unmutated spec still hits.
     RunStats again;

@@ -35,6 +35,18 @@
  *   --no-cache             ignore $WLCRC_CACHE_DIR for this run
  *   --vnr                  run Verify-n-Restore after each write
  *   --wear <endurance>     track per-cell wear and project lifetime
+ *   --wear-csv <file>      dump the merged per-cell wear histogram
+ *                          (requires --wear; disables caching for
+ *                          the run, since a cache entry cannot
+ *                          carry the tracker)
+ *   --leveler <cfg>        wear-leveling scheme between replayer
+ *                          and device: none, start-gap[:pN][:rN] or
+ *                          page-remap[:pN][:gN]; may be repeated
+ *                          to sweep schemes
+ *   --endurance <cfg>      per-cell endurance budgets,
+ *                          mean[:cov[:ecc[:cap]]]
+ *   --lifetime             loop the stream until first uncorrectable
+ *                          cell death (requires --endurance)
  *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
  *   --json                 report JSON instead of CSV
  *   --progress             stderr progress/ETA line while running
@@ -68,6 +80,7 @@
 #include "tracefile/writer.hh"
 #include "trace/trace_io.hh"
 #include "trace/workload.hh"
+#include "wearlevel/config.hh"
 
 namespace
 {
@@ -84,6 +97,10 @@ struct Options
     std::string backend = "thread";
     std::string cacheDir; // resolved from flag/env in main()
     std::string workerSpec;
+    std::vector<std::string> levelers;
+    std::string endurance;
+    std::string wearCsv;
+    bool lifetime = false;
     bool noCache = false;
     bool random = false;
     bool vnr = false;
@@ -108,8 +125,10 @@ usage(const char *argv0)
         "[--lines N] [--seed S] [--jobs N] [--shards N]\n"
         "          [--backend thread|serial|process] "
         "[--cache-dir D] [--no-cache]\n"
-        "          [--vnr] [--wear ENDURANCE] [--s3 pJ] [--s4 pJ] "
-        "[--json] [--progress]\n"
+        "          [--vnr] [--wear ENDURANCE] [--wear-csv F] "
+        "[--s3 pJ] [--s4 pJ] [--json] [--progress]\n"
+        "          [--leveler CFG]... [--endurance CFG] "
+        "[--lifetime]\n"
         "          [--worker SPECFILE] [--help]\n",
         argv0);
 }
@@ -174,6 +193,17 @@ parse(int argc, char **argv)
         } else if (a == "--wear") {
             if (const char *v = next())
                 o.wearEndurance = std::strtoull(v, nullptr, 0);
+        } else if (a == "--wear-csv") {
+            if (const char *v = next())
+                o.wearCsv = v;
+        } else if (a == "--leveler") {
+            if (const char *v = next())
+                o.levelers.push_back(v);
+        } else if (a == "--endurance") {
+            if (const char *v = next())
+                o.endurance = v;
+        } else if (a == "--lifetime") {
+            o.lifetime = true;
         } else if (a == "--s3") {
             if (const char *v = next())
                 o.s3 = std::strtod(v, nullptr);
@@ -203,6 +233,20 @@ parse(int argc, char **argv)
                      "--trace-out only persists a synthesized "
                      "stream; to re-frame an existing trace use "
                      "`wlcrc_trace convert`\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (o.lifetime && o.endurance.empty()) {
+        std::fprintf(stderr,
+                     "--lifetime needs per-cell budgets; pass "
+                     "--endurance mean[:cov[:ecc[:cap]]]\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (!o.wearCsv.empty() && o.wearEndurance == 0) {
+        std::fprintf(stderr,
+                     "--wear-csv dumps the tracker --wear enables; "
+                     "pass --wear ENDURANCE too\n");
         usage(argv[0]);
         return std::nullopt;
     }
@@ -306,6 +350,17 @@ main(int argc, char **argv)
             grid.randomSource();
         else
             grid.workloads({opts->workload});
+        if (!opts->levelers.empty()) {
+            std::vector<wearlevel::LevelerConfig> axis;
+            for (const auto &l : opts->levelers)
+                axis.push_back(wearlevel::parseLeveler(l));
+            grid.levelers(std::move(axis));
+        }
+        if (!opts->endurance.empty())
+            grid.endurances(
+                {wearlevel::parseEndurance(opts->endurance)});
+        if (opts->lifetime)
+            grid.lifetime();
         if (!opts->traceOut.empty())
             persistTrace(*opts);
 
@@ -332,7 +387,13 @@ main(int argc, char **argv)
         }
 
         const runner::ExperimentRunner engine(ropts);
-        const auto results = engine.run(grid);
+        std::vector<runner::ExperimentSpec> specs = grid.expand();
+        // A wear-histogram dump needs the merged per-cell tracker
+        // on each result; such specs run in-process and uncached.
+        if (!opts->wearCsv.empty())
+            for (auto &s : specs)
+                s.keepWearTracker = true;
+        const auto results = engine.run(specs);
         if (!cacheDir.empty())
             std::fprintf(stderr, "wlcrc_sim: cache %s: %s\n",
                          cacheDir.c_str(),
@@ -345,6 +406,24 @@ main(int argc, char **argv)
                              r.error.c_str());
                 return 1;
             }
+        }
+        if (!opts->wearCsv.empty()) {
+            std::ofstream out(opts->wearCsv,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                throw std::runtime_error("cannot write " +
+                                         opts->wearCsv);
+            for (const auto &r : results) {
+                out << "# " << r.spec.label() << "\n"
+                    << "writes,cells\n";
+                if (r.wearTracker)
+                    for (const auto &[writes, cells] :
+                         r.wearTracker->histogram())
+                        out << writes << "," << cells << "\n";
+            }
+            std::fprintf(stderr,
+                         "wlcrc_sim: wear histogram -> %s\n",
+                         opts->wearCsv.c_str());
         }
         if (opts->json)
             runner::JsonReporter().write(std::cout, results);
