@@ -34,6 +34,7 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
+#include "common/simd.hh"
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
 #include "trace/replay.hh"
@@ -81,6 +82,8 @@ writeJson(const std::string &path, uint64_t lines, unsigned passes,
     std::ofstream out(path);
     out << "{\n"
         << "  \"bench\": \"encode_hot_path\",\n"
+        << "  \"simd\": \""
+        << simd::kernelName(simd::activeKernel()) << "\",\n"
         << "  \"lines\": " << lines << ",\n"
         << "  \"passes\": " << passes << ",\n"
         << "  \"schemes\": [\n";
@@ -185,8 +188,12 @@ main(int argc, char **argv)
             out << "# Replay throughput baseline for "
                    "bench/encode_hot_path (best of "
                 << passes << " passes, WLCRC_BENCH_LINES=" << lines
-                << ").\n# Machine-specific; refresh with: "
-                   "./bench_encode_hot_path --update-baseline\n"
+                << ", simd=" << simd::kernelName(simd::activeKernel())
+                << ").\n# Machine-specific; capture under "
+                   "WLCRC_SIMD=scalar (see docs/simd.md) with:\n"
+                   "#   WLCRC_SIMD=scalar WLCRC_BENCH_LINES="
+                << lines
+                << " ./bench_encode_hot_path --update-baseline\n"
                 << "scheme,writes_per_sec\n";
             for (const SchemeRow &r : rows)
                 out << r.scheme << "," << r.writesPerSec << "\n";

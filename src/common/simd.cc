@@ -1,0 +1,221 @@
+#include "simd.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace wlcrc::simd
+{
+
+namespace
+{
+
+// ------------------------------------------------- scalar reference
+
+void
+scalarByteDiffMask(const uint8_t *a, const uint8_t *b, unsigned n,
+                   uint64_t *mask)
+{
+    const unsigned nw = (n + 63) / 64;
+    for (unsigned w = 0; w < nw; ++w) {
+        const unsigned base = w * 64;
+        const unsigned lim = n - base < 64 ? n - base : 64;
+        uint64_t m = 0;
+        for (unsigned i = 0; i < lim; ++i)
+            m |= uint64_t{a[base + i] != b[base + i]} << i;
+        mask[w] = m;
+    }
+}
+
+void
+scalarMapSymbols(uint64_t word, const uint8_t *map4, unsigned lo,
+                 unsigned hi, uint8_t *out)
+{
+    for (unsigned c = lo; c <= hi; ++c)
+        out[c] = map4[(word >> (2 * c)) & 3];
+}
+
+void
+scalarAccumRows4(const double *rows, const uint8_t *stored,
+                 uint64_t word, unsigned lo, unsigned hi, double *acc)
+{
+    for (unsigned c = lo; c <= hi; ++c) {
+        const unsigned sym =
+            static_cast<unsigned>((word >> (2 * c)) & 3);
+        const double *row = rows + (stored[c] * 4u + sym) * 4u;
+        for (unsigned m = 0; m < 4; ++m)
+            acc[m] += row[m];
+    }
+}
+
+void
+scalarAccumRows8(const double *rows, const uint8_t *stored,
+                 uint64_t word, unsigned lo, unsigned hi, double *acc)
+{
+    for (unsigned c = lo; c <= hi; ++c) {
+        const unsigned sym =
+            static_cast<unsigned>((word >> (2 * c)) & 3);
+        const double *row = rows + (stored[c] * 4u + sym) * 8u;
+        for (unsigned m = 0; m < 8; ++m)
+            acc[m] += row[m];
+    }
+}
+
+void
+scalarAccumBlocks4(const double *rows, const uint8_t *stored,
+                   uint64_t word, const uint8_t *lo,
+                   const uint8_t *hi, unsigned nblocks, double *acc)
+{
+    for (unsigned b = 0; b < nblocks; ++b)
+        scalarAccumRows4(rows, stored, word, lo[b], hi[b],
+                         acc + 4 * b);
+}
+
+void
+scalarMapBlocks(uint64_t word, const uint8_t *const *tables,
+                const uint8_t *lo, const uint8_t *hi,
+                unsigned nblocks, uint8_t *out)
+{
+    for (unsigned b = 0; b < nblocks; ++b)
+        scalarMapSymbols(word, tables[b], lo[b], hi[b], out);
+}
+
+constexpr Ops scalarOps = {scalarByteDiffMask, scalarMapSymbols,
+                           scalarAccumRows4, scalarAccumRows8,
+                           scalarAccumBlocks4, scalarMapBlocks};
+
+bool
+cpuHasAvx2()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+} // namespace
+
+// Defined in simd_avx2.cc / simd_neon.cc; null when the translation
+// unit was built without the matching instruction set.
+const Ops *avx2OpsOrNull();
+const Ops *neonOpsOrNull();
+
+const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+    case Kernel::Scalar:
+        return "scalar";
+    case Kernel::Avx2:
+        return "avx2";
+    case Kernel::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+kernelAvailable(Kernel k)
+{
+    switch (k) {
+    case Kernel::Scalar:
+        return true;
+    case Kernel::Avx2:
+        return avx2OpsOrNull() != nullptr && cpuHasAvx2();
+    case Kernel::Neon:
+        return neonOpsOrNull() != nullptr;
+    }
+    return false;
+}
+
+Kernel
+bestKernel()
+{
+    if (kernelAvailable(Kernel::Avx2))
+        return Kernel::Avx2;
+    if (kernelAvailable(Kernel::Neon))
+        return Kernel::Neon;
+    return Kernel::Scalar;
+}
+
+Kernel
+parseKernel(const std::string &text)
+{
+    if (text == "auto")
+        return bestKernel();
+    if (text == "scalar")
+        return Kernel::Scalar;
+    if (text == "avx2")
+        return Kernel::Avx2;
+    if (text == "neon")
+        return Kernel::Neon;
+    throw std::invalid_argument(
+        "unknown SIMD kernel '" + text +
+        "' (expected auto|scalar|avx2|neon)");
+}
+
+const Ops &
+opsFor(Kernel k)
+{
+    if (!kernelAvailable(k)) {
+        throw std::invalid_argument(
+            std::string("SIMD kernel '") + kernelName(k) +
+            "' is not available on this machine");
+    }
+    switch (k) {
+    case Kernel::Avx2:
+        return *avx2OpsOrNull();
+    case Kernel::Neon:
+        return *neonOpsOrNull();
+    default:
+        return scalarOps;
+    }
+}
+
+namespace detail
+{
+
+std::atomic<const Ops *> activeOps{nullptr};
+
+/** Kernel of the table in activeOps (valid once activeOps is set). */
+std::atomic<Kernel> activeKind{Kernel::Scalar};
+
+const Ops &
+resolveActiveOps()
+{
+    // Lazy env resolution; racing threads resolve identically, so
+    // the unsynchronised stores are benign.
+    const char *env = std::getenv("WLCRC_SIMD");
+    const Kernel k =
+        parseKernel(env && *env ? env : std::string("auto"));
+    const Ops &t = opsFor(k);
+    activeKind.store(k, std::memory_order_relaxed);
+    activeOps.store(&t, std::memory_order_release);
+    return t;
+}
+
+} // namespace detail
+
+void
+setKernel(Kernel k)
+{
+    const Ops &t = opsFor(k); // validates availability
+    detail::activeKind.store(k, std::memory_order_relaxed);
+    detail::activeOps.store(&t, std::memory_order_release);
+}
+
+void
+setKernelFromText(const std::string &text)
+{
+    setKernel(parseKernel(text));
+}
+
+Kernel
+activeKernel()
+{
+    if (!detail::activeOps.load(std::memory_order_relaxed))
+        detail::resolveActiveOps();
+    return detail::activeKind.load(std::memory_order_relaxed);
+}
+
+} // namespace wlcrc::simd

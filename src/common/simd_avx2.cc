@@ -1,0 +1,242 @@
+/**
+ * @file
+ * AVX2 implementations of the simd.hh kernels. This translation unit
+ * is compiled with -mavx2 on x86-64 (see CMakeLists.txt) while the
+ * rest of the library stays at the baseline ISA; dispatch guarantees
+ * the functions here only run on CPUs reporting AVX2.
+ *
+ * Bit-identity: mapSymbolsAvx2/byteDiffMaskAvx2 are pure integer
+ * transforms; accumRows4/8 add the same doubles in the same cell
+ * order as the scalar reference (vaddpd is four independent per-lane
+ * adds), so every kernel reproduces the scalar results exactly.
+ */
+
+#include "simd.hh"
+
+#if defined(__AVX2__)
+
+#include <cstring>
+#include <immintrin.h>
+
+namespace wlcrc::simd
+{
+
+namespace
+{
+
+void
+byteDiffMaskAvx2(const uint8_t *a, const uint8_t *b, unsigned n,
+                 uint64_t *mask)
+{
+    const unsigned nw = (n + 63) / 64;
+    for (unsigned w = 0; w < nw; ++w) {
+        const unsigned base = w * 64;
+        uint64_t m;
+        if (base + 64 <= n) {
+            const __m256i eq0 = _mm256_cmpeq_epi8(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(a + base)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(b + base)));
+            const __m256i eq1 = _mm256_cmpeq_epi8(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    a + base + 32)),
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    b + base + 32)));
+            const auto lo = static_cast<uint32_t>(
+                _mm256_movemask_epi8(eq0));
+            const auto hi = static_cast<uint32_t>(
+                _mm256_movemask_epi8(eq1));
+            m = ~(uint64_t{lo} | (uint64_t{hi} << 32));
+        } else {
+            m = 0;
+            for (unsigned i = base; i < n; ++i)
+                m |= uint64_t{a[i] != b[i]} << (i - base);
+        }
+        mask[w] = m;
+    }
+}
+
+/** All 32 symbols of @p word as one byte-per-symbol vector (0..3). */
+inline __m256i
+symbolsOf(uint64_t word)
+{
+    // Replicate the word into every 128-bit lane, then spread byte
+    // k of the word over symbol bytes 4k..4k+3 (lane-local pshufb).
+    const __m256i w = _mm256_set1_epi64x(
+        static_cast<long long>(word));
+    const __m256i spread = _mm256_setr_epi8(
+        0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, //
+        4, 4, 4, 4, 5, 5, 5, 5, 6, 6, 6, 6, 7, 7, 7, 7);
+    const __m256i bytes = _mm256_shuffle_epi8(w, spread);
+    // Symbol c needs bits {2(c%4), 2(c%4)+1} of its byte: shift each
+    // byte right by 0/2/4/6 depending on c % 4, then mask to 2 bits.
+    const __m256i sh0 = bytes;
+    const __m256i sh2 = _mm256_srli_epi16(bytes, 2);
+    const __m256i sh4 = _mm256_srli_epi16(bytes, 4);
+    const __m256i sh6 = _mm256_srli_epi16(bytes, 6);
+    const __m256i pick1 = _mm256_set1_epi32(0x0000ff00);
+    const __m256i pick2 = _mm256_set1_epi32(0x00ff0000);
+    const __m256i pick3 =
+        _mm256_set1_epi32(static_cast<int>(0xff000000u));
+    __m256i sym = _mm256_blendv_epi8(sh0, sh2, pick1);
+    sym = _mm256_blendv_epi8(sym, sh4, pick2);
+    sym = _mm256_blendv_epi8(sym, sh6, pick3);
+    return _mm256_and_si256(sym, _mm256_set1_epi8(3));
+}
+
+void
+mapSymbolsAvx2(uint64_t word, const uint8_t *map4, unsigned lo,
+               unsigned hi, uint8_t *out)
+{
+    const __m256i sym = symbolsOf(word);
+    // 4-entry state LUT replicated per lane; pshufb indexes it with
+    // each symbol byte.
+    const __m256i lut = _mm256_set1_epi32(
+        static_cast<int>(uint32_t{map4[0]} | (uint32_t{map4[1]} << 8) |
+                         (uint32_t{map4[2]} << 16) |
+                         (uint32_t{map4[3]} << 24)));
+    const __m256i states = _mm256_shuffle_epi8(lut, sym);
+    if (lo == 0 && hi == 31) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), states);
+        return;
+    }
+    alignas(32) uint8_t tmp[32];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), states);
+    std::memcpy(out + lo, tmp + lo, hi - lo + 1);
+}
+
+void
+accumRows4Avx2(const double *rows, const uint8_t *stored,
+               uint64_t word, unsigned lo, unsigned hi, double *acc)
+{
+    __m256d a = _mm256_loadu_pd(acc);
+    uint64_t w = word >> (2 * lo);
+    for (unsigned c = lo; c <= hi; ++c) {
+        const auto sym = static_cast<unsigned>(w & 3);
+        w >>= 2;
+        const double *row = rows + (stored[c] * 4u + sym) * 4u;
+        a = _mm256_add_pd(a, _mm256_loadu_pd(row));
+    }
+    _mm256_storeu_pd(acc, a);
+}
+
+void
+accumRows8Avx2(const double *rows, const uint8_t *stored,
+               uint64_t word, unsigned lo, unsigned hi, double *acc)
+{
+    __m256d a0 = _mm256_loadu_pd(acc);
+    __m256d a1 = _mm256_loadu_pd(acc + 4);
+    uint64_t w = word >> (2 * lo);
+    for (unsigned c = lo; c <= hi; ++c) {
+        const auto sym = static_cast<unsigned>(w & 3);
+        w >>= 2;
+        const double *row = rows + (stored[c] * 4u + sym) * 8u;
+        a0 = _mm256_add_pd(a0, _mm256_loadu_pd(row));
+        a1 = _mm256_add_pd(a1, _mm256_loadu_pd(row + 4));
+    }
+    _mm256_storeu_pd(acc, a0);
+    _mm256_storeu_pd(acc + 4, a1);
+}
+
+void
+accumBlocks4Avx2(const double *rows, const uint8_t *stored,
+                 uint64_t word, const uint8_t *lo, const uint8_t *hi,
+                 unsigned nblocks, double *acc)
+{
+    // One accumulator register per block: the per-block chains are
+    // independent, so out-of-order execution overlaps them while
+    // each chain still adds its cells in ascending order — the
+    // per-block sums are bit-identical to accumRows4 per block.
+    __m256d a[8];
+    for (unsigned b = 0; b < nblocks; ++b)
+        a[b] = _mm256_loadu_pd(acc + 4 * b);
+    for (unsigned b = 0; b < nblocks; ++b) {
+        uint64_t w = word >> (2 * lo[b]);
+        __m256d ab = a[b];
+        for (unsigned c = lo[b]; c <= hi[b]; ++c) {
+            const auto sym = static_cast<unsigned>(w & 3);
+            w >>= 2;
+            const double *row = rows + (stored[c] * 4u + sym) * 4u;
+            ab = _mm256_add_pd(ab, _mm256_loadu_pd(row));
+        }
+        a[b] = ab;
+    }
+    for (unsigned b = 0; b < nblocks; ++b)
+        _mm256_storeu_pd(acc + 4 * b, a[b]);
+}
+
+void
+mapBlocksAvx2(uint64_t word, const uint8_t *const *tables,
+              const uint8_t *lo, const uint8_t *hi, unsigned nblocks,
+              uint8_t *out)
+{
+    // Decode the word's 32 symbols once, then blend each block's
+    // LUT result into place by cell-range mask and copy out the
+    // contiguous covered span.
+    const __m256i sym = symbolsOf(word);
+    const __m256i ramp = _mm256_setr_epi8(
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, //
+        16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30,
+        31);
+    __m256i res = _mm256_setzero_si256();
+    for (unsigned b = 0; b < nblocks; ++b) {
+        const uint8_t *map4 = tables[b];
+        const __m256i lut = _mm256_set1_epi32(static_cast<int>(
+            uint32_t{map4[0]} | (uint32_t{map4[1]} << 8) |
+            (uint32_t{map4[2]} << 16) | (uint32_t{map4[3]} << 24)));
+        const __m256i states = _mm256_shuffle_epi8(lut, sym);
+        // Exclude cells below lo[b] or above hi[b] (ramp values are
+        // 0..31, so signed byte compares are safe).
+        const __m256i below = _mm256_cmpgt_epi8(
+            _mm256_set1_epi8(static_cast<char>(lo[b])), ramp);
+        const __m256i above = _mm256_cmpgt_epi8(
+            ramp, _mm256_set1_epi8(static_cast<char>(hi[b])));
+        res = _mm256_blendv_epi8(states, res,
+                                 _mm256_or_si256(below, above));
+    }
+    alignas(32) uint8_t tmp[32];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(tmp), res);
+    const unsigned a = lo[0];
+    const unsigned z = hi[nblocks - 1];
+    const unsigned len = z - a + 1;
+    if (len >= 16) {
+        std::memcpy(out + a, tmp + a, 16);
+        std::memcpy(out + z + 1 - 16, tmp + z + 1 - 16, 16);
+    } else if (len >= 8) {
+        std::memcpy(out + a, tmp + a, 8);
+        std::memcpy(out + z + 1 - 8, tmp + z + 1 - 8, 8);
+    } else {
+        for (unsigned c = a; c <= z; ++c)
+            out[c] = tmp[c];
+    }
+}
+
+constexpr Ops avx2Ops = {byteDiffMaskAvx2, mapSymbolsAvx2,
+                         accumRows4Avx2, accumRows8Avx2,
+                         accumBlocks4Avx2, mapBlocksAvx2};
+
+} // namespace
+
+const Ops *
+avx2OpsOrNull()
+{
+    return &avx2Ops;
+}
+
+} // namespace wlcrc::simd
+
+#else // !__AVX2__
+
+namespace wlcrc::simd
+{
+
+const Ops *
+avx2OpsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace wlcrc::simd
+
+#endif

@@ -1,5 +1,6 @@
 #include "bdi.hh"
 
+#include <array>
 #include <cassert>
 #include <cstring>
 
@@ -25,6 +26,28 @@ fits(int64_t delta, unsigned bytes)
     return delta >= -lim && delta < lim;
 }
 
+/**
+ * a - b in two's-complement (mod 2^64) arithmetic. For 8-byte
+ * values the true difference can exceed int64_t — signed overflow,
+ * UB — but BDI's delta coding is modular by construction: the
+ * decoder adds the delta back mod 2^64, so a wrapped small delta
+ * still round-trips to the exact original value.
+ */
+int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+/** a + b mod 2^64, the decode-side inverse of wrapSub. */
+int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
 } // namespace
 
 const std::vector<Bdi::Config> &
@@ -40,11 +63,12 @@ std::optional<BitBuffer>
 Bdi::tryConfig(const Line512 &line, const Config &cfg)
 {
     const unsigned n = 64 / cfg.valueBytes;
+    assert(n <= 32); // smallest valueBytes is 2 bytes per value
     // First non-immediate (non-zero-fitting) value becomes the base.
     uint64_t base = 0;
     bool have_base = false;
-    std::vector<uint64_t> values(n);
-    std::vector<uint8_t> imm(n, 0);
+    std::array<uint64_t, 32> values{};
+    std::array<uint8_t, 32> imm{};
     for (unsigned i = 0; i < n; ++i) {
         values[i] = line.bits(i * cfg.valueBytes * 8,
                               cfg.valueBytes * 8);
@@ -57,7 +81,7 @@ Bdi::tryConfig(const Line512 &line, const Config &cfg)
             base = values[i];
             have_base = true;
         }
-        const int64_t d = v - sext(base, cfg.valueBytes);
+        const int64_t d = wrapSub(v, sext(base, cfg.valueBytes));
         if (!fits(d, cfg.deltaBytes))
             return std::nullopt;
     }
@@ -70,7 +94,7 @@ Bdi::tryConfig(const Line512 &line, const Config &cfg)
         const int64_t v = sext(values[i], cfg.valueBytes);
         const int64_t ref =
             imm[i] ? 0 : sext(base, cfg.valueBytes);
-        out.append(static_cast<uint64_t>(v - ref),
+        out.append(static_cast<uint64_t>(wrapSub(v, ref)),
                    cfg.deltaBytes * 8);
     }
     return out;
@@ -92,7 +116,7 @@ Bdi::undoConfig(const BitBuffer &stream, const Config &cfg)
         const int64_t ref =
             imm[i] ? 0 : sext(base, cfg.valueBytes);
         line.setBits(i * cfg.valueBytes * 8, cfg.valueBytes * 8,
-                     static_cast<uint64_t>(ref + d));
+                     static_cast<uint64_t>(wrapAdd(ref, d)));
     }
     return line;
 }

@@ -10,6 +10,8 @@
 #ifndef WLCRC_COMPRESS_BDI_HH
 #define WLCRC_COMPRESS_BDI_HH
 
+#include <vector>
+
 #include "compress/compressor.hh"
 
 namespace wlcrc::compress

@@ -9,15 +9,14 @@ void
 BitBuffer::append(uint64_t value, unsigned len)
 {
     assert(len >= 1 && len <= 64);
+    assert(bits_ + len <= capacityBits);
     if (len < 64)
         value &= (uint64_t{1} << len) - 1;
+    const unsigned w = bits_ >> 6;
     const unsigned off = bits_ & 63;
-    if (!off)
-        words_.push_back(0);
-    words_.back() |= value << off;
-    if (off + len > 64) {
-        words_.push_back(value >> (64 - off));
-    }
+    words_[w] |= value << off;
+    if (off && off + len > 64)
+        words_[w + 1] = value >> (64 - off);
     bits_ += len;
 }
 
@@ -40,16 +39,10 @@ BitBuffer::toLine() const
 {
     assert(bits_ <= lineBits);
     Line512 line;
-    for (size_t w = 0; w < words_.size(); ++w)
-        line.setWord(static_cast<unsigned>(w), words_[w]);
-    // Mask tail garbage beyond bits_.
-    if (bits_ & 63) {
-        const unsigned w = bits_ >> 6;
-        line.setWord(w, line.word(w) &
-                            ((uint64_t{1} << (bits_ & 63)) - 1));
-        for (unsigned i = w + 1; i < lineWords; ++i)
-            line.setWord(i, 0);
-    }
+    // Words past size() are zero by construction, so no tail
+    // masking is needed.
+    for (unsigned w = 0; w < (bits_ + 63) / 64; ++w)
+        line.setWord(w, words_[w]);
     return line;
 }
 

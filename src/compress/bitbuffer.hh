@@ -7,18 +7,30 @@
 #ifndef WLCRC_COMPRESS_BITBUFFER_HH
 #define WLCRC_COMPRESS_BITBUFFER_HH
 
+#include <array>
 #include <cstdint>
-#include <vector>
 
 #include "common/line512.hh"
 
 namespace wlcrc::compress
 {
 
-/** Growable bit vector with LSB-first sequential access. */
+/**
+ * Fixed-capacity bit vector with LSB-first sequential access.
+ *
+ * Storage is inline (no heap) so the compressors can build and move
+ * candidate streams on the encode hot path without allocating. The
+ * capacity covers the worst producer in the tree: FPC's all-literal
+ * stream (16 words x 35 bits = 560) plus FpcBdi's selector bit.
+ * Words beyond size() are kept zero (append masks its value), which
+ * makes the defaulted operator== compare equal exactly when the bit
+ * sequences are equal.
+ */
 class BitBuffer
 {
   public:
+    static constexpr unsigned capacityBits = 768;
+
     BitBuffer() = default;
 
     /** Append the low @p len bits of @p value. */
@@ -42,7 +54,7 @@ class BitBuffer
     bool operator==(const BitBuffer &o) const = default;
 
   private:
-    std::vector<uint64_t> words_;
+    std::array<uint64_t, capacityBits / 64> words_{};
     unsigned bits_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "baseline_codec.hh"
 
+#include "common/simd.hh"
+
 namespace wlcrc::coset
 {
 
@@ -13,14 +15,11 @@ BaselineCodec::encodeInto(const Line512 &data,
     (void)scratch;
     target.reset(lineSymbols);
     const Mapping &map = defaultMapping();
-    for (unsigned w = 0; w < lineWords; ++w) {
-        uint64_t word = data.word(w);
-        for (unsigned k = 0; k < 32; ++k) {
-            target[w * 32 + k] =
-                map.encode(static_cast<unsigned>(word & 3));
-            word >>= 2;
-        }
-    }
+    uint8_t *tgt = reinterpret_cast<uint8_t *>(target.states());
+    const simd::Ops &k = simd::ops();
+    for (unsigned w = 0; w < lineWords; ++w)
+        k.mapSymbols(data.word(w), map.stateTable(), 0, 31,
+                     tgt + w * 32);
 }
 
 Line512

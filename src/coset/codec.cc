@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "coset/mapping.hh"
+
 namespace wlcrc::coset
 {
 
@@ -12,6 +14,25 @@ LineCodec::LineCodec(const pcm::EnergyModel &energy) : energy_(energy)
             costs_[s][t] =
                 energy_.writeEnergy(pcm::stateFromIndex(s),
                                     pcm::stateFromIndex(t));
+        }
+    }
+}
+
+void
+LineCodec::buildCandidateCostRows(
+    std::span<const Mapping *const> candidates, unsigned stride,
+    double *rows) const
+{
+    for (unsigned s = 0; s < pcm::numStates; ++s) {
+        for (unsigned sym = 0; sym < 4; ++sym) {
+            double *row = rows + (s * 4 + sym) * stride;
+            for (unsigned c = 0; c < stride; ++c) {
+                row[c] =
+                    c < candidates.size()
+                        ? costs_[s][pcm::stateIndex(
+                              candidates[c]->encode(sym))]
+                        : 0.0;
+            }
         }
     }
 }

@@ -40,6 +40,8 @@
 namespace wlcrc::coset
 {
 
+class Mapping;
+
 namespace detail
 {
 /** Global scalar-scoring test switch (see setScalarScoringForTest). */
@@ -171,6 +173,20 @@ class LineCodec
             return scalarRow(stored);
         return costs_[pcm::stateIndex(stored)].data();
     }
+
+    /**
+     * Build the per-(stored state, symbol) candidate-cost rows the
+     * SIMD scoring kernels consume:
+     *   rows[(s * 4 + sym) * stride + c] =
+     *       costRow(s)[stateIndex(candidates[c]->encode(sym))]
+     * with lanes past the candidate count zero-padded. Values are
+     * copied from the cached cost table, so kernel scoring is
+     * numerically identical to cached scalar scoring by
+     * construction. @p stride is 4 or 8 (accumRows4 / accumRows8).
+     */
+    void buildCandidateCostRows(
+        std::span<const Mapping *const> candidates, unsigned stride,
+        double *rows) const;
 
   private:
     const double *scalarRow(pcm::State stored) const;

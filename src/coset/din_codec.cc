@@ -80,10 +80,6 @@ DinCodec::encodeInto(const Line512 &data,
     target.reset(cellCount());
     target.setAuxStart(lineSymbols);
 
-    // The FPC+BDI bank and the BCH encoder stage through their own
-    // growable buffers; DIN is the one scheme whose steady-state
-    // write still allocates (bounded, see the allocation guard in
-    // tests/encode_equivalence_test.cc).
     const auto stream = compressor_.compress(data);
     if (!stream || stream->size() > maxCompressedBits) {
         // Raw format: flag = S2 (second-lowest energy state).
@@ -99,16 +95,16 @@ DinCodec::encodeInto(const Line512 &data,
     for (unsigned i = 0; i < stream->size(); ++i)
         bits[i] = static_cast<uint8_t>(stream->read(i, 1));
 
-    scratch.bytes.assign(expandedBits, 0);
+    uint8_t *expanded = scratch.bitsB.data();
     for (unsigned g = 0; g < dataGroups; ++g) {
         const unsigned v = bits[g * 3] | (bits[g * 3 + 1] << 1) |
                            (bits[g * 3 + 2] << 2);
         const unsigned cw = expand3to4(v);
         for (unsigned b = 0; b < 4; ++b)
-            scratch.bytes[g * 4 + b] = (cw >> b) & 1;
+            expanded[g * 4 + b] = (cw >> b) & 1;
     }
-    const std::vector<uint8_t> codeword = bch_.encode(scratch.bytes);
-    assert(codeword.size() == lineBits);
+    uint8_t codeword[lineBits];
+    bch_.encodeInto(expanded, codeword);
 
     Line512 encoded;
     for (unsigned i = 0; i < lineBits; ++i)

@@ -51,6 +51,17 @@ class Mapping
 
     const std::string &name() const { return name_; }
 
+    /**
+     * The symbol -> state table as raw bytes (State is uint8_t),
+     * indexable by symbol value: the LUT format the SIMD
+     * symbol-mapping kernel consumes.
+     */
+    const uint8_t *
+    stateTable() const
+    {
+        return reinterpret_cast<const uint8_t *>(toState_.data());
+    }
+
     bool
     operator==(const Mapping &o) const
     {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "common/simd.hh"
+
 namespace wlcrc::coset
 {
 
@@ -23,6 +25,8 @@ NCosetsCodec::NCosetsCodec(const pcm::EnergyModel &energy,
     std::copy(candidates.begin(), candidates.end(),
               candidates_.begin());
     auxPerBlock_ = numCandidates_ <= 4 ? 1 : 2;
+    rowStride_ = numCandidates_ <= 4 ? 4 : 8;
+    buildCandidateCostRows(candidates, rowStride_, candRows_.data());
 }
 
 std::string
@@ -83,14 +87,34 @@ NCosetsCodec::encodeInto(const Line512 &data,
         // One pass over the block's cells, all candidates scored per
         // cell from its cost row (per-candidate accumulation order is
         // still cell order, so sums are bit-identical to the scalar
-        // double loop).
-        std::array<double, maxCandidates> cost{};
-        for (unsigned s = 0; s < symbols_per_block; ++s) {
-            const unsigned sym = data.symbol(sym0 + s);
-            const double *row = costRow(stored[sym0 + s]);
-            for (unsigned c = 0; c < numCandidates_; ++c) {
-                cost[c] += row[pcm::stateIndex(
-                    candidates_[c]->encode(sym))];
+        // double loop). Blocks wider than a word are fed to the
+        // kernel in 32-cell word segments, same accumulators.
+        std::array<double, 8> cost{};
+        if (!scalarScoringForTest()) [[likely]] {
+            const uint8_t *sb =
+                reinterpret_cast<const uint8_t *>(stored.data());
+            const simd::Ops &k = simd::ops();
+            const unsigned hiSym = sym0 + symbols_per_block - 1;
+            for (unsigned w = sym0 / 32; w <= hiSym / 32; ++w) {
+                const unsigned lo =
+                    sym0 > w * 32 ? sym0 - w * 32 : 0;
+                const unsigned hi =
+                    hiSym < w * 32 + 31 ? hiSym - w * 32 : 31;
+                if (rowStride_ == 4)
+                    k.accumRows4(candRows_.data(), sb + w * 32,
+                                 data.word(w), lo, hi, cost.data());
+                else
+                    k.accumRows8(candRows_.data(), sb + w * 32,
+                                 data.word(w), lo, hi, cost.data());
+            }
+        } else {
+            for (unsigned s = 0; s < symbols_per_block; ++s) {
+                const unsigned sym = data.symbol(sym0 + s);
+                const double *row = costRow(stored[sym0 + s]);
+                for (unsigned c = 0; c < numCandidates_; ++c) {
+                    cost[c] += row[pcm::stateIndex(
+                        candidates_[c]->encode(sym))];
+                }
             }
         }
 
@@ -109,8 +133,20 @@ NCosetsCodec::encodeInto(const Line512 &data,
         }
 
         const Mapping &map = *candidates_[best];
-        for (unsigned s = 0; s < symbols_per_block; ++s)
-            target[sym0 + s] = map.encode(data.symbol(sym0 + s));
+        {
+            uint8_t *tgt =
+                reinterpret_cast<uint8_t *>(target.states());
+            const simd::Ops &k = simd::ops();
+            const unsigned hiSym = sym0 + symbols_per_block - 1;
+            for (unsigned w = sym0 / 32; w <= hiSym / 32; ++w) {
+                const unsigned lo =
+                    sym0 > w * 32 ? sym0 - w * 32 : 0;
+                const unsigned hi =
+                    hiSym < w * 32 + 31 ? hiSym - w * 32 : 31;
+                k.mapSymbols(data.word(w), map.stateTable(), lo, hi,
+                             tgt + w * 32);
+            }
+        }
         State a0, a1;
         auxStatesFor(best, a0, a1);
         target[aux0] = a0;

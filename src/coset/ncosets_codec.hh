@@ -72,6 +72,11 @@ class NCosetsCodec : public LineCodec
     unsigned granularity_;
     unsigned auxPerBlock_;
     std::array<std::pair<pcm::State, pcm::State>, 6> pairs_;
+
+    /** Candidate-cost rows for the SIMD scoring kernel, stride 4
+     *  (<=4 candidates, accumRows4) or 8 (accumRows8). */
+    unsigned rowStride_;
+    std::array<double, pcm::numStates * 4 * 8> candRows_{};
 };
 
 } // namespace wlcrc::coset

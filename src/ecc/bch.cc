@@ -59,21 +59,6 @@ polyMul(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
     return r;
 }
 
-/** GF(2) polynomial modulo: remainder of a(x) / g(x). */
-std::vector<uint8_t>
-polyMod(std::vector<uint8_t> a, const std::vector<uint8_t> &g)
-{
-    const size_t dg = g.size() - 1;
-    for (size_t i = a.size(); i-- > dg;) {
-        if (!a[i])
-            continue;
-        for (size_t j = 0; j < g.size(); ++j)
-            a[i - dg + j] ^= g[j];
-    }
-    a.resize(dg);
-    return a;
-}
-
 } // namespace
 
 Bch::Bch(unsigned m, unsigned t, unsigned data_bits)
@@ -106,16 +91,32 @@ std::vector<uint8_t>
 Bch::encode(const std::vector<uint8_t> &data) const
 {
     assert(data.size() == dataBits_);
-    // Systematic: codeword(x) = data(x) * x^parity + remainder.
-    std::vector<uint8_t> shifted(parity_ + dataBits_, 0);
-    std::copy(data.begin(), data.end(), shifted.begin() + parity_);
-    const std::vector<uint8_t> rem = polyMod(shifted, gen_);
-
-    // Layout: data bits first, then parity bits.
     std::vector<uint8_t> cw(codewordBits());
-    std::copy(data.begin(), data.end(), cw.begin());
-    std::copy(rem.begin(), rem.end(), cw.begin() + dataBits_);
+    encodeInto(data.data(), cw.data());
     return cw;
+}
+
+void
+Bch::encodeInto(const uint8_t *data, uint8_t *codeword) const
+{
+    // Systematic: codeword(x) = data(x) * x^parity + remainder.
+    // The work buffer holds data(x) * x^parity and is reduced in
+    // place; n = 2^m - 1 <= 1023 for every field this project
+    // constructs (m <= 10), so it fits on the stack.
+    assert(dataBits_ + parity_ <= 1023);
+    uint8_t shifted[1023];
+    std::fill_n(shifted, parity_, uint8_t{0});
+    std::copy(data, data + dataBits_, shifted + parity_);
+    for (size_t i = parity_ + dataBits_; i-- > parity_;) {
+        if (!shifted[i])
+            continue;
+        for (size_t j = 0; j < gen_.size(); ++j)
+            shifted[i - parity_ + j] ^= gen_[j];
+    }
+    // Layout: data bits first, then parity bits (= the remainder
+    // left in the low parity_ entries of the work buffer).
+    std::copy(data, data + dataBits_, codeword);
+    std::copy(shifted, shifted + parity_, codeword + dataBits_);
 }
 
 int

@@ -47,6 +47,14 @@ class Bch
     std::vector<uint8_t> encode(const std::vector<uint8_t> &data) const;
 
     /**
+     * Allocation-free encode for the hot path: reads dataBits() bit
+     * bytes from @p data and writes codewordBits() bit bytes to
+     * @p codeword (data bits first, then parity). The buffers may
+     * not overlap.
+     */
+    void encodeInto(const uint8_t *data, uint8_t *codeword) const;
+
+    /**
      * Decode @p received (codewordBits() bits), correcting in place.
      *
      * @return number of corrected errors (0..t), or -1 if the

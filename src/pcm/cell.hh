@@ -85,6 +85,13 @@ class CellMask
     uint64_t word(unsigned w) const { return bits_[w]; }
     unsigned words() const { return (size_ + 63) / 64; }
 
+    /**
+     * Writable word storage for bulk mask producers (the SIMD
+     * differential scan). Writers must fill all words() words and
+     * keep bits at or past size() zero.
+     */
+    uint64_t *rawWords() { return bits_.data(); }
+
   private:
     std::array<uint64_t, maxLineCells / 64> bits_{};
     uint32_t size_ = 0;

@@ -2,9 +2,10 @@
 
 #include <bit>
 #include <cstddef>
-#include <cstring>
 
 #include <cassert>
+
+#include "common/simd.hh"
 
 namespace wlcrc::pcm
 {
@@ -34,24 +35,22 @@ applyDifferential(std::vector<State> &stored, const TargetLine &target,
     assert(stored.size() == target.size());
     const unsigned n = static_cast<unsigned>(stored.size());
     updated.reset(n);
-    // Scan eight cells at a time: differential writes touch a small
-    // fraction of the line, so most 8-byte chunks compare equal and
-    // the per-cell work runs only for genuinely differing cells.
+    // Word-wise differential scan through the SIMD shim: one
+    // cell-difference bitmask per line, then per-cell work only for
+    // genuinely differing cells, in ascending cell order (the energy
+    // accumulation order the golden results pin down).
     State *cur = stored.data();
     const State *tgt = target.states();
-    for (unsigned base = 0; base < n; base += 8) {
-        const unsigned chunk = n - base < 8 ? n - base : 8;
-        uint64_t a = 0, b = 0;
-        std::memcpy(&a, cur + base, chunk);
-        std::memcpy(&b, tgt + base, chunk);
-        uint64_t diff = a ^ b;
+    simd::ops().byteDiffMask(reinterpret_cast<const uint8_t *>(cur),
+                             reinterpret_cast<const uint8_t *>(tgt),
+                             n, updated.rawWords());
+    for (unsigned w = 0; w < updated.words(); ++w) {
+        uint64_t diff = updated.word(w);
         while (diff) {
             const unsigned i =
-                base +
-                static_cast<unsigned>(std::countr_zero(diff)) / 8;
-            diff &= ~(uint64_t{0xff}
-                      << (std::countr_zero(diff) & ~7u));
-            updated.set(i);
+                w * 64 +
+                static_cast<unsigned>(std::countr_zero(diff));
+            diff &= diff - 1;
             const double e = energy.programEnergy(tgt[i]);
             if (target.aux(i)) {
                 st.auxEnergyPj += e;

@@ -86,6 +86,8 @@ class TargetLine
     }
 
     const State *states() const { return cells_.data(); }
+    /** Writable cell storage (SIMD symbol-mapping kernels). */
+    State *states() { return cells_.data(); }
 
     /** Copy out the states (tests and cold paths). */
     std::vector<State>

@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "common/simd.hh"
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
 #include "runner/json_mini.hh"
@@ -217,6 +218,7 @@ mergeShards(const ExperimentSpec &spec,
                 std::move(*wear));
         }
     }
+    res.simdKernel = simd::kernelName(simd::activeKernel());
     res.ok = true;
     return res;
 }

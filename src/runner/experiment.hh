@@ -168,6 +168,11 @@ struct ExperimentResult
     /** Merged per-cell tracker; only set for keepWearTracker specs
      *  executed in-process. */
     std::shared_ptr<const pcm::WearTracker> wearTracker;
+    /** SIMD kernel that encoded this point ("scalar"/"avx2"/"neon").
+     *  Informational: results are bit-identical across kernels, so
+     *  the kernel is recorded in reports but excluded from
+     *  specHash(). Empty for pre-SIMD cached results. */
+    std::string simdKernel;
     bool ok = false;
     std::string error;             //!< failure reason when !ok
 };

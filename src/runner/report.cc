@@ -128,6 +128,8 @@ writeResultObject(std::ostream &os, const ExperimentResult &r)
         os << ",\"error\":\"" << jsonEscape(r.error) << "\"}";
         return;
     }
+    if (!r.simdKernel.empty())
+        os << ",\"simd\":\"" << jsonEscape(r.simdKernel) << "\"";
     const auto field = [&](const char *name, double v) {
         os << ",\"" << name << "\":" << formatDouble(v);
     };
@@ -200,6 +202,11 @@ readResultObject(const JsonValue &obj, ExperimentSpec spec)
         res.error = obj.at("error").asString();
         return res;
     }
+    // Optional: absent in results cached before the SIMD kernels
+    // existed (the kernel never changes the numbers, so old entries
+    // stay valid).
+    if (obj.has("simd"))
+        res.simdKernel = obj.at("simd").asString();
     res.replay.writes = obj.at("writes").asU64();
     res.replay.compressedWrites =
         obj.at("compressed_writes").asU64();

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/simd.hh"
 #include "coset/aux_coding.hh"
 
 namespace wlcrc::core
@@ -15,6 +16,11 @@ using pcm::State;
 CocCosetsCodec::CocCosetsCodec(const pcm::EnergyModel &energy)
     : LineCodec(energy)
 {
+    std::array<const Mapping *, 4> cands{};
+    for (unsigned m = 0; m < 4; ++m)
+        cands[m] = &tableICandidate(m + 1);
+    buildCandidateCostRows({cands.data(), cands.size()}, 4,
+                           candRows_.data());
 }
 
 void
@@ -35,13 +41,26 @@ CocCosetsCodec::encodePayload(const Line512 &packed,
 
         // Single pass over the block, all four candidates scored per
         // cell off its cost row (per-candidate sum order unchanged).
+        // Blocks (8 or 16 symbols, 16-symbol aligned) never span a
+        // 32-symbol word.
         std::array<double, 4> cost{};
-        for (unsigned s = 0; s < symbols_per_block; ++s) {
-            const unsigned sym = packed.symbol(sym0 + s);
-            const double *row = costRow(stored[sym0 + s]);
-            for (unsigned m = 0; m < 4; ++m) {
-                cost[m] += row[pcm::stateIndex(
-                    tableICandidate(m + 1).encode(sym))];
+        if (!scalarScoringForTest()) [[likely]] {
+            const unsigned w = sym0 / 32;
+            const unsigned lo = sym0 - w * 32;
+            simd::ops().accumRows4(
+                candRows_.data(),
+                reinterpret_cast<const uint8_t *>(stored.data()) +
+                    w * 32,
+                packed.word(w), lo, lo + symbols_per_block - 1,
+                cost.data());
+        } else {
+            for (unsigned s = 0; s < symbols_per_block; ++s) {
+                const unsigned sym = packed.symbol(sym0 + s);
+                const double *row = costRow(stored[sym0 + s]);
+                for (unsigned m = 0; m < 4; ++m) {
+                    cost[m] += row[pcm::stateIndex(
+                        tableICandidate(m + 1).encode(sym))];
+                }
             }
         }
         double best_cost = std::numeric_limits<double>::infinity();
@@ -56,9 +75,14 @@ CocCosetsCodec::encodePayload(const Line512 &packed,
             }
         }
         const Mapping &map = tableICandidate(best + 1);
-        for (unsigned s = 0; s < symbols_per_block; ++s) {
-            target[sym0 + s] =
-                map.encode(packed.symbol(sym0 + s));
+        {
+            const unsigned w = sym0 / 32;
+            const unsigned lo = sym0 - w * 32;
+            simd::ops().mapSymbols(
+                packed.word(w), map.stateTable(), lo,
+                lo + symbols_per_block - 1,
+                reinterpret_cast<uint8_t *>(target.states()) +
+                    w * 32);
         }
         target[aux_cell] = coset::auxIndexState(best);
         target.markAux(aux_cell);
@@ -118,8 +142,11 @@ CocCosetsCodec::encodeInto(const Line512 &data,
     // Raw. Flag S2: with >90 % of lines compressing, the common
     // (compressed, 16-bit) format keeps the lowest-energy state.
     const Mapping &c1 = tableICandidate(1);
-    for (unsigned s = 0; s < lineSymbols; ++s)
-        target[s] = c1.encode(data.symbol(s));
+    uint8_t *tgt = reinterpret_cast<uint8_t *>(target.states());
+    const simd::Ops &k = simd::ops();
+    for (unsigned w = 0; w < lineWords; ++w)
+        k.mapSymbols(data.word(w), c1.stateTable(), 0, 31,
+                     tgt + w * 32);
     target[lineSymbols] = State::S2;
 }
 

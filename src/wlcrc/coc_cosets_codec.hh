@@ -54,6 +54,8 @@ class CocCosetsCodec : public coset::LineCodec
                           unsigned granularity) const;
 
     compress::Coc coc_;
+    /** Candidate-cost rows for the SIMD scoring kernel (stride 4). */
+    std::array<double, pcm::numStates * 4 * 4> candRows_{};
 };
 
 } // namespace wlcrc::core

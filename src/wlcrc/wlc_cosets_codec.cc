@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/simd.hh"
 #include "compress/wlc.hh"
 #include "coset/aux_coding.hh"
 
@@ -31,6 +32,12 @@ WlcCosetsCodec::WlcCosetsCodec(const pcm::EnergyModel &energy,
     // Two aux bits per (pre-compression) block, as in Section VI.
     reclaimed_ = 2 * (64 / granularity_);
     blocks_ = (64 - reclaimed_ + granularity_ - 1) / granularity_;
+
+    std::array<const Mapping *, 4> cands{};
+    for (unsigned m = 0; m < candidates_; ++m)
+        cands[m] = &tableICandidate(m + 1);
+    buildCandidateCostRows({cands.data(), candidates_}, 4,
+                           candRows_.data());
 }
 
 std::string
@@ -59,8 +66,11 @@ WlcCosetsCodec::encodeInto(const Line512 &data,
 
     const Mapping &c1 = tableICandidate(1);
     if (!compressible(data)) {
-        for (unsigned s = 0; s < lineSymbols; ++s)
-            target[s] = c1.encode(data.symbol(s));
+        uint8_t *tgt = reinterpret_cast<uint8_t *>(target.states());
+        const simd::Ops &k = simd::ops();
+        for (unsigned w = 0; w < lineWords; ++w)
+            k.mapSymbols(data.word(w), c1.stateTable(), 0, 31,
+                         tgt + w * 32);
         target[lineSymbols] = State::S2; // flag: raw
         return;
     }
@@ -85,13 +95,22 @@ WlcCosetsCodec::encodeInto(const Line512 &data,
             // off the cell's cost row (per-candidate accumulation
             // order is unchanged: cell order, then the aux cell).
             std::array<double, 4> cost{};
-            for (unsigned c = lo_cell; c <= hi_cell; ++c) {
-                const unsigned sym = static_cast<unsigned>(
-                    (word >> (c * 2)) & 3);
-                const double *row = costRow(stored[cell0 + c]);
-                for (unsigned m = 0; m < candidates_; ++m) {
-                    cost[m] += row[pcm::stateIndex(
-                        tableICandidate(m + 1).encode(sym))];
+            if (!scalarScoringForTest()) [[likely]] {
+                simd::ops().accumRows4(
+                    candRows_.data(),
+                    reinterpret_cast<const uint8_t *>(
+                        stored.data()) +
+                        cell0,
+                    word, lo_cell, hi_cell, cost.data());
+            } else {
+                for (unsigned c = lo_cell; c <= hi_cell; ++c) {
+                    const unsigned sym = static_cast<unsigned>(
+                        (word >> (c * 2)) & 3);
+                    const double *row = costRow(stored[cell0 + c]);
+                    for (unsigned m = 0; m < candidates_; ++m) {
+                        cost[m] += row[pcm::stateIndex(
+                            tableICandidate(m + 1).encode(sym))];
+                    }
                 }
             }
             double best_cost =
@@ -107,11 +126,10 @@ WlcCosetsCodec::encodeInto(const Line512 &data,
                 }
             }
             const Mapping &map = tableICandidate(best + 1);
-            for (unsigned c = lo_cell; c <= hi_cell; ++c) {
-                const unsigned sym = static_cast<unsigned>(
-                    (word >> (c * 2)) & 3);
-                target[cell0 + c] = map.encode(sym);
-            }
+            simd::ops().mapSymbols(
+                word, map.stateTable(), lo_cell, hi_cell,
+                reinterpret_cast<uint8_t *>(target.states()) +
+                    cell0);
             target[cell0 + aux_cell] = coset::auxIndexState(best);
             target.markAux(cell0 + aux_cell);
         }

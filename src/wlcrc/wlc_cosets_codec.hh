@@ -60,6 +60,9 @@ class WlcCosetsCodec : public coset::LineCodec
     unsigned granularity_;
     unsigned reclaimed_;
     unsigned blocks_;
+    /** Candidate-cost rows for the SIMD scoring kernel (stride 4,
+     *  lanes past candidates_ zero-padded). */
+    std::array<double, pcm::numStates * 4 * 4> candRows_{};
 };
 
 } // namespace wlcrc::core

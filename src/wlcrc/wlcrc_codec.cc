@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <type_traits>
 
+#include "common/simd.hh"
 #include "compress/wlc.hh"
 #include "coset/aux_coding.hh"
 
@@ -126,6 +127,12 @@ WlcrcCodec::WlcrcCodec(
     }
     if (granularity_ != 64)
         layout_ = &WordLayout::restricted(granularity_);
+    // g = 64 degenerates to unrestricted 3cosets: 2 reclaimed bits.
+    compressionK_ = granularity_ == 64 ? 3 : layout_->reclaimed + 1;
+    for (unsigned m = 0; m < 3; ++m) {
+        candMaps_[m] = &tableICandidate(m + 1);
+        candTables_[m] = candMaps_[m]->stateTable();
+    }
     for (unsigned s = 0; s < pcm::numStates; ++s) {
         for (unsigned t = 0; t < pcm::numStates; ++t) {
             selectTable_[s][t] =
@@ -171,6 +178,21 @@ WlcrcCodec::WlcrcCodec(
             const unsigned cell = l.auxOnlyCells[i];
             auxPlan_[i] = {static_cast<uint8_t>(cell),
                            owner(cell * 2 + 1), owner(cell * 2)};
+            auxMap_[i] = cell == l.groupBitPos / 2
+                             ? &auxGroupMapping()
+                             : &auxPairMapping();
+        }
+        numBlocks_ = nblocks;
+        groupBitPos_ = l.groupBitPos;
+        for (unsigned b = 0; b < nblocks; ++b) {
+            blockBitPos_[b] =
+                static_cast<uint8_t>(l.blockBitPos[b]);
+            blkLoCost_[b] =
+                static_cast<uint8_t>(l.blocks[b].loCostCell);
+            blkHiCost_[b] =
+                static_cast<uint8_t>(l.blocks[b].hiCostCell);
+            blkLoCell_[b] = static_cast<uint8_t>(l.blocks[b].loCell);
+            blkHiCell_[b] = static_cast<uint8_t>(l.blocks[b].hiCell);
         }
         for (const unsigned b : l.decodeOrder) {
             const unsigned pos = l.blockBitPos[b];
@@ -252,11 +274,7 @@ WlcrcCodec::name() const
 unsigned
 WlcrcCodec::compressionK() const
 {
-    // g = 64 degenerates to unrestricted 3cosets: 2 reclaimed bits.
-    return granularity_ == 64 ? 3
-                              : WordLayout::restricted(granularity_)
-                                        .reclaimed +
-                                    1;
+    return compressionK_;
 }
 
 bool
@@ -274,41 +292,70 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
     using CostT = CostOf<Mo>;
     const WordLayout &layout = *layout_;
     const unsigned cell0 = w * 32;
-    const unsigned nblocks =
-        static_cast<unsigned>(layout.blocks.size());
+    const unsigned nblocks = numBlocks_;
+    const simd::Ops &k = simd::ops();
     assert(nblocks <= maxBlocksPerWord);
-    const Mapping *maps[3] = {&tableICandidate(1), &tableICandidate(2),
-                              &tableICandidate(3)};
 
     // Per-block cost of each candidate over the fully-known cells
     // (Algorithm 1 line 4, evaluated in parallel in hardware). The
-    // fast path accumulates all three candidates as one padded
-    // 4-lane add per cell from the precomputed (stored, symbol)
-    // contribution rows — the same doubles in the same order as the
-    // scalar-hook path below, so selections are identical.
-    std::array<std::array<CostT, 3>, maxBlocksPerWord> cost{};
-    if (!scalarScoringForTest()) [[likely]] {
+    // fast path scores every block of the word with one fused
+    // accumBlocks4 call over the precomputed (stored, symbol)
+    // contribution rows — per block, the same doubles in the same
+    // cell order as the scalar-hook path below, so selections are
+    // identical. costE holds the sums at the kernel's stride of 4
+    // (lane 3 is padding); the multi-objective mode keeps its own
+    // energy+updates accumulation.
+    alignas(32) std::array<double, maxBlocksPerWord * 4> costE;
+    // Zero-initialised only in multi-objective mode: the energy-only
+    // path never reads it, and a real per-word array here would cost
+    // 24 dead stores plus 192 stack bytes on the hot path.
+    [[maybe_unused]] std::conditional_t<
+        Mo, std::array<std::array<CostT, 3>, maxBlocksPerWord>, char>
+        costMo{};
+    if constexpr (!Mo) {
+        std::fill_n(costE.data(), std::size_t{nblocks} * 4, 0.0);
+        if (!scalarScoringForTest()) [[likely]] {
+            k.accumBlocks4(
+                triE_[0][0].data(),
+                reinterpret_cast<const uint8_t *>(stored) + cell0,
+                word, blkLoCost_.data(), blkHiCost_.data(), nblocks,
+                costE.data());
+        } else {
+            for (unsigned b = 0; b < nblocks; ++b) {
+                const BlockLayout &blk = layout.blocks[b];
+                for (unsigned c = blk.loCostCell;
+                     c <= blk.hiCostCell; ++c) {
+                    const unsigned sym = static_cast<unsigned>(
+                        (word >> (c * 2)) & 3);
+                    const State old_state = stored[cell0 + c];
+                    const double *row = selectRow(old_state);
+                    for (unsigned m = 0; m < 3; ++m) {
+                        const State t = candMaps_[m]->encode(sym);
+                        costE[b * 4 + m] += row[pcm::stateIndex(t)];
+                    }
+                }
+            }
+        }
+    } else if (!scalarScoringForTest()) [[likely]] {
         for (unsigned b = 0; b < nblocks; ++b) {
             const BlockLayout &blk = layout.blocks[b];
             std::array<double, 4> e{};
             std::array<uint32_t, 4> u{};
             for (unsigned c = blk.loCostCell; c <= blk.hiCostCell;
                  ++c) {
-                const unsigned sym =
-                    static_cast<unsigned>((word >> (c * 2)) & 3);
+                const unsigned sym = static_cast<unsigned>(
+                    (word >> (c * 2)) & 3);
                 const unsigned s =
                     pcm::stateIndex(stored[cell0 + c]);
                 const double *ce = triE_[s][sym].data();
                 for (unsigned m = 0; m < 4; ++m)
                     e[m] += ce[m];
-                if constexpr (Mo) {
-                    const uint8_t *cu = triU_[s][sym].data();
-                    for (unsigned m = 0; m < 4; ++m)
-                        u[m] += cu[m];
-                }
+                const uint8_t *cu = triU_[s][sym].data();
+                for (unsigned m = 0; m < 4; ++m)
+                    u[m] += cu[m];
             }
             for (unsigned m = 0; m < 3; ++m)
-                cost[b][m] = makeCost<Mo>(e[m], u[m]);
+                costMo[b][m] = makeCost<Mo>(e[m], u[m]);
         }
     } else {
         for (unsigned b = 0; b < nblocks; ++b) {
@@ -320,23 +367,33 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
                 const State old_state = stored[cell0 + c];
                 const double *row = selectRow(old_state);
                 for (unsigned m = 0; m < 3; ++m) {
-                    const State t = maps[m]->encode(sym);
-                    cost[b][m] += makeCost<Mo>(
+                    const State t = candMaps_[m]->encode(sym);
+                    costMo[b][m] += makeCost<Mo>(
                         row[pcm::stateIndex(t)],
                         t != old_state ? 1u : 0u);
                 }
             }
         }
     }
+    // Block-cost accessor over whichever array the mode filled.
+    const auto costAt = [&](unsigned b, unsigned m) -> CostT {
+        if constexpr (Mo)
+            return costMo[b][m];
+        else
+            return costE[b * 4 + m];
+    };
 
     // Evaluate both groups; within each, decide every selector bit
     // together with the aux cell it lands in. Selector-bit hosting
     // (which aux cell / shared data cell holds which bit) was
-    // resolved into auxPlan_/sharedPlan_ at construction.
+    // resolved into auxPlan_/sharedPlan_ at construction. Best-so-
+    // far tracking uses conditional moves (the take ternaries): the
+    // winning combo is data-dependent, and a mispredicted branch
+    // per combo costs more than the ternary ever does.
     CostT group_cost[2] = {};
     std::array<std::array<uint8_t, maxBlocksPerWord>, 2> pick{};
     for (unsigned g = 0; g < 2; ++g) {
-        const unsigned alt = g + 1; // candidate index into maps[]
+        const unsigned alt = g + 1; // candidate index into candMaps_
         CostT total{};
 
         // Pass 1: blocks whose selector bit sits in an aux-only
@@ -347,14 +404,63 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
         // codecs do.
         for (unsigned a = 0; a < numAux_; ++a) {
             const AuxCellPlan &ap = auxPlan_[a];
-            const unsigned cell = ap.cell;
-            const Mapping &am = cell == layout.groupBitPos / 2
-                                    ? auxGroupMapping()
-                                    : auxPairMapping();
-            const State old_state = stored[cell0 + cell];
+            const Mapping &am = *auxMap_[a];
+            const State old_state = stored[cell0 + ap.cell];
             const double *arow = selectRow(old_state);
             const int hi = ap.hi;
             const int lo = ap.lo;
+            if constexpr (!Mo) {
+                // Straight-line unrolls of the generic loop below:
+                // same (x, y) evaluation order, same strict-< first-
+                // wins ties, same left-to-right additions — the
+                // picks are identical, minus the per-combo branches
+                // (betterT<false> is a plain compare, so std::min
+                // and comparison-keyed selects stay branchless).
+                const uint8_t *atab = am.stateTable();
+                const unsigned hb_fix = hi == -1 ? g : 0;
+                const unsigned lb_fix = lo == -1 ? g : 0;
+                if (hi >= 0 && lo >= 0) {
+                    const unsigned hu = static_cast<unsigned>(hi);
+                    const unsigned lu = static_cast<unsigned>(lo);
+                    const double chi0 = costE[4 * hu];
+                    const double chiA = costE[4 * hu + alt];
+                    const double clo0 = costE[4 * lu];
+                    const double cloA = costE[4 * lu + alt];
+                    const double c00 = arow[atab[0]] + chi0 + clo0;
+                    const double c01 = arow[atab[1]] + chi0 + cloA;
+                    const double c10 = arow[atab[2]] + chiA + clo0;
+                    const double c11 = arow[atab[3]] + chiA + cloA;
+                    double bv = c00;
+                    unsigned bi = 0;
+                    bi = c01 < bv ? 1 : bi;
+                    bv = std::min(c01, bv);
+                    bi = c10 < bv ? 2 : bi;
+                    bv = std::min(c10, bv);
+                    bi = c11 < bv ? 3 : bi;
+                    bv = std::min(c11, bv);
+                    pick[g][hu] = static_cast<uint8_t>(bi >> 1);
+                    pick[g][lu] = static_cast<uint8_t>(bi & 1);
+                    total += bv;
+                } else if (hi >= 0 || lo >= 0) {
+                    const unsigned bu = static_cast<unsigned>(
+                        hi >= 0 ? hi : lo);
+                    const unsigned s0 = hi >= 0 ? lb_fix
+                                                : (hb_fix << 1);
+                    const unsigned s1 =
+                        hi >= 0 ? (1u << 1) | lb_fix
+                                : (hb_fix << 1) | 1u;
+                    const double c0 =
+                        arow[atab[s0]] + costE[4 * bu];
+                    const double c1 =
+                        arow[atab[s1]] + costE[4 * bu + alt];
+                    const bool t1 = c1 < c0;
+                    pick[g][bu] = static_cast<uint8_t>(t1);
+                    total += std::min(c1, c0);
+                } else {
+                    total += arow[atab[(hb_fix << 1) | lb_fix]];
+                }
+                continue;
+            }
             CostT best{};
             unsigned best_hi = 0, best_lo = 0;
             bool first = true;
@@ -367,16 +473,18 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
                         makeCost<Mo>(arow[pcm::stateIndex(t)],
                                      t != old_state ? 1u : 0u);
                     if (hi >= 0)
-                        cand += cost[hi][x ? alt : 0];
+                        cand += costAt(static_cast<unsigned>(hi),
+                                       x ? alt : 0);
                     if (lo >= 0)
-                        cand += cost[lo][y ? alt : 0];
-                    if (first ||
-                        betterT<Mo>(cand, best, threshold_)) {
-                        best = cand;
-                        best_hi = x;
-                        best_lo = y;
-                        first = false;
-                    }
+                        cand += costAt(static_cast<unsigned>(lo),
+                                       y ? alt : 0);
+                    const bool take =
+                        first ||
+                        betterT<Mo>(cand, best, threshold_);
+                    best = take ? cand : best;
+                    best_hi = take ? x : best_hi;
+                    best_lo = take ? y : best_lo;
+                    first = false;
                 }
             }
             if (hi >= 0)
@@ -394,7 +502,7 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
             const SharedSelPlan &plan = sharedPlan_[sp];
             const unsigned cell = plan.pos / 2;
             const Mapping &host_map =
-                pick[g][plan.host] ? *maps[alt] : *maps[0];
+                pick[g][plan.host] ? *candMaps_[alt] : *candMaps_[0];
             const unsigned data_bit = static_cast<unsigned>(
                 (word >> (plan.pos - 1)) & 1);
             const State old_state = stored[cell0 + cell];
@@ -406,11 +514,11 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
                 CostT cand =
                     makeCost<Mo>(srow[pcm::stateIndex(t)],
                                  t != old_state ? 1u : 0u);
-                cand += cost[plan.block][x ? alt : 0];
-                if (x == 0 || betterT<Mo>(cand, best, threshold_)) {
-                    best = cand;
-                    best_x = x;
-                }
+                cand += costAt(plan.block, x ? alt : 0);
+                const bool take =
+                    x == 0 || betterT<Mo>(cand, best, threshold_);
+                best = take ? cand : best;
+                best_x = take ? x : best_x;
             }
             pick[g][plan.block] = static_cast<uint8_t>(best_x);
             total += best;
@@ -430,29 +538,25 @@ WlcrcCodec::encodeWordRestricted(unsigned w, uint64_t word,
         out = (out & ~(uint64_t{1} << pos)) |
               (uint64_t(v & 1) << pos);
     };
-    set_bit(layout.groupBitPos, group);
+    set_bit(groupBitPos_, group);
     for (unsigned b = 0; b < nblocks; ++b)
-        set_bit(layout.blockBitPos[b], pick[group][b]);
+        set_bit(blockBitPos_[b], pick[group][b]);
 
-    // Map block cells with their chosen candidate; aux-only cells
-    // with the default mapping (their '0' bits land on S1).
-    for (unsigned b = 0; b < nblocks; ++b) {
-        const BlockLayout &blk = layout.blocks[b];
-        const Mapping &m =
-            pick[group][b] ? *maps[group + 1] : *maps[0];
-        for (unsigned c = blk.loCell; c <= blk.hiCell; ++c) {
-            const unsigned sym =
-                static_cast<unsigned>((out >> (c * 2)) & 3);
-            target[cell0 + c] = m.encode(sym);
-        }
-    }
-    for (unsigned c : layout.auxOnlyCells) {
+    // Map block cells with their chosen candidate (one fused kernel
+    // call for the whole word); aux-only cells with the default
+    // mapping (their '0' bits land on S1).
+    uint8_t *tgt =
+        reinterpret_cast<uint8_t *>(target.states()) + cell0;
+    const uint8_t *tables[maxBlocksPerWord];
+    for (unsigned b = 0; b < nblocks; ++b)
+        tables[b] = candTables_[pick[group][b] ? group + 1 : 0];
+    k.mapBlocks(out, tables, blkLoCell_.data(), blkHiCell_.data(),
+                nblocks, tgt);
+    for (unsigned a = 0; a < numAux_; ++a) {
+        const unsigned c = auxPlan_[a].cell;
         const unsigned sym =
             static_cast<unsigned>((out >> (c * 2)) & 3);
-        const Mapping &am = c == layout.groupBitPos / 2
-                                ? auxGroupMapping()
-                                : auxPairMapping();
-        target[cell0 + c] = am.encode(sym);
+        target[cell0 + c] = auxMap_[a]->encode(sym);
         target.markAux(cell0 + c);
     }
 }
@@ -473,14 +577,20 @@ WlcrcCodec::encodeWord64(unsigned w, uint64_t word,
     if (!scalarScoringForTest()) [[likely]] {
         std::array<double, 4> e{};
         std::array<uint32_t, 4> u{};
-        for (unsigned c = 0; c < 31; ++c) {
-            const unsigned sym =
-                static_cast<unsigned>((word >> (c * 2)) & 3);
-            const unsigned s = pcm::stateIndex(stored[cell0 + c]);
-            const double *ce = triE_[s][sym].data();
-            for (unsigned m = 0; m < 4; ++m)
-                e[m] += ce[m];
-            if constexpr (Mo) {
+        if constexpr (!Mo) {
+            simd::ops().accumRows4(
+                triE_[0][0].data(),
+                reinterpret_cast<const uint8_t *>(stored) + cell0,
+                word, 0, 30, e.data());
+        } else {
+            for (unsigned c = 0; c < 31; ++c) {
+                const unsigned sym =
+                    static_cast<unsigned>((word >> (c * 2)) & 3);
+                const unsigned s =
+                    pcm::stateIndex(stored[cell0 + c]);
+                const double *ce = triE_[s][sym].data();
+                for (unsigned m = 0; m < 4; ++m)
+                    e[m] += ce[m];
                 const uint8_t *cu = triU_[s][sym].data();
                 for (unsigned m = 0; m < 4; ++m)
                     u[m] += cu[m];
@@ -511,11 +621,9 @@ WlcrcCodec::encodeWord64(unsigned w, uint64_t word,
         if (betterT<Mo>(cost[m], cost[best], threshold_))
             best = m;
 
-    for (unsigned c = 0; c < 31; ++c) {
-        const unsigned sym =
-            static_cast<unsigned>((word >> (c * 2)) & 3);
-        target[cell0 + c] = maps[best]->encode(sym);
-    }
+    simd::ops().mapSymbols(
+        word, maps[best]->stateTable(), 0, 30,
+        reinterpret_cast<uint8_t *>(target.states()) + cell0);
     target[cell0 + 31] = coset::auxIndexState(best);
     target.markAux(cell0 + 31);
 }
@@ -534,14 +642,11 @@ WlcrcCodec::encodeInto(const Line512 &data,
     if (!compressible(data)) {
         // Raw format: flag = S2, plain default-mapping write.
         const Mapping &c1 = tableICandidate(1);
-        for (unsigned w = 0; w < lineWords; ++w) {
-            uint64_t word = data.word(w);
-            for (unsigned k = 0; k < 32; ++k) {
-                target[w * 32 + k] =
-                    c1.encode(static_cast<unsigned>(word & 3));
-                word >>= 2;
-            }
-        }
+        uint8_t *tgt = reinterpret_cast<uint8_t *>(target.states());
+        const simd::Ops &k = simd::ops();
+        for (unsigned w = 0; w < lineWords; ++w)
+            k.mapSymbols(data.word(w), c1.stateTable(), 0, 31,
+                         tgt + w * 32);
         target[lineSymbols] = State::S2;
         return;
     }

@@ -173,6 +173,33 @@ class WlcrcCodec : public coset::LineCodec
     std::array<AuxCellPlan, 4> auxPlan_{};
     unsigned numAux_ = 0;
 
+    /** Mapping of each aux-only cell (group-bit cell vs selector
+     *  pair cell), resolved at construction so the per-word loops
+     *  skip the function-local-static guards. */
+    std::array<const coset::Mapping *, 4> auxMap_{};
+
+    /** tableICandidate(1..3), cached for the per-word loops. */
+    std::array<const coset::Mapping *, 3> candMaps_{};
+
+    /** candMaps_[m]->stateTable(), cached so the per-word assembly
+     *  picks each block's LUT with one indexed load. */
+    std::array<const uint8_t *, 3> candTables_{};
+
+    /** Restricted-layout fields flattened out of WordLayout so the
+     *  per-word hot loop avoids the pointer chases (vector size
+     *  division, blockBitPos indexing) on every word. */
+    unsigned numBlocks_ = 0;
+    unsigned groupBitPos_ = 0;
+    unsigned compressionK_ = 0;
+    std::array<uint8_t, maxBlocksPerWord> blockBitPos_{};
+
+    /** Block cell ranges flattened to the argument layout of the
+     *  fused simd kernels (accumBlocks4 / mapBlocks). */
+    std::array<uint8_t, maxBlocksPerWord> blkLoCost_{};
+    std::array<uint8_t, maxBlocksPerWord> blkHiCost_{};
+    std::array<uint8_t, maxBlocksPerWord> blkLoCell_{};
+    std::array<uint8_t, maxBlocksPerWord> blkHiCell_{};
+
     /** Block whose selector bit shares a data cell with a host
      *  block, in decode order. */
     struct SharedSelPlan

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Open-ended differential fuzzer for the encode hot path — the CLI
+ * sibling of tests/encode_fuzz_test.cc (which runs a bounded budget
+ * under ctest). Each iteration draws a pattern-biased payload and a
+ * random stored line, encodes it under the scalar reference kernel,
+ * and cross-checks:
+ *
+ *   - every available SIMD kernel (or just the one named by --simd),
+ *   - the recompute-per-fetch scalar-scoring test hook,
+ *   - periodically, a batched replay against a step()-ed replay.
+ *
+ * Any divergence prints a self-contained repro (iteration seed plus
+ * full line hex) and exits 1; a clean run prints a summary and exits
+ * 0. Seeds are derived per iteration from --seed, so a failure
+ * reported as "iteration seed S" reproduces with --seed S --iters 1.
+ *
+ * Usage:
+ *   wlcrc_fuzz [--iters N]       iterations (default 2000)
+ *              [--seed N]        base seed (default 1)
+ *              [--scheme NAME]   fuzz one scheme (default: all)
+ *              [--simd KERNEL]   auto|scalar|avx2|neon (default auto)
+ *              [--help]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/simd.hh"
+#include "coset/codec.hh"
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+#include "trace/replay.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+using pcm::State;
+using simd::Kernel;
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: wlcrc_fuzz [--iters N] [--seed N] [--scheme NAME]\n"
+        "                  [--simd auto|scalar|avx2|neon] [--help]\n"
+        "\n"
+        "Differential fuzzer: encodes random lines under every\n"
+        "available SIMD kernel and the scalar-scoring test hook,\n"
+        "failing loudly on any bit difference from the scalar\n"
+        "reference. Exits 0 on a clean run, 1 on a mismatch.\n");
+}
+
+std::vector<Kernel>
+kernelsUnderTest()
+{
+    std::vector<Kernel> out;
+    for (const Kernel k :
+         {Kernel::Scalar, Kernel::Avx2, Kernel::Neon})
+        if (simd::kernelAvailable(k))
+            out.push_back(k);
+    return out;
+}
+
+struct KernelScope
+{
+    explicit KernelScope(Kernel k) : prev_(simd::activeKernel())
+    {
+        simd::setKernel(k);
+    }
+    ~KernelScope() { simd::setKernel(prev_); }
+    Kernel prev_;
+};
+
+struct ScalarScoringScope
+{
+    ScalarScoringScope()
+    {
+        coset::LineCodec::setScalarScoringForTest(true);
+    }
+    ~ScalarScoringScope()
+    {
+        coset::LineCodec::setScalarScoringForTest(false);
+    }
+};
+
+/** Pattern-biased payload (see tests/encode_fuzz_test.cc). */
+Line512
+fuzzLine(Rng &rng)
+{
+    Line512 l;
+    for (unsigned w = 0; w < lineWords; ++w) {
+        switch (rng.nextBelow(5)) {
+        case 0:
+            l.setWord(w, 0);
+            break;
+        case 1:
+            l.setWord(w, ~uint64_t{0});
+            break;
+        case 2: {
+            const uint64_t byte = rng.next() & 0xff;
+            l.setWord(w, byte * 0x0101010101010101ull);
+            break;
+        }
+        case 3:
+            l.setWord(w, rng.next() & 0xffff);
+            break;
+        default:
+            l.setWord(w, rng.next());
+        }
+    }
+    return l;
+}
+
+std::vector<State>
+fuzzStored(Rng &rng, unsigned cells)
+{
+    std::vector<State> stored(cells);
+    if (rng.chance(0.2)) {
+        const State s = pcm::stateFromIndex(
+            static_cast<unsigned>(rng.nextBelow(4)));
+        for (auto &c : stored)
+            c = s;
+    } else {
+        for (auto &c : stored)
+            c = pcm::stateFromIndex(
+                static_cast<unsigned>(rng.next() & 3));
+    }
+    return stored;
+}
+
+void
+dumpCase(uint64_t seed, const std::string &scheme,
+         const Line512 &data, const std::vector<State> &stored)
+{
+    std::fprintf(stderr,
+                 "repro: wlcrc_fuzz --seed %llu --iters 1 --scheme "
+                 "'%s'\n  data:",
+                 static_cast<unsigned long long>(seed),
+                 scheme.c_str());
+    for (unsigned w = 0; w < lineWords; ++w)
+        std::fprintf(stderr, " %016llx",
+                     static_cast<unsigned long long>(data.word(w)));
+    std::fprintf(stderr, "\n  stored:");
+    for (const State s : stored)
+        std::fprintf(stderr, "%u", pcm::stateIndex(s));
+    std::fprintf(stderr, "\n");
+}
+
+/** True iff the targets are bit-identical; reports the first diff. */
+bool
+sameTarget(const pcm::TargetLine &got, const pcm::TargetLine &want,
+           const char *what)
+{
+    if (got.size() != want.size() ||
+        got.auxStart() != want.auxStart()) {
+        std::fprintf(stderr,
+                     "MISMATCH (%s): target shape %u/%u vs %u/%u\n",
+                     what, got.size(), got.auxStart(), want.size(),
+                     want.auxStart());
+        return false;
+    }
+    for (unsigned i = 0; i < want.size(); ++i) {
+        if (got[i] != want[i] || got.aux(i) != want.aux(i)) {
+            std::fprintf(
+                stderr,
+                "MISMATCH (%s): cell %u state %u aux %d, scalar "
+                "reference has state %u aux %d\n",
+                what, i, pcm::stateIndex(got[i]),
+                got.aux(i) ? 1 : 0, pcm::stateIndex(want[i]),
+                want.aux(i) ? 1 : 0);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+sameResult(const trace::ReplayResult &a,
+           const trace::ReplayResult &b, const char *what)
+{
+    const bool ok =
+        a.writes == b.writes &&
+        a.compressedWrites == b.compressedWrites &&
+        a.vnrIterations == b.vnrIterations &&
+        a.energyPj.mean() == b.energyPj.mean() &&
+        a.energyPj.variance() == b.energyPj.variance() &&
+        a.updatedCells.mean() == b.updatedCells.mean() &&
+        a.disturbErrors.mean() == b.disturbErrors.mean();
+    if (!ok)
+        std::fprintf(stderr,
+                     "MISMATCH (%s): replay results diverge "
+                     "(energy %.17g vs %.17g)\n",
+                     what, a.energyPj.mean(), b.energyPj.mean());
+    return ok;
+}
+
+trace::ReplayResult
+replayBatch(const coset::LineCodec &codec,
+            const pcm::WriteUnit &unit,
+            const std::vector<trace::WriteTransaction> &txns)
+{
+    trace::Replayer rep(codec, unit, 7);
+    std::size_t at = 0;
+    rep.runBatch([&](trace::WriteTransaction &slot) {
+        if (at >= txns.size())
+            return false;
+        slot = txns[at++];
+        return true;
+    });
+    return rep.result();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t iters = 2000;
+    uint64_t seed = 1;
+    std::string only_scheme;
+    std::string simd_choice;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        const auto value = [&]() -> const char * {
+            if (a + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++a];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--iters") {
+            iters = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(value(), nullptr, 0);
+        } else if (arg == "--scheme") {
+            only_scheme = value();
+        } else if (arg == "--simd") {
+            simd_choice = value();
+        } else {
+            std::fprintf(stderr, "error: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    try {
+        if (!simd_choice.empty())
+            simd::setKernelFromText(simd_choice);
+
+        std::vector<std::string> schemes;
+        if (!only_scheme.empty()) {
+            schemes.push_back(only_scheme);
+        } else {
+            schemes = core::figure8Schemes();
+            for (const char *extra :
+                 {"WLC+3cosets", "WLCRC-8", "WLCRC-32", "WLCRC-64",
+                  "WLCRC-16-mo", "WLCRC-16-da"})
+                schemes.push_back(extra);
+        }
+
+        const pcm::EnergyModel energy;
+        std::vector<coset::CodecPtr> codecs;
+        for (const auto &name : schemes)
+            codecs.push_back(core::makeCodec(name, energy));
+
+        const auto kernels = kernelsUnderTest();
+        std::fprintf(stderr, "fuzzing %zu scheme(s), kernels:",
+                     schemes.size());
+        for (const Kernel k : kernels)
+            std::fprintf(stderr, " %s", simd::kernelName(k));
+        std::fprintf(stderr, ", %llu iterations, seed %llu\n",
+                     static_cast<unsigned long long>(iters),
+                     static_cast<unsigned long long>(seed));
+
+        uint64_t encodes = 0;
+        for (uint64_t iter = 0; iter < iters; ++iter) {
+            const uint64_t iseed = childSeed(seed, iter);
+            Rng rng(iseed);
+            const Line512 data = fuzzLine(rng);
+            for (std::size_t c = 0; c < codecs.size(); ++c) {
+                const coset::LineCodec &codec = *codecs[c];
+                const auto stored =
+                    fuzzStored(rng, codec.cellCount());
+
+                pcm::TargetLine want;
+                {
+                    KernelScope scalar(Kernel::Scalar);
+                    want = codec.encode(data, stored);
+                }
+                {
+                    KernelScope scalar(Kernel::Scalar);
+                    ScalarScoringScope hook;
+                    if (!sameTarget(codec.encode(data, stored),
+                                    want, "scoring hook")) {
+                        dumpCase(iseed, schemes[c], data, stored);
+                        return 1;
+                    }
+                }
+                for (const Kernel k : kernels) {
+                    KernelScope scope(k);
+                    if (!sameTarget(codec.encode(data, stored),
+                                    want, simd::kernelName(k))) {
+                        dumpCase(iseed, schemes[c], data, stored);
+                        return 1;
+                    }
+                }
+                encodes += 2 + kernels.size();
+            }
+            if ((iter + 1) % 500 == 0)
+                std::fprintf(
+                    stderr, "  %llu/%llu iterations, %llu encodes\n",
+                    static_cast<unsigned long long>(iter + 1),
+                    static_cast<unsigned long long>(iters),
+                    static_cast<unsigned long long>(encodes));
+        }
+
+        // Stream-level pass: batched vs stepped replay per kernel.
+        const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName("gcc"),
+            childSeed(seed, ~uint64_t{0}));
+        std::vector<trace::WriteTransaction> txns;
+        for (uint64_t i = 0; i < 500; ++i)
+            txns.push_back(synth.next());
+        for (std::size_t c = 0; c < codecs.size(); ++c) {
+            trace::ReplayResult scalarBatch;
+            {
+                KernelScope scalar(Kernel::Scalar);
+                scalarBatch = replayBatch(*codecs[c], unit, txns);
+            }
+            for (const Kernel k : kernels) {
+                KernelScope scope(k);
+                trace::Replayer stepped(*codecs[c], unit, 7);
+                for (const auto &t : txns)
+                    stepped.step(t);
+                if (!sameResult(stepped.result(), scalarBatch,
+                                "stepped replay") ||
+                    !sameResult(replayBatch(*codecs[c], unit, txns),
+                                scalarBatch, "batched replay")) {
+                    std::fprintf(stderr,
+                                 "repro: wlcrc_fuzz --seed %llu "
+                                 "--scheme '%s' --simd %s\n",
+                                 static_cast<unsigned long long>(
+                                     seed),
+                                 schemes[c].c_str(),
+                                 simd::kernelName(k));
+                    return 1;
+                }
+            }
+        }
+
+        std::fprintf(stderr,
+                     "ok: %llu encodes + %zu replay streams, all "
+                     "kernels bit-identical\n",
+                     static_cast<unsigned long long>(encodes),
+                     schemes.size());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

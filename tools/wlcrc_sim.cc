@@ -48,6 +48,10 @@
  *   --lifetime             loop the stream until first uncorrectable
  *                          cell death (requires --endurance)
  *   --s3 <pJ> --s4 <pJ>    override intermediate-state SET energies
+ *   --simd <kernel>        encode kernel: auto (default), scalar,
+ *                          avx2 or neon; results are bit-identical
+ *                          for every choice (also via $WLCRC_SIMD;
+ *                          propagated to process-backend workers)
  *   --json                 report JSON instead of CSV
  *   --progress             stderr progress/ETA line while running
  *   --worker <specfile>    internal: run one serialized spec and
@@ -71,6 +75,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "common/simd.hh"
 #include "runner/backend.hh"
 #include "runner/grid.hh"
 #include "runner/report.hh"
@@ -113,6 +118,7 @@ struct Options
     unsigned jobs = 0;
     unsigned shards = 1;
     double s3 = 307.0, s4 = 547.0;
+    std::string simd;
 };
 
 void
@@ -127,6 +133,7 @@ usage(const char *argv0)
         "[--cache-dir D] [--no-cache]\n"
         "          [--vnr] [--wear ENDURANCE] [--wear-csv F] "
         "[--s3 pJ] [--s4 pJ] [--json] [--progress]\n"
+        "          [--simd auto|scalar|avx2|neon]\n"
         "          [--leveler CFG]... [--endurance CFG] "
         "[--lifetime]\n"
         "          [--worker SPECFILE] [--help]\n",
@@ -204,6 +211,9 @@ parse(int argc, char **argv)
                 o.endurance = v;
         } else if (a == "--lifetime") {
             o.lifetime = true;
+        } else if (a == "--simd") {
+            if (const char *v = next())
+                o.simd = v;
         } else if (a == "--s3") {
             if (const char *v = next())
                 o.s3 = std::strtod(v, nullptr);
@@ -330,6 +340,14 @@ main(int argc, char **argv)
     }
 
     try {
+        if (!opts->simd.empty()) {
+            // Resolve now (validates the name, throws on typos) and
+            // export the concrete kernel so process-backend workers
+            // inherit the same choice.
+            simd::setKernelFromText(opts->simd);
+            ::setenv("WLCRC_SIMD",
+                     simd::kernelName(simd::activeKernel()), 1);
+        }
         if (!opts->workerSpec.empty())
             return workerMain(opts->workerSpec);
         runner::DeviceConfig device;
