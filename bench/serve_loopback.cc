@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Loopback throughput bench for the live write-stream service: an
+ * in-process Server with N concurrent loopback clients, measured
+ * once without telemetry and once with a client hammering STATS
+ * every millisecond. The seqlock snapshot design claims telemetry
+ * never stalls encode; the with-stats column should therefore sit
+ * within noise of the quiet run (the ratio column makes the
+ * comparison explicit, and WLCRC_SERVE_BENCH_CHECK=<minRatio> turns
+ * it into a hard gate for CI perf smoke).
+ *
+ * Knobs: WLCRC_BENCH_LINES scales total writes (x10 per phase);
+ * timing columns are volatile and masked by the golden harness.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "common/rng.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+struct PhaseResult
+{
+    uint64_t writes = 0;
+    double seconds = 0;
+    uint64_t statsSnapshots = 0;
+};
+
+/** One measured session: @p conns clients, optional STATS hammer. */
+PhaseResult
+runPhase(uint64_t totalWrites, unsigned conns, bool pollStats)
+{
+    serve::ServerConfig cfg;
+    cfg.engine.scheme = "WLCRC-16";
+    cfg.engine.banks = conns;
+    cfg.engine.seed = 7;
+    serve::Server server(cfg);
+    server.start();
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> snapshots{0};
+    std::thread poller;
+    if (pollStats) {
+        poller = std::thread([&] {
+            serve::Client c;
+            c.connect("127.0.0.1", server.port());
+            while (!done.load(std::memory_order_relaxed)) {
+                (void)c.stats();
+                snapshots.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (unsigned i = 0; i < conns; ++i) {
+        clients.emplace_back([&, i] {
+            // Independent per-client streams in disjoint address
+            // windows: this measures encode throughput, not the
+            // equivalence partitioning (tests cover that).
+            trace::TraceSynthesizer synth(
+                trace::WorkloadProfile::byName("lesl"),
+                childSeed(7, i));
+            const uint64_t offset = static_cast<uint64_t>(i) << 32;
+            serve::Client client;
+            client.connect("127.0.0.1", server.port());
+            client.hello(i);
+            std::vector<trace::WriteTransaction> frame;
+            frame.reserve(64);
+            for (uint64_t w = 0; w < totalWrites / conns; ++w) {
+                trace::WriteTransaction txn = synth.next();
+                txn.lineAddr += offset;
+                frame.push_back(txn);
+                if (frame.size() == 64) {
+                    client.sendWrites(frame.data(), frame.size(),
+                                      false);
+                    frame.clear();
+                }
+            }
+            if (!frame.empty())
+                client.sendWrites(frame.data(), frame.size(), false);
+            (void)client.bye();
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    done.store(true);
+    if (poller.joinable())
+        poller.join();
+    server.requestStop();
+    server.wait();
+
+    PhaseResult r;
+    r.writes = server.finalResult().replay.writes;
+    r.seconds = elapsed;
+    r.statsSnapshots = snapshots.load();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+    return wb::benchMain([] {
+        wb::banner("ServeLoopback",
+                   "live service loopback throughput, quiet vs "
+                   "STATS-hammered");
+
+        const unsigned conns = 4;
+        const uint64_t totalWrites = wb::linesPerWorkload() * 10;
+        const auto quiet = runPhase(totalWrites, conns, false);
+        const auto polled = runPhase(totalWrites, conns, true);
+
+        const double quietRate =
+            static_cast<double>(quiet.writes) / quiet.seconds;
+        const double polledRate =
+            static_cast<double>(polled.writes) / polled.seconds;
+        const double ratio =
+            quietRate > 0 ? polledRate / quietRate : 0.0;
+
+        CsvTable table({"phase", "connections", "writes",
+                        "stats_snapshots", "writes_per_sec"});
+        table.newRow();
+        table.add("quiet");
+        table.add(conns);
+        table.add(quiet.writes);
+        table.add(quiet.statsSnapshots);
+        table.add(quietRate);
+        table.newRow();
+        table.add("stats-hammered");
+        table.add(conns);
+        table.add(polled.writes);
+        table.add(polled.statsSnapshots);
+        table.add(polledRate);
+        table.write(std::cout);
+        std::fprintf(stderr,
+                     "serve_loopback: hammered/quiet throughput "
+                     "ratio %.3f (%llu snapshots)\n",
+                     ratio,
+                     static_cast<unsigned long long>(
+                         polled.statsSnapshots));
+
+        // Optional hard gate: snapshots must not meaningfully tax
+        // encode. Off by default — loopback timing on shared CI
+        // machines is noisy; perf smoke opts in with a loose bound.
+        const double minRatio = wlcrc::envU64(
+                                    "WLCRC_SERVE_BENCH_CHECK", 0)
+                                    ? 0.5
+                                    : 0.0;
+        if (minRatio > 0 && ratio < minRatio) {
+            std::fprintf(stderr,
+                         "serve_loopback: ratio %.3f below gate "
+                         "%.2f\n",
+                         ratio, minRatio);
+            return 1;
+        }
+        return 0;
+    });
+}

@@ -4,7 +4,8 @@
 #   1. every intra-repo markdown link in README.md and docs/*.md
 #      resolves to an existing file;
 #   2. every --flag printed by `wlcrc_sim --help`,
-#      `wlcrc_trace --help` and `wlcrc_fuzz --help` is documented
+#      `wlcrc_trace --help`, `wlcrc_fuzz --help`,
+#      `wlcrc_serve --help` and `wlcrc_load --help` is documented
 #      in docs/cli.md.
 #
 # Usage: scripts/check_docs.sh [BUILD_DIR]   (default: build)
@@ -32,7 +33,7 @@ for f in README.md docs/*.md; do
 done
 
 # ------------------------------------- 2. CLI flag coverage
-for tool in wlcrc_sim wlcrc_trace wlcrc_fuzz; do
+for tool in wlcrc_sim wlcrc_trace wlcrc_fuzz wlcrc_serve wlcrc_load; do
   bin="$BUILD_DIR/$tool"
   if [ ! -x "$bin" ]; then
     echo "MISSING BINARY: $bin (build the tools first)"

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Wire protocol of the live write-stream service (wlcrc_serve).
+ *
+ * A connection carries a sequence of length-prefixed frames over
+ * TCP. Every frame opens with a fixed 12-byte little-endian header:
+ *
+ *   u32 magic        "WSV1" (0x31565357)
+ *   u8  type         FrameType below
+ *   u8  flags        bit 0 on a Write frame: acknowledge admission
+ *   u16 reserved     0
+ *   u32 payloadBytes length of the payload that follows
+ *
+ * Payloads:
+ *   Hello      u32 protocolVersion (= 1), u32 streamId. Must be the
+ *              first frame before any Write; the streamId names the
+ *              connection in telemetry and capture files.
+ *   Write      N x 136 B records in the WLCTRC record layout
+ *              (tracefile/format.hh encodeRecord) — the wire format
+ *              IS the trace format, so a captured stream is a
+ *              replayable corpus with no re-encoding.
+ *   StatsReq   empty; the server answers with a StatsReply.
+ *   StatsReply JSON telemetry snapshot (docs/serve.md).
+ *   Bye        empty; the server drains the connection's queued
+ *              writes, answers with a ByeAck and closes.
+ *   ByeAck     JSON per-connection summary.
+ *   Ack        u64 writes admitted on this connection so far — the
+ *              reply to a Write frame with the ack flag, sent after
+ *              the frame's records are enqueued (so its round-trip
+ *              time includes any backpressure stall).
+ *   Error      ASCII error name (the same name telemetry counts),
+ *              sent best-effort before the server closes a
+ *              misbehaving connection.
+ *
+ * Framing errors never take down the server: each one is mapped to
+ * a named per-connection error (recvErrorName) and counted in the
+ * telemetry snapshot; other connections are unaffected.
+ */
+
+#ifndef WLCRC_SERVE_PROTOCOL_HH
+#define WLCRC_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlcrc::serve
+{
+
+/** Frame magic: the bytes 'W','S','V','1' on the wire. */
+inline constexpr uint32_t frameMagic = 0x31565357;
+/** Serialized size of a frame header. */
+inline constexpr uint32_t frameHeaderBytes = 12;
+/** Protocol generation carried in Hello. */
+inline constexpr uint32_t protocolVersion = 1;
+/** Upper bound on payloadBytes; larger frames are rejected. */
+inline constexpr uint32_t maxFramePayload = 1u << 20;
+/** Write-frame flag bit: reply with an Ack after admission. */
+inline constexpr uint8_t flagAck = 0x01;
+
+/** Frame types (header `type`). */
+enum class FrameType : uint8_t
+{
+    Hello = 1,
+    Write = 2,
+    StatsReq = 3,
+    StatsReply = 4,
+    Bye = 5,
+    ByeAck = 6,
+    Ack = 7,
+    Error = 8,
+};
+
+/** Decoded frame header. */
+struct FrameHeader
+{
+    uint8_t type = 0;
+    uint8_t flags = 0;
+    uint32_t payloadBytes = 0;
+};
+
+/** Outcome of reading one frame off a socket. */
+enum class RecvStatus
+{
+    Ok,        //!< header + payload fully read
+    CleanEof,  //!< orderly EOF on a frame boundary
+    BadMagic,  //!< header did not open with frameMagic
+    Oversized, //!< payloadBytes > maxFramePayload
+    Truncated, //!< EOF or error mid-header / mid-payload
+};
+
+/** Telemetry error name of a failed recv ("" for Ok/CleanEof). */
+const char *recvErrorName(RecvStatus s);
+
+/** Serialize @p h (with the magic) into @p dst[frameHeaderBytes]. */
+void encodeFrameHeader(uint8_t *dst, const FrameHeader &h);
+
+/**
+ * Write @p n bytes to @p fd, restarting on EINTR / short writes.
+ * @return false on any write error (peer gone).
+ */
+bool writeAll(int fd, const void *data, std::size_t n);
+
+/**
+ * Send one frame. @return false if the peer is gone — senders treat
+ * that as a disconnect, never an exception.
+ */
+bool sendFrame(int fd, FrameType type, uint8_t flags,
+               const void *payload, std::size_t payloadBytes);
+
+/**
+ * Read one frame into @p header / @p payload. @p payload is reused
+ * across calls (resized, capacity kept), so a steady-state
+ * connection loop performs no per-frame allocation once warm.
+ */
+RecvStatus recvFrame(int fd, FrameHeader &header,
+                     std::vector<uint8_t> &payload);
+
+} // namespace wlcrc::serve
+
+#endif // WLCRC_SERVE_PROTOCOL_HH

@@ -1,0 +1,495 @@
+#include "server.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/simd.hh"
+#include "runner/report.hh"
+#include "runner/spec_codec.hh"
+#include "serve/protocol.hh"
+#include "tracefile/format.hh"
+#include "tracefile/writer.hh"
+
+namespace wlcrc::serve
+{
+
+namespace
+{
+
+/** CoV of a running stat (0 when the mean is 0 or no samples). */
+double
+covOf(const stats::RunningStat &s)
+{
+    return s.mean() != 0.0 ? s.stddev() / s.mean() : 0.0;
+}
+
+} // namespace
+
+Server::Server(const ServerConfig &cfg)
+    : cfg_(cfg), engine_(cfg.engine)
+{
+    if (!cfg_.captureDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(cfg_.captureDir, ec);
+        if (ec)
+            throw std::runtime_error("cannot create capture dir " +
+                                     cfg_.captureDir + ": " +
+                                     ec.message());
+    }
+}
+
+Server::~Server()
+{
+    requestStop();
+    if (acceptThread_.joinable() || !drained_)
+        wait();
+}
+
+void
+Server::start()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error("socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(cfg_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error(
+            "cannot bind 127.0.0.1:" + std::to_string(cfg_.port) +
+            ": " + std::strerror(errno));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    if (::listen(listenFd_, 128) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("listen() failed");
+    }
+    startTime_ = std::chrono::steady_clock::now();
+    engine_.start();
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int cfd = ::accept(listenFd_, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener closed by shutdownAll()
+        }
+        if (stopFlag_.load()) {
+            ::close(cfd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof one);
+        auto conn = std::make_shared<ConnState>();
+        conn->fd = cfd;
+        bool atCap = false;
+        {
+            std::lock_guard lock(connMutex_);
+            conn->id = opened_++;
+            conns_.push_back(conn);
+            connThreads_.emplace_back(
+                [this, conn] { runConnection(conn); });
+            atCap = cfg_.maxConns && opened_ >= cfg_.maxConns;
+        }
+        if (atCap)
+            break; // served the configured connection budget
+    }
+}
+
+void
+Server::runConnection(std::shared_ptr<ConnState> conn)
+{
+    std::vector<uint8_t> payload;
+    std::unique_ptr<tracefile::TraceFileWriter> capture;
+    bool helloSeen = false;
+    bool clean = false;
+    std::string err;
+    try {
+        for (;;) {
+            FrameHeader h;
+            const RecvStatus st = recvFrame(conn->fd, h, payload);
+            if (st == RecvStatus::CleanEof) {
+                // EOF without Bye: an error mid-stream, a harmless
+                // probe before any frame.
+                if (helloSeen)
+                    err = "disconnect";
+                else
+                    clean = true;
+                break;
+            }
+            if (st != RecvStatus::Ok) {
+                err = recvErrorName(st);
+                break;
+            }
+            const auto type = static_cast<FrameType>(h.type);
+            if (type == FrameType::Hello) {
+                if (payload.size() < 8) {
+                    err = "bad-length";
+                    break;
+                }
+                if (tracefile::getLe32(payload.data()) !=
+                    protocolVersion) {
+                    err = "bad-version";
+                    break;
+                }
+                const uint32_t sid =
+                    tracefile::getLe32(payload.data() + 4);
+                conn->streamId.store(sid);
+                conn->hasHello.store(true);
+                helloSeen = true;
+                if (!cfg_.captureDir.empty())
+                    capture =
+                        std::make_unique<tracefile::TraceFileWriter>(
+                            cfg_.captureDir + "/stream-" +
+                            std::to_string(sid) + ".wlctrc");
+            } else if (type == FrameType::Write) {
+                if (!helloSeen) {
+                    err = "no-hello";
+                    break;
+                }
+                if (payload.empty() ||
+                    payload.size() % tracefile::recordBytes != 0) {
+                    err = "bad-length";
+                    break;
+                }
+                const std::size_t n =
+                    payload.size() / tracefile::recordBytes;
+                bool stopped = false;
+                for (std::size_t i = 0; i < n; ++i) {
+                    const trace::WriteTransaction txn =
+                        tracefile::decodeRecord(
+                            payload.data() +
+                            i * tracefile::recordBytes);
+                    if (!engine_.submit(txn, &conn->ticket)) {
+                        stopped = true;
+                        break;
+                    }
+                    // Captured exactly when admitted, in admission
+                    // order — the file is the bank-order truth the
+                    // offline equivalence replay relies on.
+                    if (capture)
+                        capture->write(txn);
+                }
+                if (stopped) {
+                    err = "server-stop";
+                    break;
+                }
+                conn->frames.fetch_add(1,
+                                       std::memory_order_relaxed);
+                if (h.flags & flagAck) {
+                    uint8_t ack[8];
+                    tracefile::putLe64(
+                        ack, conn->ticket.accepted.load(
+                                 std::memory_order_relaxed));
+                    if (!sendFrame(conn->fd, FrameType::Ack, 0,
+                                   ack, sizeof ack)) {
+                        err = "disconnect";
+                        break;
+                    }
+                }
+                if (cfg_.maxWrites &&
+                    engine_.totalAccepted() >= cfg_.maxWrites)
+                    requestStop();
+            } else if (type == FrameType::StatsReq) {
+                const std::string json = snapshotJson(false);
+                if (!sendFrame(conn->fd, FrameType::StatsReply, 0,
+                               json.data(), json.size())) {
+                    err = "disconnect";
+                    break;
+                }
+            } else if (type == FrameType::Bye) {
+                engine_.drainWait(conn->ticket);
+                conn->clean.store(true); // before the summary
+                const std::string json = connSummaryJson(*conn);
+                sendFrame(conn->fd, FrameType::ByeAck, 0,
+                          json.data(), json.size());
+                clean = true;
+                break;
+            } else {
+                err = "bad-type";
+                break;
+            }
+        }
+    } catch (const std::exception &e) {
+        err = "internal";
+        (void)e;
+    }
+    if (!err.empty())
+        sendFrame(conn->fd, FrameType::Error, 0, err.data(),
+                  err.size()); // best effort
+    // Every admitted write must be encoded before the connection is
+    // reported closed, so per-connection telemetry is final and the
+    // capture (already complete) matches what was encoded.
+    engine_.drainWait(conn->ticket);
+    if (capture)
+        capture->close();
+    conn->lastError = err;
+    conn->clean.store(clean);
+    conn->open.store(false);
+    {
+        std::lock_guard lock(conn->fdMutex);
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    if (!err.empty())
+        noteError(err);
+    closed_.fetch_add(1);
+}
+
+void
+Server::noteError(const std::string &name)
+{
+    std::lock_guard lock(errMutex_);
+    ++errorCounts_[name];
+}
+
+void
+Server::wait()
+{
+    using clock = std::chrono::steady_clock;
+    for (;;) {
+        if (stopFlag_.load()) {
+            if (stopReason_.empty())
+                stopReason_ = cfg_.maxWrites &&
+                                      engine_.totalAccepted() >=
+                                          cfg_.maxWrites
+                                  ? "max-writes"
+                                  : "stop-requested";
+            break;
+        }
+        if (cfg_.runSeconds > 0 &&
+            std::chrono::duration<double>(clock::now() -
+                                          startTime_)
+                    .count() >= cfg_.runSeconds) {
+            stopReason_ = "run-seconds";
+            break;
+        }
+        if (cfg_.maxConns && closed_.load() >= cfg_.maxConns) {
+            stopReason_ = "max-conns";
+            break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+    stopFlag_.store(true);
+    shutdownAll();
+}
+
+void
+Server::shutdownAll()
+{
+    if (drained_)
+        return;
+    // 1. Stop accepting: closing the listener wakes accept().
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // 2. Unblock every reader; each drains its admitted writes,
+    //    closes its capture file and exits.
+    {
+        std::lock_guard lock(connMutex_);
+        for (const auto &conn : conns_) {
+            std::lock_guard fdLock(conn->fdMutex);
+            if (conn->fd >= 0)
+                ::shutdown(conn->fd, SHUT_RDWR);
+        }
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard lock(connMutex_);
+        threads.swap(connThreads_);
+    }
+    for (auto &t : threads)
+        t.join();
+    // 3. Only now stop the encode workers: nothing is left to
+    //    admit, and the queues drain to empty before the join.
+    engine_.stop();
+    drained_ = true;
+}
+
+runner::ExperimentResult
+Server::resultShell() const
+{
+    runner::ExperimentResult res;
+    res.spec.scheme = cfg_.engine.scheme;
+    res.spec.workload = "live";
+    res.spec.seed = cfg_.engine.seed;
+    res.spec.shards = engine_.banks();
+    res.spec.lines = engine_.totalEncoded();
+    res.spec.device.s3 = cfg_.engine.s3;
+    res.spec.device.s4 = cfg_.engine.s4;
+    res.spec.device.vnr = cfg_.engine.vnr;
+    res.spec.device.wearEndurance = cfg_.engine.wearEndurance;
+    res.replay = engine_.mergedResult();
+    res.simdKernel = simd::kernelName(simd::activeKernel());
+    res.ok = true;
+    return res;
+}
+
+runner::ExperimentResult
+Server::finalResult() const
+{
+    runner::ExperimentResult res = resultShell();
+    if (auto wear = engine_.mergedWear()) {
+        res.wear = wear->summary();
+        res.projectedLifetime = wear->projectedLifetime(
+            cfg_.engine.wearEndurance, res.replay.writes);
+    }
+    return res;
+}
+
+std::string
+Server::connSummaryJson(const ConnState &conn) const
+{
+    std::ostringstream os;
+    os << "{\"stream\":" << conn.streamId.load()
+       << ",\"accepted\":"
+       << conn.ticket.accepted.load(std::memory_order_relaxed)
+       << ",\"encoded\":"
+       << conn.ticket.encoded.load(std::memory_order_relaxed)
+       << ",\"frames\":"
+       << conn.frames.load(std::memory_order_relaxed)
+       << ",\"clean\":" << (conn.clean.load() ? "true" : "false")
+       << ",\"error\":\"" << runner::jsonEscape(conn.lastError)
+       << "\"}";
+    return os.str();
+}
+
+std::string
+Server::snapshotJson(bool final) const
+{
+    const auto banks = engine_.snapshot();
+    const trace::ReplayResult merged = engine_.mergedResult();
+    const double uptime =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count();
+    const uint64_t encoded = engine_.totalEncoded();
+
+    std::ostringstream os;
+    os << "{\"serve_version\":1,\"final\":"
+       << (final ? "true" : "false") << ",\"scheme\":\""
+       << runner::jsonEscape(cfg_.engine.scheme)
+       << "\",\"banks\":" << engine_.banks()
+       << ",\"seed\":" << cfg_.engine.seed
+       << ",\"queue_capacity\":" << cfg_.engine.queueCapacity
+       << ",\"uptime_sec\":" << runner::formatDouble(uptime)
+       << ",\"accepted\":" << engine_.totalAccepted()
+       << ",\"encoded\":" << encoded << ",\"writes_per_sec\":"
+       << runner::formatDouble(
+              uptime > 0 ? static_cast<double>(encoded) / uptime
+                         : 0.0)
+       << ",\"energy_cov\":"
+       << runner::formatDouble(covOf(merged.energyPj))
+       << ",\"disturb_cov\":"
+       << runner::formatDouble(covOf(merged.disturbErrors));
+    if (!stopReason_.empty())
+        os << ",\"stop_reason\":\""
+           << runner::jsonEscape(stopReason_) << "\"";
+
+    os << ",\"banks_detail\":[";
+    for (std::size_t b = 0; b < banks.size(); ++b) {
+        const auto &s = banks[b];
+        os << (b ? "," : "") << "{\"bank\":" << b
+           << ",\"writes\":" << s.writes
+           << ",\"queue_depth\":" << s.queueDepth
+           << ",\"stalls\":" << s.stalls;
+        if (cfg_.engine.wearEndurance)
+            os << ",\"wear_cov\":"
+               << runner::formatDouble(s.wearCov);
+        os << "}";
+    }
+    os << "]";
+
+    os << ",\"connections\":[";
+    {
+        std::lock_guard lock(connMutex_);
+        bool first = true;
+        for (const auto &conn : conns_) {
+            if (!conn->hasHello.load())
+                continue; // stats-only probes are not streams
+            if (!first)
+                os << ",";
+            first = false;
+            os << "{\"stream\":" << conn->streamId.load()
+               << ",\"accepted\":"
+               << conn->ticket.accepted.load(
+                      std::memory_order_relaxed)
+               << ",\"encoded\":"
+               << conn->ticket.encoded.load(
+                      std::memory_order_relaxed)
+               << ",\"frames\":"
+               << conn->frames.load(std::memory_order_relaxed)
+               << ",\"open\":"
+               << (conn->open.load() ? "true" : "false")
+               << ",\"clean\":"
+               << (conn->clean.load() ? "true" : "false")
+               << ",\"error\":\""
+               << runner::jsonEscape(conn->open.load()
+                                         ? std::string()
+                                         : conn->lastError)
+               << "\"}";
+        }
+    }
+    os << "]";
+
+    os << ",\"errors\":{";
+    {
+        std::lock_guard lock(errMutex_);
+        bool first = true;
+        for (const auto &[name, count] : errorCounts_) {
+            os << (first ? "" : ",") << "\""
+               << runner::jsonEscape(name) << "\":" << count;
+            first = false;
+        }
+    }
+    os << "}";
+
+    // The standard result object (runner/report.hh): for the final
+    // snapshot it is the exact merged replay the offline runner can
+    // reproduce from a capture; live it merges the seqlock views.
+    // Live snapshots never touch the wear trackers (the workers own
+    // them); the per-bank wear_cov rows above carry the live signal
+    // and the final report adds the exact merged wear block.
+    runner::ExperimentResult res =
+        final ? finalResult() : resultShell();
+    if (!final) {
+        res.replay = merged;
+        res.spec.device.wearEndurance = 0;
+    }
+    os << ",\"result\":";
+    runner::writeResultObject(os, res);
+    os << "}";
+    return os.str();
+}
+
+} // namespace wlcrc::serve

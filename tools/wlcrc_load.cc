@@ -1,0 +1,419 @@
+/**
+ * @file
+ * wlcrc_load: the load harness for wlcrc_serve — N concurrent
+ * connections streaming framed WriteTransactions from synthesizer
+ * profiles or an existing WLCTRC corpus, with target-rate pacing and
+ * a latency/throughput summary.
+ *
+ * Stream partitioning (the default): every connection derives the
+ * SAME global stream from --seed and keeps only the records whose
+ * addr %% connections equals its index — exactly how the offline
+ * runner's shard cursors partition a trace. With the server started
+ * with --banks equal to --connections and the same stream, bank i
+ * receives exactly connection i's records in order, so a captured
+ * session replays offline to bit-identical statistics
+ * (docs/serve.md). --independent trades that equivalence for raw
+ * stress: each connection synthesizes its own stream (childSeed per
+ * connection, disjoint address windows).
+ *
+ * Options:
+ *   --host <H>             server address (default 127.0.0.1)
+ *   --port <P>             server port (required)
+ *   --connections <N>      concurrent connections (default 4)
+ *   --lines <N>            TOTAL writes across all connections
+ *                          (default 10000; partitioned by address)
+ *   --workload <name> | --random | --trace-in <file>
+ *                          stream source (exactly one)
+ *   --seed <S>             synthesis seed (default 1)
+ *   --rate <W>             per-connection writes/second pacing
+ *                          (default 0 = as fast as possible)
+ *   --frame-records <N>    records per Write frame (default 64)
+ *   --ack-every <N>        request an Ack every N frames (default
+ *                          32; 0 = never) — the RTT sample includes
+ *                          any backpressure stall
+ *   --independent          per-connection independent streams (see
+ *                          above; breaks capture-replay equivalence)
+ *   --stats                don't stream: send one StatsReq, print
+ *                          the telemetry JSON and exit
+ *   --help                 print usage and exit 0
+ *
+ * Output: a summary with per-run totals, writes/s and ack RTT
+ * percentiles. Exit status 0 only if every connection closed with a
+ * clean ByeAck.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/client.hh"
+#include "tracefile/source.hh"
+#include "trace/workload.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+struct Options
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    unsigned connections = 4;
+    uint64_t lines = 10000;
+    std::string workload;
+    bool random = false;
+    std::string traceIn;
+    uint64_t seed = 1;
+    double rate = 0;
+    std::size_t frameRecords = 64;
+    uint64_t ackEvery = 32;
+    bool independent = false;
+    bool statsOnly = false;
+    bool help = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s --port P [--host H] [--connections N] "
+        "[--lines N]\n"
+        "          (--workload W | --random | --trace-in F) "
+        "[--seed S]\n"
+        "          [--rate W] [--frame-records N] [--ack-every N]\n"
+        "          [--independent] [--stats] [--help]\n",
+        argv0);
+}
+
+std::optional<Options>
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--host") {
+            if (const char *v = next())
+                o.host = v;
+        } else if (a == "--port") {
+            if (const char *v = next())
+                o.port = static_cast<uint16_t>(
+                    std::strtoul(v, nullptr, 0));
+        } else if (a == "--connections") {
+            if (const char *v = next())
+                o.connections = std::strtoul(v, nullptr, 0);
+        } else if (a == "--lines") {
+            if (const char *v = next())
+                o.lines = std::strtoull(v, nullptr, 0);
+        } else if (a == "--workload") {
+            if (const char *v = next())
+                o.workload = v;
+        } else if (a == "--random") {
+            o.random = true;
+        } else if (a == "--trace-in") {
+            if (const char *v = next())
+                o.traceIn = v;
+        } else if (a == "--seed") {
+            if (const char *v = next())
+                o.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--rate") {
+            if (const char *v = next())
+                o.rate = std::strtod(v, nullptr);
+        } else if (a == "--frame-records") {
+            if (const char *v = next())
+                o.frameRecords = std::strtoull(v, nullptr, 0);
+        } else if (a == "--ack-every") {
+            if (const char *v = next())
+                o.ackEvery = std::strtoull(v, nullptr, 0);
+        } else if (a == "--independent") {
+            o.independent = true;
+        } else if (a == "--stats") {
+            o.statsOnly = true;
+        } else if (a == "--help") {
+            o.help = true;
+        } else {
+            usage(argv[0]);
+            return std::nullopt;
+        }
+    }
+    if (o.help)
+        return o;
+    if (o.port == 0) {
+        std::fprintf(stderr, "--port is required\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (o.statsOnly)
+        return o;
+    const int sources =
+        !o.workload.empty() + o.random + !o.traceIn.empty();
+    if (sources != 1 || o.connections == 0 ||
+        o.frameRecords == 0) {
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    return o;
+}
+
+/** Per-connection outcome. */
+struct ConnResult
+{
+    uint64_t sent = 0;
+    uint64_t acked = 0;       //!< admitted count from the last Ack
+    std::vector<double> rttUs;
+    bool clean = false;
+    std::string error;
+};
+
+/**
+ * Pull interface over the connection's share of the stream. For the
+ * synthesizers this re-derives the full global stream and filters by
+ * address residue (the shard idiom); a trace cursor filters the same
+ * way inside the reader.
+ */
+class StreamSlice
+{
+  public:
+    virtual ~StreamSlice() = default;
+    virtual std::optional<trace::WriteTransaction> next() = 0;
+};
+
+class SynthSlice : public StreamSlice
+{
+  public:
+    SynthSlice(const Options &o, unsigned conn)
+    {
+        if (o.independent) {
+            // Stress mode: own stream, own address window.
+            seedOffset_ = static_cast<uint64_t>(conn) << 32;
+            remaining_ = o.lines / o.connections +
+                         (conn < o.lines % o.connections ? 1 : 0);
+            filter_ = {1, 0};
+            makeSynth(o, childSeed(o.seed, conn));
+        } else {
+            // Partitioned mode: the full global stream, filtered to
+            // this connection's residue class.
+            remaining_ = o.lines;
+            filter_ = {o.connections, conn};
+            makeSynth(o, o.seed);
+        }
+    }
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        while (remaining_ > 0) {
+            --remaining_;
+            trace::WriteTransaction txn =
+                synth_ ? synth_->next() : random_->next();
+            txn.lineAddr += seedOffset_;
+            if (filter_.accepts(txn.lineAddr))
+                return txn;
+        }
+        return std::nullopt;
+    }
+
+  private:
+    void
+    makeSynth(const Options &o, uint64_t seed)
+    {
+        if (o.random)
+            random_ =
+                std::make_unique<trace::RandomWorkload>(seed);
+        else
+            synth_ = std::make_unique<trace::TraceSynthesizer>(
+                trace::WorkloadProfile::byName(o.workload), seed);
+    }
+
+    std::unique_ptr<trace::TraceSynthesizer> synth_;
+    std::unique_ptr<trace::RandomWorkload> random_;
+    tracefile::ShardFilter filter_;
+    uint64_t remaining_ = 0;
+    uint64_t seedOffset_ = 0;
+};
+
+class CursorSlice : public StreamSlice
+{
+  public:
+    CursorSlice(const tracefile::TransactionSource &source,
+                unsigned connections, unsigned conn)
+        : cursor_(source.open(
+              tracefile::ShardFilter{connections, conn}))
+    {}
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        return cursor_->next();
+    }
+
+  private:
+    std::unique_ptr<tracefile::TraceCursor> cursor_;
+};
+
+void
+runConnection(const Options &o,
+              const tracefile::TransactionSource *source,
+              unsigned conn, ConnResult &out)
+{
+    using clock = std::chrono::steady_clock;
+    try {
+        std::unique_ptr<StreamSlice> slice;
+        if (source)
+            slice = std::make_unique<CursorSlice>(
+                *source, o.connections, conn);
+        else
+            slice = std::make_unique<SynthSlice>(o, conn);
+
+        serve::Client client;
+        client.connect(o.host, o.port);
+        client.hello(conn);
+
+        std::vector<trace::WriteTransaction> frame;
+        frame.reserve(o.frameRecords);
+        uint64_t framesSent = 0;
+        const auto start = clock::now();
+        const auto flush = [&](bool streamDone) {
+            if (frame.empty())
+                return;
+            const bool wantAck =
+                o.ackEvery &&
+                (framesSent % o.ackEvery == 0 || streamDone);
+            const auto t0 = clock::now();
+            client.sendWrites(frame.data(), frame.size(), wantAck);
+            if (wantAck) {
+                out.acked = client.readAck();
+                out.rttUs.push_back(
+                    std::chrono::duration<double, std::micro>(
+                        clock::now() - t0)
+                        .count());
+            }
+            out.sent += frame.size();
+            ++framesSent;
+            frame.clear();
+            if (o.rate > 0) {
+                // Pace against the ideal schedule, not the previous
+                // send — bursts after a stall catch back up.
+                const double dueSec =
+                    static_cast<double>(out.sent) / o.rate;
+                const auto due =
+                    start + std::chrono::duration_cast<
+                                clock::duration>(
+                                std::chrono::duration<double>(
+                                    dueSec));
+                std::this_thread::sleep_until(due);
+            }
+        };
+        for (;;) {
+            auto txn = slice->next();
+            if (!txn)
+                break;
+            frame.push_back(*txn);
+            if (frame.size() >= o.frameRecords)
+                flush(false);
+        }
+        flush(true);
+        (void)client.bye();
+        out.clean = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    }
+}
+
+double
+percentile(std::vector<double> &v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1));
+    return v[idx];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parse(argc, argv);
+    if (!opts)
+        return 2;
+    if (opts->help) {
+        usage(argv[0]);
+        return 0;
+    }
+    try {
+        if (opts->statsOnly) {
+            serve::Client client;
+            client.connect(opts->host, opts->port);
+            std::printf("%s\n", client.stats().c_str());
+            return 0;
+        }
+
+        std::shared_ptr<tracefile::TransactionSource> source;
+        if (!opts->traceIn.empty())
+            source = tracefile::openTraceSource(opts->traceIn);
+
+        std::vector<ConnResult> results(opts->connections);
+        std::vector<std::thread> threads;
+        threads.reserve(opts->connections);
+        const auto start = std::chrono::steady_clock::now();
+        for (unsigned c = 0; c < opts->connections; ++c)
+            threads.emplace_back([&, c] {
+                runConnection(*opts, source.get(), c, results[c]);
+            });
+        for (auto &t : threads)
+            t.join();
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        uint64_t sent = 0;
+        unsigned cleanConns = 0;
+        std::vector<double> rtt;
+        for (unsigned c = 0; c < opts->connections; ++c) {
+            const ConnResult &r = results[c];
+            sent += r.sent;
+            cleanConns += r.clean;
+            rtt.insert(rtt.end(), r.rttUs.begin(), r.rttUs.end());
+            if (!r.clean)
+                std::fprintf(stderr,
+                             "wlcrc_load: connection %u: %s\n", c,
+                             r.error.c_str());
+        }
+        double rttSum = 0;
+        for (const double v : rtt)
+            rttSum += v;
+        std::printf(
+            "wlcrc_load: %u/%u connections clean, %llu writes in "
+            "%.3f s (%.0f writes/s)\n",
+            cleanConns, opts->connections,
+            static_cast<unsigned long long>(sent), elapsed,
+            elapsed > 0 ? static_cast<double>(sent) / elapsed : 0.0);
+        if (!rtt.empty())
+            std::printf(
+                "wlcrc_load: ack rtt us: mean %.1f p50 %.1f "
+                "p95 %.1f max %.1f (%zu samples)\n",
+                rttSum / static_cast<double>(rtt.size()),
+                percentile(rtt, 0.50), percentile(rtt, 0.95),
+                percentile(rtt, 1.0), rtt.size());
+        return cleanConns == opts->connections ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "wlcrc_load: %s\n", e.what());
+        return 1;
+    }
+}

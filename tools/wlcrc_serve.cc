@@ -1,0 +1,179 @@
+/**
+ * @file
+ * wlcrc_serve: the live write-stream service (docs/serve.md) — a TCP
+ * daemon that encodes framed WriteTransaction streams from many
+ * concurrent clients through bank-sharded device state, with live
+ * telemetry and optional WLCTRC02 capture of every accepted stream.
+ *
+ * Options:
+ *   --port <P>             listen port on 127.0.0.1 (default 0 =
+ *                          ephemeral; the bound port is printed as
+ *                          "wlcrc_serve: listening on 127.0.0.1:P")
+ *   --scheme <name>        encoding scheme (default WLCRC-16)
+ *   --banks <N>            device banks / encode workers (default 4);
+ *                          bank = lineAddr % banks, seeded like the
+ *                          offline runner's shards
+ *   --seed <S>             master device seed (default 1)
+ *   --queue-capacity <N>   per-bank admission ring (default 1024);
+ *                          full ring = backpressure on the client
+ *   --capture <dir>        write each connection's accepted stream
+ *                          to <dir>/stream-<id>.wlctrc (WLCTRC02)
+ *   --max-writes <N>       stop after admitting N writes
+ *   --run-seconds <S>      stop after S seconds of wall time
+ *   --max-conns <N>        stop after N connections closed
+ *   --vnr                  Verify-n-Restore per write
+ *   --wear <endurance>     track per-cell wear; final report adds
+ *                          the wear block + projected lifetime
+ *   --s3 <pJ> --s4 <pJ>    intermediate-state SET energy overrides
+ *   --help                 print usage and exit 0
+ *
+ * SIGINT/SIGTERM drain gracefully: connections are shut down, every
+ * admitted write is encoded, capture files get valid CRC'd footers,
+ * and the final exact telemetry report is printed as JSON on stdout.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+wlcrc::serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop(); // an atomic store; signal-safe
+}
+
+struct Options
+{
+    serve::ServerConfig cfg;
+    bool help = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--port P] [--scheme S] [--banks N] [--seed S]\n"
+        "          [--queue-capacity N] [--capture DIR] "
+        "[--max-writes N]\n"
+        "          [--run-seconds S] [--max-conns N] [--vnr] "
+        "[--wear ENDURANCE]\n"
+        "          [--s3 pJ] [--s4 pJ] [--help]\n",
+        argv0);
+}
+
+std::optional<Options>
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (a == "--port") {
+            if (const char *v = next())
+                o.cfg.port = static_cast<uint16_t>(
+                    std::strtoul(v, nullptr, 0));
+        } else if (a == "--scheme") {
+            if (const char *v = next())
+                o.cfg.engine.scheme = v;
+        } else if (a == "--banks") {
+            if (const char *v = next())
+                o.cfg.engine.banks = std::strtoul(v, nullptr, 0);
+        } else if (a == "--seed") {
+            if (const char *v = next())
+                o.cfg.engine.seed = std::strtoull(v, nullptr, 0);
+        } else if (a == "--queue-capacity") {
+            if (const char *v = next())
+                o.cfg.engine.queueCapacity =
+                    std::strtoull(v, nullptr, 0);
+        } else if (a == "--capture") {
+            if (const char *v = next())
+                o.cfg.captureDir = v;
+        } else if (a == "--max-writes") {
+            if (const char *v = next())
+                o.cfg.maxWrites = std::strtoull(v, nullptr, 0);
+        } else if (a == "--run-seconds") {
+            if (const char *v = next())
+                o.cfg.runSeconds = std::strtod(v, nullptr);
+        } else if (a == "--max-conns") {
+            if (const char *v = next())
+                o.cfg.maxConns = std::strtoul(v, nullptr, 0);
+        } else if (a == "--vnr") {
+            o.cfg.engine.vnr = true;
+        } else if (a == "--wear") {
+            if (const char *v = next())
+                o.cfg.engine.wearEndurance =
+                    std::strtoull(v, nullptr, 0);
+        } else if (a == "--s3") {
+            if (const char *v = next())
+                o.cfg.engine.s3 = std::strtod(v, nullptr);
+        } else if (a == "--s4") {
+            if (const char *v = next())
+                o.cfg.engine.s4 = std::strtod(v, nullptr);
+        } else if (a == "--help") {
+            o.help = true;
+        } else {
+            usage(argv[0]);
+            return std::nullopt;
+        }
+    }
+    if (o.help)
+        return o;
+    if (o.cfg.engine.banks == 0 ||
+        o.cfg.engine.queueCapacity == 0) {
+        std::fprintf(stderr,
+                     "--banks and --queue-capacity must be > 0\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parse(argc, argv);
+    if (!opts)
+        return 2;
+    if (opts->help) {
+        usage(argv[0]);
+        return 0;
+    }
+    try {
+        serve::Server server(opts->cfg);
+        server.start();
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        // The banner is the machine-readable port handshake the load
+        // tool, tests and CI parse — keep the format stable.
+        std::printf("wlcrc_serve: listening on 127.0.0.1:%u\n",
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        server.wait();
+        std::printf("%s\n", server.snapshotJson(true).c_str());
+        std::fprintf(stderr, "wlcrc_serve: stopped (%s)\n",
+                     server.stopReason().c_str());
+        g_server = nullptr;
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "wlcrc_serve: %s\n", e.what());
+        return 1;
+    }
+}
