@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Trace-store I/O benchmark and the container subsystem's tracked
+ * perf baseline: compression ratio, block decode bandwidth, cold
+ * replay throughput with synchronous vs decode-ahead block staging,
+ * and the index-pruning win of range-sharded replay over a sorted
+ * corpus.
+ *
+ * Corpus: one low-write-intensity synthesized stream (libq — the
+ * suite's most compressible profile) written four ways: WLCTRC02,
+ * WLCTRC03+lz in arrival order, and both again in sorted line-address
+ * order (what `wlcrc_trace sort` produces; same-line records become
+ * adjacent, which is where the LZ codec earns its keep).
+ *
+ * Knobs (on top of the usual WLCRC_BENCH_* set):
+ *   WLCRC_BENCH_TRACE_LINES  corpus writes (default 120000)
+ *   WLCRC_BENCH_JSON_OUT     write the BENCH_trace.json report
+ *   WLCRC_BENCH_BASELINE     baseline CSV override (default: the
+ *       checked-in bench/baselines/trace_io.baseline.csv)
+ *   WLCRC_BENCH_CHECK=0.75   exit non-zero if decode MB/s or replay
+ *       writes/s falls below this fraction of its baseline entry
+ *       (machine-specific, like the encode_hot_path gate)
+ *   WLCRC_TRACE_RATIO_FLOOR  minimum sorted-corpus compression
+ *       ratio (default 5.0; deterministic, so always enforced)
+ *   WLCRC_TRACE_AHEAD_FLOOR  when set, minimum decode-ahead replay
+ *       speedup over synchronous decode; needs >= 2 cores to mean
+ *       anything, so it is skipped (with a note) on 1-cpu machines
+ *
+ * Refresh the checked-in baseline after an intended perf change:
+ *   ./bench_trace_io --update-baseline [path]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "pcm/disturbance.hh"
+#include "pcm/energy_model.hh"
+#include "tracefile/mapped_trace.hh"
+#include "tracefile/source.hh"
+#include "tracefile/writer.hh"
+#include "trace/replay.hh"
+#include "trace/workload.hh"
+#include "wlcrc/factory.hh"
+
+#include <unistd.h>
+
+namespace
+{
+
+using namespace wlcrc;
+namespace fs = std::filesystem;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+void
+writeCorpus(const std::string &path,
+            const std::vector<trace::WriteTransaction> &txns,
+            tracefile::TraceFormat format)
+{
+    tracefile::WriterOptions opts;
+    opts.format = format;
+    tracefile::TraceFileWriter writer(path, opts);
+    for (const auto &t : txns)
+        writer.write(t);
+    writer.close();
+}
+
+/** Full-file block decode bandwidth (verify + decompress), MB/s. */
+double
+decodeMbPerSec(const std::string &path, unsigned passes)
+{
+    const tracefile::MappedTrace trace(path);
+    std::vector<uint8_t> scratch;
+    double best = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        uint64_t records = 0;
+        const auto start = std::chrono::steady_clock::now();
+        for (uint64_t b = 0; b < trace.blockCount(); ++b)
+            records += trace.readBlock(b, scratch).count;
+        const double secs = secondsSince(start);
+        const double mb = static_cast<double>(records) *
+                          tracefile::recordBytes / 1e6;
+        best = std::max(best, secs > 0 ? mb / secs : 0.0);
+    }
+    return best;
+}
+
+/**
+ * Cold single-cursor replay throughput, writes/s. @p aheadDepth is
+ * exported through WLCRC_DECODE_AHEAD before the cursor opens, so
+ * this times exactly what a runner shard sees with that setting.
+ */
+double
+replayWritesPerSec(const std::string &path, unsigned aheadDepth,
+                   unsigned passes, double *energyOut)
+{
+    ::setenv("WLCRC_DECODE_AHEAD",
+             std::to_string(aheadDepth).c_str(), 1);
+    const auto source = tracefile::openTraceSource(path);
+    const pcm::EnergyModel energy;
+    const pcm::WriteUnit unit{energy, pcm::DisturbanceModel()};
+    const auto codec = core::makeCodec("WLCRC-16", energy);
+    double best = 0;
+    for (unsigned p = 0; p < passes; ++p) {
+        auto cursor = source->open({});
+        trace::Replayer rep(*codec, unit, 7);
+        uint64_t writes = 0;
+        const auto start = std::chrono::steady_clock::now();
+        rep.runBatch([&](trace::WriteTransaction &slot) {
+            auto t = cursor->next();
+            if (!t)
+                return false;
+            slot = *t;
+            ++writes;
+            return true;
+        });
+        const double secs = secondsSince(start);
+        best = std::max(best,
+                        secs > 0 ? static_cast<double>(writes) / secs
+                                 : 0.0);
+        if (energyOut)
+            *energyOut = rep.result().energyPj.mean();
+    }
+    ::unsetenv("WLCRC_DECODE_AHEAD");
+    return best;
+}
+
+/** Sum of blocks decoded by every shard cursor of a sharded scan. */
+uint64_t
+blocksVisitedSharded(const tracefile::TransactionSource &source,
+                     unsigned shards, tracefile::Partition mode)
+{
+    uint64_t visited = 0;
+    for (unsigned s = 0; s < shards; ++s) {
+        tracefile::ShardFilter filter{shards, s};
+        if (mode == tracefile::Partition::range)
+            filter = tracefile::rangePartition(source.addrBounds(),
+                                               shards, s);
+        auto cursor = source.open(filter);
+        while (cursor->next()) {
+        }
+        visited += cursor->blocksVisited();
+    }
+    return visited;
+}
+
+std::map<std::string, double>
+readBaseline(const std::string &path)
+{
+    std::map<std::string, double> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' ||
+            line.rfind("metric,", 0) == 0)
+            continue;
+        const auto comma = line.find(',');
+        if (comma == std::string::npos)
+            continue;
+        out[line.substr(0, comma)] =
+            std::strtod(line.c_str() + comma + 1, nullptr);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace wb = wlcrc::bench;
+
+    return wb::benchMain([argc, argv] {
+        const uint64_t lines =
+            envU64("WLCRC_BENCH_TRACE_LINES", 120000);
+        const unsigned passes = 3;
+        const unsigned shards = 8;
+        const unsigned aheadDepth = static_cast<unsigned>(
+            envU64("WLCRC_DECODE_AHEAD", 4));
+        const unsigned cpus = std::thread::hardware_concurrency();
+
+        bool update_baseline = false;
+        std::string baseline_path = WLCRC_TRACE_BASELINE;
+        for (int a = 1; a < argc; ++a) {
+            const std::string arg = argv[a];
+            if (arg == "--update-baseline")
+                update_baseline = true;
+            else
+                baseline_path = arg;
+        }
+        if (const char *env = std::getenv("WLCRC_BENCH_BASELINE"))
+            baseline_path = env;
+
+        // Corpus: arrival order + a locality-sorted copy
+        // (stable by line address — what `wlcrc_trace sort` emits).
+        trace::TraceSynthesizer synth(
+            trace::WorkloadProfile::byName("libq"), 2718);
+        std::vector<trace::WriteTransaction> txns;
+        txns.reserve(lines);
+        for (uint64_t i = 0; i < lines; ++i)
+            txns.push_back(synth.next());
+        std::vector<trace::WriteTransaction> sorted = txns;
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const trace::WriteTransaction &a,
+                            const trace::WriteTransaction &b) {
+                             return a.lineAddr < b.lineAddr;
+                         });
+
+        const fs::path dir =
+            fs::temp_directory_path() /
+            ("wlcrc_trace_io." + std::to_string(::getpid()));
+        fs::create_directories(dir);
+        const std::string unV2 = (dir / "un.v2.trc").string();
+        const std::string unV3 = (dir / "un.v3.trc").string();
+        const std::string soV3 = (dir / "so.v3.trc").string();
+        writeCorpus(unV2, txns, tracefile::TraceFormat::v2);
+        writeCorpus(unV3, txns, tracefile::TraceFormat::v3);
+        writeCorpus(soV3, sorted, tracefile::TraceFormat::v3);
+
+        const double rawMb = static_cast<double>(lines) *
+                             tracefile::recordBytes / 1e6;
+        const auto ratioOf = [](const std::string &path) {
+            const tracefile::MappedTrace t(path);
+            return t.storedBytes()
+                       ? static_cast<double>(t.records()) *
+                             tracefile::recordBytes /
+                             static_cast<double>(t.storedBytes())
+                       : 0.0;
+        };
+        const double ratioUnsorted = ratioOf(unV3);
+        const double ratioSorted = ratioOf(soV3);
+
+        const double decodeMbs = decodeMbPerSec(soV3, passes);
+        double syncEnergy = 0, aheadEnergy = 0;
+        const double syncWps =
+            replayWritesPerSec(soV3, 0, passes, &syncEnergy);
+        const double aheadWps = replayWritesPerSec(
+            soV3, aheadDepth, passes, &aheadEnergy);
+        if (syncEnergy != aheadEnergy)
+            throw std::runtime_error(
+                "decode-ahead replay diverged from synchronous "
+                "replay — staging must be result-invariant");
+        const double speedup = syncWps > 0 ? aheadWps / syncWps : 0;
+
+        // Pruning: unsorted+modulo (the legacy worst case — every
+        // block holds every residue) vs sorted+range.
+        const tracefile::MappedTraceSource unsortedSrc(unV3);
+        const tracefile::MappedTraceSource sortedSrc(soV3);
+        const uint64_t blocks =
+            unsortedSrc.trace().blockCount() * shards;
+        const uint64_t moduloVisited =
+            blocksVisitedSharded(unsortedSrc, shards,
+                                 tracefile::Partition::modulo);
+        const uint64_t rangeVisited = blocksVisitedSharded(
+            sortedSrc, shards, tracefile::Partition::range);
+
+        std::remove(unV2.c_str());
+        std::remove(unV3.c_str());
+        std::remove(soV3.c_str());
+        std::error_code ec;
+        fs::remove(dir, ec);
+
+        std::cout << "# trace_io: container compression, decode and "
+                     "replay throughput\n"
+                  << "# lines=" << lines << " raw_mb=" << rawMb
+                  << " cpus=" << cpus << " shards=" << shards
+                  << " decode_ahead=" << aheadDepth << "\n";
+        CsvTable table({"metric", "value"});
+        table.addRow("compression_ratio_unsorted", ratioUnsorted);
+        table.addRow("compression_ratio_sorted", ratioSorted);
+        table.addRow("decode_mb_per_sec", decodeMbs);
+        table.addRow("replay_sync_writes_per_sec", syncWps);
+        table.addRow("replay_ahead_writes_per_sec", aheadWps);
+        table.addRow("decode_ahead_speedup", speedup);
+        table.addRow("sharded_blocks_total", blocks);
+        table.addRow("blocks_visited_modulo_unsorted",
+                     moduloVisited);
+        table.addRow("blocks_visited_range_sorted", rangeVisited);
+        table.write(std::cout);
+
+        if (update_baseline) {
+            std::ofstream out(baseline_path);
+            out << "# Trace I/O throughput baseline for "
+                   "bench/trace_io (best of "
+                << passes
+                << " passes, WLCRC_BENCH_TRACE_LINES=" << lines
+                << ", cpus=" << cpus
+                << ").\n# Machine-specific; refresh with:\n"
+                   "#   ./bench_trace_io --update-baseline\n"
+                << "metric,value\n"
+                << "decode_mb_per_sec," << decodeMbs << "\n"
+                << "replay_sync_writes_per_sec," << syncWps << "\n";
+            std::fprintf(stderr, "baseline written to %s\n",
+                         baseline_path.c_str());
+        }
+
+        if (const char *json =
+                std::getenv("WLCRC_BENCH_JSON_OUT")) {
+            std::ofstream out(json);
+            out << "{\n"
+                << "  \"bench\": \"trace_io\",\n"
+                << "  \"lines\": " << lines << ",\n"
+                << "  \"raw_mb\": " << rawMb << ",\n"
+                << "  \"cpus\": " << cpus << ",\n"
+                << "  \"shards\": " << shards << ",\n"
+                << "  \"decode_ahead\": " << aheadDepth << ",\n"
+                << "  \"compression_ratio_unsorted\": "
+                << ratioUnsorted << ",\n"
+                << "  \"compression_ratio_sorted\": " << ratioSorted
+                << ",\n"
+                << "  \"decode_mb_per_sec\": " << decodeMbs << ",\n"
+                << "  \"replay_sync_writes_per_sec\": " << syncWps
+                << ",\n"
+                << "  \"replay_ahead_writes_per_sec\": " << aheadWps
+                << ",\n"
+                << "  \"decode_ahead_speedup\": " << speedup
+                << ",\n"
+                << "  \"sharded_blocks_total\": " << blocks << ",\n"
+                << "  \"blocks_visited_modulo_unsorted\": "
+                << moduloVisited << ",\n"
+                << "  \"blocks_visited_range_sorted\": "
+                << rangeVisited << "\n"
+                << "}\n";
+        }
+
+        int failures = 0;
+        // The compression floor is deterministic (same synthesizer,
+        // same codec, any machine), so it is always enforced.
+        const double ratioFloor =
+            envDouble("WLCRC_TRACE_RATIO_FLOOR", 5.0);
+        if (ratioSorted < ratioFloor) {
+            std::fprintf(stderr,
+                         "COMPRESSION REGRESSION: sorted corpus "
+                         "ratio %.2fx < floor %.2fx\n",
+                         ratioSorted, ratioFloor);
+            ++failures;
+        }
+        // Pruning must strictly beat the modulo worst case on the
+        // sorted corpus — also deterministic.
+        if (rangeVisited >= moduloVisited) {
+            std::fprintf(stderr,
+                         "PRUNING REGRESSION: range-sharded sorted "
+                         "scan visited %llu blocks, modulo visited "
+                         "%llu\n",
+                         static_cast<unsigned long long>(
+                             rangeVisited),
+                         static_cast<unsigned long long>(
+                             moduloVisited));
+            ++failures;
+        }
+        if (const char *floor =
+                std::getenv("WLCRC_TRACE_AHEAD_FLOOR")) {
+            const double f = std::strtod(floor, nullptr);
+            if (cpus < 2) {
+                std::fprintf(
+                    stderr,
+                    "note: decode-ahead floor %.2fx skipped — "
+                    "overlap needs >= 2 cpus, this machine has "
+                    "%u\n",
+                    f, cpus);
+            } else if (speedup < f) {
+                std::fprintf(stderr,
+                             "DECODE-AHEAD REGRESSION: speedup "
+                             "%.2fx < floor %.2fx\n",
+                             speedup, f);
+                ++failures;
+            }
+        }
+        if (const char *check =
+                std::getenv("WLCRC_BENCH_CHECK")) {
+            const double frac = std::strtod(check, nullptr);
+            const auto baseline = readBaseline(baseline_path);
+            const auto gate = [&](const char *metric,
+                                  double value) {
+                const auto it = baseline.find(metric);
+                if (it == baseline.end() || it->second <= 0)
+                    return;
+                if (value < frac * it->second) {
+                    std::fprintf(stderr,
+                                 "PERF REGRESSION: %s at %.1f < "
+                                 "%.0f%% of baseline %.1f\n",
+                                 metric, value, 100 * frac,
+                                 it->second);
+                    ++failures;
+                }
+            };
+            gate("decode_mb_per_sec", decodeMbs);
+            gate("replay_sync_writes_per_sec", syncWps);
+        }
+        return failures ? 1 : 0;
+    });
+}

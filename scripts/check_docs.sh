@@ -6,7 +6,10 @@
 #   2. every --flag printed by `wlcrc_sim --help`,
 #      `wlcrc_trace --help`, `wlcrc_fuzz --help`,
 #      `wlcrc_serve --help` and `wlcrc_load --help` is documented
-#      in docs/cli.md.
+#      in docs/cli.md;
+#   3. every wlcrc_trace subcommand in its usage text (generate,
+#      convert, sort, info, verify, ...) has a `### \`<sub>\``
+#      section in docs/cli.md.
 #
 # Usage: scripts/check_docs.sh [BUILD_DIR]   (default: build)
 set -u
@@ -48,6 +51,19 @@ for tool in wlcrc_sim wlcrc_trace wlcrc_fuzz wlcrc_serve wlcrc_load; do
   done < <("$bin" --help | grep -oE '(^|[^a-z0-9-])--[a-z0-9-]+' \
              | grep -oE -- '--[a-z0-9-]+' | sort -u)
 done
+
+# --------------------------- 3. wlcrc_trace subcommand coverage
+trace_bin="$BUILD_DIR/wlcrc_trace"
+if [ -x "$trace_bin" ]; then
+  while IFS= read -r sub; do
+    [ -z "$sub" ] && continue
+    if ! grep -q "^### \`$sub\`" docs/cli.md; then
+      echo "UNDOCUMENTED SUBCOMMAND: wlcrc_trace $sub (in usage but no \`### $sub\` section in docs/cli.md)"
+      status=1
+    fi
+  done < <("$trace_bin" --help | grep -oE '^  [a-z][a-z-]+ ' \
+             | tr -d ' ' | sort -u)
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "docs check: all links resolve, all CLI flags documented"

@@ -80,6 +80,12 @@ runShard(const ExperimentSpec &spec, unsigned shard)
 {
     ShardOutcome out;
     try {
+        if (spec.partition == tracefile::Partition::range &&
+            !spec.source)
+            throw std::runtime_error(
+                "partition=range requires a trace source "
+                "(--trace-in): synthesized streams have no stored "
+                "address bounds to slice");
         if (spec.customReplay) {
             // An in-memory source is borrowed, never copied per
             // grid point; anything else is gathered once.
@@ -135,8 +141,14 @@ runShard(const ExperimentSpec &spec, unsigned shard)
         if (spec.source) {
             // The cursor filters (and block-prunes) source-side;
             // records arrive already restricted to this shard.
-            auto cursor = spec.source->open(
-                {spec.shards > 1 ? spec.shards : 1, shard});
+            tracefile::ShardFilter filter{
+                spec.shards > 1 ? spec.shards : 1, shard};
+            if (spec.partition == tracefile::Partition::range &&
+                filter.shards > 1)
+                filter = tracefile::rangePartition(
+                    spec.source->addrBounds(), filter.shards,
+                    shard);
+            auto cursor = spec.source->open(filter);
             rep.runBatch([&](trace::WriteTransaction &slot) {
                 auto t = cursor->next();
                 if (!t)

@@ -28,13 +28,9 @@
 #include "pcm/wear.hh"
 #include "trace/replay.hh"
 #include "trace/transaction.hh"
+#include "tracefile/source.hh"
 #include "wearlevel/config.hh"
 #include "wearlevel/lifetime.hh"
-
-namespace wlcrc::tracefile
-{
-class TransactionSource;
-}
 
 namespace wlcrc::runner
 {
@@ -112,6 +108,19 @@ struct ExperimentSpec
                             //!< source)
     uint64_t seed = 1;      //!< synthesis + device master seed
     unsigned shards = 1;    //!< parallel shards (fixed, not #threads)
+    /**
+     * How shards partition the address space. The default (modulo)
+     * replays byte-identically to pre-partition specs and works for
+     * any stream. Range partitioning slices the source's [min, max]
+     * address span into contiguous per-shard intervals — on a
+     * locality-sorted container each shard then prunes to its own
+     * run of blocks — and requires a sourced spec (the bounds come
+     * from the source). Changing the partition reassigns lines to
+     * differently-seeded shard devices, so it is part of the
+     * canonical spec (emitted only when range, keeping existing
+     * hashes stable).
+     */
+    tracefile::Partition partition = tracefile::Partition::modulo;
     DeviceConfig device;
     /**
      * Wear-leveling scheme between replayer and device. The default

@@ -122,6 +122,13 @@ ExperimentGrid::shards(unsigned n)
 }
 
 ExperimentGrid &
+ExperimentGrid::partition(tracefile::Partition p)
+{
+    partition_ = p;
+    return *this;
+}
+
+ExperimentGrid &
 ExperimentGrid::customReplay(CustomReplayFn fn)
 {
     customReplay_ = std::move(fn);
@@ -231,6 +238,7 @@ ExperimentGrid::expand() const
                                 s.lines = lines;
                                 s.seed = seed;
                                 s.shards = shards_;
+                                s.partition = partition_;
                                 s.device = cfg;
                                 s.leveler = lev;
                                 s.endurance = end;

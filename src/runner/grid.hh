@@ -70,6 +70,8 @@ class ExperimentGrid
     /** Stamp every spec as a lifetime-to-failure replay. */
     ExperimentGrid &lifetime(bool on = true);
     ExperimentGrid &shards(unsigned n);
+    /** Shard address-partition flavour (default modulo). */
+    ExperimentGrid &partition(tracefile::Partition p);
     /** Stamp every expanded spec with a custom replay hook. */
     ExperimentGrid &customReplay(CustomReplayFn fn);
     /**
@@ -108,6 +110,7 @@ class ExperimentGrid
         wearlevel::EnduranceConfig{}};
     bool lifetime_ = false;
     unsigned shards_ = 1;
+    tracefile::Partition partition_ = tracefile::Partition::modulo;
     CustomReplayFn customReplay_;
     std::string cacheSalt_;
 };

@@ -105,6 +105,12 @@ canonicalSpec(const ExperimentSpec &spec)
         os << "lines=" << spec.lines << '\n';
     os << "seed=" << spec.seed << '\n';
     os << "shards=" << (spec.shards ? spec.shards : 1) << '\n';
+    // Emitted only when non-default: range partitioning reassigns
+    // lines to differently-seeded shard devices (a result change),
+    // but every modulo spec's canonical text — and cache hash —
+    // predates the knob and must stay byte-identical.
+    if (spec.partition == tracefile::Partition::range)
+        os << "partition=range\n";
     os << "s3=" << formatDouble(spec.device.s3) << '\n';
     os << "s4=" << formatDouble(spec.device.s4) << '\n';
     os << "vnr=" << (spec.device.vnr ? 1 : 0) << '\n';
@@ -180,6 +186,8 @@ parseSpec(const std::string &text)
         } else if (key == "shards") {
             spec.shards =
                 static_cast<unsigned>(parseU64(value, key));
+        } else if (key == "partition") {
+            spec.partition = tracefile::parsePartitionName(value);
         } else if (key == "s3") {
             spec.device.s3 = parseDouble(value, key);
         } else if (key == "s4") {

@@ -166,7 +166,8 @@ Server::runConnection(std::shared_ptr<ConnState> conn)
                     capture =
                         std::make_unique<tracefile::TraceFileWriter>(
                             cfg_.captureDir + "/stream-" +
-                            std::to_string(sid) + ".wlctrc");
+                            std::to_string(sid) + ".wlctrc",
+                            cfg_.captureOptions);
             } else if (type == FrameType::Write) {
                 if (!helloSeen) {
                     err = "no-hello";

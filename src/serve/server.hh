@@ -7,7 +7,7 @@
  *
  * Threads: one accept loop, one reader thread per connection, one
  * encode worker per bank (BankEngine). A reader decodes frames,
- * optionally captures accepted records to a per-stream WLCTRC02
+ * optionally captures accepted records to a per-stream WLCTRC02/03
  * file, and submits them to the engine; backpressure propagates
  * from a full bank queue through the blocked reader to the
  * client's TCP window. Telemetry requests are answered on the
@@ -36,6 +36,7 @@
 
 #include "runner/experiment.hh"
 #include "serve/engine.hh"
+#include "tracefile/writer.hh"
 
 namespace wlcrc::serve
 {
@@ -45,8 +46,16 @@ struct ServerConfig
 {
     EngineConfig engine;
     uint16_t port = 0;       //!< 0 = ephemeral (see Server::port())
-    /** Directory for per-stream WLCTRC02 capture files; "" = off. */
+    /** Directory for per-stream capture files; "" = off. */
     std::string captureDir;
+    /**
+     * Container revision + codec for capture files. Defaults to the
+     * historical uncompressed WLCTRC02; v3 + lz shrinks long
+     * captures severalfold at a per-block compress cost the reader
+     * thread absorbs. Either way the capture replays byte-identically
+     * (the capture-replay equivalence tests cover both).
+     */
+    tracefile::WriterOptions captureOptions;
     uint64_t maxWrites = 0;  //!< stop after admitting this many (0 = off)
     double runSeconds = 0;   //!< stop after this much wall time (0 = off)
     unsigned maxConns = 0;   //!< stop after this many connections (0 = off)

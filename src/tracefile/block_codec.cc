@@ -1,0 +1,98 @@
+#include "block_codec.hh"
+
+#include <stdexcept>
+
+#ifdef WLCRC_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
+namespace wlcrc::tracefile
+{
+
+bool
+codecAvailable(BlockCodec codec)
+{
+    switch (codec) {
+    case BlockCodec::raw:
+    case BlockCodec::lz:
+        return true;
+    case BlockCodec::zstd:
+#ifdef WLCRC_HAVE_ZSTD
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+BlockCodec
+parseCodecName(const std::string &name)
+{
+    if (name == "raw")
+        return BlockCodec::raw;
+    if (name == "lz")
+        return BlockCodec::lz;
+    if (name == "zstd")
+        return BlockCodec::zstd;
+    throw std::invalid_argument("unknown block codec: " + name +
+                                " (expected raw, lz or zstd)");
+}
+
+std::size_t
+compressBlock(BlockCodec codec, const uint8_t *src,
+              std::size_t srcLen, uint8_t *dst, std::size_t dstCap,
+              LzScratch &scratch)
+{
+    switch (codec) {
+    case BlockCodec::raw:
+        throw std::runtime_error(
+            "compressBlock: raw is not a compressor");
+    case BlockCodec::lz:
+        return lzCompress(src, srcLen, dst, dstCap, &scratch);
+    case BlockCodec::zstd:
+#ifdef WLCRC_HAVE_ZSTD
+    {
+        const std::size_t r =
+            ZSTD_compress(dst, dstCap, src, srcLen, 3);
+        return ZSTD_isError(r) ? 0 : r;
+    }
+#else
+        throw std::runtime_error(
+            "compressBlock: this build has no zstd support");
+#endif
+    }
+    throw std::runtime_error("compressBlock: unknown codec");
+}
+
+std::size_t
+decompressBlock(BlockCodec codec, const uint8_t *src,
+                std::size_t srcLen, uint8_t *dst, std::size_t dstCap)
+{
+    switch (codec) {
+    case BlockCodec::raw:
+        throw std::runtime_error(
+            "decompressBlock: raw blocks need no decode");
+    case BlockCodec::lz:
+        return lzDecompress(src, srcLen, dst, dstCap);
+    case BlockCodec::zstd:
+#ifdef WLCRC_HAVE_ZSTD
+    {
+        const std::size_t r =
+            ZSTD_decompress(dst, dstCap, src, srcLen);
+        if (ZSTD_isError(r))
+            throw std::runtime_error(
+                std::string("zstd: corrupt block: ") +
+                ZSTD_getErrorName(r));
+        return r;
+    }
+#else
+        throw std::runtime_error(
+            "decompressBlock: block uses zstd but this build has "
+            "no zstd support");
+#endif
+    }
+    throw std::runtime_error("decompressBlock: unknown codec");
+}
+
+} // namespace wlcrc::tracefile

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-block codec dispatch for the WLCTRC03 container.
+ *
+ * WLCTRC03 tags every block with a codec byte (format.hh BlockCodec)
+ * so readers decode each block independently: raw blocks are served
+ * zero-copy straight from the mapping, compressed blocks are
+ * inflated into a caller-owned scratch buffer. The always-available
+ * codec is the dependency-free LZ in common/lz.hh; zstd joins the
+ * menu when CMake finds the library (WLCRC_HAVE_ZSTD) — a file
+ * compressed with zstd on one machine fails with a named error, not
+ * garbage, on a build without it.
+ */
+
+#ifndef WLCRC_TRACEFILE_BLOCK_CODEC_HH
+#define WLCRC_TRACEFILE_BLOCK_CODEC_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/lz.hh"
+#include "tracefile/format.hh"
+
+namespace wlcrc::tracefile
+{
+
+/** @return true if this build can encode/decode @p codec. */
+bool codecAvailable(BlockCodec codec);
+
+/** Parse "raw" / "lz" / "zstd". @throws std::invalid_argument. */
+BlockCodec parseCodecName(const std::string &name);
+
+/**
+ * Compress @p src[0..srcLen) with @p codec into @p dst.
+ * @return compressed size, or 0 if the result would not fit in
+ * @p dstCap (callers then store the block raw).
+ * @throws std::runtime_error if @p codec is unavailable or raw.
+ */
+std::size_t compressBlock(BlockCodec codec, const uint8_t *src,
+                          std::size_t srcLen, uint8_t *dst,
+                          std::size_t dstCap, LzScratch &scratch);
+
+/**
+ * Decompress @p src[0..srcLen) into @p dst[0..dstCap).
+ * @return bytes produced.
+ * @throws std::runtime_error naming the defect on malformed input,
+ * and "built without zstd" style errors for unavailable codecs.
+ */
+std::size_t decompressBlock(BlockCodec codec, const uint8_t *src,
+                            std::size_t srcLen, uint8_t *dst,
+                            std::size_t dstCap);
+
+} // namespace wlcrc::tracefile
+
+#endif // WLCRC_TRACEFILE_BLOCK_CODEC_HH

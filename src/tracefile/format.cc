@@ -82,9 +82,31 @@ rangeHasResidue(uint64_t minAddr, uint64_t maxAddr, unsigned mod,
 }
 
 const char *
+codecName(BlockCodec c)
+{
+    switch (c) {
+    case BlockCodec::raw:
+        return "raw";
+    case BlockCodec::lz:
+        return "lz";
+    case BlockCodec::zstd:
+        return "zstd";
+    }
+    return "?";
+}
+
+const char *
 formatName(TraceFormat f)
 {
-    return f == TraceFormat::v1 ? "v1" : "v2";
+    switch (f) {
+    case TraceFormat::v1:
+        return "v1";
+    case TraceFormat::v2:
+        return "v2";
+    case TraceFormat::v3:
+        return "v3";
+    }
+    return "?";
 }
 
 TraceFormat
@@ -101,9 +123,11 @@ detectFormat(const std::string &path)
         return TraceFormat::v1;
     if (std::memcmp(got, magicV2, sizeof(magicV2)) == 0)
         return TraceFormat::v2;
+    if (std::memcmp(got, magicV3, sizeof(magicV3)) == 0)
+        return TraceFormat::v3;
     throw std::runtime_error(
         "trace: " + path +
-        " starts with neither WLCTRC01 nor WLCTRC02 magic");
+        " starts with no known trace magic (WLCTRC01/02/03)");
 }
 
 } // namespace wlcrc::tracefile

@@ -1,6 +1,6 @@
 /**
  * @file
- * On-disk layout of the WLCTRC02 indexed trace container.
+ * On-disk layout of the WLCTRC02/WLCTRC03 indexed trace containers.
  *
  * The legacy WLCTRC01 format (trace/trace_io.hh) is a bare record
  * dump: fine for piping, useless for out-of-core replay — finding
@@ -18,12 +18,31 @@
  *            u64 totalRecords, u32 crc32(index bytes), u32 0,
  *            magic "WLCIDX02"
  *
- * Records are the same 136 bytes as WLCTRC01 (u64 lineAddr, 64 B old
- * data, 64 B new data, little-endian), so v1 <-> v2 conversion is
- * re-framing, never re-encoding. The trailer sits at EOF, so a
- * reader finds the index with one seek; the per-block min/max
- * addresses let a sharded replay skip whole blocks whose address
- * range cannot intersect its partition.
+ * WLCTRC03 keeps the record payload and blocking identical but
+ * stores each block independently compressed (docs/trace-format.md
+ * has the byte-level spec):
+ *
+ *   header   16 B   magic "WLCTRC03", u32 recordsPerBlock, u32 0
+ *   blocks   variable-size stored byte runs, back to back; each is
+ *            one block's records either raw or compressed with the
+ *            codec named in its index entry
+ *   index    one 48 B entry per block:
+ *            u32 count, u32 rawCrc (crc32 of the *uncompressed*
+ *            record bytes), u64 minAddr, u64 maxAddr,
+ *            u64 offset (absolute file offset of the stored bytes),
+ *            u32 storedBytes, u32 storedCrc (crc32 of the stored
+ *            bytes), u8 codec (BlockCodec), 7 zero bytes
+ *   trailer  40 B   as v2, magic "WLCIDX03"
+ *
+ * A writer compresses each block and falls back to raw storage when
+ * the codec does not strictly shrink it, so a v3 file is never
+ * larger than its v2 equivalent plus the bigger index. Records are
+ * the same 136 bytes in all generations (u64 lineAddr, 64 B old
+ * data, 64 B new data, little-endian), so conversion between any
+ * two formats is re-framing, never re-encoding. The trailer sits at
+ * EOF, so a reader finds the index with one seek; the per-block
+ * min/max addresses let a sharded replay skip whole blocks whose
+ * address range cannot intersect its partition.
  */
 
 #ifndef WLCRC_TRACEFILE_FORMAT_HH
@@ -43,28 +62,56 @@ inline constexpr char magicV1[8] = {'W', 'L', 'C', 'T',
 /** Magic opening a WLCTRC02 container. */
 inline constexpr char magicV2[8] = {'W', 'L', 'C', 'T',
                                     'R', 'C', '0', '2'};
-/** Magic closing the trailer (read backwards from EOF). */
+/** Magic opening a WLCTRC03 container. */
+inline constexpr char magicV3[8] = {'W', 'L', 'C', 'T',
+                                    'R', 'C', '0', '3'};
+/** Magic closing the v2 trailer (read backwards from EOF). */
 inline constexpr char magicIndex[8] = {'W', 'L', 'C', 'I',
                                        'D', 'X', '0', '2'};
+/** Magic closing the v3 trailer. */
+inline constexpr char magicIndexV3[8] = {'W', 'L', 'C', 'I',
+                                         'D', 'X', '0', '3'};
 
 /** Serialized size of one record: u64 addr + old + new line. */
 inline constexpr uint32_t recordBytes = 8 + 2 * (lineBits / 8);
 /** Serialized size of the file header. */
 inline constexpr uint32_t headerBytes = 16;
-/** Serialized size of one footer-index entry. */
+/** Serialized size of one v2 footer-index entry. */
 inline constexpr uint32_t indexEntryBytes = 24;
+/** Serialized size of one v3 footer-index entry. */
+inline constexpr uint32_t indexEntryBytesV3 = 48;
 /** Serialized size of the trailer. */
 inline constexpr uint32_t trailerBytes = 40;
 /** Default block capacity: 4096 records ≈ 544 KiB per block. */
 inline constexpr uint32_t defaultRecordsPerBlock = 4096;
 
-/** Decoded footer-index entry of one block. */
+/** Per-block storage codec of a WLCTRC03 container. */
+enum class BlockCodec : uint8_t
+{
+    raw = 0,  //!< records stored verbatim
+    lz = 1,   //!< dependency-free LZ (common/lz.hh)
+    zstd = 2, //!< zstd, present only when CMake finds the library
+};
+
+/** @return "raw", "lz" or "zstd". */
+const char *codecName(BlockCodec c);
+
+/**
+ * Decoded footer-index entry of one block. For a v2 container the
+ * storage fields are synthesized at load time (offset from the
+ * fixed blocking, storedBytes = count × recordBytes, codec = raw,
+ * storedCrc = rawCrc), so readers treat both generations uniformly.
+ */
 struct BlockInfo
 {
     uint32_t count = 0;   //!< records stored in the block
-    uint32_t crc = 0;     //!< crc32 of the block's serialized bytes
+    uint32_t crc = 0;     //!< crc32 of the *uncompressed* records
     uint64_t minAddr = 0; //!< smallest line address in the block
     uint64_t maxAddr = 0; //!< largest line address in the block
+    uint64_t offset = 0;  //!< file offset of the stored bytes
+    uint32_t storedBytes = 0; //!< on-disk size of the stored bytes
+    uint32_t storedCrc = 0;   //!< crc32 of the stored bytes
+    BlockCodec codec = BlockCodec::raw;
 };
 
 // Little-endian scalar accessors on raw buffers. The container is
@@ -93,9 +140,10 @@ enum class TraceFormat
 {
     v1, //!< WLCTRC01 sequential dump
     v2, //!< WLCTRC02 blocked + indexed container
+    v3, //!< WLCTRC03 per-block-compressed container
 };
 
-/** @return "v1" or "v2". */
+/** @return "v1", "v2" or "v3". */
 const char *formatName(TraceFormat f);
 
 /**

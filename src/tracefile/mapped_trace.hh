@@ -1,20 +1,30 @@
 /**
  * @file
- * MappedTrace: mmap-backed random-access reader of a WLCTRC02
- * container.
+ * MappedTrace: mmap-backed random-access reader of the WLCTRC02 and
+ * WLCTRC03 containers.
  *
  * The whole file is mapped read-only, so "loading" a multi-gigabyte
  * trace costs one mmap plus decoding the footer index — record bytes
  * are paged in lazily by the OS as blocks are actually touched, and
- * evicted under memory pressure. A forward scan therefore keeps at
- * most one block resident per cursor; nothing is ever slurped into a
- * std::vector.
+ * evicted under memory pressure. A forward scan keeps at most one
+ * decoded block resident per cursor; nothing is ever slurped into a
+ * whole-file vector.
+ *
+ * Both container generations expose one uniform surface: every block
+ * has a BlockInfo with storage offset, stored size, codec and both
+ * checksums (synthesized from the fixed blocking for v2), and
+ * readBlock() hands out the uncompressed record bytes — zero-copy
+ * straight from the mapping for raw blocks, inflated into a
+ * caller-reused scratch buffer for compressed ones.
  *
  * Corruption handling: structural problems (bad magic, impossible
- * offsets, index CRC mismatch) throw at construction; payload
- * corruption throws when — and only when — the affected block is
- * checksummed, either by verifyBlock()/verifyAll() or by a cursor
- * entering the block (tracefile/source.hh).
+ * offsets or sizes, index CRC mismatch) throw at construction;
+ * payload corruption throws when — and only when — the affected
+ * block is decoded, either by verifyBlock()/verifyAll() or by a
+ * cursor entering the block (tracefile/source.hh). Compressed blocks
+ * are checked in depth: stored-byte CRC before decode, then decoded
+ * length and raw CRC after — a truncated, bit-flipped or
+ * length-lying payload fails with a named error, never an over-read.
  */
 
 #ifndef WLCRC_TRACEFILE_MAPPED_TRACE_HH
@@ -30,7 +40,14 @@
 namespace wlcrc::tracefile
 {
 
-/** Read-only memory-mapped WLCTRC02 trace. */
+/** Uncompressed view of one block's record bytes. */
+struct BlockView
+{
+    const uint8_t *data = nullptr; //!< count × recordBytes bytes
+    uint32_t count = 0;            //!< records in the block
+};
+
+/** Read-only memory-mapped WLCTRC02/WLCTRC03 trace. */
 class MappedTrace
 {
   public:
@@ -47,6 +64,8 @@ class MappedTrace
     MappedTrace &operator=(const MappedTrace &) = delete;
 
     const std::string &path() const { return path_; }
+    /** Container generation (v2 or v3). */
+    TraceFormat format() const { return format_; }
     /** Total records in the trace. */
     uint64_t records() const { return records_; }
     /** Number of record blocks. */
@@ -59,18 +78,49 @@ class MappedTrace
     uint64_t minAddr() const { return minAddr_; }
     /** Largest line address in the trace (0 if empty). */
     uint64_t maxAddr() const { return maxAddr_; }
+    /** True if any block is stored compressed. */
+    bool anyCompressed() const { return anyCompressed_; }
+    /** Total stored block bytes (the compressed footprint). */
+    uint64_t storedBytes() const { return storedBytes_; }
     /**
      * CRC32 of the footer index, as stored in the trailer. The
      * index embeds every block's CRC, so this single word pins the
-     * container's entire record content — the result cache uses it
-     * as the trace content digest (docs/caching.md).
+     * container's entire byte content.
      */
     uint32_t indexCrc() const { return indexCrc_; }
+    /**
+     * CRC32 over the v2-style index serialization (count, rawCrc,
+     * minAddr, maxAddr per block) — a codec- and layout-invariant
+     * fingerprint of the record content and blocking. Equal to
+     * indexCrc() for a v2 file; for v3 it survives recompression
+     * with a different codec but moves on any payload change. The
+     * result cache uses it as the trace content digest
+     * (docs/caching.md).
+     */
+    uint32_t contentCrc() const { return contentCrc_; }
 
-    /** Raw serialized bytes of block @p b (count × recordBytes). */
-    const uint8_t *blockData(uint64_t b) const;
+    /**
+     * Stored (possibly compressed) bytes of block @p b, straight
+     * from the mapping (blockInfo(b).storedBytes long).
+     */
+    const uint8_t *storedData(uint64_t b) const;
 
-    /** Decode record @p i of block @p b (no checksum pass). */
+    /**
+     * Checksum and decode block @p b. Raw blocks are CRC-checked and
+     * returned zero-copy from the mapping; compressed blocks are
+     * verified (stored CRC), inflated into @p scratch (resized once,
+     * then reused across calls) and re-verified (length + raw CRC).
+     * @throws std::runtime_error naming block, file and defect on
+     *         any corruption.
+     */
+    BlockView readBlock(uint64_t b,
+                        std::vector<uint8_t> &scratch) const;
+
+    /**
+     * Decode record @p i of block @p b. For compressed blocks this
+     * inflates the whole block per call — random access is for
+     * tools and tests; streaming paths use readBlock().
+     */
     trace::WriteTransaction recordInBlock(uint64_t b,
                                           uint32_t i) const;
 
@@ -78,9 +128,9 @@ class MappedTrace
     trace::WriteTransaction record(uint64_t i) const;
 
     /**
-     * Recompute block @p b's checksum.
-     * @throws std::runtime_error naming the block and file on
-     *         mismatch.
+     * Fully re-check block @p b (stored CRC, decode, length, raw
+     * CRC). @throws std::runtime_error naming the block and file on
+     * mismatch.
      */
     void verifyBlock(uint64_t b) const;
 
@@ -88,14 +138,23 @@ class MappedTrace
     uint64_t verifyAll() const;
 
   private:
+    void parseIndexV2(const uint8_t *footer, uint64_t blockCount,
+                      uint64_t indexOffset);
+    void parseIndexV3(const uint8_t *footer, uint64_t blockCount,
+                      uint64_t indexOffset);
+
     std::string path_;
     const uint8_t *base_ = nullptr; //!< mapping base (nullptr: empty)
     std::size_t size_ = 0;          //!< file/mapping length
+    TraceFormat format_ = TraceFormat::v2;
     uint32_t recordsPerBlock_ = 0;
     uint64_t records_ = 0;
     uint64_t minAddr_ = 0;
     uint64_t maxAddr_ = 0;
     uint32_t indexCrc_ = 0;
+    uint32_t contentCrc_ = 0;
+    bool anyCompressed_ = false;
+    uint64_t storedBytes_ = 0;
     std::vector<BlockInfo> index_;
 };
 

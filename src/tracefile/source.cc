@@ -1,11 +1,15 @@
 #include "source.hh"
 
+#include <algorithm>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "common/crc32.hh"
+#include "common/env.hh"
 #include "tracefile/format.hh"
 
 namespace wlcrc::tracefile
@@ -70,7 +74,7 @@ class V1Cursor : public TraceCursor
     ShardFilter filter_;
 };
 
-/** Block-wise walk of a WLCTRC02 mapping with index pruning. */
+/** Synchronous block-wise walk of a mapping with index pruning. */
 class MappedCursor : public TraceCursor
 {
   public:
@@ -83,10 +87,11 @@ class MappedCursor : public TraceCursor
     next() override
     {
         while (true) {
-            if (inBlock_ && rec_ < trace_->blockInfo(block_).count) {
-                const auto t = trace_->recordInBlock(block_, rec_++);
-                if (filter_.accepts(t.lineAddr))
-                    return t;
+            if (inBlock_ && rec_ < view_.count) {
+                const uint8_t *p =
+                    view_.data + std::size_t{rec_++} * recordBytes;
+                if (filter_.accepts(getLe64(p)))
+                    return decodeRecord(p);
                 continue;
             }
             if (inBlock_) {
@@ -97,14 +102,15 @@ class MappedCursor : public TraceCursor
             while (block_ < trace_->blockCount()) {
                 const auto &info = trace_->blockInfo(block_);
                 if (filter_.all() ||
-                    rangeHasResidue(info.minAddr, info.maxAddr,
-                                    filter_.shards, filter_.shard))
+                    blockIntersects(filter_, info.minAddr,
+                                    info.maxAddr))
                     break;
                 ++block_; // pruned: address range misses the shard
             }
             if (block_ >= trace_->blockCount())
                 return std::nullopt;
-            trace_->verifyBlock(block_); // audit on first entry
+            // Checksum (and decompress) on first entry.
+            view_ = trace_->readBlock(block_, scratch_);
             ++visited_;
             inBlock_ = true;
             rec_ = 0;
@@ -122,13 +128,243 @@ class MappedCursor : public TraceCursor
   private:
     std::shared_ptr<const MappedTrace> trace_;
     ShardFilter filter_;
+    std::vector<uint8_t> scratch_;
+    BlockView view_;
     uint64_t block_ = 0;
     uint32_t rec_ = 0;
     bool inBlock_ = false;
     uint64_t visited_ = 0;
 };
 
+/**
+ * Decode-ahead block walk: a producer thread prunes, checksums and
+ * decompresses blocks into a bounded ring of preallocated slots
+ * while the consumer drains records — block decode overlaps the
+ * caller's encode work. Slot buffers are sized by the first
+ * compressed block and reused forever after (zero steady-state
+ * allocations). Errors travel through the ring as exception_ptrs
+ * and rethrow exactly where the synchronous cursor would have
+ * thrown, so the record/error stream is bit-identical to
+ * MappedCursor's.
+ */
+class PrefetchCursor : public TraceCursor
+{
+  public:
+    PrefetchCursor(std::shared_ptr<const MappedTrace> mt,
+                   ShardFilter filter, unsigned depth)
+        : trace_(std::move(mt)), filter_(filter),
+          slots_(depth > 0 ? depth : 1)
+    {
+        producer_ = std::thread([this] { produce(); });
+    }
+
+    ~PrefetchCursor() override
+    {
+        {
+            std::lock_guard lk(m_);
+            stop_ = true;
+        }
+        cvFree_.notify_all();
+        producer_.join();
+    }
+
+    std::optional<trace::WriteTransaction>
+    next() override
+    {
+        while (true) {
+            if (cur_) {
+                while (rec_ < cur_->view.count) {
+                    const uint8_t *p =
+                        cur_->view.data +
+                        std::size_t{rec_++} * recordBytes;
+                    if (filter_.accepts(getLe64(p)))
+                        return decodeRecord(p);
+                }
+                {
+                    std::lock_guard lk(m_);
+                    cur_->filled = false;
+                    ++consSeq_;
+                }
+                cvFree_.notify_one();
+                cur_ = nullptr;
+            }
+            std::unique_lock lk(m_);
+            cvFilled_.wait(lk, [this] {
+                return prodSeq_ > consSeq_ || producerDone_;
+            });
+            if (prodSeq_ == consSeq_ && producerDone_)
+                return std::nullopt;
+            Slot &s = slots_[consSeq_ % slots_.size()];
+            if (s.err) {
+                // Consume the slot so destruction can't deadlock,
+                // then surface the error exactly like a synchronous
+                // readBlock() at this block would have.
+                const std::exception_ptr err = s.err;
+                s.err = nullptr;
+                s.filled = false;
+                ++consSeq_;
+                lk.unlock();
+                cvFree_.notify_one();
+                std::rethrow_exception(err);
+            }
+            cur_ = &s;
+            rec_ = 0;
+            ++visited_;
+        }
+    }
+
+    std::size_t
+    bufferBytes() const override
+    {
+        return slots_.size() *
+               std::size_t{trace_->recordsPerBlock()} * recordBytes;
+    }
+
+    uint64_t blocksVisited() const override { return visited_; }
+
+  private:
+    struct Slot
+    {
+        std::vector<uint8_t> scratch;
+        BlockView view;
+        std::exception_ptr err;
+        bool filled = false;
+    };
+
+    void
+    produce()
+    {
+        for (uint64_t b = 0; b < trace_->blockCount(); ++b) {
+            const auto &info = trace_->blockInfo(b);
+            if (!filter_.all() &&
+                !blockIntersects(filter_, info.minAddr,
+                                 info.maxAddr))
+                continue;
+            Slot &s = slots_[prodSeq_ % slots_.size()];
+            {
+                std::unique_lock lk(m_);
+                cvFree_.wait(lk,
+                             [&] { return stop_ || !s.filled; });
+                if (stop_)
+                    return;
+            }
+            // The slot is exclusively ours until filled is set.
+            bool bad = false;
+            try {
+                s.view = trace_->readBlock(b, s.scratch);
+                s.err = nullptr;
+            } catch (...) {
+                s.err = std::current_exception();
+                bad = true;
+            }
+            {
+                std::lock_guard lk(m_);
+                s.filled = true;
+                ++prodSeq_;
+                if (bad)
+                    producerDone_ = true; // error ends the stream
+            }
+            cvFilled_.notify_one();
+            if (bad)
+                return;
+        }
+        {
+            std::lock_guard lk(m_);
+            producerDone_ = true;
+        }
+        cvFilled_.notify_one();
+    }
+
+    std::shared_ptr<const MappedTrace> trace_;
+    ShardFilter filter_;
+    std::vector<Slot> slots_;
+    std::thread producer_;
+    std::mutex m_;
+    std::condition_variable cvFilled_, cvFree_;
+    uint64_t prodSeq_ = 0;  //!< slots published (guarded by m_)
+    uint64_t consSeq_ = 0;  //!< slots released (guarded by m_)
+    bool producerDone_ = false;
+    bool stop_ = false;
+    Slot *cur_ = nullptr; //!< slot the consumer is draining
+    uint32_t rec_ = 0;
+    uint64_t visited_ = 0;
+};
+
+/**
+ * Staging depth for a cursor over @p trace: WLCRC_DECODE_AHEAD when
+ * set (0 = synchronous), else 2 for compressed containers and 0 for
+ * raw ones (raw blocks are zero-copy views; staging would only add
+ * thread handoffs).
+ */
+unsigned
+decodeAheadDepth(const MappedTrace &trace)
+{
+    const uint64_t def = trace.anyCompressed() ? 2 : 0;
+    const uint64_t depth = envU64("WLCRC_DECODE_AHEAD", def);
+    return static_cast<unsigned>(std::min<uint64_t>(depth, 64));
+}
+
 } // namespace
+
+// --------------------------------------------------- partitioning
+
+const char *
+partitionName(Partition p)
+{
+    return p == Partition::modulo ? "modulo" : "range";
+}
+
+Partition
+parsePartitionName(const std::string &name)
+{
+    if (name == "modulo")
+        return Partition::modulo;
+    if (name == "range")
+        return Partition::range;
+    throw std::invalid_argument(
+        "unknown partition mode: " + name +
+        " (expected modulo or range)");
+}
+
+bool
+blockIntersects(const ShardFilter &filter, uint64_t minAddr,
+                uint64_t maxAddr)
+{
+    if (filter.all())
+        return true;
+    if (filter.mode == Partition::modulo)
+        return rangeHasResidue(minAddr, maxAddr, filter.shards,
+                               filter.shard);
+    return maxAddr >= filter.lo && minAddr <= filter.hi;
+}
+
+ShardFilter
+rangePartition(std::pair<uint64_t, uint64_t> bounds, unsigned shards,
+               unsigned shard)
+{
+    ShardFilter f;
+    f.shards = shards;
+    f.shard = shard;
+    f.mode = Partition::range;
+    if (shards <= 1)
+        return f;
+    const uint64_t lo = bounds.first;
+    const uint64_t hi = bounds.second;
+    if (lo > hi)
+        throw std::invalid_argument(
+            "rangePartition: inverted address bounds");
+    // 128-bit arithmetic: span can be 2^64 for the full space, and
+    // the per-shard products overflow 64 bits long before that.
+    const unsigned __int128 span =
+        static_cast<unsigned __int128>(hi) - lo + 1;
+    f.lo = lo + static_cast<uint64_t>(span * shard / shards);
+    f.hi = shard + 1 == shards
+               ? hi
+               : lo + static_cast<uint64_t>(
+                          span * (shard + 1) / shards) -
+                     1;
+    return f;
+}
 
 // ------------------------------------------------------ VectorSource
 
@@ -153,6 +389,26 @@ VectorSource::describe() const
     std::ostringstream os;
     os << "memory (" << txns_->size() << " records)";
     return os.str();
+}
+
+std::pair<uint64_t, uint64_t>
+VectorSource::addrBounds() const
+{
+    std::lock_guard lock(digestMutex_);
+    if (!bounds_) {
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        bool first = true;
+        for (const auto &t : *txns_) {
+            if (first || t.lineAddr < lo)
+                lo = t.lineAddr;
+            if (first || t.lineAddr > hi)
+                hi = t.lineAddr;
+            first = false;
+        }
+        bounds_ = {lo, hi};
+    }
+    return *bounds_;
 }
 
 uint64_t
@@ -196,6 +452,27 @@ V1FileSource::describe() const
     os << "wlctrc01:" << path_ << " (" << records_
        << " records, streamed)";
     return os.str();
+}
+
+std::pair<uint64_t, uint64_t>
+V1FileSource::addrBounds() const
+{
+    std::lock_guard lock(digestMutex_);
+    if (!bounds_) {
+        trace::TraceReader reader(path_);
+        uint64_t lo = 0;
+        uint64_t hi = 0;
+        bool first = true;
+        while (auto t = reader.read()) {
+            if (first || t->lineAddr < lo)
+                lo = t->lineAddr;
+            if (first || t->lineAddr > hi)
+                hi = t->lineAddr;
+            first = false;
+        }
+        bounds_ = {lo, hi};
+    }
+    return *bounds_;
 }
 
 uint64_t
@@ -242,24 +519,35 @@ MappedTraceSource::MappedTraceSource(
 std::unique_ptr<TraceCursor>
 MappedTraceSource::open(const ShardFilter &filter) const
 {
-    return std::make_unique<MappedCursor>(trace_, filter);
+    const unsigned depth = decodeAheadDepth(*trace_);
+    if (depth == 0 || trace_->records() == 0)
+        return std::make_unique<MappedCursor>(trace_, filter);
+    return std::make_unique<PrefetchCursor>(trace_, filter, depth);
+}
+
+std::pair<uint64_t, uint64_t>
+MappedTraceSource::addrBounds() const
+{
+    return {trace_->minAddr(), trace_->maxAddr()};
 }
 
 uint64_t
 MappedTraceSource::contentDigest() const
 {
-    // The footer index CRC covers every block's CRC, which cover
-    // every record byte — one word pins the whole container.
-    return (uint64_t{trace_->indexCrc()} << 32) ^ trace_->records();
+    // The codec-invariant content CRC covers every block's raw CRC,
+    // which cover every record byte — one word pins the whole
+    // container (and matches the v2 digest of the same records).
+    return (uint64_t{trace_->contentCrc()} << 32) ^
+           trace_->records();
 }
 
 std::string
 MappedTraceSource::describe() const
 {
     std::ostringstream os;
-    os << "wlctrc02:" << trace_->path() << " ("
-       << trace_->records() << " records, "
-       << trace_->blockCount() << " blocks of "
+    os << "wlctrc0" << (trace_->format() == TraceFormat::v3 ? 3 : 2)
+       << ":" << trace_->path() << " (" << trace_->records()
+       << " records, " << trace_->blockCount() << " blocks of "
        << trace_->recordsPerBlock() << ", mmap)";
     return os.str();
 }
@@ -273,6 +561,7 @@ openTraceSource(const std::string &path)
     case TraceFormat::v1:
         return std::make_shared<V1FileSource>(path);
     case TraceFormat::v2:
+    case TraceFormat::v3:
         return std::make_shared<MappedTraceSource>(path);
     }
     throw std::logic_error("openTraceSource: unreachable");

@@ -1,13 +1,18 @@
 /**
  * @file
- * TraceFileWriter: streaming writer of the WLCTRC02 container.
+ * TraceFileWriter: streaming writer of the WLCTRC02/03 containers.
  *
  * Records are serialized into a single in-memory block buffer
  * (recordsPerBlock × 136 B); a full buffer is checksummed, appended
- * to the file and its index entry (count, crc32, min/max address)
- * queued for the footer. close() flushes the final partial block and
- * writes the index + trailer. Memory use is one block, regardless of
- * trace length.
+ * to the file and its index entry queued for the footer. close()
+ * flushes the final partial block and writes the index + trailer.
+ *
+ * For WLCTRC03 each full buffer is additionally run through the
+ * configured codec into a reused compression scratch and stored
+ * compressed when that strictly shrinks it, raw otherwise — so a v3
+ * file never carries an expanded block. Memory use is two blocks
+ * (records + compression scratch) regardless of trace length, with
+ * zero allocations after the first block.
  */
 
 #ifndef WLCRC_TRACEFILE_WRITER_HH
@@ -18,27 +23,45 @@
 #include <string>
 #include <vector>
 
+#include "common/lz.hh"
 #include "tracefile/format.hh"
 #include "trace/transaction.hh"
 
 namespace wlcrc::tracefile
 {
 
-/** Blocked, indexed trace writer (WLCTRC02). */
+/** Construction knobs of a TraceFileWriter. */
+struct WriterOptions
+{
+    /**
+     * Block capacity; smaller blocks mean a tighter streaming-memory
+     * bound and finer-grained shard pruning, at the cost of a larger
+     * footer index (and, for v3, a shallower compression window).
+     */
+    uint32_t recordsPerBlock = defaultRecordsPerBlock;
+    /** Container generation to emit (v2 or v3). */
+    TraceFormat format = TraceFormat::v2;
+    /** Block codec for v3 output; ignored for v2. */
+    BlockCodec codec = BlockCodec::lz;
+};
+
+/** Blocked, indexed trace writer (WLCTRC02/WLCTRC03). */
 class TraceFileWriter
 {
   public:
     /**
      * Open @p path for writing and emit the header.
-     * @param recordsPerBlock block capacity; smaller blocks mean a
-     *        tighter streaming-memory bound and finer-grained shard
-     *        pruning, at the cost of a larger footer index.
-     * @throws std::runtime_error on open failure,
-     *         std::invalid_argument if recordsPerBlock is 0.
+     * @throws std::runtime_error on open failure or an unavailable
+     *         codec, std::invalid_argument for recordsPerBlock = 0,
+     *         format v1, or a codec byte this build cannot encode.
      */
     explicit TraceFileWriter(
         const std::string &path,
         uint32_t recordsPerBlock = defaultRecordsPerBlock);
+
+    /** As above with full options (format + codec). */
+    TraceFileWriter(const std::string &path,
+                    const WriterOptions &options);
 
     /** Flushes and finalizes via close() if still open. */
     ~TraceFileWriter();
@@ -64,13 +87,16 @@ class TraceFileWriter
 
     std::ofstream out_;
     std::string path_;
-    uint32_t recordsPerBlock_;
+    WriterOptions options_;
     std::vector<uint8_t> block_; //!< serialized pending records
-    uint32_t pending_ = 0;       //!< records in block_
+    std::vector<uint8_t> compressed_; //!< v3 compression scratch
+    LzScratch lzScratch_;
+    uint32_t pending_ = 0; //!< records in block_
     uint64_t pendingMin_ = 0;
     uint64_t pendingMax_ = 0;
     std::vector<BlockInfo> index_;
     uint64_t total_ = 0;
+    uint64_t offset_ = headerBytes; //!< next stored-block offset
     bool open_ = true;
 };
 

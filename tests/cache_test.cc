@@ -97,6 +97,11 @@ TEST(SpecHash, MovesOnEverySemanticField)
     differs([](auto &s) { s.lines = 61; }, "lines");
     differs([](auto &s) { s.seed = 8; }, "seed");
     differs([](auto &s) { s.shards = 3; }, "shards");
+    differs(
+        [](auto &s) {
+            s.partition = tracefile::Partition::range;
+        },
+        "partition");
     differs([](auto &s) { s.device.s3 = 300.5; }, "device s3");
     differs([](auto &s) { s.device.s4 = 500.25; }, "device s4");
     differs([](auto &s) { s.device.vnr = true; }, "device vnr");
@@ -179,6 +184,55 @@ TEST(SpecHash, TraceContentDigestInvalidates)
     EXPECT_NE(specHash(spec), before);
 }
 
+TEST(SpecHash, V3DigestTracksPayloadNotFraming)
+{
+    // The WLCTRC03 content digest is framing-invariant: rewriting
+    // one stream as v2, v3+lz or v3+raw (recompression, conversion)
+    // must serve the same cache entries, while any payload change
+    // must miss.
+    const std::string dir = tempDir("digest_v3");
+    const std::string path = dir + "/t.trc";
+    const auto writeTrace = [&](tracefile::TraceFormat format,
+                                tracefile::BlockCodec codec,
+                                uint64_t salt) {
+        tracefile::WriterOptions options;
+        options.recordsPerBlock = 16;
+        options.format = format;
+        options.codec = codec;
+        tracefile::TraceFileWriter w(path, options);
+        trace::WriteTransaction t{};
+        for (uint64_t i = 0; i < 80; ++i) {
+            t.lineAddr = i % 23;
+            t.newData.setWord(0, i + salt);
+            w.write(t);
+        }
+        w.close();
+    };
+    const auto hashNow = [&] {
+        ExperimentSpec spec = baseSpec();
+        spec.workload.clear();
+        spec.source = tracefile::openTraceSource(path);
+        return specHash(spec);
+    };
+
+    writeTrace(tracefile::TraceFormat::v2,
+               tracefile::BlockCodec::raw, 1);
+    const uint64_t v2Hash = hashNow();
+
+    // Recompression-identical rewrites keep every hash.
+    writeTrace(tracefile::TraceFormat::v3,
+               tracefile::BlockCodec::lz, 1);
+    EXPECT_EQ(hashNow(), v2Hash) << "v3+lz rewrite moved the hash";
+    writeTrace(tracefile::TraceFormat::v3,
+               tracefile::BlockCodec::raw, 1);
+    EXPECT_EQ(hashNow(), v2Hash) << "v3+raw rewrite moved the hash";
+
+    // A one-word payload change moves it.
+    writeTrace(tracefile::TraceFormat::v3,
+               tracefile::BlockCodec::lz, 2);
+    EXPECT_NE(hashNow(), v2Hash) << "payload mutation kept the hash";
+}
+
 // --------------------------------------------------- eligibility
 
 TEST(SpecCodec, CacheabilityRules)
@@ -254,6 +308,20 @@ TEST(SpecCodec, CanonicalSpecRoundTripsThroughParse)
     spec.device.s3 = 301.75;
     const ExperimentSpec back = parseSpec(canonicalSpec(spec));
     EXPECT_EQ(canonicalSpec(back), canonicalSpec(spec));
+
+    // Range partitioning is a cache-relevant field: emitted only
+    // when non-default (keeping pre-existing keys stable) and
+    // parsed back faithfully.
+    EXPECT_EQ(canonicalSpec(baseSpec()).find("partition="),
+              std::string::npos);
+    ExperimentSpec ranged = baseSpec();
+    ranged.partition = tracefile::Partition::range;
+    EXPECT_NE(canonicalSpec(ranged).find("partition=range\n"),
+              std::string::npos);
+    const ExperimentSpec rangedBack =
+        parseSpec(canonicalSpec(ranged));
+    EXPECT_EQ(rangedBack.partition, tracefile::Partition::range);
+    EXPECT_EQ(canonicalSpec(rangedBack), canonicalSpec(ranged));
 }
 
 TEST(SpecCodec, LifetimeSpecRoundTripsThroughParse)

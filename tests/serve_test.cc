@@ -44,6 +44,7 @@
 #include "serve/queue.hh"
 #include "serve/server.hh"
 #include "tracefile/format.hh"
+#include "tracefile/mapped_trace.hh"
 #include "tracefile/source.hh"
 #include "tracefile/writer.hh"
 #include "trace/replay.hh"
@@ -533,12 +534,21 @@ freshDir(const std::string &name)
 
 // -------------------------------------- capture-replay equivalence
 
-TEST(CaptureReplay, ServerTelemetryMatchesOfflineReplayExactly)
+/**
+ * Drive a captured server session and diff its telemetry against an
+ * offline wlcrc_sim replay of the recombined capture, token for
+ * token. @p captureFlags selects the capture container flavour;
+ * @p expectV3 additionally asserts the per-stream files landed as
+ * (compressed) WLCTRC03.
+ */
+void
+runCaptureReplayCase(const std::string &dirName,
+                     const std::string &captureFlags, bool expectV3)
 {
-    const auto dir = freshDir("wlcrc_serve_capture_test");
+    const auto dir = freshDir(dirName);
     ServerProc server = spawnServer(
         "--port 0 --scheme WLCRC-16 --banks 4 --seed 9 --capture " +
-        dir.string() + " --max-conns 4");
+        dir.string() + captureFlags + " --max-conns 4");
 
     int exit_code = -1;
     const std::string loadOut = test::captureStdout(
@@ -569,6 +579,17 @@ TEST(CaptureReplay, ServerTelemetryMatchesOfflineReplayExactly)
             const auto part =
                 dir / ("stream-" + std::to_string(i) + ".wlctrc");
             ASSERT_TRUE(std::filesystem::exists(part)) << part;
+            if (expectV3) {
+                const tracefile::MappedTrace capture(part.string());
+                EXPECT_EQ(capture.format(),
+                          tracefile::TraceFormat::v3)
+                    << part;
+                EXPECT_TRUE(capture.anyCompressed()) << part;
+            } else {
+                EXPECT_EQ(tracefile::detectFormat(part.string()),
+                          tracefile::TraceFormat::v2)
+                    << part;
+            }
             const auto src = tracefile::openTraceSource(part.string());
             auto cursor = src->open();
             while (auto txn = cursor->next()) {
@@ -605,6 +626,21 @@ TEST(CaptureReplay, ServerTelemetryMatchesOfflineReplayExactly)
             << "field " << field << " diverged";
     }
     std::filesystem::remove_all(dir);
+}
+
+TEST(CaptureReplay, ServerTelemetryMatchesOfflineReplayExactly)
+{
+    runCaptureReplayCase("wlcrc_serve_capture_test", "", false);
+}
+
+TEST(CaptureReplay, CompressedCaptureReplaysIdentically)
+{
+    // Same equivalence, but the per-stream captures land as
+    // compressed WLCTRC03: capture compression must be framing
+    // only, invisible to the replayed statistics.
+    runCaptureReplayCase("wlcrc_serve_capture_v3_test",
+                         " --capture-format v3 --capture-codec lz",
+                         true);
 }
 
 // ------------------------------------------- protocol robustness

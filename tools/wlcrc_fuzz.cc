@@ -10,6 +10,13 @@
  *   - the recompute-per-fetch scalar-scoring test hook,
  *   - periodically, a batched replay against a step()-ed replay.
  *
+ * A seeded LZ stage runs first: pattern-biased buffers (runs,
+ * repeats, 136-byte record-shaped periods) must round-trip through
+ * the trace block codec bit-exactly, and bit-flipped / truncated
+ * compressed streams plus pure garbage must be rejected with an
+ * exception or a bounded return — never a crash or an out-of-bounds
+ * read (the ASan/UBSan CI legs run this binary to back that claim).
+ *
  * Any divergence prints a self-contained repro (iteration seed plus
  * full line hex) and exits 1; a clean run prints a summary and exits
  * 0. Seeds are derived per iteration from --seed, so a failure
@@ -23,12 +30,14 @@
  *              [--help]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/lz.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
 #include "coset/codec.hh"
@@ -219,6 +228,107 @@ replayBatch(const coset::LineCodec &codec,
     return rep.result();
 }
 
+/** Pattern-biased LZ input: runs, repeats, record-shaped periods. */
+std::vector<uint8_t>
+fuzzLzBuffer(Rng &rng)
+{
+    const std::size_t len =
+        static_cast<std::size_t>(rng.nextBelow(8192));
+    std::vector<uint8_t> buf(len);
+    std::size_t at = 0;
+    while (at < len) {
+        const std::size_t chunk = std::min<std::size_t>(
+            len - at, 1 + rng.nextBelow(512));
+        switch (rng.nextBelow(4)) {
+        case 0: { // constant run
+            const uint8_t b = static_cast<uint8_t>(rng.next());
+            std::memset(buf.data() + at, b, chunk);
+            break;
+        }
+        case 1: // random bytes
+            for (std::size_t i = 0; i < chunk; ++i)
+                buf[at + i] = static_cast<uint8_t>(rng.next());
+            break;
+        case 2: { // short period (compressible overlap matches)
+            const std::size_t period = 1 + rng.nextBelow(8);
+            for (std::size_t i = 0; i < chunk; ++i)
+                buf[at + i] = static_cast<uint8_t>(
+                    0x40 + (i % period));
+            break;
+        }
+        default: // 136-byte record-shaped period, like real blocks
+            for (std::size_t i = 0; i < chunk; ++i)
+                buf[at + i] = static_cast<uint8_t>(
+                    (i % 136) < 8 ? rng.next() : (i % 136));
+        }
+        at += chunk;
+    }
+    return buf;
+}
+
+/**
+ * One seeded LZ case: round-trip must be exact; mutated compressed
+ * streams and raw garbage must throw or return within bounds.
+ * @return false (after a report) on a round-trip mismatch.
+ */
+bool
+lzFuzzCase(uint64_t iseed, LzScratch &scratch)
+{
+    Rng rng(iseed);
+    const std::vector<uint8_t> raw = fuzzLzBuffer(rng);
+    std::vector<uint8_t> packed(lzCompressBound(raw.size()));
+    const std::size_t packedLen =
+        lzCompress(raw.data(), raw.size(), packed.data(),
+                   packed.size(), &scratch);
+    if (packedLen == 0) {
+        std::fprintf(stderr,
+                     "MISMATCH (lz): compress with full bound "
+                     "buffer failed, %zu raw bytes (seed %llu)\n",
+                     raw.size(),
+                     static_cast<unsigned long long>(iseed));
+        return false;
+    }
+    packed.resize(packedLen);
+    std::vector<uint8_t> out(raw.size());
+    const std::size_t got = lzDecompress(
+        packed.data(), packed.size(), out.data(), out.size());
+    if (got != raw.size() ||
+        std::memcmp(out.data(), raw.data(), raw.size()) != 0) {
+        std::fprintf(stderr,
+                     "MISMATCH (lz): round trip %zu -> %zu -> %zu "
+                     "bytes diverged (seed %llu)\n",
+                     raw.size(), packed.size(), got,
+                     static_cast<unsigned long long>(iseed));
+        return false;
+    }
+
+    // Adversarial decodes: any outcome but a crash/over-read is
+    // acceptable — corruption may cancel out, but most mutations
+    // must surface as the codec's named errors.
+    auto tryDecode = [&](const std::vector<uint8_t> &evil) {
+        try {
+            const std::size_t n = lzDecompress(
+                evil.data(), evil.size(), out.data(), out.size());
+            (void)n; // bounded by contract; ASan audits the rest
+        } catch (const std::exception &) {
+            // expected for most mutations
+        }
+    };
+    std::vector<uint8_t> evil = packed;
+    if (!evil.empty()) {
+        evil[rng.nextBelow(evil.size())] ^=
+            static_cast<uint8_t>(1u << rng.nextBelow(8));
+        tryDecode(evil);
+        evil.resize(rng.nextBelow(evil.size() + 1)); // truncate
+        tryDecode(evil);
+    }
+    std::vector<uint8_t> garbage(rng.nextBelow(256));
+    for (auto &b : garbage)
+        b = static_cast<uint8_t>(rng.next());
+    tryDecode(garbage);
+    return true;
+}
+
 } // namespace
 
 int
@@ -286,6 +396,15 @@ main(int argc, char **argv)
         std::fprintf(stderr, ", %llu iterations, seed %llu\n",
                      static_cast<unsigned long long>(iters),
                      static_cast<unsigned long long>(seed));
+
+        // LZ stage first: it is orders of magnitude cheaper than an
+        // encode, so it shares the iteration budget 1:1. Seeds are
+        // salted so the two stages never draw the same stream.
+        LzScratch lzScratch;
+        for (uint64_t iter = 0; iter < iters; ++iter)
+            if (!lzFuzzCase(childSeed(seed ^ 0x6c7aull, iter),
+                            lzScratch))
+                return 1;
 
         uint64_t encodes = 0;
         for (uint64_t iter = 0; iter < iters; ++iter) {
@@ -365,8 +484,9 @@ main(int argc, char **argv)
         }
 
         std::fprintf(stderr,
-                     "ok: %llu encodes + %zu replay streams, all "
-                     "kernels bit-identical\n",
+                     "ok: %llu lz cases + %llu encodes + %zu replay "
+                     "streams, all kernels bit-identical\n",
+                     static_cast<unsigned long long>(iters),
                      static_cast<unsigned long long>(encodes),
                      schemes.size());
         return 0;

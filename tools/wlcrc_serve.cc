@@ -17,7 +17,12 @@
  *   --queue-capacity <N>   per-bank admission ring (default 1024);
  *                          full ring = backpressure on the client
  *   --capture <dir>        write each connection's accepted stream
- *                          to <dir>/stream-<id>.wlctrc (WLCTRC02)
+ *                          to <dir>/stream-<id>.wlctrc
+ *   --capture-format <F>   capture container revision: v2
+ *                          (uncompressed, default) or v3
+ *                          (per-block compressed)
+ *   --capture-codec <C>    v3 block codec: lz (default), zstd (if
+ *                          built in) or raw
  *   --max-writes <N>       stop after admitting N writes
  *   --run-seconds <S>      stop after S seconds of wall time
  *   --max-conns <N>        stop after N connections closed
@@ -40,6 +45,7 @@
 #include <string>
 
 #include "serve/server.hh"
+#include "tracefile/block_codec.hh"
 
 namespace
 {
@@ -68,6 +74,8 @@ usage(const char *argv0)
         "usage: %s [--port P] [--scheme S] [--banks N] [--seed S]\n"
         "          [--queue-capacity N] [--capture DIR] "
         "[--max-writes N]\n"
+        "          [--capture-format v2|v3] "
+        "[--capture-codec raw|lz|zstd]\n"
         "          [--run-seconds S] [--max-conns N] [--vnr] "
         "[--wear ENDURANCE]\n"
         "          [--s3 pJ] [--s4 pJ] [--help]\n",
@@ -103,6 +111,33 @@ parse(int argc, char **argv)
         } else if (a == "--capture") {
             if (const char *v = next())
                 o.cfg.captureDir = v;
+        } else if (a == "--capture-format") {
+            if (const char *v = next()) {
+                const std::string f = v;
+                if (f == "v2") {
+                    o.cfg.captureOptions.format =
+                        tracefile::TraceFormat::v2;
+                } else if (f == "v3") {
+                    o.cfg.captureOptions.format =
+                        tracefile::TraceFormat::v3;
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "--capture-format must be v2 or v3\n");
+                    return std::nullopt;
+                }
+            }
+        } else if (a == "--capture-codec") {
+            if (const char *v = next()) {
+                try {
+                    o.cfg.captureOptions.codec =
+                        tracefile::parseCodecName(v);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr, "--capture-codec: %s\n",
+                                 e.what());
+                    return std::nullopt;
+                }
+            }
         } else if (a == "--max-writes") {
             if (const char *v = next())
                 o.cfg.maxWrites = std::strtoull(v, nullptr, 0);
@@ -133,6 +168,14 @@ parse(int argc, char **argv)
     }
     if (o.help)
         return o;
+    if (o.cfg.captureOptions.format == tracefile::TraceFormat::v3 &&
+        !tracefile::codecAvailable(o.cfg.captureOptions.codec)) {
+        std::fprintf(stderr,
+                     "--capture-codec %s: not built into this "
+                     "binary\n",
+                     tracefile::codecName(o.cfg.captureOptions.codec));
+        return std::nullopt;
+    }
     if (o.cfg.engine.banks == 0 ||
         o.cfg.engine.queueCapacity == 0) {
         std::fprintf(stderr,

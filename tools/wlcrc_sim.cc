@@ -13,9 +13,11 @@
  *                          never loaded whole — so traces larger
  *                          than RAM replay fine
  *   --trace-out <file>     also persist the synthesized trace
- *   --trace-format v1|v2   container written by --trace-out
- *                          (default v1; `wlcrc_trace convert`
- *                          re-frames either way)
+ *   --trace-format v1|v2|v3 container written by --trace-out
+ *                          (default v1; v3 compresses blocks with
+ *                          --trace-codec, default lz; `wlcrc_trace
+ *                          convert` re-frames any direction)
+ *   --trace-codec <C>      v3 block codec: raw, lz or zstd
  *
  * Options:
  *   --scheme <name>        encoding scheme (default WLCRC-16);
@@ -26,6 +28,17 @@
  *   --shards <N>           shards per scheme run (default 1);
  *                          results depend on the shard count but
  *                          never on --jobs
+ *   --partition <mode>     how shards slice the address space:
+ *                          modulo (default) or range (contiguous
+ *                          spans of the trace's address range;
+ *                          needs --trace-in). Part of the result,
+ *                          like --shards
+ *   --decode-ahead <N>     stage N compressed blocks ahead of the
+ *                          replay on a background decode thread
+ *                          (sets $WLCRC_DECODE_AHEAD, so process-
+ *                          backend workers inherit it; 0 = decode
+ *                          synchronously; results are identical
+ *                          either way)
  *   --backend <name>       execution backend: thread (default),
  *                          serial, or process (child wlcrc_sim
  *                          workers; results identical for all)
@@ -81,6 +94,7 @@
 #include "runner/report.hh"
 #include "runner/runner.hh"
 #include "runner/spec_codec.hh"
+#include "tracefile/block_codec.hh"
 #include "tracefile/source.hh"
 #include "tracefile/writer.hh"
 #include "trace/trace_io.hh"
@@ -99,6 +113,9 @@ struct Options
     std::string traceIn;
     std::string traceOut;
     std::string traceFormat = "v1";
+    std::string traceCodec;
+    std::string partition = "modulo";
+    std::string decodeAhead;
     std::string backend = "thread";
     std::string cacheDir; // resolved from flag/env in main()
     std::string workerSpec;
@@ -127,8 +144,10 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [--scheme S]... (--workload W | --random | "
         "--trace-in F)\n"
-        "          [--trace-out F] [--trace-format v1|v2] "
-        "[--lines N] [--seed S] [--jobs N] [--shards N]\n"
+        "          [--trace-out F] [--trace-format v1|v2|v3] "
+        "[--trace-codec raw|lz|zstd]\n"
+        "          [--lines N] [--seed S] [--jobs N] [--shards N] "
+        "[--partition modulo|range] [--decode-ahead N]\n"
         "          [--backend thread|serial|process] "
         "[--cache-dir D] [--no-cache]\n"
         "          [--vnr] [--wear ENDURANCE] [--wear-csv F] "
@@ -164,6 +183,15 @@ parse(int argc, char **argv)
         } else if (a == "--trace-format") {
             if (const char *v = next())
                 o.traceFormat = v;
+        } else if (a == "--trace-codec") {
+            if (const char *v = next())
+                o.traceCodec = v;
+        } else if (a == "--partition") {
+            if (const char *v = next())
+                o.partition = v;
+        } else if (a == "--decode-ahead") {
+            if (const char *v = next())
+                o.decodeAhead = v;
         } else if (a == "--backend") {
             if (const char *v = next())
                 o.backend = v;
@@ -232,9 +260,24 @@ parse(int argc, char **argv)
     const int sources = !o.workload.empty() + o.random +
                         !o.traceIn.empty();
     if (sources != 1 ||
-        (o.traceFormat != "v1" && o.traceFormat != "v2") ||
+        (o.traceFormat != "v1" && o.traceFormat != "v2" &&
+         o.traceFormat != "v3") ||
+        (o.partition != "modulo" && o.partition != "range") ||
         (o.backend != "thread" && o.backend != "serial" &&
          o.backend != "process")) {
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (!o.traceCodec.empty() && o.traceFormat != "v3") {
+        std::fprintf(stderr, "--trace-codec applies to "
+                             "--trace-format v3 only\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (o.partition == "range" && o.traceIn.empty()) {
+        std::fprintf(stderr,
+                     "--partition range slices a stored trace's "
+                     "address span; it needs --trace-in\n");
         usage(argv[0]);
         return std::nullopt;
     }
@@ -265,7 +308,7 @@ parse(int argc, char **argv)
 
 /**
  * Persist the synthesized stream for --trace-out, as a legacy
- * WLCTRC01 dump or an indexed WLCTRC02 container. This only writes
+ * WLCTRC01 dump or an indexed WLCTRC02/03 container. This only writes
  * the file; the runner's shards re-synthesize the identical stream
  * from the seed, so the reported source stays the workload name.
  */
@@ -284,8 +327,15 @@ persistTrace(const Options &o)
                 write(synth.next());
         }
     };
-    if (o.traceFormat == "v2") {
-        tracefile::TraceFileWriter writer(o.traceOut);
+    if (o.traceFormat == "v2" || o.traceFormat == "v3") {
+        tracefile::WriterOptions wopts;
+        if (o.traceFormat == "v3") {
+            wopts.format = tracefile::TraceFormat::v3;
+            if (!o.traceCodec.empty())
+                wopts.codec =
+                    tracefile::parseCodecName(o.traceCodec);
+        }
+        tracefile::TraceFileWriter writer(o.traceOut, wopts);
         emit([&](const trace::WriteTransaction &t) {
             writer.write(t);
         });
@@ -348,6 +398,21 @@ main(int argc, char **argv)
             ::setenv("WLCRC_SIMD",
                      simd::kernelName(simd::activeKernel()), 1);
         }
+        if (!opts->decodeAhead.empty()) {
+            // Validate here (envU64 would otherwise throw deep in a
+            // cursor open) and export, so process-backend workers
+            // stage the same depth.
+            char *end = nullptr;
+            std::strtoull(opts->decodeAhead.c_str(), &end, 10);
+            if (end != opts->decodeAhead.c_str() +
+                           opts->decodeAhead.size() ||
+                opts->decodeAhead.empty())
+                throw std::invalid_argument(
+                    "--decode-ahead wants a block count, got '" +
+                    opts->decodeAhead + "'");
+            ::setenv("WLCRC_DECODE_AHEAD",
+                     opts->decodeAhead.c_str(), 1);
+        }
         if (!opts->workerSpec.empty())
             return workerMain(opts->workerSpec);
         runner::DeviceConfig device;
@@ -361,6 +426,9 @@ main(int argc, char **argv)
             .lines(opts->lines)
             .seed(opts->seed)
             .shards(opts->shards)
+            .partition(opts->partition == "range"
+                           ? tracefile::Partition::range
+                           : tracefile::Partition::modulo)
             .deviceConfigs({device});
         if (!opts->traceIn.empty())
             grid.sources({tracefile::openTraceSource(opts->traceIn)});

@@ -3,39 +3,54 @@
  * wlcrc_trace: the trace-store Swiss army knife. Everything the
  * simulator consumes through --trace-in is produced, migrated and
  * audited here; all subcommands stream block-by-block / record-by-
- * record, so arbitrarily large traces fit in constant memory.
+ * record, so arbitrarily large traces fit in bounded memory.
  *
  * Subcommands:
  *   generate   synthesize a trace file from a benchmark profile, the
  *              random workload, or a multi-programmed blend of
  *              profiles (--mix "gcc:2,lbm:1" weights the programs'
  *              shares of the write stream)
- *   convert    re-frame a trace between WLCTRC01 and WLCTRC02 (the
- *              record encoding is shared, so conversion is lossless
- *              both ways)
+ *   convert    re-frame a trace between WLCTRC01, WLCTRC02 and
+ *              WLCTRC03 in any direction (the record encoding is
+ *              shared, so every conversion is lossless)
+ *   sort       rewrite a trace in ascending line-address order,
+ *              preserving each line's write order — an external
+ *              bucket sort bounded by --mem-mb, so traces far larger
+ *              than RAM sort fine. Sorted containers compress
+ *              better (same-line records become adjacent) and let
+ *              range-partitioned shards prune almost every foreign
+ *              block
  *   info       print header/index facts: format, records, blocks,
- *              address range; --blocks adds the per-block table
- *   verify     audit integrity — CRC-check every WLCTRC02 block (and
- *              the footer index), or fully scan a WLCTRC01 dump for
- *              truncation; exits non-zero on corruption
+ *              address range, and for WLCTRC03 the per-codec block
+ *              mix and compression ratio; --blocks adds the
+ *              per-block table
+ *   verify     audit integrity — CRC-check every container block
+ *              (stored and, for compressed blocks, decompressed
+ *              content) plus the footer index, or fully scan a
+ *              WLCTRC01 dump for truncation; exits non-zero on
+ *              corruption
  *
  * Examples:
  *   wlcrc_trace generate --workload gcc --lines 100000 --out gcc.trc
  *   wlcrc_trace generate --mix "lesl:2,libq:1" --lines 1e5 \
- *       --out blend.trc
- *   wlcrc_trace convert old.trc new.trc --format v2
+ *       --out blend.trc --format v3 --codec lz
+ *   wlcrc_trace convert old.trc new.trc --format v3
+ *   wlcrc_trace sort blend.trc sorted.trc --format v3 --mem-mb 64
  *   wlcrc_trace info blend.trc --blocks
  *   wlcrc_trace verify blend.trc
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "tracefile/block_codec.hh"
 #include "tracefile/format.hh"
 #include "tracefile/mapped_trace.hh"
 #include "tracefile/source.hh"
@@ -56,8 +71,12 @@ usageText(std::FILE *to)
         "usage: wlcrc_trace <subcommand> [options]\n"
         "  generate (--workload W | --random | --mix \"A:w,B:w\")\n"
         "           --out FILE [--lines N] [--seed S]\n"
-        "           [--format v1|v2] [--block-records N]\n"
-        "  convert  IN OUT [--format v1|v2] [--block-records N]\n"
+        "           [--format v1|v2|v3] [--codec raw|lz|zstd]\n"
+        "           [--block-records N]\n"
+        "  convert  IN OUT [--format v1|v2|v3] [--codec C]\n"
+        "           [--block-records N]\n"
+        "  sort     IN OUT [--format v1|v2|v3] [--codec C]\n"
+        "           [--block-records N] [--mem-mb M]\n"
         "  info     FILE [--blocks]\n"
         "  verify   FILE\n"
         "  --help   print this usage and exit 0\n");
@@ -103,27 +122,43 @@ parseMix(const std::string &spec)
     return programs;
 }
 
-/** Sink writing either container format behind one call shape. */
+/** Sink writing any container format behind one call shape. */
 class AnyWriter
 {
   public:
     AnyWriter(const std::string &path, const std::string &format,
-              uint32_t blockRecords)
+              uint32_t blockRecords, const std::string &codec)
     {
-        if (format == "v2")
-            v2_.emplace(path, blockRecords);
-        else if (format == "v1")
+        if (format == "v2" || format == "v3") {
+            tracefile::WriterOptions opts;
+            opts.recordsPerBlock = blockRecords;
+            opts.format = format == "v3"
+                              ? tracefile::TraceFormat::v3
+                              : tracefile::TraceFormat::v2;
+            if (!codec.empty()) {
+                if (format != "v3")
+                    throw std::invalid_argument(
+                        "--codec applies to --format v3 only");
+                opts.codec = tracefile::parseCodecName(codec);
+            }
+            container_.emplace(path, opts);
+        } else if (format == "v1") {
+            if (!codec.empty())
+                throw std::invalid_argument(
+                    "--codec applies to --format v3 only");
             v1_.emplace(path);
-        else
+        } else {
             throw std::invalid_argument("unknown --format '" +
-                                        format + "' (v1 or v2)");
+                                        format +
+                                        "' (v1, v2 or v3)");
+        }
     }
 
     void
     write(const trace::WriteTransaction &txn)
     {
-        if (v2_)
-            v2_->write(txn);
+        if (container_)
+            container_->write(txn);
         else
             v1_->write(txn);
     }
@@ -131,16 +166,16 @@ class AnyWriter
     uint64_t
     close()
     {
-        if (v2_) {
-            v2_->close();
-            return v2_->written();
+        if (container_) {
+            container_->close();
+            return container_->written();
         }
         v1_->close(); // throws on a failed/truncated write
         return v1_->written();
     }
 
   private:
-    std::optional<tracefile::TraceFileWriter> v2_;
+    std::optional<tracefile::TraceFileWriter> container_;
     std::optional<trace::TraceWriter> v1_;
 };
 
@@ -148,9 +183,10 @@ struct Args
 {
     std::vector<std::string> positional;
     std::string workload, mix, out;
-    std::string format;
+    std::string format, codec;
     bool random = false, blocks = false;
     uint64_t lines = 10000, seed = 1;
+    uint64_t memMb = 64;
     uint32_t blockRecords = tracefile::defaultRecordsPerBlock;
     bool ok = true;
 };
@@ -178,11 +214,15 @@ parseArgs(int argc, char **argv, int from)
             a.out = next();
         else if (s == "--format")
             a.format = next();
+        else if (s == "--codec")
+            a.codec = next();
         else if (s == "--lines")
             a.lines = static_cast<uint64_t>(
                 std::strtod(next(), nullptr)); // accepts 1e6
         else if (s == "--seed")
             a.seed = std::strtoull(next(), nullptr, 0);
+        else if (s == "--mem-mb")
+            a.memMb = std::strtoull(next(), nullptr, 0);
         else if (s == "--block-records")
             a.blockRecords =
                 static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
@@ -226,7 +266,7 @@ cmdGenerate(const Args &a)
     }
 
     AnyWriter writer(a.out, a.format.empty() ? "v2" : a.format,
-                     a.blockRecords);
+                     a.blockRecords, a.codec);
     for (uint64_t i = 0; i < a.lines; ++i)
         writer.write(draw());
     const uint64_t written = writer.close();
@@ -246,7 +286,7 @@ cmdConvert(const Args &a)
 
     const auto source = tracefile::openTraceSource(in);
     AnyWriter writer(out, a.format.empty() ? "v2" : a.format,
-                     a.blockRecords);
+                     a.blockRecords, a.codec);
     auto cursor = source->open({});
     while (auto t = cursor->next())
         writer.write(*t);
@@ -258,6 +298,138 @@ cmdConvert(const Args &a)
     return 0;
 }
 
+/**
+ * The sort engine: an external-memory bucket sort over line
+ * addresses.
+ *
+ * A stream that fits the record budget is loaded, stable-sorted
+ * (std::stable_sort keeps equal addresses in arrival order — the
+ * property the replay's old/new chaining depends on) and written. A
+ * bigger stream is distributed: one scan histograms addresses into
+ * up to 64K equal-width bins over the stream's [min, max] span, the
+ * bins are greedily grouped into contiguous buckets that each fit
+ * the budget, a second scan appends every record to its bucket's
+ * WLCTRC01 spill file, and the buckets recurse in ascending order.
+ * A bucket that still exceeds the budget but spans a single address
+ * is already sorted (arrival order IS its final order), so it is
+ * stream-copied without ever being held in memory. The address span
+ * shrinks ~64000-fold per level, so recursion depth is at most 4
+ * even for a full 64-bit address space.
+ */
+void
+sortSource(const tracefile::TransactionSource &src, AnyWriter &out,
+           uint64_t budgetRecords, const std::string &tmpBase,
+           int depth)
+{
+    const uint64_t n = src.records();
+    if (n == 0)
+        return;
+    const auto [lo, hi] = src.addrBounds();
+    if (n <= budgetRecords) {
+        std::vector<trace::WriteTransaction> txns;
+        txns.reserve(n);
+        auto cursor = src.open({});
+        while (auto t = cursor->next())
+            txns.push_back(std::move(*t));
+        std::stable_sort(txns.begin(), txns.end(),
+                         [](const trace::WriteTransaction &x,
+                            const trace::WriteTransaction &y) {
+                             return x.lineAddr < y.lineAddr;
+                         });
+        for (const auto &t : txns)
+            out.write(t);
+        return;
+    }
+    if (lo == hi) {
+        // One address: arrival order is the stable-sorted order.
+        auto cursor = src.open({});
+        while (auto t = cursor->next())
+            out.write(*t);
+        return;
+    }
+
+    // Distribute. Equal-width bins over the span; every record of
+    // one address lands in exactly one bin, so per-line order is
+    // preserved through the spill files.
+    const unsigned __int128 span =
+        static_cast<unsigned __int128>(hi - lo) + 1;
+    const uint64_t kBins = 1 << 16;
+    const uint64_t width = static_cast<uint64_t>(
+        (span + kBins - 1) / kBins); // >= 1
+    const auto binOf = [&](uint64_t addr) {
+        return (addr - lo) / width;
+    };
+    std::vector<uint64_t> counts(
+        static_cast<std::size_t>(
+            std::min<unsigned __int128>(kBins, span)),
+        0);
+    {
+        auto cursor = src.open({});
+        while (auto t = cursor->next())
+            ++counts[binOf(t->lineAddr)];
+    }
+
+    // Greedy contiguous grouping: bucketOf[bin] -> bucket id. A
+    // single bin over budget becomes its own (oversized) bucket and
+    // recursion deals with it.
+    std::vector<std::size_t> bucketOf(counts.size());
+    std::size_t buckets = 0;
+    uint64_t acc = 0;
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+        if (b > 0 && acc > 0 && acc + counts[b] > budgetRecords) {
+            ++buckets;
+            acc = 0;
+        }
+        bucketOf[b] = buckets;
+        acc += counts[b];
+    }
+    ++buckets;
+
+    std::vector<std::optional<trace::TraceWriter>> spill(buckets);
+    std::vector<std::string> spillPath(buckets);
+    for (std::size_t k = 0; k < buckets; ++k) {
+        spillPath[k] = tmpBase + "." + std::to_string(depth) + "." +
+                       std::to_string(k) + ".tmp";
+        spill[k].emplace(spillPath[k]);
+    }
+    {
+        auto cursor = src.open({});
+        while (auto t = cursor->next())
+            spill[bucketOf[binOf(t->lineAddr)]]->write(*t);
+    }
+    for (auto &w : spill)
+        w->close();
+    spill.clear(); // release the write handles before re-reading
+
+    for (std::size_t k = 0; k < buckets; ++k) {
+        const tracefile::V1FileSource part(spillPath[k]);
+        sortSource(part, out, budgetRecords, tmpBase, depth + 1);
+        std::filesystem::remove(spillPath[k]);
+    }
+}
+
+int
+cmdSort(const Args &a)
+{
+    if (!a.ok || a.positional.size() != 2 || a.memMb == 0)
+        return usage();
+    const std::string &in = a.positional[0];
+    const std::string &out = a.positional[1];
+
+    const auto source = tracefile::openTraceSource(in);
+    const uint64_t budgetRecords =
+        std::max<uint64_t>(1, a.memMb * 1024 * 1024 /
+                                  sizeof(trace::WriteTransaction));
+    AnyWriter writer(out, a.format.empty() ? "v2" : a.format,
+                     a.blockRecords, a.codec);
+    sortSource(*source, writer, budgetRecords, out + ".sort", 0);
+    const uint64_t written = writer.close();
+    std::printf("sorted %llu records by line address: %s -> %s\n",
+                static_cast<unsigned long long>(written), in.c_str(),
+                out.c_str());
+    return 0;
+}
+
 int
 cmdInfo(const Args &a)
 {
@@ -266,12 +438,17 @@ cmdInfo(const Args &a)
     const std::string &path = a.positional[0];
 
     const auto format = tracefile::detectFormat(path);
+    const char *how =
+        format == tracefile::TraceFormat::v1
+            ? "sequential dump, streamed scans only"
+            : (format == tracefile::TraceFormat::v2
+                   ? "blocked + indexed, mmap random access"
+                   : "blocked + indexed, per-block compression");
+    const char digit = format == tracefile::TraceFormat::v1   ? '1'
+                       : format == tracefile::TraceFormat::v2 ? '2'
+                                                              : '3';
     std::printf("file:    %s\nformat:  WLCTRC0%c (%s)\n",
-                path.c_str(),
-                format == tracefile::TraceFormat::v1 ? '1' : '2',
-                format == tracefile::TraceFormat::v1
-                    ? "sequential dump, streamed scans only"
-                    : "blocked + indexed, mmap random access");
+                path.c_str(), digit, how);
     if (format == tracefile::TraceFormat::v1) {
         const tracefile::V1FileSource source(path);
         std::printf("records: %llu (from file size; run `verify` to "
@@ -283,24 +460,51 @@ cmdInfo(const Args &a)
 
     const tracefile::MappedTrace trace(path);
     std::printf("records: %llu\nblocks:  %llu x %u records "
-                "(%u B each)\naddrs:   [%llu, %llu]\n",
+                "(%u B raw each)\naddrs:   [%llu, %llu]\n",
                 static_cast<unsigned long long>(trace.records()),
                 static_cast<unsigned long long>(trace.blockCount()),
                 trace.recordsPerBlock(),
                 trace.recordsPerBlock() * tracefile::recordBytes,
                 static_cast<unsigned long long>(trace.minAddr()),
                 static_cast<unsigned long long>(trace.maxAddr()));
+    if (trace.format() == tracefile::TraceFormat::v3) {
+        const uint64_t raw =
+            trace.records() * tracefile::recordBytes;
+        const uint64_t stored = trace.storedBytes();
+        uint64_t perCodec[3] = {0, 0, 0};
+        for (uint64_t b = 0; b < trace.blockCount(); ++b)
+            ++perCodec[static_cast<unsigned>(
+                trace.blockInfo(b).codec)];
+        std::printf("stored:  %llu B of %llu B raw "
+                    "(ratio %.2fx; blocks: %llu raw, %llu lz, "
+                    "%llu zstd)\n",
+                    static_cast<unsigned long long>(stored),
+                    static_cast<unsigned long long>(raw),
+                    stored ? static_cast<double>(raw) /
+                                 static_cast<double>(stored)
+                           : 0.0,
+                    static_cast<unsigned long long>(perCodec[0]),
+                    static_cast<unsigned long long>(perCodec[1]),
+                    static_cast<unsigned long long>(perCodec[2]));
+    }
     if (a.blocks) {
-        std::printf("%8s %8s %12s %12s %10s\n", "block", "count",
-                    "min_addr", "max_addr", "crc32");
+        std::printf("%8s %8s %12s %12s %10s %6s %10s %7s\n", "block",
+                    "count", "min_addr", "max_addr", "crc32",
+                    "codec", "stored_b", "ratio");
         for (uint64_t b = 0; b < trace.blockCount(); ++b) {
             const auto &info = trace.blockInfo(b);
-            std::printf("%8llu %8u %12llu %12llu 0x%08x\n",
-                        static_cast<unsigned long long>(b),
-                        info.count,
-                        static_cast<unsigned long long>(info.minAddr),
-                        static_cast<unsigned long long>(info.maxAddr),
-                        info.crc);
+            std::printf(
+                "%8llu %8u %12llu %12llu 0x%08x %6s %10u %6.2fx\n",
+                static_cast<unsigned long long>(b), info.count,
+                static_cast<unsigned long long>(info.minAddr),
+                static_cast<unsigned long long>(info.maxAddr),
+                info.crc, tracefile::codecName(info.codec),
+                info.storedBytes,
+                info.storedBytes
+                    ? static_cast<double>(info.count *
+                                          tracefile::recordBytes) /
+                          static_cast<double>(info.storedBytes)
+                    : 0.0);
         }
     }
     return 0;
@@ -326,8 +530,9 @@ cmdVerify(const Args &a)
                     static_cast<unsigned long long>(n));
         return 0;
     }
-    // Construction already validates header/trailer/index CRC;
-    // verifyAll() re-checksums every record block.
+    // Construction already validates header/trailer/index CRC and
+    // the v3 block chain; verifyAll() re-checksums every stored
+    // block and, for compressed blocks, the decompressed content.
     const tracefile::MappedTrace trace(path);
     const uint64_t n = trace.verifyAll();
     std::printf("ok: %s: %llu records in %llu blocks, all "
@@ -355,6 +560,8 @@ main(int argc, char **argv)
             return cmdGenerate(args);
         if (cmd == "convert")
             return cmdConvert(args);
+        if (cmd == "sort")
+            return cmdSort(args);
         if (cmd == "info")
             return cmdInfo(args);
         if (cmd == "verify")
