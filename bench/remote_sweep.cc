@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Scaling smoke for the distributed sweep backend: one fixed grid
+ * run on the in-process thread backend and then on a RemoteBackend
+ * head at 1, 2 and 4 spawned local workers. Every remote run must
+ * be byte-identical to the thread run — the bench aborts on any
+ * divergence, so the identity contract is exercised at bench scale
+ * on every CI bench-smoke leg, not just at unit-test scale.
+ *
+ * The worker binary is WLCRC_WORKER_BIN when set, else the
+ * wlcrc_worker sibling of this binary (/proc/self/exe), which is
+ * where the build tree puts both. Timing columns (points_per_sec)
+ * are wall-clock and volatile; identity columns are deterministic.
+ *
+ * Knobs: WLCRC_BENCH_LINES, WLCRC_BENCH_SHARDS (point count =
+ * schemes x workloads x shards), WLCRC_BENCH_JOBS.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+#include "common/csv.hh"
+#include "runner/grid.hh"
+#include "runner/remote.hh"
+#include "runner/report.hh"
+
+namespace
+{
+
+using namespace wlcrc;
+
+/** WLCRC_WORKER_BIN, else the wlcrc_worker next to this binary. */
+std::string
+workerBinary()
+{
+    const std::string env = envString("WLCRC_WORKER_BIN", "");
+    if (!env.empty())
+        return env;
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const fs::path self =
+        fs::read_symlink("/proc/self/exe", ec);
+    const fs::path sibling =
+        (ec ? fs::path("wlcrc_worker")
+            : self.parent_path() / "wlcrc_worker");
+    if (!fs::exists(sibling))
+        throw std::runtime_error(
+            "wlcrc_worker not found at " + sibling.string() +
+            " (set WLCRC_WORKER_BIN)");
+    return sibling.string();
+}
+
+struct Timed
+{
+    std::string csv;
+    double seconds = 0;
+};
+
+Timed
+timedRun(runner::ExperimentRunner &runner,
+         const runner::ExperimentGrid &grid)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = runner.run(grid);
+    Timed t;
+    t.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    bench::requireOk(results);
+    std::ostringstream os;
+    runner::CsvReporter().write(os, results);
+    t.csv = os.str();
+    return t;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace wlcrc;
+    namespace wb = wlcrc::bench;
+    return wb::benchMain([] {
+        wb::banner("RemoteSweep",
+                   "distributed head vs thread backend, identity + "
+                   "scaling smoke");
+
+        const auto grid =
+            runner::ExperimentGrid()
+                .schemes({"Baseline", "WLCRC-16"})
+                .workloads({"lesl", "gcc", "milc", "mcf"})
+                .lines(wb::linesPerWorkload())
+                .seed(9)
+                .shards(std::max(wb::benchShards(), 4u));
+        const std::size_t points = grid.expand().size();
+        const std::string worker = workerBinary();
+
+        runner::RunnerOptions topts;
+        topts.jobs = wb::benchJobs();
+        runner::ExperimentRunner threadRunner(topts);
+        const Timed thread = timedRun(threadRunner, grid);
+
+        CsvTable table({"backend", "workers", "points",
+                        "byte_identical", "points_per_sec"});
+        table.newRow();
+        table.add("thread");
+        table.add(0);
+        table.add(points);
+        table.add(1);
+        table.add(static_cast<double>(points) / thread.seconds);
+
+        for (const unsigned workers : {1u, 2u, 4u}) {
+            runner::RemoteBackendOptions ropts;
+            ropts.workerBinary = worker;
+            ropts.spawnWorkers = workers;
+            auto head = std::make_shared<runner::RemoteBackend>(
+                std::move(ropts));
+            runner::RunnerOptions opts;
+            opts.jobs = wb::benchJobs();
+            opts.backend = head;
+            runner::ExperimentRunner remoteRunner(opts);
+            const Timed remote = timedRun(remoteRunner, grid);
+            head->stop();
+            if (remote.csv != thread.csv)
+                throw std::runtime_error(
+                    "remote sweep at " + std::to_string(workers) +
+                    " worker(s) diverged from the thread backend");
+            table.newRow();
+            table.add("remote");
+            table.add(workers);
+            table.add(points);
+            table.add(1);
+            table.add(static_cast<double>(points) /
+                      remote.seconds);
+        }
+        table.write(std::cout);
+        std::fprintf(stderr,
+                     "remote_sweep: %zu points byte-identical "
+                     "across thread and 1/2/4-worker heads\n",
+                     points);
+        return 0;
+    });
+}

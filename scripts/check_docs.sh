@@ -5,8 +5,8 @@
 #      resolves to an existing file;
 #   2. every --flag printed by `wlcrc_sim --help`,
 #      `wlcrc_trace --help`, `wlcrc_fuzz --help`,
-#      `wlcrc_serve --help` and `wlcrc_load --help` is documented
-#      in docs/cli.md;
+#      `wlcrc_serve --help`, `wlcrc_load --help` and
+#      `wlcrc_worker --help` is documented in docs/cli.md;
 #   3. every wlcrc_trace subcommand in its usage text (generate,
 #      convert, sort, info, verify, ...) has a `### \`<sub>\``
 #      section in docs/cli.md.
@@ -36,7 +36,7 @@ for f in README.md docs/*.md; do
 done
 
 # ------------------------------------- 2. CLI flag coverage
-for tool in wlcrc_sim wlcrc_trace wlcrc_fuzz wlcrc_serve wlcrc_load; do
+for tool in wlcrc_sim wlcrc_trace wlcrc_fuzz wlcrc_serve wlcrc_load wlcrc_worker; do
   bin="$BUILD_DIR/$tool"
   if [ ! -x "$bin" ]; then
     echo "MISSING BINARY: $bin (build the tools first)"

@@ -1,0 +1,136 @@
+#include "frame.hh"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "tracefile/format.hh"
+
+namespace wlcrc::net
+{
+
+namespace
+{
+
+/** Result of readAll: full read, clean EOF at offset 0, or short. */
+enum class ReadStatus
+{
+    Ok,
+    Eof,
+    Short,
+};
+
+ReadStatus
+readAll(int fd, void *data, std::size_t n)
+{
+    auto *p = static_cast<uint8_t *>(data);
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, p + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return got == 0 ? ReadStatus::Eof : ReadStatus::Short;
+    }
+    return ReadStatus::Ok;
+}
+
+} // namespace
+
+const char *
+recvErrorName(RecvStatus s)
+{
+    switch (s) {
+    case RecvStatus::BadMagic:
+        return "bad-magic";
+    case RecvStatus::Oversized:
+        return "oversized-frame";
+    case RecvStatus::Truncated:
+        return "truncated-frame";
+    case RecvStatus::Ok:
+    case RecvStatus::CleanEof:
+        break;
+    }
+    return "";
+}
+
+void
+encodeFrameHeader(uint8_t *dst, uint32_t magic, const FrameHeader &h)
+{
+    tracefile::putLe32(dst, magic);
+    dst[4] = h.type;
+    dst[5] = h.flags;
+    dst[6] = 0;
+    dst[7] = 0;
+    tracefile::putLe32(dst + 8, h.payloadBytes);
+}
+
+bool
+writeAll(int fd, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as a send
+        // error on this connection, never as a process-wide SIGPIPE.
+        const ssize_t r =
+            ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+        if (r > 0) {
+            sent += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, uint32_t magic, uint8_t type, uint8_t flags,
+          const void *payload, std::size_t payloadBytes)
+{
+    uint8_t header[frameHeaderBytes];
+    FrameHeader h;
+    h.type = type;
+    h.flags = flags;
+    h.payloadBytes = static_cast<uint32_t>(payloadBytes);
+    encodeFrameHeader(header, magic, h);
+    if (!writeAll(fd, header, sizeof header))
+        return false;
+    return payloadBytes == 0 || writeAll(fd, payload, payloadBytes);
+}
+
+RecvStatus
+recvFrame(int fd, uint32_t magic, uint32_t maxPayload,
+          FrameHeader &header, std::vector<uint8_t> &payload)
+{
+    uint8_t raw[frameHeaderBytes];
+    switch (readAll(fd, raw, sizeof raw)) {
+    case ReadStatus::Eof:
+        return RecvStatus::CleanEof;
+    case ReadStatus::Short:
+        return RecvStatus::Truncated;
+    case ReadStatus::Ok:
+        break;
+    }
+    if (tracefile::getLe32(raw) != magic)
+        return RecvStatus::BadMagic;
+    header.type = raw[4];
+    header.flags = raw[5];
+    header.payloadBytes = tracefile::getLe32(raw + 8);
+    if (header.payloadBytes > maxPayload)
+        return RecvStatus::Oversized;
+    payload.resize(header.payloadBytes);
+    if (header.payloadBytes &&
+        readAll(fd, payload.data(), header.payloadBytes) !=
+            ReadStatus::Ok)
+        return RecvStatus::Truncated;
+    return RecvStatus::Ok;
+}
+
+} // namespace wlcrc::net

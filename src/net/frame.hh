@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Length-prefixed TCP framing shared by every wire protocol in the
+ * tree. A connection carries a sequence of frames, each opening
+ * with a fixed 12-byte little-endian header:
+ *
+ *   u32 magic        protocol identifier ("WSV1", "WRK1", ...)
+ *   u8  type         protocol-defined frame type
+ *   u8  flags        protocol-defined flag bits
+ *   u16 reserved     0
+ *   u32 payloadBytes length of the payload that follows
+ *
+ * The layer is deliberately magic-parameterised: the live service
+ * (serve/protocol.hh, "WSV1") and the distributed sweep protocol
+ * (runner/remote.hh, "WRK1") share one framing implementation —
+ * EINTR-safe reads, MSG_NOSIGNAL sends, payload-cap enforcement,
+ * reusable payload buffers — and differ only in magic, frame types
+ * and payload encodings.
+ *
+ * Framing errors are values, never exceptions: a misbehaving peer
+ * maps to a named RecvStatus the caller counts and handles without
+ * collateral damage to other connections.
+ */
+
+#ifndef WLCRC_NET_FRAME_HH
+#define WLCRC_NET_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlcrc::net
+{
+
+/** Serialized size of a frame header. */
+inline constexpr uint32_t frameHeaderBytes = 12;
+
+/** Decoded frame header (magic checked, not stored). */
+struct FrameHeader
+{
+    uint8_t type = 0;
+    uint8_t flags = 0;
+    uint32_t payloadBytes = 0;
+};
+
+/** Outcome of reading one frame off a socket. */
+enum class RecvStatus
+{
+    Ok,        //!< header + payload fully read
+    CleanEof,  //!< orderly EOF on a frame boundary
+    BadMagic,  //!< header did not open with the expected magic
+    Oversized, //!< payloadBytes above the protocol's cap
+    Truncated, //!< EOF or error mid-header / mid-payload
+};
+
+/** Telemetry error name of a failed recv ("" for Ok/CleanEof). */
+const char *recvErrorName(RecvStatus s);
+
+/** Serialize @p h under @p magic into @p dst[frameHeaderBytes]. */
+void encodeFrameHeader(uint8_t *dst, uint32_t magic,
+                       const FrameHeader &h);
+
+/**
+ * Write @p n bytes to @p fd, restarting on EINTR / short writes.
+ * Uses MSG_NOSIGNAL, so a vanished peer is a false return on this
+ * connection, never a process-wide SIGPIPE.
+ * @return false on any write error (peer gone).
+ */
+bool writeAll(int fd, const void *data, std::size_t n);
+
+/**
+ * Send one frame under @p magic. @return false if the peer is gone
+ * — senders treat that as a disconnect, never an exception.
+ */
+bool sendFrame(int fd, uint32_t magic, uint8_t type, uint8_t flags,
+               const void *payload, std::size_t payloadBytes);
+
+/**
+ * Read one frame into @p header / @p payload, validating the magic
+ * and the @p maxPayload cap. @p payload is reused across calls
+ * (resized, capacity kept), so a steady-state connection loop
+ * performs no per-frame allocation once warm.
+ */
+RecvStatus recvFrame(int fd, uint32_t magic, uint32_t maxPayload,
+                     FrameHeader &header,
+                     std::vector<uint8_t> &payload);
+
+} // namespace wlcrc::net
+
+#endif // WLCRC_NET_FRAME_HH

@@ -15,6 +15,7 @@
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
 #include "runner/json_mini.hh"
+#include "runner/remote.hh"
 #include "wearlevel/lifetime.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
@@ -493,9 +494,20 @@ makeBackend(const std::string &name,
                 "WLCRC_WORKER_BIN)");
         return std::make_shared<ProcessBackend>(workerBinary);
     }
+    if (name == "remote") {
+        if (workerBinary.empty())
+            throw std::invalid_argument(
+                "backend 'remote' needs a worker binary "
+                "(wlcrc_worker; benches read WLCRC_WORKER_BIN) — "
+                "for externally managed workers construct "
+                "RemoteBackend directly");
+        RemoteBackendOptions opts;
+        opts.workerBinary = workerBinary;
+        return std::make_shared<RemoteBackend>(std::move(opts));
+    }
     throw std::invalid_argument(
         "unknown backend '" + name +
-        "' (expected serial, thread or process)");
+        "' (expected serial, thread, process or remote)");
 }
 
 } // namespace wlcrc::runner

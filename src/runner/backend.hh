@@ -48,7 +48,7 @@ class ExecutionBackend
   public:
     virtual ~ExecutionBackend() = default;
 
-    /** Stable identifier: "serial", "thread" or "process". */
+    /** Stable identifier: "serial", "thread", "process", ... */
     virtual const char *name() const = 0;
 
     /**
@@ -127,10 +127,13 @@ ExperimentResult runSpecSerial(const ExperimentSpec &spec);
 unsigned effectiveShards(const ExperimentSpec &spec);
 
 /**
- * Backend by CLI/env name: "serial", "thread" or "process" (the
- * latter requires @p workerBinary).
- * @throws std::invalid_argument on unknown names or a process
- *         backend without a worker binary.
+ * Backend by CLI/env name: "serial", "thread", "process" or
+ * "remote" (the latter two require @p workerBinary — wlcrc_sim for
+ * process, wlcrc_worker for remote; remote spawns its workers
+ * locally at the first run and listens on an ephemeral loopback
+ * port, see runner/remote.hh for externally managed clusters).
+ * @throws std::invalid_argument on unknown names or a missing
+ *         worker binary.
  */
 std::shared_ptr<const ExecutionBackend>
 makeBackend(const std::string &name,

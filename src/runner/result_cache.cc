@@ -1,5 +1,6 @@
 #include "result_cache.hh"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -19,34 +20,105 @@ namespace fs = std::filesystem;
 /** Entry format version, independent of kReportVersion. */
 static constexpr int kCacheVersion = 1;
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+void
+checkCacheHash(const std::string &hashHex)
+{
+    bool ok = hashHex.size() == 16;
+    for (const char c : hashHex)
+        ok = ok &&
+             ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+    if (!ok)
+        throw std::runtime_error("cache: bad entry hash \"" +
+                                 hashHex + "\"");
+}
+
+DirCacheStore::DirCacheStore(std::string dir) : dir_(std::move(dir))
 {
     if (dir_.empty())
-        throw std::runtime_error("ResultCache: empty directory");
+        throw std::runtime_error("cache: empty directory");
     std::error_code ec;
     fs::create_directories(dir_, ec);
     if (ec || !fs::is_directory(dir_))
-        throw std::runtime_error("ResultCache: cannot create " +
-                                 dir_ + ": " + ec.message());
+        throw std::runtime_error("cache: cannot create " + dir_ +
+                                 ": " + ec.message());
+}
+
+std::string
+DirCacheStore::entryPath(const std::string &hashHex) const
+{
+    checkCacheHash(hashHex);
+    return dir_ + "/" + hashHex + ".json";
+}
+
+std::optional<std::string>
+DirCacheStore::get(const std::string &hashHex)
+{
+    std::ifstream in(entryPath(hashHex), std::ios::binary);
+    if (!in)
+        return std::nullopt; // no entry: plain miss
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+DirCacheStore::put(const std::string &hashHex,
+                   const std::string &entry)
+{
+    const std::string path = entryPath(hashHex);
+    // The temp name must be unique per *writer*, not just per
+    // process: the head node publishes concurrent remote PUTs from
+    // several connection threads, and two threads sharing one
+    // pid-suffixed temp file would interleave bytes and then race
+    // the rename. pid keeps cross-process uniqueness; the counter
+    // keeps cross-thread uniqueness.
+    static std::atomic<uint64_t> seq{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(seq.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (!out)
+            throw std::runtime_error("cache: cannot write " + tmp);
+        out << entry;
+        if (!out.flush())
+            throw std::runtime_error("cache: short write to " + tmp);
+    }
+    fs::rename(tmp, path); // atomic publish on POSIX
+}
+
+ResultCache::ResultCache(std::string dir)
+    : store_(std::make_shared<DirCacheStore>(std::move(dir)))
+{
+}
+
+ResultCache::ResultCache(std::shared_ptr<CacheStore> store)
+    : store_(std::move(store))
+{
+    if (!store_)
+        throw std::runtime_error("ResultCache: null store");
 }
 
 std::string
 ResultCache::entryPath(const ExperimentSpec &spec) const
 {
-    return dir_ + "/" + specHashHex(spec) + ".json";
+    auto *dir = dynamic_cast<DirCacheStore *>(store_.get());
+    if (!dir)
+        throw std::logic_error(
+            "ResultCache::entryPath: store has no paths");
+    return dir->entryPath(specHashHex(spec));
 }
 
 std::optional<ExperimentResult>
 ResultCache::lookup(const ExperimentSpec &spec) const
 {
     try {
-        std::ifstream in(entryPath(spec), std::ios::binary);
-        if (!in)
+        const std::optional<std::string> entry =
+            store_->get(specHashHex(spec));
+        if (!entry)
             return std::nullopt; // no entry: plain miss
-        std::stringstream buf;
-        buf << in.rdbuf();
 
-        const JsonValue doc = parseJson(buf.str());
+        const JsonValue doc = parseJson(*entry);
         if (doc.at("cache_version").asU64() !=
             static_cast<uint64_t>(kCacheVersion))
             return std::nullopt;
@@ -61,37 +133,31 @@ ResultCache::lookup(const ExperimentSpec &spec) const
             return std::nullopt; // failures are never served
         return res;
     } catch (const std::exception &) {
-        return std::nullopt; // corrupt entry: replay instead
+        return std::nullopt; // corrupt entry / dead store: replay
     }
+}
+
+std::string
+ResultCache::entryText(const ExperimentResult &result)
+{
+    if (!result.ok)
+        throw std::logic_error(
+            "ResultCache: refusing to cache a failed result");
+    std::ostringstream out;
+    out << "{\"cache_version\":" << kCacheVersion
+        << ",\n \"spec_hash\":\"" << specHashHex(result.spec)
+        << "\",\n \"spec\":\""
+        << jsonEscape(specKeyText(result.spec))
+        << "\",\n \"result\":";
+    writeResultObject(out, result);
+    out << "}\n";
+    return out.str();
 }
 
 void
 ResultCache::store(const ExperimentResult &result) const
 {
-    if (!result.ok)
-        throw std::logic_error(
-            "ResultCache::store: refusing to cache a failed result");
-
-    const std::string path = entryPath(result.spec);
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (!out)
-            throw std::runtime_error(
-                "ResultCache: cannot write " + tmp);
-        out << "{\"cache_version\":" << kCacheVersion
-            << ",\n \"spec_hash\":\"" << specHashHex(result.spec)
-            << "\",\n \"spec\":\""
-            << jsonEscape(specKeyText(result.spec))
-            << "\",\n \"result\":";
-        writeResultObject(out, result);
-        out << "}\n";
-        if (!out.flush())
-            throw std::runtime_error(
-                "ResultCache: short write to " + tmp);
-    }
-    fs::rename(tmp, path); // atomic publish on POSIX
+    store_->put(specHashHex(result.spec), entryText(result));
 }
 
 } // namespace wlcrc::runner

@@ -1,21 +1,31 @@
 /**
  * @file
- * ResultCache: a directory of completed grid-point results keyed by
+ * ResultCache: a store of completed grid-point results keyed by
  * specHash(), so re-running a sweep only replays points whose spec
  * — or whose trace content — actually changed. One entry is one
- * JSON file `<dir>/<hash16>.json` holding the full cache key text
- * (collision guard) and the result object (docs/caching.md has the
- * byte-level story).
+ * JSON text holding the full cache key (collision guard) and the
+ * result object (docs/caching.md has the byte-level story).
+ *
+ * The byte storage sits behind the CacheStore seam: the historical
+ * DirCacheStore keeps entries as `<dir>/<hash16>.json` files, and a
+ * RemoteCacheStore (runner/remote.hh) fetches/publishes the same
+ * entry bytes from a head node over TCP, so a whole cluster shares
+ * one cache. ResultCache owns the semantics — key text, collision
+ * guard, version checks — and is store-agnostic.
  *
  * Robustness contract: lookup() NEVER throws for a bad entry — a
- * missing, truncated, corrupt, colliding or version-mismatched file
- * is a miss, and the point replays. store() writes via a temp file
- * + rename, so a crashed run leaves no half-written entries behind.
+ * missing, truncated, corrupt, colliding or version-mismatched
+ * entry (or a store that fails to answer) is a miss, and the point
+ * replays. DirCacheStore publishes via a temp file + rename with a
+ * per-(process, counter) unique temp name, so crashed runs leave no
+ * half-written entries and concurrent writers of the same entry —
+ * threads or processes — never collide on the temp path.
  */
 
 #ifndef WLCRC_RUNNER_RESULT_CACHE_HH
 #define WLCRC_RUNNER_RESULT_CACHE_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,16 +34,80 @@
 namespace wlcrc::runner
 {
 
-/** Directory-backed result store keyed on ExperimentSpec hash. */
-class ResultCache
+/**
+ * Byte-level entry storage under ResultCache: entries are opaque
+ * texts keyed by the 16-hex-digit spec hash. Implementations must
+ * be safe to call from multiple threads, and put() of the same key
+ * must be idempotent — last writer wins with a complete entry,
+ * never an interleaving of two writers.
+ */
+class CacheStore
+{
+  public:
+    virtual ~CacheStore() = default;
+
+    /** Stable identifier: "dir" or "remote". */
+    virtual const char *kind() const = 0;
+
+    /**
+     * @return the entry stored under @p hashHex, or nullopt if none.
+     * May throw on transport failure — ResultCache::lookup() treats
+     * that as a miss.
+     */
+    virtual std::optional<std::string>
+    get(const std::string &hashHex) = 0;
+
+    /**
+     * Publish @p entry under @p hashHex (atomically replacing any
+     * previous entry). @throws std::runtime_error on store failure.
+     */
+    virtual void put(const std::string &hashHex,
+                     const std::string &entry) = 0;
+};
+
+/** Directory-backed store: one `<dir>/<hash16>.json` file per entry. */
+class DirCacheStore final : public CacheStore
 {
   public:
     /**
-     * Open (creating recursively if needed) the cache at @p dir.
+     * Open (creating recursively if needed) the store at @p dir.
      * @throws std::runtime_error if the directory cannot be
      *         created — a mistyped --cache-dir must fail loudly.
      */
+    explicit DirCacheStore(std::string dir);
+
+    const char *kind() const override { return "dir"; }
+    std::optional<std::string>
+    get(const std::string &hashHex) override;
+    void put(const std::string &hashHex,
+             const std::string &entry) override;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Entry file a hash maps to (exists or not). */
+    std::string entryPath(const std::string &hashHex) const;
+
+  private:
+    std::string dir_;
+};
+
+/**
+ * @throws std::runtime_error unless @p hashHex is exactly 16
+ * lowercase hex digits — the only keys specHashHex() produces.
+ * Stores call this on every key, so a hostile remote client can
+ * never turn a cache key into a path traversal.
+ */
+void checkCacheHash(const std::string &hashHex);
+
+/** Result store keyed on ExperimentSpec hash. */
+class ResultCache
+{
+  public:
+    /** Directory-backed cache at @p dir (the historical form). */
     explicit ResultCache(std::string dir);
+
+    /** Cache over any byte store (directory, remote head node). */
+    explicit ResultCache(std::shared_ptr<CacheStore> store);
 
     /**
      * @return the cached result of @p spec, or nullopt on any kind
@@ -49,13 +123,24 @@ class ResultCache
      */
     void store(const ExperimentResult &result) const;
 
-    const std::string &dir() const { return dir_; }
+    CacheStore &byteStore() const { return *store_; }
 
-    /** Entry file a spec maps to (exists or not). */
+    /**
+     * Entry file a spec maps to (exists or not). Only meaningful
+     * for a directory-backed cache.
+     * @throws std::logic_error for non-directory stores.
+     */
     std::string entryPath(const ExperimentSpec &spec) const;
 
+    /**
+     * Serialize @p result (which must be ok) as the entry text any
+     * store keeps under specHashHex(result.spec) — shared by
+     * store() and by tests that forge entries.
+     */
+    static std::string entryText(const ExperimentResult &result);
+
   private:
-    std::string dir_;
+    std::shared_ptr<CacheStore> store_;
 };
 
 } // namespace wlcrc::runner

@@ -102,7 +102,9 @@ ExperimentRunner::run(const std::vector<ExperimentSpec> &specs) const
         opts_.backend ? *opts_.backend : defaultBackend;
 
     std::optional<ResultCache> cache;
-    if (!opts_.cacheDir.empty())
+    if (opts_.cacheStore)
+        cache.emplace(opts_.cacheStore);
+    else if (!opts_.cacheDir.empty())
         cache.emplace(opts_.cacheDir);
 
     RunStats stats;

@@ -24,6 +24,7 @@ namespace wlcrc::runner
 {
 
 class ExecutionBackend;
+class CacheStore;
 
 /** Snapshot of a run's completion state, for progress reporting. */
 struct RunProgress
@@ -100,6 +101,12 @@ struct RunnerOptions
      * stored after, so an unchanged sweep re-run replays nothing.
      */
     std::string cacheDir;
+    /**
+     * Result-cache byte store (result_cache.hh); wins over cacheDir
+     * when both are set. This is how a worker process points its
+     * cache at the head node's store instead of a local directory.
+     */
+    std::shared_ptr<CacheStore> cacheStore;
     /** When set, each run() accumulates its RunStats here (+=). */
     RunStats *stats = nullptr;
 };

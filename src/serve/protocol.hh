@@ -35,6 +35,11 @@
  * Framing errors never take down the server: each one is mapped to
  * a named per-connection error (recvErrorName) and counted in the
  * telemetry snapshot; other connections are unaffected.
+ *
+ * The byte-level framing (header layout, EINTR/short-read handling,
+ * payload caps) lives in net/frame.hh and is shared with the
+ * distributed-sweep protocol "WRK1" (runner/remote.hh); this header
+ * pins the WSV1 magic, frame types and payload encodings on top.
  */
 
 #ifndef WLCRC_SERVE_PROTOCOL_HH
@@ -44,13 +49,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/frame.hh"
+
 namespace wlcrc::serve
 {
 
 /** Frame magic: the bytes 'W','S','V','1' on the wire. */
 inline constexpr uint32_t frameMagic = 0x31565357;
 /** Serialized size of a frame header. */
-inline constexpr uint32_t frameHeaderBytes = 12;
+inline constexpr uint32_t frameHeaderBytes = net::frameHeaderBytes;
 /** Protocol generation carried in Hello. */
 inline constexpr uint32_t protocolVersion = 1;
 /** Upper bound on payloadBytes; larger frames are rejected. */
@@ -71,26 +78,14 @@ enum class FrameType : uint8_t
     Error = 8,
 };
 
-/** Decoded frame header. */
-struct FrameHeader
-{
-    uint8_t type = 0;
-    uint8_t flags = 0;
-    uint32_t payloadBytes = 0;
-};
+/** Decoded frame header (net/frame.hh). */
+using FrameHeader = net::FrameHeader;
 
-/** Outcome of reading one frame off a socket. */
-enum class RecvStatus
-{
-    Ok,        //!< header + payload fully read
-    CleanEof,  //!< orderly EOF on a frame boundary
-    BadMagic,  //!< header did not open with frameMagic
-    Oversized, //!< payloadBytes > maxFramePayload
-    Truncated, //!< EOF or error mid-header / mid-payload
-};
+/** Outcome of reading one frame off a socket (net/frame.hh). */
+using RecvStatus = net::RecvStatus;
 
 /** Telemetry error name of a failed recv ("" for Ok/CleanEof). */
-const char *recvErrorName(RecvStatus s);
+using net::recvErrorName;
 
 /** Serialize @p h (with the magic) into @p dst[frameHeaderBytes]. */
 void encodeFrameHeader(uint8_t *dst, const FrameHeader &h);

@@ -10,14 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "runner/backend.hh"
 #include "runner/grid.hh"
 #include "runner/json_mini.hh"
+#include "runner/remote.hh"
 #include "runner/report.hh"
 #include "runner/result_cache.hh"
 #include "runner/runner.hh"
@@ -560,6 +563,218 @@ TEST(CachedRunner, FailedPointsAreNeverCached)
     ExperimentRunner(opts).run({bad});
     EXPECT_EQ(s2.cacheHits, 0u) << "failures must re-run";
     EXPECT_EQ(s2.replayed, 1u);
+}
+
+// --------------------------------------------- CacheStore seam
+
+TEST(CacheStoreSeam, HashValidationBlocksPathTraversal)
+{
+    // Remote clients supply the hash that becomes a file name; the
+    // store must reject anything but the 16 lowercase hex digits
+    // specHashHex() produces.
+    EXPECT_NO_THROW(
+        runner::checkCacheHash("0123456789abcdef"));
+    for (const char *bad :
+         {"", "short", "0123456789ABCDEF", "0123456789abcde/",
+          "../../etc/passwd", "0123456789abcdef0"})
+        EXPECT_THROW(runner::checkCacheHash(bad),
+                     std::runtime_error)
+            << bad;
+
+    runner::DirCacheStore store(tempDir("traversal"));
+    EXPECT_THROW(store.get("../../etc/passwd"),
+                 std::runtime_error);
+    EXPECT_THROW(store.put("..", "x"), std::runtime_error);
+}
+
+TEST(CacheStoreSeam, ConcurrentDirPutsDoNotCollideOnTmpNames)
+{
+    // Regression: the temp name used to be path + ".tmp." + pid,
+    // which two threads of one process (the head node serving
+    // concurrent remote PUTs) share — interleaved writes, then a
+    // double rename that throws. Unique-per-writer names make
+    // same-hash puts idempotent: last complete entry wins.
+    runner::DirCacheStore store(tempDir("tmprace"));
+    const std::string hash = "00000000deadbeef";
+    const std::string entry(64 * 1024, 'x');
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < 40; ++i) {
+                try {
+                    store.put(hash, entry);
+                } catch (const std::exception &) {
+                    failures.fetch_add(1);
+                }
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    const auto got = store.get(hash);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, entry) << "entry interleaved two writers";
+}
+
+TEST(CacheStoreSeam, RemoteGetPutRoundTrips)
+{
+    auto dirStore = std::make_shared<runner::DirCacheStore>(
+        tempDir("remote_rt"));
+    runner::RemoteBackendOptions bopts;
+    bopts.serveCache = dirStore;
+    runner::RemoteBackend head(std::move(bopts));
+
+    runner::RemoteCacheStore client("127.0.0.1", head.port());
+    const std::string hash = "0123456789abcdef";
+    EXPECT_FALSE(client.get(hash).has_value());
+
+    const std::string entry = "{\"cache_version\":1}\n";
+    client.put(hash, entry);
+    const auto viaWire = client.get(hash);
+    ASSERT_TRUE(viaWire.has_value());
+    EXPECT_EQ(*viaWire, entry);
+    // ...and the bytes really live in the head's directory store.
+    const auto onDisk = dirStore->get(hash);
+    ASSERT_TRUE(onDisk.has_value());
+    EXPECT_EQ(*onDisk, entry);
+
+    // Client-side validation refuses hostile keys outright.
+    EXPECT_THROW(client.get("../../etc/passwd"),
+                 std::runtime_error);
+}
+
+TEST(CacheStoreSeam, ClusterRerunReplaysZeroPoints)
+{
+    auto dirStore = std::make_shared<runner::DirCacheStore>(
+        tempDir("cluster"));
+    runner::RemoteBackendOptions bopts;
+    bopts.serveCache = dirStore;
+    runner::RemoteBackend head(std::move(bopts));
+
+    const auto grid = runner::ExperimentGrid()
+                          .schemes({"Baseline", "WLCRC-16"})
+                          .workloads({"lesl", "gcc"})
+                          .lines(60)
+                          .seed(3)
+                          .shards(2);
+    RunnerOptions opts;
+    opts.jobs = 2;
+    opts.cacheStore = std::make_shared<runner::RemoteCacheStore>(
+        "127.0.0.1", head.port());
+
+    RunStats first, second;
+    opts.stats = &first;
+    const auto r1 = ExperimentRunner(opts).run(grid);
+    opts.stats = &second;
+    const auto r2 = ExperimentRunner(opts).run(grid);
+
+    EXPECT_EQ(first.replayed, 4u);
+    EXPECT_EQ(first.stored, 4u);
+    EXPECT_EQ(second.cacheHits, 4u);
+    EXPECT_EQ(second.replayed, 0u) << "cluster rerun must replay "
+                                      "nothing";
+    EXPECT_EQ(csvOf(r1), csvOf(r2));
+
+    // A second "machine" (its own connection) sees the same
+    // entries: zero replays there too.
+    RunStats elsewhere;
+    RunnerOptions other;
+    other.jobs = 2;
+    other.cacheStore =
+        std::make_shared<runner::RemoteCacheStore>(
+            "127.0.0.1", head.port());
+    other.stats = &elsewhere;
+    const auto r3 = ExperimentRunner(other).run(grid);
+    EXPECT_EQ(elsewhere.replayed, 0u);
+    EXPECT_EQ(csvOf(r3), csvOf(r1));
+}
+
+TEST(CacheStoreSeam, CorruptRemoteEntryDegradesToAMiss)
+{
+    const std::string dir = tempDir("remote_corrupt");
+    auto dirStore =
+        std::make_shared<runner::DirCacheStore>(dir);
+    runner::RemoteBackendOptions bopts;
+    bopts.serveCache = dirStore;
+    runner::RemoteBackend head(std::move(bopts));
+
+    RunnerOptions opts;
+    opts.jobs = 1;
+    opts.cacheStore = std::make_shared<runner::RemoteCacheStore>(
+        "127.0.0.1", head.port());
+    RunStats prime;
+    opts.stats = &prime;
+    const auto r1 = ExperimentRunner(opts).run({baseSpec()});
+    ASSERT_EQ(prime.stored, 1u);
+
+    std::ofstream(dirStore->entryPath(
+                      runner::specHashHex(baseSpec())),
+                  std::ios::binary)
+        << "** not json **";
+
+    RunStats stats;
+    opts.stats = &stats;
+    const auto r2 = ExperimentRunner(opts).run({baseSpec()});
+    EXPECT_EQ(stats.cacheHits, 0u);
+    EXPECT_EQ(stats.replayed, 1u);
+    EXPECT_EQ(stats.stored, 1u) << "entry must be repaired";
+    EXPECT_EQ(csvOf(r1), csvOf(r2));
+
+    RunStats healed;
+    opts.stats = &healed;
+    ExperimentRunner(opts).run({baseSpec()});
+    EXPECT_EQ(healed.cacheHits, 1u);
+}
+
+TEST(CacheStoreSeam, ConcurrentRemotePutsOfSameHashAreIdempotent)
+{
+    auto dirStore = std::make_shared<runner::DirCacheStore>(
+        tempDir("remote_race"));
+    runner::RemoteBackendOptions bopts;
+    bopts.serveCache = dirStore;
+    runner::RemoteBackend head(std::move(bopts));
+
+    const std::string hash = "fedcba9876543210";
+    const std::string entry(32 * 1024, 'y');
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t)
+        threads.emplace_back([&] {
+            try {
+                // Each thread is its own client connection, like
+                // N workers finishing the same reissued point.
+                runner::RemoteCacheStore client("127.0.0.1",
+                                                head.port());
+                for (int i = 0; i < 20; ++i)
+                    client.put(hash, entry);
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    runner::RemoteCacheStore client("127.0.0.1", head.port());
+    const auto got = client.get(hash);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, entry);
+}
+
+TEST(CacheStoreSeam, DeadRemoteStoreDegradesLookupToAMiss)
+{
+    // ResultCache::lookup must absorb a vanished head: transport
+    // errors are a miss (the point replays), never a crash.
+    uint16_t port = 0;
+    {
+        runner::RemoteBackendOptions bopts;
+        runner::RemoteBackend head(std::move(bopts));
+        port = head.port();
+        head.stop();
+    }
+    // The head is gone; connecting at all now fails.
+    EXPECT_THROW(runner::RemoteCacheStore("127.0.0.1", port),
+                 std::runtime_error);
 }
 
 } // namespace

@@ -1,16 +1,23 @@
 /**
  * @file
- * Shared test helper: run a shell command and capture its stdout.
- * Used by the golden-output bench harness and the wlcrc_sim --json
- * round-trip test.
+ * Shared test helpers: run a shell command and capture its stdout,
+ * or spawn one in the background and reap (or kill) it later. Used
+ * by the golden-output bench harness, the wlcrc_sim --json round
+ * trip, and the distributed-backend suite's worker subprocesses.
  */
 
 #ifndef WLCRC_TESTS_SUBPROCESS_HH
 #define WLCRC_TESTS_SUBPROCESS_HH
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 namespace wlcrc::test
 {
@@ -33,6 +40,44 @@ captureStdout(const std::string &cmd, int &exit_code)
         out.append(buf, n);
     exit_code = ::pclose(pipe);
     return out;
+}
+
+/**
+ * Start @p cmd via `/bin/sh -c` without waiting, returning the
+ * shell's pid. Use `exec some-binary args` as the command when the
+ * test needs to signal the binary itself (SIGKILL fault injection):
+ * exec replaces the shell, so the returned pid IS the binary's.
+ */
+inline pid_t
+spawnBackground(const std::string &cmd)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        throw std::runtime_error("fork failed: " + cmd);
+    if (pid == 0) {
+        ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+/** Blocking waitpid; returns the raw status (-1 on error). */
+inline int
+reap(pid_t pid)
+{
+    int status = -1;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR)
+        continue;
+    return status;
+}
+
+/** SIGKILL @p pid and reap it (idempotent on an exited child). */
+inline void
+killAndReap(pid_t pid)
+{
+    ::kill(pid, SIGKILL);
+    reap(pid);
 }
 
 } // namespace wlcrc::test

@@ -17,6 +17,13 @@
  * exception or a bounded return — never a crash or an out-of-bounds
  * read (the ASan/UBSan CI legs run this binary to back that claim).
  *
+ * A seeded WRK1 stage follows: an in-process distributed-sweep head
+ * (runner/remote.hh) is bombarded with hostile client streams —
+ * raw garbage, random frame types, oversized and truncated frame
+ * promises, Results carrying junk ids and junk JSON — and must
+ * survive every one of them, still answering a well-formed
+ * Hello+Pull with a Retry after the barrage.
+ *
  * Any divergence prints a self-contained repro (iteration seed plus
  * full line hex) and exits 1; a clean run prints a summary and exits
  * 0. Seeds are derived per iteration from --seed, so a failure
@@ -37,14 +44,23 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
 #include "common/lz.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
 #include "coset/codec.hh"
+#include "net/frame.hh"
 #include "pcm/disturbance.hh"
 #include "pcm/energy_model.hh"
+#include "runner/remote.hh"
 #include "trace/replay.hh"
 #include "trace/workload.hh"
+#include "tracefile/format.hh"
 #include "wlcrc/factory.hh"
 
 namespace
@@ -65,7 +81,9 @@ usage(std::FILE *to)
         "Differential fuzzer: encodes random lines under every\n"
         "available SIMD kernel and the scalar-scoring test hook,\n"
         "failing loudly on any bit difference from the scalar\n"
-        "reference. Exits 0 on a clean run, 1 on a mismatch.\n");
+        "reference. Seeded LZ round-trip/mutation and hostile WRK1\n"
+        "client stages run first. Exits 0 on a clean run, 1 on a\n"
+        "mismatch.\n");
 }
 
 std::vector<Kernel>
@@ -329,6 +347,156 @@ lzFuzzCase(uint64_t iseed, LzScratch &scratch)
     return true;
 }
 
+/** Loopback socket to the fuzzed head (100 ms recv timeout). */
+int
+wrk1Connect(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    timeval tv{};
+    tv.tv_usec = 100 * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    return fd;
+}
+
+/**
+ * One seeded hostile WRK1 stream: a burst of malformed frames —
+ * raw garbage, random frame types, lying length prefixes, junk
+ * Results — thrown at the head, which must map each to a named
+ * counter or a dropped connection, never a crash. Outcomes are
+ * not asserted per-case (many mutations are legitimately ignored);
+ * the survivability check is wrk1StillAnswers() after the barrage,
+ * with ASan/UBSan auditing the head's memory behaviour.
+ */
+void
+wrk1FuzzCase(uint64_t iseed, uint16_t port)
+{
+    using runner::WorkFrame;
+    Rng rng(iseed);
+    const int fd = wrk1Connect(port);
+    if (fd < 0)
+        return; // transient resource exhaustion; not a finding
+    if (rng.chance(0.5)) { // half the streams open legitimately
+        uint8_t v[4];
+        tracefile::putLe32(v, runner::workProtocolVersion);
+        net::sendFrame(fd, runner::workMagic,
+                       static_cast<uint8_t>(WorkFrame::Hello), 0, v,
+                       sizeof v);
+    }
+    const uint64_t burst = 1 + rng.nextBelow(6);
+    for (uint64_t i = 0; i < burst; ++i) {
+        switch (rng.nextBelow(5)) {
+        case 0: { // raw garbage, no framing at all
+            std::vector<uint8_t> junk(1 + rng.nextBelow(64));
+            for (auto &b : junk)
+                b = static_cast<uint8_t>(rng.next());
+            if (!net::writeAll(fd, junk.data(), junk.size()))
+                goto done;
+            break;
+        }
+        case 1: { // well-framed, random type and payload
+            std::vector<uint8_t> payload(rng.nextBelow(64));
+            for (auto &b : payload)
+                b = static_cast<uint8_t>(rng.next());
+            if (!net::sendFrame(fd, runner::workMagic,
+                                static_cast<uint8_t>(rng.next() &
+                                                     0x0f),
+                                0, payload.data(), payload.size()))
+                goto done;
+            break;
+        }
+        case 2: { // header whose length promise lies
+            uint8_t header[net::frameHeaderBytes];
+            net::FrameHeader h;
+            h.type = static_cast<uint8_t>(WorkFrame::Result);
+            h.payloadBytes =
+                rng.chance(0.5)
+                    ? (runner::maxWorkPayload + 1 +
+                       static_cast<uint32_t>(rng.nextBelow(1u << 20)))
+                    : static_cast<uint32_t>(1 + rng.nextBelow(256));
+            net::encodeFrameHeader(header, runner::workMagic, h);
+            if (!net::writeAll(fd, header, sizeof header))
+                goto done;
+            ::shutdown(fd, SHUT_WR); // never deliver the payload
+            goto done;
+        }
+        case 3: { // Result with junk id and junk JSON
+            std::vector<uint8_t> payload(8 + rng.nextBelow(96));
+            tracefile::putLe64(payload.data(), rng.next());
+            for (std::size_t b = 8; b < payload.size(); ++b)
+                payload[b] = static_cast<uint8_t>(rng.next());
+            if (!net::sendFrame(
+                    fd, runner::workMagic,
+                    static_cast<uint8_t>(WorkFrame::Result), 0,
+                    payload.data(), payload.size()))
+                goto done;
+            break;
+        }
+        default: // legitimate Pull mixed into the hostility
+            if (!net::sendFrame(fd, runner::workMagic,
+                                static_cast<uint8_t>(WorkFrame::Pull),
+                                0, nullptr, 0))
+                goto done;
+        }
+        if (rng.chance(0.3)) { // sometimes drain the head's replies
+            char buf[256];
+            while (::read(fd, buf, sizeof buf) > 0)
+                continue;
+        }
+    }
+done:
+    ::close(fd);
+}
+
+/** A well-formed Hello+Pull must still earn a Retry (or Fin). */
+bool
+wrk1StillAnswers(uint16_t port)
+{
+    using runner::WorkFrame;
+    const int fd = wrk1Connect(port);
+    if (fd < 0) {
+        std::fprintf(stderr, "MISMATCH (wrk1): head stopped "
+                             "accepting connections\n");
+        return false;
+    }
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    uint8_t v[4];
+    tracefile::putLe32(v, runner::workProtocolVersion);
+    net::sendFrame(fd, runner::workMagic,
+                   static_cast<uint8_t>(WorkFrame::Hello), 0, v,
+                   sizeof v);
+    net::sendFrame(fd, runner::workMagic,
+                   static_cast<uint8_t>(WorkFrame::Pull), 0, nullptr,
+                   0);
+    net::FrameHeader h;
+    std::vector<uint8_t> payload;
+    const net::RecvStatus st = net::recvFrame(
+        fd, runner::workMagic, runner::maxWorkPayload, h, payload);
+    ::close(fd);
+    if (st != net::RecvStatus::Ok ||
+        (h.type != static_cast<uint8_t>(WorkFrame::Retry) &&
+         h.type != static_cast<uint8_t>(WorkFrame::Fin))) {
+        std::fprintf(stderr,
+                     "MISMATCH (wrk1): Hello+Pull answered with "
+                     "status %d type %u, want a Retry\n",
+                     static_cast<int>(st), unsigned{h.type});
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -405,6 +573,24 @@ main(int argc, char **argv)
             if (!lzFuzzCase(childSeed(seed ^ 0x6c7aull, iter),
                             lzScratch))
                 return 1;
+
+        // WRK1 stage: hostile client streams against an idle
+        // distributed-sweep head. Connections are cheap on
+        // loopback but not free, so the stage caps itself at 500
+        // streams even under a bigger --iters budget.
+        const uint64_t wrk1Cases = std::min<uint64_t>(iters, 500);
+        uint64_t wrk1Errors = 0;
+        {
+            runner::RemoteBackend head{runner::RemoteBackendOptions{}};
+            for (uint64_t iter = 0; iter < wrk1Cases; ++iter)
+                wrk1FuzzCase(childSeed(seed ^ 0x57726bull, iter),
+                             head.port());
+            if (!wrk1StillAnswers(head.port()))
+                return 1;
+            for (const auto &[name, n] : head.errorCounts())
+                wrk1Errors += n;
+            head.stop();
+        }
 
         uint64_t encodes = 0;
         for (uint64_t iter = 0; iter < iters; ++iter) {
@@ -484,9 +670,12 @@ main(int argc, char **argv)
         }
 
         std::fprintf(stderr,
-                     "ok: %llu lz cases + %llu encodes + %zu replay "
-                     "streams, all kernels bit-identical\n",
+                     "ok: %llu lz cases + %llu hostile wrk1 streams "
+                     "(%llu named errors) + %llu encodes + %zu "
+                     "replay streams, all kernels bit-identical\n",
                      static_cast<unsigned long long>(iters),
+                     static_cast<unsigned long long>(wrk1Cases),
+                     static_cast<unsigned long long>(wrk1Errors),
                      static_cast<unsigned long long>(encodes),
                      schemes.size());
         return 0;

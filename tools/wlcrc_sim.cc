@@ -40,8 +40,23 @@
  *                          synchronously; results are identical
  *                          either way)
  *   --backend <name>       execution backend: thread (default),
- *                          serial, or process (child wlcrc_sim
- *                          workers; results identical for all)
+ *                          serial, process (child wlcrc_sim
+ *                          workers) or remote (this process becomes
+ *                          the head node of a distributed sweep;
+ *                          results identical for all)
+ *   --listen <port>        (remote) listen on 127.0.0.1:<port> for
+ *                          wlcrc_worker connections; 0 or absent
+ *                          picks an ephemeral port. The bound port
+ *                          is printed to stderr either way
+ *   --workers <N>          (remote) spawn N local wlcrc_worker
+ *                          processes ($WLCRC_WORKER_BIN, default:
+ *                          wlcrc_worker next to this binary)
+ *   --reissue-sec <S>      (remote) straggler deadline: an issued
+ *                          point unanswered for S seconds is
+ *                          reissued to another worker (default 30)
+ *   --cache-remote <H:P>   consult a remote head node's result
+ *                          cache instead of a local directory
+ *                          (wins over --cache-dir/$WLCRC_CACHE_DIR)
  *   --cache-dir <dir>      result cache directory (also via
  *                          $WLCRC_CACHE_DIR); unchanged points are
  *                          served without replaying
@@ -91,7 +106,9 @@
 #include "common/simd.hh"
 #include "runner/backend.hh"
 #include "runner/grid.hh"
+#include "runner/remote.hh"
 #include "runner/report.hh"
+#include "runner/result_cache.hh"
 #include "runner/runner.hh"
 #include "runner/spec_codec.hh"
 #include "tracefile/block_codec.hh"
@@ -118,6 +135,11 @@ struct Options
     std::string decodeAhead;
     std::string backend = "thread";
     std::string cacheDir; // resolved from flag/env in main()
+    std::string cacheRemote;
+    unsigned listenPort = 0;
+    unsigned workers = 0;
+    double reissueSec = 30.0;
+    bool remoteFlags = false; //!< any --listen/--workers/--reissue-sec
     std::string workerSpec;
     std::vector<std::string> levelers;
     std::string endurance;
@@ -148,8 +170,10 @@ usage(const char *argv0)
         "[--trace-codec raw|lz|zstd]\n"
         "          [--lines N] [--seed S] [--jobs N] [--shards N] "
         "[--partition modulo|range] [--decode-ahead N]\n"
-        "          [--backend thread|serial|process] "
+        "          [--backend thread|serial|process|remote] "
         "[--cache-dir D] [--no-cache]\n"
+        "          [--listen PORT] [--workers N] "
+        "[--reissue-sec S] [--cache-remote HOST:PORT]\n"
         "          [--vnr] [--wear ENDURANCE] [--wear-csv F] "
         "[--s3 pJ] [--s4 pJ] [--json] [--progress]\n"
         "          [--simd auto|scalar|avx2|neon]\n"
@@ -198,6 +222,21 @@ parse(int argc, char **argv)
         } else if (a == "--cache-dir") {
             if (const char *v = next())
                 o.cacheDir = v;
+        } else if (a == "--cache-remote") {
+            if (const char *v = next())
+                o.cacheRemote = v;
+        } else if (a == "--listen") {
+            if (const char *v = next())
+                o.listenPort = std::strtoul(v, nullptr, 0);
+            o.remoteFlags = true;
+        } else if (a == "--workers") {
+            if (const char *v = next())
+                o.workers = std::strtoul(v, nullptr, 0);
+            o.remoteFlags = true;
+        } else if (a == "--reissue-sec") {
+            if (const char *v = next())
+                o.reissueSec = std::strtod(v, nullptr);
+            o.remoteFlags = true;
         } else if (a == "--no-cache") {
             o.noCache = true;
         } else if (a == "--worker") {
@@ -264,7 +303,24 @@ parse(int argc, char **argv)
          o.traceFormat != "v3") ||
         (o.partition != "modulo" && o.partition != "range") ||
         (o.backend != "thread" && o.backend != "serial" &&
-         o.backend != "process")) {
+         o.backend != "process" && o.backend != "remote")) {
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (o.backend == "remote" && o.listenPort == 0 &&
+        o.workers == 0) {
+        std::fprintf(stderr,
+                     "--backend remote needs someone to do the "
+                     "work: pass --workers N (spawn local "
+                     "wlcrc_worker processes) and/or --listen PORT "
+                     "(external workers connect there)\n");
+        usage(argv[0]);
+        return std::nullopt;
+    }
+    if (o.backend != "remote" && o.remoteFlags) {
+        std::fprintf(stderr,
+                     "--listen/--workers/--reissue-sec configure "
+                     "the head node; pass --backend remote\n");
         usage(argv[0]);
         return std::nullopt;
     }
@@ -454,21 +510,71 @@ main(int argc, char **argv)
         ropts.jobs = opts->jobs;
         if (opts->progress)
             ropts.progress = runner::stderrProgress("wlcrc_sim");
-        if (opts->backend != "thread")
-            ropts.backend =
-                runner::makeBackend(opts->backend, argv[0]);
 
         // --cache-dir wins over $WLCRC_CACHE_DIR; --no-cache
         // disables both (the env var lets CI and wrapper scripts
-        // turn caching on without touching every command line).
+        // turn caching on without touching every command line);
+        // --cache-remote wins over everything.
         std::string cacheDir = opts->cacheDir;
         if (cacheDir.empty())
             cacheDir = envString("WLCRC_CACHE_DIR", "");
         if (opts->noCache)
             cacheDir.clear();
+        std::shared_ptr<runner::CacheStore> localStore;
+        if (!cacheDir.empty())
+            localStore =
+                std::make_shared<runner::DirCacheStore>(cacheDir);
+
+        std::shared_ptr<runner::RemoteBackend> remote;
+        if (opts->backend == "remote") {
+            runner::RemoteBackendOptions bopts;
+            bopts.port =
+                static_cast<uint16_t>(opts->listenPort);
+            bopts.reissueSec = opts->reissueSec;
+            if (opts->workers > 0) {
+                // $WLCRC_WORKER_BIN overrides the sibling default,
+                // so tests and CI can point at a specific build.
+                std::string bin =
+                    envString("WLCRC_WORKER_BIN", "");
+                if (bin.empty()) {
+                    const std::string self = argv[0];
+                    const auto slash = self.rfind('/');
+                    bin = (slash == std::string::npos
+                               ? std::string(".")
+                               : self.substr(0, slash)) +
+                          "/wlcrc_worker";
+                }
+                bopts.workerBinary = bin;
+                bopts.spawnWorkers = opts->workers;
+            }
+            // The head serves its own cache store to the cluster,
+            // so head-local and worker-shared caching are one
+            // namespace of entries.
+            bopts.serveCache = localStore;
+            remote = std::make_shared<runner::RemoteBackend>(
+                std::move(bopts));
+            std::fprintf(stderr,
+                         "wlcrc_sim: head listening on "
+                         "127.0.0.1:%u\n",
+                         static_cast<unsigned>(remote->port()));
+            ropts.backend = remote;
+        } else if (opts->backend != "thread") {
+            ropts.backend =
+                runner::makeBackend(opts->backend, argv[0]);
+        }
+
         runner::RunStats stats;
-        if (!cacheDir.empty()) {
-            ropts.cacheDir = cacheDir;
+        std::string cacheLabel = cacheDir;
+        if (!opts->cacheRemote.empty()) {
+            const auto [host, port] =
+                runner::parseHostPort(opts->cacheRemote);
+            ropts.cacheStore =
+                std::make_shared<runner::RemoteCacheStore>(host,
+                                                           port);
+            ropts.stats = &stats;
+            cacheLabel = "remote " + opts->cacheRemote;
+        } else if (localStore) {
+            ropts.cacheStore = localStore;
             ropts.stats = &stats;
         }
 
@@ -480,9 +586,21 @@ main(int argc, char **argv)
             for (auto &s : specs)
                 s.keepWearTracker = true;
         const auto results = engine.run(specs);
-        if (!cacheDir.empty())
+        if (remote) {
+            // Fin to the workers before reporting: the sweep is
+            // over, and CI greps these fault counters.
+            remote->stop();
+            std::string faults;
+            for (const auto &[name, n] : remote->errorCounts())
+                faults += " " + name + "=" + std::to_string(n);
+            if (!faults.empty())
+                std::fprintf(stderr,
+                             "wlcrc_sim: remote faults:%s\n",
+                             faults.c_str());
+        }
+        if (ropts.stats)
             std::fprintf(stderr, "wlcrc_sim: cache %s: %s\n",
-                         cacheDir.c_str(),
+                         cacheLabel.c_str(),
                          stats.summary().c_str());
 
         for (const auto &r : results) {
