@@ -135,6 +135,16 @@ struct RemoteBackend::Impl
     std::condition_variable cv;
     bool finFlag = false;
 
+    /**
+     * Serializes every taskDone invocation (connection threads and
+     * run()'s inline path) and is never held together with `mutex`,
+     * so a callback may block or call back into the backend (e.g.
+     * errorCounts()) without stalling or deadlocking the queue.
+     */
+    std::mutex callbackMutex;
+    /** Result callbacks copied out of the lock but not yet run. */
+    unsigned callbacksInFlight = 0;
+
     /** One grid point of the active run. */
     struct Point
     {
@@ -165,6 +175,17 @@ struct RemoteBackend::Impl
 
     struct Conn
     {
+        /**
+         * Closed only here, when the last reference drops. stop()
+         * snapshots the shared_ptrs, so an fd it shuts down cannot
+         * be concurrently closed and reused for something else.
+         */
+        ~Conn()
+        {
+            if (fd >= 0)
+                ::close(fd);
+        }
+
         int fd = -1;
         uint64_t id = 0;
         bool hello = false;
@@ -237,13 +258,13 @@ struct RemoteBackend::Impl
             const int one = 1;
             ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one,
                          sizeof one);
-            auto conn = std::make_shared<Conn>();
-            conn->fd = cfd;
             std::lock_guard lock(mutex);
             if (finFlag) {
                 ::close(cfd);
                 continue;
             }
+            auto conn = std::make_shared<Conn>();
+            conn->fd = cfd;
             conn->id = nextConnId++;
             conns.push_back(conn);
             connThreads.emplace_back(
@@ -289,16 +310,24 @@ struct RemoteBackend::Impl
             if (!fin && active) {
                 if (active->pending.empty())
                     scanStragglersLocked();
-                if (!active->pending.empty()) {
+                while (!active->pending.empty()) {
                     const std::size_t idx =
                         active->pending.front();
                     active->pending.pop_front();
                     Point &p = active->points[idx];
+                    // A queue entry can go stale: a reissued
+                    // point's first result arrived and won while
+                    // its requeued entry still sat here. Issuing
+                    // it again would flip a Done point back to
+                    // Issued and double-count its completion.
+                    if (p.state != Point::State::Pending)
+                        continue;
                     p.state = Point::State::Issued;
                     p.issuedAt = Clock::now();
                     p.holder = c->id;
                     c->held.insert(idx);
                     work = idTextPayload(idx, p.text);
+                    break;
                 }
             }
         }
@@ -333,50 +362,87 @@ struct RemoteBackend::Impl
         } catch (const std::exception &) {
         }
 
-        std::lock_guard lock(mutex);
-        c->held.erase(static_cast<std::size_t>(id));
-        if (!active || id >= active->points.size()) {
-            // Straggler of a finished run racing Fin: harmless.
-            countLocked("duplicate-result");
-            return true;
-        }
-        Point &p = active->points[static_cast<std::size_t>(id)];
-        if (p.state == Point::State::Done) {
-            // The point was reissued and someone else won. Results
-            // are deterministic, so dropping this copy is safe.
-            countLocked("duplicate-result");
-            return true;
-        }
-        ExperimentResult res;
-        bool malformed = !doc;
-        if (doc) {
-            try {
-                res = readResultObject(*doc, *p.spec);
-            } catch (const std::exception &) {
-                malformed = true;
+        bool malformed = false;
+        bool completed = false;
+        std::function<void()> done;
+        {
+            std::lock_guard lock(mutex);
+            c->held.erase(static_cast<std::size_t>(id));
+            if (!active || id >= active->points.size()) {
+                // Straggler of a finished run racing Fin: harmless.
+                countLocked("duplicate-result");
+                return true;
+            }
+            Point &p =
+                active->points[static_cast<std::size_t>(id)];
+            if (p.state == Point::State::Done) {
+                // The point was reissued and someone else won.
+                // Results are deterministic, so dropping this copy
+                // is safe.
+                countLocked("duplicate-result");
+                return true;
+            }
+            ExperimentResult res;
+            malformed = !doc;
+            if (doc) {
+                try {
+                    res = readResultObject(*doc, *p.spec);
+                } catch (const std::exception &) {
+                    malformed = true;
+                }
+            }
+            if (malformed) {
+                countLocked("malformed-result");
+                if (p.state == Point::State::Issued) {
+                    p.state = Point::State::Pending;
+                    active->pending.push_back(
+                        static_cast<std::size_t>(id));
+                }
+            } else {
+                // A reissued point sits in the queue as a Pending
+                // entry; its original worker's result winning here
+                // must retire that entry, or handlePull would
+                // issue the already-Done point again.
+                if (p.state == Point::State::Pending) {
+                    auto &q = active->pending;
+                    q.erase(std::remove(
+                                q.begin(), q.end(),
+                                static_cast<std::size_t>(id)),
+                            q.end());
+                }
+                // A well-formed ok=false is authoritative — the
+                // replay itself failed, identical on any worker —
+                // not a worker fault to retry around.
+                if (!res.ok)
+                    countLocked("worker-reported-error");
+                p.result = std::move(res);
+                p.state = Point::State::Done;
+                ++active->done;
+                completed = true;
+                if (active->taskDone && *active->taskDone) {
+                    done = *active->taskDone;
+                    ++callbacksInFlight;
+                }
             }
         }
         if (malformed) {
-            countLocked("malformed-result");
-            if (p.state == Point::State::Issued) {
-                p.state = Point::State::Pending;
-                active->pending.push_back(
-                    static_cast<std::size_t>(id));
-            }
             sendError(c->fd, "malformed-result");
             return false;
         }
-        // A well-formed ok=false is authoritative — the replay
-        // itself failed, identical on any worker — not a worker
-        // fault to retry around.
-        if (!res.ok)
-            countLocked("worker-reported-error");
-        p.result = std::move(res);
-        p.state = Point::State::Done;
-        ++active->done;
-        if (active->taskDone && *active->taskDone)
-            (*active->taskDone)();
-        cv.notify_all();
+        // The progress callback runs outside the queue lock — it
+        // may block or call back into the backend — and run()
+        // waits for callbacksInFlight to drain, so a callback
+        // never outlives the run() call that registered it.
+        if (done) {
+            {
+                std::lock_guard cb(callbackMutex);
+                done();
+            }
+            std::lock_guard lock(mutex);
+            --callbacksInFlight;
+        }
+        if (completed)
+            cv.notify_all();
         return true;
     }
 
@@ -494,6 +560,17 @@ struct RemoteBackend::Impl
             if (!keep)
                 break;
         }
+        // This thread is the fd's only writer, so the shutdown
+        // farewell is sent here (not from stop(), which would race
+        // our own sends): best-effort — a worker that already hung
+        // up sees plain EOF instead, which it equally accepts.
+        bool fin = false;
+        {
+            std::lock_guard lock(mutex);
+            fin = finFlag;
+        }
+        if (fin)
+            sendF(c->fd, WorkFrame::Fin);
         dropConn(c);
     }
 
@@ -519,14 +596,19 @@ struct RemoteBackend::Impl
                 std::remove(conns.begin(), conns.end(), c),
                 conns.end());
         }
+        // No close here: ~Conn closes once the last shared_ptr
+        // (possibly a snapshot inside stop()) lets go, so the fd
+        // number cannot be recycled under a concurrent shutdown.
         ::shutdown(c->fd, SHUT_RDWR);
-        ::close(c->fd);
         cv.notify_all();
     }
 
     void
     spawnWorkers(unsigned jobs)
     {
+        // The lock covers `spawned` against a stop() (destructor)
+        // racing an in-flight run() from another thread.
+        std::lock_guard lock(mutex);
         if (opts.workerBinary.empty() || !spawned.empty())
             return;
         unsigned n = opts.spawnWorkers;
@@ -600,13 +682,20 @@ struct RemoteBackend::Impl
         // cluster chews on the serializable ones.
         for (const std::size_t i : inline_) {
             results[i] = runSpecSerial(specs[i]);
-            if (taskDone)
+            if (taskDone) {
+                std::lock_guard cb(callbackMutex);
                 taskDone();
+            }
         }
 
         if (!r.points.empty()) {
             std::unique_lock lock(mutex);
-            while (r.done < r.points.size() && !finFlag) {
+            // Draining callbacksInFlight before returning keeps
+            // the caller's taskDone (and whatever it captures)
+            // alive for every invocation.
+            while ((r.done < r.points.size() ||
+                    callbacksInFlight > 0) &&
+                   !finFlag) {
                 scanStragglersLocked();
                 cv.wait_for(lock,
                             std::chrono::milliseconds(100));
@@ -631,24 +720,27 @@ struct RemoteBackend::Impl
     void
     stop()
     {
-        std::vector<int> fds;
+        std::vector<std::shared_ptr<Conn>> snapshot;
+        std::vector<pid_t> pids;
         {
             std::lock_guard lock(mutex);
             if (stopped)
                 return;
             stopped = true;
             finFlag = true;
-            for (const auto &c : conns)
-                fds.push_back(c->fd);
+            snapshot = conns; // shared_ptrs keep the fds alive
+            pids.swap(spawned);
         }
         cv.notify_all();
 
-        // Fin first (queued data flushes ahead of the FIN packet),
-        // then a hard shutdown to break any blocked recv.
-        for (const int fd : fds) {
-            sendF(fd, WorkFrame::Fin);
-            ::shutdown(fd, SHUT_RDWR);
-        }
+        // Half-close only: the read shutdown breaks each
+        // connection thread's recv, while the intact write side
+        // lets that thread — the fd's sole writer — send the Fin
+        // farewell itself on its way out. stop() never writes, so
+        // frames cannot interleave, and the snapshot above pins the
+        // fds so none can be closed and recycled underneath us.
+        for (const auto &c : snapshot)
+            ::shutdown(c->fd, SHUT_RD);
         if (listenFd >= 0)
             ::shutdown(listenFd, SHUT_RDWR);
         if (acceptThread.joinable())
@@ -662,7 +754,9 @@ struct RemoteBackend::Impl
             {
                 std::lock_guard lock(mutex);
                 // Connections that slipped in after the snapshot
-                // above still need their recv broken.
+                // above still need their recv broken; SHUT_RDWR
+                // here also frees any thread stuck mid-send to a
+                // peer that stopped reading.
                 for (const auto &c : conns)
                     ::shutdown(c->fd, SHUT_RDWR);
                 threads.swap(connThreads);
@@ -678,7 +772,7 @@ struct RemoteBackend::Impl
         // grace so stop() always returns.
         const auto deadline =
             Clock::now() + std::chrono::seconds(5);
-        for (const pid_t pid : spawned) {
+        for (const pid_t pid : pids) {
             for (;;) {
                 const pid_t r = ::waitpid(pid, nullptr, WNOHANG);
                 if (r == pid || (r < 0 && errno == ECHILD))
@@ -692,7 +786,6 @@ struct RemoteBackend::Impl
                     std::chrono::milliseconds(10));
             }
         }
-        spawned.clear();
     }
 };
 

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -31,6 +32,7 @@
 #include "runner/remote.hh"
 #include "runner/report.hh"
 #include "runner/runner.hh"
+#include "runner/spec_codec.hh"
 #include "subprocess.hh"
 #include "tracefile/format.hh"
 #include "tracefile/source.hh"
@@ -135,6 +137,49 @@ sendHello(int fd)
     net::sendFrame(fd, runner::workMagic,
                    static_cast<uint8_t>(WorkFrame::Hello), 0, v,
                    sizeof v);
+}
+
+/** Pull until a Work frame arrives; {pointId, spec text}. */
+std::pair<uint64_t, std::string>
+pullWork(int fd)
+{
+    net::FrameHeader h;
+    std::vector<uint8_t> payload;
+    for (int tries = 0; tries < 500; ++tries) {
+        net::sendFrame(fd, runner::workMagic,
+                       static_cast<uint8_t>(WorkFrame::Pull), 0,
+                       nullptr, 0);
+        if (net::recvFrame(fd, runner::workMagic,
+                           runner::maxWorkPayload, h, payload) !=
+            net::RecvStatus::Ok)
+            break;
+        if (h.type == static_cast<uint8_t>(WorkFrame::Work) &&
+            payload.size() >= 8)
+            return {tracefile::getLe64(payload.data()),
+                    std::string(payload.begin() + 8,
+                                payload.end())};
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "no Work frame arrived on this connection";
+    return {UINT64_MAX, ""};
+}
+
+/** Honestly replay @p specText and send its Result for @p id. */
+void
+sendResultFor(int fd, uint64_t id, const std::string &specText)
+{
+    const runner::ExperimentResult r =
+        runner::runSpecSerial(runner::parseSpec(specText));
+    std::ostringstream os;
+    runner::writeResultObject(os, r);
+    const std::string json = os.str();
+    std::vector<uint8_t> p(8 + json.size());
+    tracefile::putLe64(p.data(), id);
+    std::memcpy(p.data() + 8, json.data(), json.size());
+    net::sendFrame(fd, runner::workMagic,
+                   static_cast<uint8_t>(WorkFrame::Result), 0,
+                   p.data(), p.size());
 }
 
 /** Wait (bounded) until @p counter appears in the head's counts. */
@@ -324,10 +369,21 @@ TEST(RemoteFaults, HungWorkerPastDeadlineIsReissued)
         runWith(std::make_shared<ThreadBackend>(), grid);
 
     auto head = bareHead(/*reissueSec=*/0.3);
+    // The saboteur hangs on its first Work frame. It stays the
+    // only worker until the head has actually reissued its held
+    // point — a fast healthy worker could otherwise drain the
+    // whole queue before the saboteur's first successful Pull —
+    // and only then does the rescue thread attach the healthy
+    // worker that must absorb the requeued work.
     const pid_t hung = spawnWorker(*head, "--hang-after 1");
-    const pid_t healthy = spawnWorker(*head);
+    pid_t healthy = -1;
+    std::thread rescue([&] {
+        waitForCounter(*head, "reissued", /*maxMs=*/20000);
+        healthy = spawnWorker(*head);
+    });
 
     EXPECT_EQ(runWith(head, grid), expect);
+    rescue.join();
     const auto counts = head->errorCounts();
     ASSERT_TRUE(counts.count("reissued"));
     EXPECT_GE(counts.at("reissued"), 1u);
@@ -501,6 +557,77 @@ TEST(RemoteFaults, MalformedResultRequeuesThePoint)
     EXPECT_TRUE(results[0].ok);
     head->stop();
     test::reap(worker);
+}
+
+TEST(RemoteFaults, LateResultOfReissuedPointRetiresItsQueueEntry)
+{
+    // Regression: reissuing a point queues a fresh Pending entry;
+    // when the original slow-but-alive worker's result then
+    // arrives and wins, that entry goes stale. Handing it out
+    // anyway flipped the Done point back to Issued — completion
+    // was double-counted and a finished row could be reported as
+    // "remote backend stopped".
+    auto head = bareHead(/*reissueSec=*/0.3);
+
+    ExperimentSpec s0;
+    s0.scheme = "Baseline";
+    s0.workload = "lesl";
+    s0.lines = 40;
+    ExperimentSpec s1 = s0;
+    s1.workload = "gcc";
+    const std::vector<ExperimentSpec> specs{s0, s1};
+
+    std::atomic<unsigned> completed{0};
+    std::vector<ExperimentResult> results;
+    std::thread sweep([&] {
+        results = head->run(specs, 1, [&] { ++completed; });
+    });
+
+    // The slow worker pulls both points, then stalls past the
+    // reissue deadline while keeping its connection open.
+    const int slow = rawConnect(head->port());
+    sendHello(slow);
+    const auto w0 = pullWork(slow);
+    const auto w1 = pullWork(slow);
+    ASSERT_NE(w0.first, w1.first);
+    for (int waited = 0;; waited += 10) {
+        const auto counts = head->errorCounts();
+        const auto it = counts.find("reissued");
+        if (it != counts.end() && it->second >= 2)
+            break;
+        ASSERT_LT(waited, 10000) << "points never reissued";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+
+    // Its late (but first) result must win — and must retire the
+    // point's requeued queue entry along the way.
+    sendResultFor(slow, w0.first, w0.second);
+    for (int waited = 0; completed.load() < 1; waited += 10) {
+        ASSERT_LT(waited, 10000) << "late result not accepted";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+
+    // A fresh worker pulling now must be handed the other point,
+    // never the completed one out of the stale entry.
+    const int fresh = rawConnect(head->port());
+    sendHello(fresh);
+    const auto wb = pullWork(fresh);
+    EXPECT_EQ(wb.first, w1.first)
+        << "head reissued a completed point from a stale entry";
+    sendResultFor(fresh, wb.first, wb.second);
+
+    sweep.join();
+    ::close(slow);
+    ::close(fresh);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok) << results[0].error;
+    EXPECT_TRUE(results[1].ok) << results[1].error;
+    EXPECT_EQ(completed.load(), 2u);
+    const auto counts = head->errorCounts();
+    EXPECT_FALSE(counts.count("duplicate-result"));
+    head->stop();
 }
 
 TEST(RemoteFaults, StopMidRunFailsUnfinishedPointsInBand)

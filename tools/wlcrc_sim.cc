@@ -226,16 +226,50 @@ parse(int argc, char **argv)
             if (const char *v = next())
                 o.cacheRemote = v;
         } else if (a == "--listen") {
-            if (const char *v = next())
-                o.listenPort = std::strtoul(v, nullptr, 0);
+            // Validated strictly: a silently truncated port (or a
+            // non-numeric straggler deadline below) would steer
+            // the whole cluster somewhere unintended.
+            const char *v = next();
+            char *end = nullptr;
+            const unsigned long port =
+                v ? std::strtoul(v, &end, 10) : 0;
+            if (!v || end == v || *end != '\0' || port == 0 ||
+                port > 65535) {
+                std::fprintf(stderr,
+                             "--listen needs a port in 1..65535, "
+                             "got \"%s\"\n",
+                             v ? v : "");
+                return std::nullopt;
+            }
+            o.listenPort = static_cast<unsigned>(port);
             o.remoteFlags = true;
         } else if (a == "--workers") {
-            if (const char *v = next())
-                o.workers = std::strtoul(v, nullptr, 0);
+            const char *v = next();
+            char *end = nullptr;
+            const unsigned long n =
+                v ? std::strtoul(v, &end, 10) : 0;
+            if (!v || end == v || *end != '\0' || n == 0 ||
+                n > 4096) {
+                std::fprintf(stderr,
+                             "--workers needs a count in 1..4096, "
+                             "got \"%s\"\n",
+                             v ? v : "");
+                return std::nullopt;
+            }
+            o.workers = static_cast<unsigned>(n);
             o.remoteFlags = true;
         } else if (a == "--reissue-sec") {
-            if (const char *v = next())
-                o.reissueSec = std::strtod(v, nullptr);
+            const char *v = next();
+            char *end = nullptr;
+            const double sec = v ? std::strtod(v, &end) : 0.0;
+            if (!v || end == v || *end != '\0' || !(sec > 0.0)) {
+                std::fprintf(stderr,
+                             "--reissue-sec needs a positive "
+                             "number of seconds, got \"%s\"\n",
+                             v ? v : "");
+                return std::nullopt;
+            }
+            o.reissueSec = sec;
             o.remoteFlags = true;
         } else if (a == "--no-cache") {
             o.noCache = true;
